@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+/// \file bench_common.h
+/// Shared knobs for the bench harness. Every bench runs at a reduced
+/// default scale so the full suite finishes in minutes on one core;
+/// setting TRILIST_PAPER_SCALE=1 in the environment restores sizes and
+/// repetition counts close to the publication (expect hours).
+
+namespace trilist_bench {
+
+/// True when TRILIST_PAPER_SCALE=1.
+inline bool PaperScale() {
+  const char* v = std::getenv("TRILIST_PAPER_SCALE");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Graph sizes for simulation tables: the paper uses 1e4..1e7.
+inline std::vector<size_t> SimulationSizes() {
+  if (PaperScale()) return {10000, 100000, 1000000, 10000000};
+  return {10000, 30000, 100000};
+}
+
+/// Repetitions: the paper averages 100 sequences x 100 graphs.
+inline int NumSequences() { return PaperScale() ? 10 : 3; }
+inline int GraphsPerSequence() { return PaperScale() ? 10 : 2; }
+
+/// Seed shared by all benches (printed in each table header).
+inline uint64_t Seed() {
+  const char* v = std::getenv("TRILIST_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20170514;  // PODS'17
+}
+
+}  // namespace trilist_bench

@@ -1,0 +1,77 @@
+/// \file bench_generator_speed.cpp
+/// Section 7.2 performance claim: the residual-degree generator with an
+/// interval (Fenwick) tree realizes a prescribed degree sequence in
+/// n log n time — "graphs with 10M nodes ... in several seconds". This
+/// bench measures wall time and exactness of the generator across n and
+/// alpha, next to the (inexact) configuration model at equal sizes.
+
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/configuration_model.h"
+#include "src/gen/residual_generator.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace trilist;
+  std::cout << "=== Generator speed and exactness (Section 7.2) ===\n";
+  TablePrinter table({"n", "alpha", "trunc", "m", "residual time",
+                      "unplaced", "config time", "config dropped"});
+  std::vector<size_t> sizes = {10000, 100000, 1000000};
+  if (trilist_bench::PaperScale()) sizes.push_back(10000000);
+  for (size_t n : sizes) {
+    for (double alpha : {1.5, 2.1}) {
+      for (TruncationKind trunc :
+           {TruncationKind::kRoot, TruncationKind::kLinear}) {
+        Rng rng(trilist_bench::Seed());
+        const DiscretePareto base =
+            DiscretePareto::PaperParameterization(alpha);
+        const TruncatedDistribution fn(
+            base, TruncationPoint(trunc, static_cast<int64_t>(n)));
+        std::vector<int64_t> degrees =
+            DegreeSequence::SampleIid(fn, n, &rng).degrees();
+        MakeGraphic(&degrees);
+
+        Timer timer;
+        ResidualGenStats stats;
+        auto g = GenerateExactDegree(degrees, &rng, &stats);
+        const double residual_time = timer.ElapsedSeconds();
+        if (!g.ok()) {
+          std::fprintf(stderr, "generation failed: %s\n",
+                       g.status().ToString().c_str());
+          return 1;
+        }
+
+        timer.Start();
+        ConfigModelStats config_stats;
+        auto cg = ConfigurationModel(degrees, &rng, &config_stats);
+        const double config_time = timer.ElapsedSeconds();
+        if (!cg.ok()) return 1;
+
+        table.AddRow({FormatCount(n), FormatNumber(alpha, 1),
+                      TruncationKindName(trunc),
+                      FormatCount(g->num_edges()),
+                      FormatNumber(residual_time, 2) + "s",
+                      FormatCount(static_cast<uint64_t>(
+                          stats.unplaced_stubs)),
+                      FormatNumber(config_time, 2) + "s",
+                      FormatCount(static_cast<uint64_t>(
+                          config_stats.TotalDroppedStubs()))});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: the residual generator realizes the sequence "
+               "exactly (unplaced <= 1) at n log n cost, while the "
+               "configuration model silently drops stubs — visibly so for "
+               "heavy tails with linear truncation (the Section 7.2 "
+               "motivation).\n\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+/// \file bench_table7_t2_root.cpp
+/// Reproduces Table 7: per-node cost of the vertex iterator T2 under the
+/// descending and Round-Robin orders, alpha = 1.7, beta = 21, root
+/// truncation — simulation vs Eq. (50), limits 1,307.6 (theta_D) and
+/// 770.4 (theta_RR) in the paper.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/sim/report.h"
+
+int main() {
+  using namespace trilist;
+  PaperTableSpec spec;
+  spec.title = "Table 7: T2, alpha=1.7, root truncation";
+  spec.base.alpha = 1.7;
+  spec.base.truncation = TruncationKind::kRoot;
+  spec.base.num_sequences = trilist_bench::NumSequences();
+  spec.base.graphs_per_sequence = trilist_bench::GraphsPerSequence();
+  spec.base.seed = trilist_bench::Seed();
+  spec.cells = {{Method::kT2, PermutationKind::kDescending},
+                {Method::kT2, PermutationKind::kRoundRobin}};
+  spec.sizes = trilist_bench::SimulationSizes();
+  RunAndPrintPaperTable(spec, std::cout);
+  return 0;
+}

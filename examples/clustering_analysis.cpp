@@ -1,0 +1,117 @@
+/// \file clustering_analysis.cpp
+/// A small graph-mining application on top of the listing API: measure how
+/// much more clustered a heavy-tailed "social" graph is than an
+/// Erdos-Renyi graph of the same size and density — the observation that
+/// motivates subgraph mining in the paper's introduction (triangles occur
+/// far more often in natural networks than in classical random graphs).
+///
+/// For each graph we compute the number of triangles T, the number of
+/// wedges W (paths of length 2), and the global clustering coefficient
+/// C = 3T / W, using the cheapest listing configuration the theory
+/// recommends (E1 + theta_D for light tails).
+///
+/// Usage: clustering_analysis [n] [alpha] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/algo/registry.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/residual_generator.h"
+#include "src/order/pipeline.h"
+#include "src/util/rng.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace trilist;
+
+struct ClusteringReport {
+  uint64_t triangles = 0;
+  double wedges = 0.0;
+  double clustering = 0.0;
+  double mean_degree = 0.0;
+};
+
+ClusteringReport Analyze(const Graph& g) {
+  ClusteringReport report;
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kDescending);
+  CountingSink sink;
+  RunMethod(Method::kE1, og, &sink);
+  report.triangles = sink.count();
+  double wedges = 0.0;
+  double degree_sum = 0.0;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto d = static_cast<double>(g.Degree(static_cast<NodeId>(v)));
+    wedges += d * (d - 1) / 2.0;
+    degree_sum += d;
+  }
+  report.wedges = wedges;
+  report.clustering =
+      wedges > 0 ? 3.0 * static_cast<double>(report.triangles) / wedges : 0.0;
+  report.mean_degree =
+      g.num_nodes() > 0 ? degree_sum / static_cast<double>(g.num_nodes())
+                        : 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+  const double alpha = argc > 2 ? std::strtod(argv[2], nullptr) : 1.7;
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  // Heavy-tailed "social network": exact realization of a truncated
+  // Pareto degree sequence.
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t_n =
+      TruncationPoint(TruncationKind::kRoot, static_cast<int64_t>(n));
+  const TruncatedDistribution fn(base, t_n);
+  DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
+  std::vector<int64_t> degrees = seq.degrees();
+  MakeGraphic(&degrees);
+  auto social = GenerateExactDegree(degrees, &rng);
+  if (!social.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 social.status().ToString().c_str());
+    return 1;
+  }
+
+  // Erdos-Renyi control with the same expected number of edges.
+  const double p = static_cast<double>(social->num_edges()) /
+                   (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+  const Graph er = GenerateGnp(n, p, &rng);
+
+  const ClusteringReport sr = Analyze(*social);
+  const ClusteringReport er_report = Analyze(er);
+
+  std::printf("clustering analysis: n=%zu alpha=%.2f seed=%llu\n\n", n,
+              alpha, static_cast<unsigned long long>(seed));
+  TablePrinter table(
+      {"graph", "edges", "mean deg", "triangles", "wedges", "clustering"});
+  table.AddRow({"powerlaw", FormatCount(social->num_edges()),
+                FormatNumber(sr.mean_degree, 2), FormatCount(sr.triangles),
+                FormatNumber(sr.wedges, 0), FormatNumber(sr.clustering, 5)});
+  table.AddRow({"erdos-renyi", FormatCount(er.num_edges()),
+                FormatNumber(er_report.mean_degree, 2),
+                FormatCount(er_report.triangles),
+                FormatNumber(er_report.wedges, 0),
+                FormatNumber(er_report.clustering, 5)});
+  table.Print(std::cout);
+
+  if (er_report.triangles > 0) {
+    std::printf(
+        "\nthe heavy-tailed graph packs %.1fx more triangles than the ER "
+        "control at equal density\n",
+        static_cast<double>(sr.triangles) /
+            static_cast<double>(er_report.triangles));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file cost_model_explorer.cpp
+/// Interactive-style exploration of the analytical machinery: for a grid
+/// of Pareto shapes, evaluate the exact discrete model Eq. (50) at a
+/// finite n, the asymptotic limit via Algorithm 2, and the model's own
+/// computation time — a miniature of the Table 5 story plus the regime
+/// map of Section 6.3.
+///
+/// Usage: cost_model_explorer [n] [eps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/discrete_model.h"
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace trilist;
+  const auto n =
+      argc > 1 ? std::strtoll(argv[1], nullptr, 10) : int64_t{1000000};
+  const double eps = argc > 2 ? std::strtod(argv[2], nullptr) : 1e-5;
+
+  std::printf("cost model explorer: n=%lld, Algorithm-2 eps=%g\n\n",
+              static_cast<long long>(n), eps);
+  std::printf(
+      "per-node cost of each method under its optimal permutation\n"
+      "(model Eq. 50 at n with root truncation; limit via Algorithm 2)\n\n");
+
+  const struct {
+    Method method;
+    PermutationKind order;
+  } cells[] = {
+      {Method::kT1, PermutationKind::kDescending},
+      {Method::kT2, PermutationKind::kRoundRobin},
+      {Method::kE1, PermutationKind::kDescending},
+      {Method::kE4, PermutationKind::kComplementaryRoundRobin},
+  };
+
+  TablePrinter table({"alpha", "method+order", "model@n", "limit",
+                      "finite?", "model time"});
+  for (double alpha : {1.2, 4.0 / 3.0, 1.5, 1.7, 2.1, 3.0}) {
+    const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+    const int64_t t_n = TruncationPoint(TruncationKind::kRoot, n);
+    const TruncatedDistribution fn(base, t_n);
+    for (const auto& cell : cells) {
+      const XiMap xi = XiMap::FromKind(cell.order);
+      Timer timer;
+      const double model = ExactDiscreteCost(fn, t_n, cell.method, xi);
+      const double model_seconds = timer.ElapsedSeconds();
+      const bool finite = IsFiniteAsymptoticCost(cell.method, xi, alpha);
+      timer.Start();
+      const double limit =
+          finite ? AsymptoticCost(base, cell.method, xi,
+                                  WeightFn::Identity(), eps)
+                 : 0.0;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%s+%s", MethodName(cell.method),
+                    PermutationKindName(cell.order));
+      table.AddRow({FormatNumber(alpha, 3), label, FormatNumber(model, 1),
+                    finite ? FormatNumber(limit, 1) : "inf",
+                    finite ? "yes" : "no",
+                    FormatNumber(model_seconds * 1e3, 1) + "ms"});
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nreading the table: T1+theta_D stays finite down to alpha > 4/3,\n"
+      "E1+theta_D needs alpha > 1.5, and in between the vertex iterator\n"
+      "wins no matter how fast scanning intersection is (Section 6.3).\n");
+  return 0;
+}

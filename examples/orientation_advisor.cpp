@@ -1,0 +1,70 @@
+/// \file orientation_advisor.cpp
+/// The Section 6 results as a practical decision tool: given the Pareto
+/// shape alpha of a graph family, report
+///  * the finiteness regime of every fundamental method under its optimal
+///    permutation (Sections 4.2, 5.3, 6.3),
+///  * the asymptotic cost of each (method, named permutation) pair,
+///  * and the recommended algorithm for fast-scanning (SIMD-class) and
+///    slow-scanning hardware.
+///
+/// Usage: orientation_advisor [alpha] [sei_speedup]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "src/core/advisor.h"
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/pareto.h"
+#include "src/util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace trilist;
+  const double alpha = argc > 1 ? std::strtod(argv[1], nullptr) : 1.7;
+  const double speedup = argc > 2 ? std::strtod(argv[2], nullptr) : 95.0;
+
+  std::printf("orientation advisor for Pareto degree graphs, alpha=%.3f\n\n",
+              alpha);
+
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const PermutationKind kinds[] = {
+      PermutationKind::kAscending, PermutationKind::kDescending,
+      PermutationKind::kRoundRobin,
+      PermutationKind::kComplementaryRoundRobin, PermutationKind::kUniform};
+
+  TablePrinter table({"method", "theta_A", "theta_D", "theta_RR",
+                      "theta_CRR", "theta_U", "optimal", "finite iff"});
+  for (Method m : FundamentalMethods()) {
+    std::vector<std::string> row = {MethodName(m)};
+    for (PermutationKind kind : kinds) {
+      const XiMap xi = XiMap::FromKind(kind);
+      if (IsFiniteAsymptoticCost(m, xi, alpha)) {
+        row.push_back(FormatNumber(AsymptoticCost(f, m, xi), 1));
+      } else {
+        row.push_back("inf");
+      }
+    }
+    row.push_back(PermutationKindName(OptimalPermutationKindFor(m)));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "alpha > %.3f",
+                  FinitenessThresholdAlpha(
+                      m, XiMap::FromKind(OptimalPermutationKindFor(m))));
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  const MethodAdvice advice = AdviseForPareto(alpha, speedup);
+  std::printf(
+      "\nrecommendation (scanning speedup %.0fx): use %s with %s\n  %s\n",
+      speedup, MethodName(advice.method),
+      PermutationKindName(advice.order), advice.rationale.c_str());
+  const MethodAdvice slow = AdviseForPareto(alpha, 1.0);
+  std::printf(
+      "recommendation (no scanning advantage): use %s with %s\n  %s\n",
+      MethodName(slow.method), PermutationKindName(slow.order),
+      slow.rationale.c_str());
+  return 0;
+}

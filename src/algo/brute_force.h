@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file brute_force.h
+/// Reference triangle enumerators over the *undirected* graph, used as
+/// ground truth by the test suite. Triangles are reported in original node
+/// IDs, each exactly once, canonically sorted.
+
+namespace trilist {
+
+/// A triangle in original-ID space, entries ascending.
+using CanonicalTriangle = std::array<NodeId, 3>;
+
+/// O(n^3) triple-loop enumeration (tiny graphs only).
+std::vector<CanonicalTriangle> BruteForceTriangles(const Graph& g);
+
+/// O(sum d^2 log d) neighbor-pair enumeration with binary-search edge
+/// checks; suitable for medium graphs as an independent cross-check.
+std::vector<CanonicalTriangle> NeighborPairTriangles(const Graph& g);
+
+/// Exact triangle count via NeighborPairTriangles-style counting without
+/// materializing the list.
+uint64_t CountTrianglesReference(const Graph& g);
+
+/// Third independent oracle: dense adjacency-bitset counting,
+/// #triangles = sum over edges (u,v) of |N(u) & N(v)| / 3 computed with
+/// 64-bit word popcounts. O(n m / 64); intended for n up to a few
+/// thousand in differential tests.
+uint64_t CountTrianglesBitset(const Graph& g);
+
+}  // namespace trilist

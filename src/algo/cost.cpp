@@ -1,0 +1,143 @@
+#include "src/algo/cost.h"
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kAll = {
+      Method::kT1, Method::kT2, Method::kT3, Method::kT4, Method::kT5,
+      Method::kT6, Method::kE1, Method::kE2, Method::kE3, Method::kE4,
+      Method::kE5, Method::kE6, Method::kL1, Method::kL2, Method::kL3,
+      Method::kL4, Method::kL5, Method::kL6,
+  };
+  return kAll;
+}
+
+const std::vector<Method>& FundamentalMethods() {
+  static const std::vector<Method> kFundamental = {
+      Method::kT1, Method::kT2, Method::kE1, Method::kE4};
+  return kFundamental;
+}
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kT1: return "T1";
+    case Method::kT2: return "T2";
+    case Method::kT3: return "T3";
+    case Method::kT4: return "T4";
+    case Method::kT5: return "T5";
+    case Method::kT6: return "T6";
+    case Method::kE1: return "E1";
+    case Method::kE2: return "E2";
+    case Method::kE3: return "E3";
+    case Method::kE4: return "E4";
+    case Method::kE5: return "E5";
+    case Method::kE6: return "E6";
+    case Method::kL1: return "L1";
+    case Method::kL2: return "L2";
+    case Method::kL3: return "L3";
+    case Method::kL4: return "L4";
+    case Method::kL5: return "L5";
+    case Method::kL6: return "L6";
+  }
+  return "?";
+}
+
+Family MethodFamily(Method m) {
+  switch (m) {
+    case Method::kT1: case Method::kT2: case Method::kT3:
+    case Method::kT4: case Method::kT5: case Method::kT6:
+      return Family::kVertexIterator;
+    case Method::kE1: case Method::kE2: case Method::kE3:
+    case Method::kE4: case Method::kE5: case Method::kE6:
+      return Family::kScanningEdgeIterator;
+    default:
+      return Family::kLookupEdgeIterator;
+  }
+}
+
+CostClass LocalCostClass(Method m) {
+  switch (m) {
+    // Vertex iterators: the candidate-tuple class (T4-T6 mirror T1-T3).
+    case Method::kT1: case Method::kT4: return CostClass::kT1;
+    case Method::kT2: case Method::kT5: return CostClass::kT2;
+    case Method::kT3: case Method::kT6: return CostClass::kT3;
+    // SEI local classes, Table 1 row 1.
+    case Method::kE1: return CostClass::kT1;
+    case Method::kE2: return CostClass::kT2;
+    case Method::kE3: return CostClass::kT3;
+    case Method::kE4: return CostClass::kT1;
+    case Method::kE5: return CostClass::kT2;
+    case Method::kE6: return CostClass::kT3;
+    // LEI lookup classes, Table 2.
+    case Method::kL1: return CostClass::kT2;
+    case Method::kL2: return CostClass::kT1;
+    case Method::kL3: return CostClass::kT2;
+    case Method::kL4: return CostClass::kT3;
+    case Method::kL5: return CostClass::kT3;
+    case Method::kL6: return CostClass::kT1;
+  }
+  return CostClass::kT1;
+}
+
+CostClass RemoteCostClass(Method m) {
+  switch (m) {
+    // SEI remote classes, Table 1 row 2.
+    case Method::kE1: return CostClass::kT2;
+    case Method::kE2: return CostClass::kT1;
+    case Method::kE3: return CostClass::kT2;
+    case Method::kE4: return CostClass::kT3;
+    case Method::kE5: return CostClass::kT3;
+    case Method::kE6: return CostClass::kT1;
+    default:
+      return LocalCostClass(m);
+  }
+}
+
+bool NeedsRemoteBinarySearch(Method m) {
+  return m == Method::kE5 || m == Method::kE6 || m == Method::kL5 ||
+         m == Method::kL6;
+}
+
+double CostClassTotal(const std::vector<int64_t>& x,
+                      const std::vector<int64_t>& y, CostClass c) {
+  TRILIST_DCHECK(x.size() == y.size());
+  double total = 0.0;
+  switch (c) {
+    case CostClass::kT1:
+      for (int64_t xi : x) {
+        total += 0.5 * static_cast<double>(xi) * static_cast<double>(xi - 1);
+      }
+      break;
+    case CostClass::kT2:
+      for (size_t i = 0; i < x.size(); ++i) {
+        total += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+      }
+      break;
+    case CostClass::kT3:
+      for (int64_t yi : y) {
+        total += 0.5 * static_cast<double>(yi) * static_cast<double>(yi - 1);
+      }
+      break;
+  }
+  return total;
+}
+
+double MethodCostTotal(const std::vector<int64_t>& x,
+                       const std::vector<int64_t>& y, Method m) {
+  const double local = CostClassTotal(x, y, LocalCostClass(m));
+  if (MethodFamily(m) != Family::kScanningEdgeIterator) return local;
+  return local + CostClassTotal(x, y, RemoteCostClass(m));
+}
+
+double MethodCostTotal(const OrientedGraph& g, Method m) {
+  return MethodCostTotal(g.OutDegrees(), g.InDegrees(), m);
+}
+
+double MethodCostPerNode(const OrientedGraph& g, Method m) {
+  if (g.num_nodes() == 0) return 0.0;
+  return MethodCostTotal(g, m) / static_cast<double>(g.num_nodes());
+}
+
+}  // namespace trilist

@@ -1,0 +1,114 @@
+#include "src/algo/intersect.h"
+
+#include <algorithm>
+
+namespace trilist {
+
+int64_t IntersectMerge(std::span<const NodeId> a, std::span<const NodeId> b,
+                       void (*emit)(NodeId, void*), void* ctx) {
+  int64_t comparisons = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++comparisons;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (emit != nullptr) emit(a[i], ctx);
+      ++i;
+      ++j;
+    }
+  }
+  return comparisons;
+}
+
+namespace {
+
+/// Gallops for `key` in list[lo..): returns the first index with
+/// list[idx] >= key; adds probe count to *comparisons.
+size_t GallopLowerBound(std::span<const NodeId> list, size_t lo, NodeId key,
+                        int64_t* comparisons) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < list.size() && list[hi] < key) {
+    ++*comparisons;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, list.size());
+  // Binary search in (lo-1, hi].
+  while (lo < hi) {
+    ++*comparisons;
+    const size_t mid = lo + (hi - lo) / 2;
+    if (list[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int64_t IntersectGallop(std::span<const NodeId> a,
+                        std::span<const NodeId> b,
+                        void (*emit)(NodeId, void*), void* ctx) {
+  // Keep `a` as the shorter list.
+  if (a.size() > b.size()) std::swap(a, b);
+  int64_t comparisons = 0;
+  size_t cursor = 0;
+  for (const NodeId key : a) {
+    cursor = GallopLowerBound(b, cursor, key, &comparisons);
+    if (cursor >= b.size()) break;
+    ++comparisons;
+    if (b[cursor] == key) {
+      if (emit != nullptr) emit(key, ctx);
+      ++cursor;
+    }
+  }
+  return comparisons;
+}
+
+int64_t IntersectAuto(std::span<const NodeId> a, std::span<const NodeId> b,
+                      void (*emit)(NodeId, void*), void* ctx) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  if (large / small > 32) return IntersectGallop(a, b, emit, ctx);
+  return IntersectMerge(a, b, emit, ctx);
+}
+
+namespace {
+void CountEmit(NodeId, void* ctx) {
+  ++*static_cast<int64_t*>(ctx);
+}
+
+template <int64_t (*Kernel)(std::span<const NodeId>, std::span<const NodeId>,
+                            void (*)(NodeId, void*), void*)>
+int64_t CountWith(std::span<const NodeId> a, std::span<const NodeId> b) {
+  int64_t matches = 0;
+  Kernel(a, b, &CountEmit, &matches);
+  return matches;
+}
+}  // namespace
+
+int64_t CountIntersectMerge(std::span<const NodeId> a,
+                            std::span<const NodeId> b) {
+  return CountWith<IntersectMerge>(a, b);
+}
+
+int64_t CountIntersectGallop(std::span<const NodeId> a,
+                             std::span<const NodeId> b) {
+  return CountWith<IntersectGallop>(a, b);
+}
+
+int64_t CountIntersectAuto(std::span<const NodeId> a,
+                           std::span<const NodeId> b) {
+  return CountWith<IntersectAuto>(a, b);
+}
+
+}  // namespace trilist

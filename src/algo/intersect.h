@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/graph/graph.h"
+
+/// \file intersect.h
+/// Sorted-set intersection kernels — the elementary operation of scanning
+/// edge iterators, and the axis along which SEI beats hash-based families
+/// on modern hardware (Table 3). Three strategies with different
+/// asymmetry sweet spots:
+///
+///  * Merge: classic two-pointer scan, O(|A| + |B|); best when the lists
+///    have comparable lengths (the paper's best case for intersection).
+///  * Gallop: binary-search-assisted, O(|A| log(|B|/|A|)); best when one
+///    list is much shorter (hub vs leaf adjacency).
+///  * Auto: picks between the two from the length ratio.
+///
+/// All kernels emit the common elements through a callback and return the
+/// number of elementary comparisons performed, so they can be swapped
+/// into cost experiments.
+
+namespace trilist {
+
+/// Two-pointer merge intersection.
+/// \return comparisons performed.
+int64_t IntersectMerge(std::span<const NodeId> a, std::span<const NodeId> b,
+                       void (*emit)(NodeId, void*), void* ctx);
+
+/// Galloping intersection: for each element of the shorter list, gallop
+/// (doubling probe + binary search) in the longer one.
+int64_t IntersectGallop(std::span<const NodeId> a,
+                        std::span<const NodeId> b,
+                        void (*emit)(NodeId, void*), void* ctx);
+
+/// Ratio-adaptive dispatch: gallop when one side is > 32x longer.
+int64_t IntersectAuto(std::span<const NodeId> a, std::span<const NodeId> b,
+                      void (*emit)(NodeId, void*), void* ctx);
+
+/// Convenience wrappers that count matches instead of emitting them.
+int64_t CountIntersectMerge(std::span<const NodeId> a,
+                            std::span<const NodeId> b);
+int64_t CountIntersectGallop(std::span<const NodeId> a,
+                             std::span<const NodeId> b);
+int64_t CountIntersectAuto(std::span<const NodeId> a,
+                           std::span<const NodeId> b);
+
+}  // namespace trilist

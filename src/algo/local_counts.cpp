@@ -1,0 +1,65 @@
+#include "src/algo/local_counts.h"
+
+#include <algorithm>
+
+#include "src/algo/registry.h"
+#include "src/algo/triangle_sink.h"
+#include "src/order/pipeline.h"
+
+namespace trilist {
+
+std::vector<uint64_t> TrianglesPerVertex(const Graph& g, Method m,
+                                         PermutationKind kind, Rng* rng) {
+  const OrientedGraph og = OrientNamed(g, kind, rng);
+  std::vector<uint64_t> counts(g.num_nodes(), 0);
+  CallbackSink sink([&](NodeId x, NodeId y, NodeId z) {
+    ++counts[og.OriginalOf(x)];
+    ++counts[og.OriginalOf(y)];
+    ++counts[og.OriginalOf(z)];
+  });
+  RunMethod(m, og, &sink);
+  return counts;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g, Method m,
+                                                PermutationKind kind,
+                                                Rng* rng) {
+  const std::vector<uint64_t> counts = TrianglesPerVertex(g, m, kind, rng);
+  std::vector<double> coeffs(g.num_nodes(), 0.0);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto d = static_cast<double>(g.Degree(static_cast<NodeId>(v)));
+    if (d >= 2.0) {
+      coeffs[v] = static_cast<double>(counts[v]) / (d * (d - 1.0) / 2.0);
+    }
+  }
+  return coeffs;
+}
+
+TriangleStats ComputeTriangleStats(const Graph& g, Method m,
+                                   PermutationKind kind, Rng* rng) {
+  TriangleStats stats;
+  const std::vector<uint64_t> counts = TrianglesPerVertex(g, m, kind, rng);
+  uint64_t corner_sum = 0;
+  double local_sum = 0.0;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto d = static_cast<double>(g.Degree(static_cast<NodeId>(v)));
+    stats.wedges += d * (d - 1.0) / 2.0;
+    corner_sum += counts[v];
+    stats.max_per_vertex = std::max(stats.max_per_vertex, counts[v]);
+    if (d >= 2.0) {
+      local_sum += static_cast<double>(counts[v]) / (d * (d - 1.0) / 2.0);
+    }
+  }
+  stats.triangles = corner_sum / 3;
+  stats.transitivity =
+      stats.wedges > 0.0
+          ? 3.0 * static_cast<double>(stats.triangles) / stats.wedges
+          : 0.0;
+  stats.mean_local =
+      g.num_nodes() > 0
+          ? local_sum / static_cast<double>(g.num_nodes())
+          : 0.0;
+  return stats;
+}
+
+}  // namespace trilist

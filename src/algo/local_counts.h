@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/graph/graph.h"
+#include "src/graph/oriented_graph.h"
+#include "src/order/named_orders.h"
+#include "src/util/rng.h"
+
+/// \file local_counts.h
+/// Per-vertex triangle statistics built on the listing framework — the
+/// application layer most graph-mining uses of triangle listing need
+/// (local clustering, transitivity, triangle-degree distributions).
+///
+/// Each listed triangle (x, y, z) contributes one count to each of its
+/// corners; counts are reported in *original* node IDs regardless of the
+/// orientation used for listing.
+
+namespace trilist {
+
+/// Per-vertex triangle participation counts.
+/// \param g undirected input graph.
+/// \param m listing method to use (any of the 18).
+/// \param kind relabeling order (affects cost only, not the result).
+/// \param rng randomness for kUniform (may be null otherwise).
+std::vector<uint64_t> TrianglesPerVertex(
+    const Graph& g, Method m = Method::kE1,
+    PermutationKind kind = PermutationKind::kDescending,
+    Rng* rng = nullptr);
+
+/// Local clustering coefficient c(v) = T(v) / C(d(v), 2); 0 for degree
+/// < 2 vertices.
+std::vector<double> LocalClusteringCoefficients(
+    const Graph& g, Method m = Method::kE1,
+    PermutationKind kind = PermutationKind::kDescending,
+    Rng* rng = nullptr);
+
+/// Summary statistics of a graph's triangle structure.
+struct TriangleStats {
+  uint64_t triangles = 0;       ///< total triangle count T
+  double wedges = 0.0;          ///< paths of length two W
+  double transitivity = 0.0;    ///< global coefficient 3T / W
+  double mean_local = 0.0;      ///< average local clustering (Watts-Strogatz)
+  uint64_t max_per_vertex = 0;  ///< largest per-vertex count
+};
+
+/// Computes TriangleStats in one pass.
+TriangleStats ComputeTriangleStats(
+    const Graph& g, Method m = Method::kE1,
+    PermutationKind kind = PermutationKind::kDescending,
+    Rng* rng = nullptr);
+
+}  // namespace trilist

@@ -1,0 +1,42 @@
+#include "src/algo/registry.h"
+
+#include "src/algo/edge_iterator.h"
+#include "src/algo/lookup_iterator.h"
+
+namespace trilist {
+
+OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink) {
+  if (MethodFamily(m) == Family::kVertexIterator) {
+    const DirectedEdgeSet arcs(g);
+    return RunMethod(m, g, arcs, sink);
+  }
+  const DirectedEdgeSet empty_arcs{OrientedGraph()};
+  return RunMethod(m, g, empty_arcs, sink);
+}
+
+OpCounts RunMethod(Method m, const OrientedGraph& g,
+                   const DirectedEdgeSet& arcs, TriangleSink* sink) {
+  switch (m) {
+    case Method::kT1: return RunT1(g, arcs, sink);
+    case Method::kT2: return RunT2(g, arcs, sink);
+    case Method::kT3: return RunT3(g, arcs, sink);
+    case Method::kT4: return RunT4(g, arcs, sink);
+    case Method::kT5: return RunT5(g, arcs, sink);
+    case Method::kT6: return RunT6(g, arcs, sink);
+    case Method::kE1: return RunE1(g, sink);
+    case Method::kE2: return RunE2(g, sink);
+    case Method::kE3: return RunE3(g, sink);
+    case Method::kE4: return RunE4(g, sink);
+    case Method::kE5: return RunE5(g, sink);
+    case Method::kE6: return RunE6(g, sink);
+    case Method::kL1: return RunL1(g, sink);
+    case Method::kL2: return RunL2(g, sink);
+    case Method::kL3: return RunL3(g, sink);
+    case Method::kL4: return RunL4(g, sink);
+    case Method::kL5: return RunL5(g, sink);
+    case Method::kL6: return RunL6(g, sink);
+  }
+  return OpCounts{};
+}
+
+}  // namespace trilist

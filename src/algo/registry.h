@@ -1,0 +1,24 @@
+#pragma once
+
+#include "src/algo/cost.h"
+#include "src/algo/triangle_sink.h"
+#include "src/algo/vertex_iterator.h"
+#include "src/graph/edge_set.h"
+#include "src/graph/oriented_graph.h"
+
+/// \file registry.h
+/// Uniform dispatch over the 18 listing methods, so sweeps ("run every
+/// method under every permutation") are one loop in callers.
+
+namespace trilist {
+
+/// Runs `m` on the oriented graph, building the directed-arc hash set
+/// internally when the method is a vertex iterator.
+OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink);
+
+/// Same, but reuses a caller-provided arc set for vertex iterators (the
+/// set is ignored by the other families).
+OpCounts RunMethod(Method m, const OrientedGraph& g,
+                   const DirectedEdgeSet& arcs, TriangleSink* sink);
+
+}  // namespace trilist

@@ -1,0 +1,13 @@
+#include "src/algo/triangle_sink.h"
+
+#include <algorithm>
+
+namespace trilist {
+
+std::vector<Triangle> CollectingSink::Sorted() const {
+  std::vector<Triangle> sorted = triangles_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace trilist

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+/// \file wedge_sampling.h
+/// Approximate triangle counting by uniform wedge sampling — the standard
+/// sublinear estimator from the streaming/approximate literature the
+/// paper's introduction cites as the alternative to exact listing. A
+/// wedge (path of length two) is sampled proportional to C(d_v, 2) at its
+/// center; the fraction of closed wedges estimates the transitivity
+/// kappa = 3T / W, hence T = kappa W / 3.
+///
+/// Included as a baseline so users can quantify the exact-vs-approximate
+/// trade-off on the same graphs the listing algorithms run on.
+
+namespace trilist {
+
+/// Result of a wedge-sampling estimation run.
+struct WedgeSampleEstimate {
+  double transitivity = 0.0;   ///< estimated 3T / W
+  double triangles = 0.0;      ///< estimated T
+  double wedges = 0.0;         ///< exact W (computed from degrees)
+  uint64_t samples = 0;        ///< wedges sampled
+  uint64_t closed = 0;         ///< sampled wedges that closed
+  /// 99%-confidence half-width on transitivity (normal approximation).
+  double confidence99 = 0.0;
+};
+
+/// Estimates the triangle count of `g` from `samples` uniform wedges.
+/// O(n + samples * (log n + log d_max)).
+WedgeSampleEstimate EstimateTrianglesByWedgeSampling(const Graph& g,
+                                                     uint64_t samples,
+                                                     Rng* rng);
+
+}  // namespace trilist

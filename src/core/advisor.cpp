@@ -1,0 +1,115 @@
+#include "src/core/advisor.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/pareto.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+PermutationKind OptimalPermutationKindFor(Method m) {
+  // With increasing r(x) = g(x)/w(x), Corollary 1 matches h's monotone
+  // direction to descending/ascending order and Corollary 2 matches the
+  // symmetric h's to RR/CRR. Grouped by the h of each method:
+  switch (m) {
+    // h = x^2/2 increasing -> descending.
+    case Method::kT1: case Method::kT4:
+    case Method::kL2: case Method::kL6:
+      return PermutationKind::kDescending;
+    // h = (1-x)^2/2 decreasing -> ascending.
+    case Method::kT3: case Method::kT6:
+    case Method::kL4: case Method::kL5:
+      return PermutationKind::kAscending;
+    // h = x(1-x), symmetric and increasing on [0, 1/2) -> RR.
+    case Method::kT2: case Method::kT5:
+    case Method::kL1: case Method::kL3:
+      return PermutationKind::kRoundRobin;
+    // h = x(2-x)/2 increasing -> descending.
+    case Method::kE1: case Method::kE2:
+      return PermutationKind::kDescending;
+    // h = (1-x^2)/2 decreasing -> ascending.
+    case Method::kE3: case Method::kE5:
+      return PermutationKind::kAscending;
+    // h = (x^2+(1-x)^2)/2, symmetric and decreasing on [0, 1/2) -> CRR.
+    case Method::kE4: case Method::kE6:
+      return PermutationKind::kComplementaryRoundRobin;
+  }
+  return PermutationKind::kDescending;
+}
+
+PermutationKind WorstPermutationKindFor(Method m) {
+  // Corollary 3: the complement of the optimal map. Complements of the
+  // named maps: A'' = D, D'' = A, RR'' = CRR, CRR'' = RR.
+  switch (OptimalPermutationKindFor(m)) {
+    case PermutationKind::kAscending:
+      return PermutationKind::kDescending;
+    case PermutationKind::kDescending:
+      return PermutationKind::kAscending;
+    case PermutationKind::kRoundRobin:
+      return PermutationKind::kComplementaryRoundRobin;
+    case PermutationKind::kComplementaryRoundRobin:
+      return PermutationKind::kRoundRobin;
+    default:
+      return PermutationKind::kUniform;
+  }
+}
+
+MethodAdvice AdviseForPareto(double alpha, double sei_speedup, double beta) {
+  TRILIST_DCHECK(alpha > 0.0);
+  MethodAdvice advice;
+  const XiMap xi_d = XiMap::Descending();
+  advice.t1_cost_finite = IsFiniteAsymptoticCost(Method::kT1, xi_d, alpha);
+  advice.e1_cost_finite = IsFiniteAsymptoticCost(Method::kE1, xi_d, alpha);
+
+  if (!advice.t1_cost_finite) {
+    // alpha <= 4/3: everything diverges; T1 has the slowest growth
+    // (Eq. 47 vs 48).
+    advice.method = Method::kT1;
+    advice.order = PermutationKind::kDescending;
+    advice.rationale =
+        "alpha <= 4/3: all methods have asymptotically infinite cost; "
+        "T1 + theta_D grows slowest (Eq. 47 vs 48).";
+    return advice;
+  }
+  if (!advice.e1_cost_finite) {
+    advice.method = Method::kT1;
+    advice.order = PermutationKind::kDescending;
+    advice.rationale =
+        "alpha in (4/3, 1.5]: c(T1, xi_D) is finite while c(E1, xi_D) is "
+        "infinite, so the vertex iterator wins regardless of instruction "
+        "speed (Section 6.3).";
+    return advice;
+  }
+  // Both finite: compare model costs against the per-op speed advantage.
+  if (beta <= 0.0) beta = 30.0 * (alpha - 1.0);
+  const DiscretePareto f(alpha, beta);
+  const double c_t1 = AsymptoticCost(f, Method::kT1, xi_d);
+  const double c_e1 = AsymptoticCost(f, Method::kE1, xi_d);
+  const double ratio = c_t1 > 0.0 ? c_e1 / c_t1 : 1.0;
+  if (ratio < sei_speedup) {
+    advice.method = Method::kE1;
+    advice.order = PermutationKind::kDescending;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "alpha > 1.5: w_n = cost(E1)/cost(T1) = %.2f < %.0fx "
+                  "scanning speed advantage, so E1 + theta_D wins on "
+                  "runtime.",
+                  ratio, sei_speedup);
+    advice.rationale = buf;
+  } else {
+    advice.method = Method::kT1;
+    advice.order = PermutationKind::kDescending;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "alpha > 1.5 but w_n = cost(E1)/cost(T1) = %.2f exceeds "
+                  "the %.0fx speed advantage: T1 + theta_D wins.",
+                  ratio, sei_speedup);
+    advice.rationale = buf;
+  }
+  return advice;
+}
+
+}  // namespace trilist

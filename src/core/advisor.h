@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "src/algo/cost.h"
+#include "src/core/xi_map.h"
+#include "src/order/named_orders.h"
+
+/// \file advisor.h
+/// The optimality and comparison results of Section 6 packaged as a
+/// decision API: which named permutation minimizes each method's expected
+/// cost (Corollaries 1-2), and which method to pick for a Pareto graph
+/// family (Theorems 4-5 plus the finiteness regimes of Section 6.3).
+
+namespace trilist {
+
+/// The cost-minimizing named permutation for a method, under increasing
+/// r(x) = g/w (the canonical w(x) = min(x, a) case):
+///   theta_D for T1/T4, E1/E2, L2/L6;  theta_A for T3/T6, E3/E5, L4/L5;
+///   theta_RR for T2/T5, L1/L3;        theta_CRR for E4/E6.
+PermutationKind OptimalPermutationKindFor(Method m);
+
+/// The cost-maximizing named permutation (Corollary 3: the complement of
+/// the optimum).
+PermutationKind WorstPermutationKindFor(Method m);
+
+/// Decision outcome for a graph family.
+struct MethodAdvice {
+  Method method;            ///< recommended algorithm
+  PermutationKind order;    ///< recommended permutation
+  bool t1_cost_finite;      ///< c(T1, xi_D) < inf
+  bool e1_cost_finite;      ///< c(E1, xi_D) < inf
+  std::string rationale;    ///< one-paragraph human-readable explanation
+};
+
+/// Recommends a method + permutation for Pareto-degree graphs.
+/// \param alpha Pareto shape of the degree distribution.
+/// \param sei_speedup per-operation speed advantage of scanning
+///        intersection over hash probes (the paper measures ~95x on SIMD
+///        hardware, Table 3). The advisor picks E1 when both costs are
+///        finite and cost(E1)/cost(T1) < sei_speedup.
+/// \param beta Pareto scale used to evaluate the cost ratio (default:
+///        the paper's 30(alpha-1) convention).
+MethodAdvice AdviseForPareto(double alpha, double sei_speedup = 95.0,
+                             double beta = -1.0);
+
+}  // namespace trilist

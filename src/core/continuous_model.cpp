@@ -1,0 +1,77 @@
+#include "src/core/continuous_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/h_function.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+double ContinuousCost(const ContinuousPareto& f, double t_n,
+                      const std::function<double(double)>& h,
+                      const XiMap& xi, const WeightFn& w, size_t points) {
+  TRILIST_DCHECK(t_n > 0.0);
+  TRILIST_DCHECK(points >= 16);
+  // Log-spaced grid on [x0, t_n]; the mass below x0 is added as a single
+  // cell (g(x) -> 0 there, so its cost contribution is negligible but its
+  // weight mass is not).
+  const double x0 = std::min(1e-4, t_n / 2.0);
+  const double lo = std::log(x0);
+  const double hi = std::log(t_n);
+  const double step = (hi - lo) / static_cast<double>(points);
+  const double norm = f.Cdf(t_n);  // truncation normalizer
+
+  // Single sweep: accumulate weighted prefix mass and the cost integral
+  // per trapezoid cell, evaluating the integrand at cell midpoints.
+  // First compute total weighted mass for the J normalizer.
+  double total_weight = w(x0 / 2.0) * f.Cdf(x0);
+  {
+    double prev = x0;
+    for (size_t i = 1; i <= points; ++i) {
+      const double x = std::exp(lo + step * static_cast<double>(i));
+      const double mid = 0.5 * (prev + x);
+      total_weight += w(mid) * (f.Cdf(x) - f.Cdf(prev));
+      prev = x;
+    }
+  }
+  if (total_weight <= 0.0) return 0.0;
+
+  double prefix = w(x0 / 2.0) * f.Cdf(x0);
+  double cost = 0.0;
+  double prev = x0;
+  for (size_t i = 1; i <= points; ++i) {
+    const double x = std::exp(lo + step * static_cast<double>(i));
+    const double mid = 0.5 * (prev + x);
+    const double mass = f.Cdf(x) - f.Cdf(prev);
+    prefix += w(mid) * mass;
+    const double j = std::min(1.0, prefix / total_weight);
+    cost += GFunction(mid) * xi.ExpectH(h, j) * mass;
+    prev = x;
+  }
+  return cost / norm;
+}
+
+double ContinuousCost(const ContinuousPareto& f, double t_n, Method m,
+                      const XiMap& xi, const WeightFn& w, size_t points) {
+  return ContinuousCost(f, t_n, HOf(m), xi, w, points);
+}
+
+double ParetoWeightedPrefix(const ContinuousPareto& f, double x) {
+  if (x <= 0.0) return 0.0;
+  const double a = f.alpha();
+  const double b = f.beta();
+  const double upper = 1.0 + x / b;
+  // M(x) = a*b * [ int_1^U u^-a du - int_1^U u^-(a+1) du ].
+  double i1;
+  if (std::abs(a - 1.0) < 1e-12) {
+    i1 = std::log(upper);
+  } else {
+    i1 = (std::pow(upper, 1.0 - a) - 1.0) / (1.0 - a);
+  }
+  const double i2 = (1.0 - std::pow(upper, -a)) / a;
+  return a * b * (i1 - i2);
+}
+
+}  // namespace trilist

@@ -1,0 +1,48 @@
+#include "src/core/discrete_model.h"
+
+#include <algorithm>
+
+#include "src/core/h_function.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+double ExactDiscreteCost(const DegreeDistribution& fn, int64_t t_n,
+                         const std::function<double(double)>& h,
+                         const XiMap& xi, const WeightFn& w) {
+  TRILIST_DCHECK(t_n >= 1);
+  // Pass 1: E[w(D_n)] for the J normalizer.
+  double total_weight = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const double p =
+        fn.Survival(static_cast<double>(k - 1)) -
+        fn.Survival(static_cast<double>(k));
+    total_weight += w(static_cast<double>(k)) * p;
+  }
+  if (total_weight <= 0.0) return 0.0;
+
+  // Pass 2: stream J and accumulate cost. J uses the inclusive prefix
+  // sum_{j<=i}, exactly as Eq. (50) is written; see the Table 6 note in
+  // EXPERIMENTS.md for the one ascending-order cell where the paper's own
+  // computation appears to differ by a tie-handling detail.
+  double prefix_weight = 0.0;
+  double cost = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const double p =
+        fn.Survival(static_cast<double>(k - 1)) -
+        fn.Survival(static_cast<double>(k));
+    if (p <= 0.0) continue;
+    const auto x = static_cast<double>(k);
+    prefix_weight += w(x) * p;
+    const double j = std::min(1.0, prefix_weight / total_weight);
+    cost += GFunction(x) * xi.ExpectH(h, j) * p;
+  }
+  return cost;
+}
+
+double ExactDiscreteCost(const DegreeDistribution& fn, int64_t t_n, Method m,
+                         const XiMap& xi, const WeightFn& w) {
+  return ExactDiscreteCost(fn, t_n, HOf(m), xi, w);
+}
+
+}  // namespace trilist

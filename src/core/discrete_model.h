@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/algo/cost.h"
+#include "src/core/spread.h"
+#include "src/core/xi_map.h"
+#include "src/degree/distribution.h"
+
+/// \file discrete_model.h
+/// The exact discrete cost model, Eq. (50):
+///
+///   E[c_n(M, theta)] ~ sum_{i=1}^{t_n} g(i) h(xi(J_i)) p_i,
+///   J_i = sum_{j<=i} w(j) p_j / sum_k w(k) p_k,
+///
+/// where p_i is the PMF of the truncated degree F_n. Computed in O(t_n)
+/// time and O(1) space by streaming prefix masses; block masses use the
+/// survival function so deep-tail precision survives.
+
+namespace trilist {
+
+/// Evaluates Eq. (50) exactly.
+/// \param fn the truncated degree distribution F_n.
+/// \param t_n truncation point (summation bound).
+/// \param h the method's cost shape (see HOf / Table 4).
+/// \param xi limiting map of the permutation.
+/// \param w weight function of the out-degree model (Section 3.2).
+double ExactDiscreteCost(const DegreeDistribution& fn, int64_t t_n,
+                         const std::function<double(double)>& h,
+                         const XiMap& xi,
+                         const WeightFn& w = WeightFn::Identity());
+
+/// Convenience overload taking a Method.
+double ExactDiscreteCost(const DegreeDistribution& fn, int64_t t_n,
+                         Method m, const XiMap& xi,
+                         const WeightFn& w = WeightFn::Identity());
+
+}  // namespace trilist

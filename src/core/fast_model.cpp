@@ -1,0 +1,64 @@
+#include "src/core/fast_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/h_function.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+double FastDiscreteCost(const DegreeDistribution& fn, int64_t t_n,
+                        const std::function<double(double)>& h,
+                        const XiMap& xi, const WeightFn& w, double eps) {
+  TRILIST_DCHECK(t_n >= 1);
+  TRILIST_DCHECK(eps > 0.0 && eps < 1.0);
+  auto block_jump = [&](int64_t i) {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(eps * static_cast<double>(i))));
+  };
+  auto block_mass = [&](int64_t i, int64_t jump) {
+    const int64_t end = std::min(t_n, i + jump - 1);
+    return fn.Survival(static_cast<double>(i - 1)) -
+           fn.Survival(static_cast<double>(end));
+  };
+
+  // Line 3-5 of Algorithm 2: E[w(D_n)].
+  double total_weight = 0.0;
+  for (int64_t i = 1; i <= t_n;) {
+    const int64_t jump = block_jump(i);
+    total_weight += w(static_cast<double>(i)) * block_mass(i, jump);
+    i += jump;
+  }
+  if (total_weight <= 0.0) return 0.0;
+
+  // Line 6-10: stream J and accumulate the cost (inclusive prefix, as
+  // the pseudocode is written).
+  double prefix_weight = 0.0;
+  double cost = 0.0;
+  for (int64_t i = 1; i <= t_n;) {
+    const int64_t jump = block_jump(i);
+    const double p = block_mass(i, jump);
+    if (p > 0.0) {
+      const auto x = static_cast<double>(i);
+      prefix_weight += w(x) * p;
+      const double j = std::min(1.0, prefix_weight / total_weight);
+      cost += GFunction(x) * xi.ExpectH(h, j) * p;
+    }
+    i += jump;
+  }
+  return cost;
+}
+
+double FastDiscreteCost(const DegreeDistribution& fn, int64_t t_n, Method m,
+                        const XiMap& xi, const WeightFn& w, double eps) {
+  return FastDiscreteCost(fn, t_n, HOf(m), xi, w, eps);
+}
+
+double AsymptoticCost(const DegreeDistribution& f, Method m, const XiMap& xi,
+                      const WeightFn& w, double eps, int64_t tail_bound) {
+  const int64_t bound = std::min(tail_bound, f.MaxSupport());
+  return FastDiscreteCost(f, bound, HOf(m), xi, w, eps);
+}
+
+}  // namespace trilist

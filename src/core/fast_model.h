@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/algo/cost.h"
+#include "src/core/spread.h"
+#include "src/core/xi_map.h"
+#include "src/degree/distribution.h"
+
+/// \file fast_model.h
+/// Algorithm 2 of the paper: epsilon-compressed evaluation of Eq. (50).
+///
+/// Summands over the geometric block [i, (1+eps)i) are merged into one
+/// term evaluated at the block's left edge, reducing O(t_n) to
+/// O((1 + log(eps * t_n)) / eps). eps = 1/t_n degenerates to the exact
+/// model; eps ~ 1e-5 computes t_n = 1e17 in fractions of a second
+/// (Table 5's punchline). Because the limit as n -> infinity is the same
+/// under any truncation, running this with a huge t_n on the *untruncated*
+/// F(x) yields the asymptotic costs of Eqs. (22)-(24), (34)-(36),
+/// (44)-(45).
+
+namespace trilist {
+
+/// Evaluates Eq. (50) with block compression (Algorithm 2).
+/// \param fn the (truncated) degree distribution.
+/// \param t_n summation bound.
+/// \param h cost shape; \param xi limiting map; \param w weight function.
+/// \param eps relative block width in (0, 1); values <= 1/t_n are exact.
+double FastDiscreteCost(const DegreeDistribution& fn, int64_t t_n,
+                        const std::function<double(double)>& h,
+                        const XiMap& xi,
+                        const WeightFn& w = WeightFn::Identity(),
+                        double eps = 1e-5);
+
+/// Convenience overload taking a Method.
+double FastDiscreteCost(const DegreeDistribution& fn, int64_t t_n, Method m,
+                        const XiMap& xi,
+                        const WeightFn& w = WeightFn::Identity(),
+                        double eps = 1e-5);
+
+/// Asymptotic limit lim_n E[c_n(M, theta) | D_n] for an untruncated base
+/// distribution F: Algorithm 2 with a huge summation bound. Diverging
+/// costs return a large finite number that grows with `tail_bound`; use
+/// the finiteness classifier (limits.h) to interpret.
+/// \param f untruncated degree distribution.
+/// \param m method; \param xi limiting map; \param w weight function.
+/// \param eps block width; \param tail_bound upper summation limit.
+double AsymptoticCost(const DegreeDistribution& f, Method m, const XiMap& xi,
+                      const WeightFn& w = WeightFn::Identity(),
+                      double eps = 1e-5, int64_t tail_bound = int64_t{1} << 56);
+
+}  // namespace trilist

@@ -1,0 +1,35 @@
+#include "src/core/h_function.h"
+
+namespace trilist {
+
+double EvalClassH(CostClass c, double x) {
+  switch (c) {
+    case CostClass::kT1:
+      return 0.5 * x * x;
+    case CostClass::kT2:
+      return x * (1.0 - x);
+    case CostClass::kT3:
+      return 0.5 * (1.0 - x) * (1.0 - x);
+  }
+  return 0.0;
+}
+
+double EvalH(Method m, double x) {
+  double h = EvalClassH(LocalCostClass(m), x);
+  if (MethodFamily(m) == Family::kScanningEdgeIterator) {
+    h += EvalClassH(RemoteCostClass(m), x);
+  }
+  return h;
+}
+
+std::function<double(double)> HOf(Method m) {
+  return [m](double x) { return EvalH(m, x); };
+}
+
+double MeanHUniform(Method m) {
+  // Each primitive class integrates to 1/6 on [0, 1].
+  return MethodFamily(m) == Family::kScanningEdgeIterator ? 1.0 / 3.0
+                                                          : 1.0 / 6.0;
+}
+
+}  // namespace trilist

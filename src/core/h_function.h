@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+
+#include "src/algo/cost.h"
+
+/// \file h_function.h
+/// The cost-shape functions h(x) of Proposition 4 / Table 4, extended from
+/// the four fundamental methods to all 18 via the equivalence classes:
+///
+///   T1-class: h(x) = x^2 / 2
+///   T2-class: h(x) = x (1 - x)
+///   T3-class: h(x) = (1 - x)^2 / 2
+///   E1/E2:    h(x) = x (2 - x) / 2          (= T1 + T2)
+///   E3/E5:    h(x) = (1 - x^2) / 2          (= T3 + T2)
+///   E4/E6:    h(x) = (x^2 + (1 - x)^2) / 2  (= T1 + T3)
+///   L's:      the h of their lookup class (Table 2).
+///
+/// Here x = q_i(theta) is the fraction of a node's neighbors with smaller
+/// label, so the expected per-node cost is g(d) h(q) with g(x) = x^2 - x.
+
+namespace trilist {
+
+/// g(x) = x^2 - x of Proposition 4.
+inline double GFunction(double x) { return x * x - x; }
+
+/// h(x) for a primitive cost class.
+double EvalClassH(CostClass c, double x);
+
+/// h(x) for a method (local + remote classes for SEI).
+double EvalH(Method m, double x);
+
+/// EvalH bound to a method, as a reusable callable.
+std::function<double(double)> HOf(Method m);
+
+/// Closed-form E[h(U)], U ~ Uniform[0,1]: 1/6 for vertex/lookup classes,
+/// 1/3 for scanning edge iterators (the factor behind Eq. (31)).
+double MeanHUniform(Method m);
+
+}  // namespace trilist

@@ -1,0 +1,65 @@
+#include "src/core/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+namespace {
+size_t DefaultHalfWidth(size_t n) {
+  const auto k = static_cast<size_t>(
+      0.5 * std::pow(static_cast<double>(n), 2.0 / 3.0));
+  return std::max<size_t>(1, k);
+}
+}  // namespace
+
+double EmpiricalKernel(const Permutation& theta, double v, double u,
+                       size_t k) {
+  const size_t n = theta.size();
+  TRILIST_DCHECK(n > 0);
+  if (k == 0) k = DefaultHalfWidth(n);
+  const auto center = static_cast<int64_t>(
+      std::ceil(u * static_cast<double>(n))) - 1;  // ceil(un), 0-based
+  const double label_bound = v * static_cast<double>(n);
+  int64_t hits = 0;
+  int64_t count = 0;
+  for (int64_t off = -static_cast<int64_t>(k);
+       off <= static_cast<int64_t>(k); ++off) {
+    int64_t pos = center + off;
+    if (pos < 0) pos = 0;
+    if (pos >= static_cast<int64_t>(n)) pos = static_cast<int64_t>(n) - 1;
+    ++count;
+    // Labels are 0-based; the paper's theta_n(i) <= vn with 1-based
+    // labels corresponds to label + 1 <= vn.
+    if (static_cast<double>(theta(static_cast<size_t>(pos))) + 1.0 <=
+        label_bound) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(count);
+}
+
+double KernelDistance(const Permutation& theta, const XiMap& xi, int grid,
+                      size_t k) {
+  double worst = 0.0;
+  for (int ui = 1; ui < grid; ++ui) {
+    const double u = static_cast<double>(ui) / grid;
+    for (int vi = 0; vi <= grid; ++vi) {
+      const double v = static_cast<double>(vi) / grid;
+      // Weak convergence: skip points where the limit kernel jumps in v
+      // (compare only at continuity points, per Definition 5). For the
+      // affine-mixture maps the kernel is a step function of v, so any
+      // local increase marks a jump.
+      const double eps = 1.5 / static_cast<double>(grid);
+      if (xi.Cdf(v + eps, u) - xi.Cdf(v - eps, u) > 0.05) continue;
+      const double diff = std::abs(EmpiricalKernel(theta, v, u, k) -
+                                   xi.Cdf(v, u));
+      worst = std::max(worst, diff);
+    }
+  }
+  return worst;
+}
+
+}  // namespace trilist

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/xi_map.h"
+#include "src/order/permutation.h"
+
+/// \file kernel.h
+/// Empirical admissibility kernels (Definition 5). For a finite
+/// permutation theta_n, the neighborhood-averaged kernel
+///
+///   K_n(v; u) = (1 / (2k+1)) sum_{|i| <= k} 1[theta_n(ceil(un) + i) <= vn]
+///
+/// estimates where positions near u land. A sequence {theta_n} is
+/// *admissible* when K_n converges weakly to a measure-preserving kernel
+/// K(v; u) — the distribution of the limiting map xi(u). This header lets
+/// you estimate K_n from any concrete permutation and compare it against
+/// the named limits (XiMap::Cdf), which is how the tests validate
+/// Propositions 6-7 and how users can check whether a custom ordering has
+/// a well-defined asymptotic cost under Theorem 2.
+
+namespace trilist {
+
+/// Evaluates K_n(v; u) for one permutation.
+/// \param theta the permutation (positions and labels 0-based).
+/// \param v,u arguments in [0, 1].
+/// \param k half-width of the position neighborhood; the definition wants
+///        k -> inf with k/n -> 0 (default: n^(2/3) / 2, clipped to
+///        valid range). Positions outside [0, n) are clipped.
+double EmpiricalKernel(const Permutation& theta, double v, double u,
+                       size_t k = 0);
+
+/// Max-norm distance between the empirical kernel of `theta` and a
+/// limiting map's kernel over a (grid x grid) lattice of (u, v) pairs.
+/// Small values indicate the permutation is (numerically) admissible with
+/// limit `xi`.
+double KernelDistance(const Permutation& theta, const XiMap& xi,
+                      int grid = 16, size_t k = 0);
+
+}  // namespace trilist

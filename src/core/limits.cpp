@@ -1,0 +1,35 @@
+#include "src/core/limits.h"
+
+#include <cmath>
+
+#include "src/core/h_function.h"
+
+namespace trilist {
+
+int VanishingOrderAtOne(Method m, const XiMap& xi) {
+  const auto h = HOf(m);
+  const auto factor = [&](double u) { return xi.ExpectH(h, u); };
+  // The factor is a polynomial in (1 - u) of degree <= 2 with
+  // non-negative coefficients in all cases in play; read off the order
+  // from two geometric probes.
+  const double f0 = factor(1.0);
+  if (f0 > 1e-12) return 0;
+  const double d1 = 1e-4;
+  const double d2 = 1e-6;
+  const double f1 = factor(1.0 - d1);
+  const double f2 = factor(1.0 - d2);
+  if (f1 <= 0.0 || f2 <= 0.0) return 3;  // vanishes identically fast
+  const double k = std::log(f1 / f2) / std::log(d1 / d2);
+  return static_cast<int>(std::lround(k));
+}
+
+double FinitenessThresholdAlpha(Method m, const XiMap& xi) {
+  const int k = VanishingOrderAtOne(m, xi);
+  return (2.0 + static_cast<double>(k)) / (1.0 + static_cast<double>(k));
+}
+
+bool IsFiniteAsymptoticCost(Method m, const XiMap& xi, double alpha) {
+  return alpha > FinitenessThresholdAlpha(m, xi);
+}
+
+}  // namespace trilist

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/algo/cost.h"
+#include "src/core/xi_map.h"
+
+/// \file limits.h
+/// Finiteness regimes of the asymptotic cost (Sections 4.2, 5.3, 6.3).
+///
+/// For Pareto F(x) with shape alpha, the tail of the spread obeys
+/// 1 - J(x) ~ x^(1-alpha) (alpha > 1), so the integrand of
+/// E[g(D) h(xi(J(D)))] behaves like x^(2 - alpha - 1) * (1 - J)^k, where k
+/// is the vanishing order of u -> E[h(xi(u))] at u = 1. The limit is
+/// finite iff alpha > (2 + k) / (1 + k):
+///
+///   k = 0 (factor does not vanish):      alpha > 2    (theta_A for T1,
+///                                        uniform, CRR, RR for T1/E1)
+///   k = 1 (factor ~ (1-J)):              alpha > 3/2  (T2; E1 under
+///                                        theta_D; RR for T2)
+///   k = 2 (factor ~ (1-J)^2):            alpha > 4/3  (T1 under theta_D)
+
+namespace trilist {
+
+/// Vanishing order k of u -> E[h_M(xi(u))] as u -> 1, estimated
+/// numerically (exact for the polynomial h's in play: k in {0, 1, 2}).
+int VanishingOrderAtOne(Method m, const XiMap& xi);
+
+/// The critical Pareto shape alpha* = (2 + k)/(1 + k): the asymptotic
+/// cost of (M, xi) is finite iff alpha > alpha*.
+double FinitenessThresholdAlpha(Method m, const XiMap& xi);
+
+/// True iff the asymptotic cost of (M, xi) on Pareto(alpha, beta) is
+/// finite.
+bool IsFiniteAsymptoticCost(Method m, const XiMap& xi, double alpha);
+
+}  // namespace trilist

@@ -1,0 +1,42 @@
+#include "src/core/pmf_table.h"
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+std::vector<double> PmfTable(const DegreeDistribution& fn, int64_t t_n) {
+  TRILIST_DCHECK(t_n >= 1);
+  std::vector<double> table(static_cast<size_t>(t_n));
+  for (int64_t k = 1; k <= t_n; ++k) {
+    table[static_cast<size_t>(k - 1)] = fn.Pmf(k);
+  }
+  return table;
+}
+
+double MeanOfTruncated(const DegreeDistribution& fn, int64_t t_n) {
+  double mean = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    mean += static_cast<double>(k) * fn.Pmf(k);
+  }
+  return mean;
+}
+
+double MeanWeight(const DegreeDistribution& fn, int64_t t_n,
+                  const WeightFn& w) {
+  double mean = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    mean += w(static_cast<double>(k)) * fn.Pmf(k);
+  }
+  return mean;
+}
+
+double MeanG(const DegreeDistribution& fn, int64_t t_n) {
+  double mean = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const auto x = static_cast<double>(k);
+    mean += (x * x - x) * fn.Pmf(k);
+  }
+  return mean;
+}
+
+}  // namespace trilist

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/degree/distribution.h"
+#include "src/core/spread.h"
+
+/// \file pmf_table.h
+/// Dense PMF materialization and weighted moments of (truncated) degree
+/// distributions — the p_i of Eq. (50) and the aggregates that appear all
+/// over Sections 4-7 (E[D_n], E[w(D_n)], E[D_n^2 - D_n], ...).
+
+namespace trilist {
+
+/// table[k-1] = P(D = k) for k = 1..t_n.
+std::vector<double> PmfTable(const DegreeDistribution& fn, int64_t t_n);
+
+/// E[D_n] over [1, t_n] by direct summation.
+double MeanOfTruncated(const DegreeDistribution& fn, int64_t t_n);
+
+/// E[w(D_n)].
+double MeanWeight(const DegreeDistribution& fn, int64_t t_n,
+                  const WeightFn& w);
+
+/// E[D_n^2 - D_n] = E[g(D_n)] — the no-orientation cost driver.
+double MeanG(const DegreeDistribution& fn, int64_t t_n);
+
+}  // namespace trilist

@@ -1,0 +1,68 @@
+#include "src/core/r_function.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/h_function.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+namespace {
+
+/// Dense spread table plus inverse lookup (small t_n only; the r-form is
+/// a validation tool, not the production model).
+struct SpreadInverse {
+  std::vector<double> j;  // J(k), k = 1..t_n
+
+  explicit SpreadInverse(const DegreeDistribution& fn, int64_t t_n,
+                         const WeightFn& w)
+      : j(SpreadTable(fn, t_n, w)) {}
+
+  /// Smallest k with J(k) >= x.
+  int64_t Inverse(double x) const {
+    const auto it = std::lower_bound(j.begin(), j.end(), x);
+    const auto idx = static_cast<int64_t>(it - j.begin());
+    return std::min<int64_t>(idx + 1, static_cast<int64_t>(j.size()));
+  }
+};
+
+}  // namespace
+
+double EvalR(const DegreeDistribution& fn, int64_t t_n, double x,
+             const WeightFn& w) {
+  TRILIST_DCHECK(x >= 0.0 && x < 1.0);
+  const SpreadInverse inv(fn, t_n, w);
+  const auto k = static_cast<double>(inv.Inverse(x));
+  return GFunction(k) / w(k);
+}
+
+double CostViaRForm(const DegreeDistribution& fn, int64_t t_n, Method m,
+                    const XiMap& xi, const WeightFn& w, int grid) {
+  const SpreadInverse inv(fn, t_n, w);
+  double mean_weight = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    mean_weight += w(static_cast<double>(k)) * fn.Pmf(k);
+  }
+  const auto h = HOf(m);
+  double acc = 0.0;
+  for (int i = 0; i < grid; ++i) {
+    const double u = (i + 0.5) / grid;
+    const auto k = static_cast<double>(inv.Inverse(u));
+    acc += GFunction(k) / w(k) * xi.ExpectH(h, u);
+  }
+  return mean_weight * acc / grid;
+}
+
+bool IsRIncreasing(int64_t t_n, const WeightFn& w) {
+  double prev = -1.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const auto x = static_cast<double>(k);
+    const double r = GFunction(x) / w(x);
+    if (r < prev - 1e-12) return false;
+    prev = r;
+  }
+  return true;
+}
+
+}  // namespace trilist

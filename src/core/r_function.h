@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/algo/cost.h"
+#include "src/core/spread.h"
+#include "src/core/xi_map.h"
+#include "src/degree/distribution.h"
+
+/// \file r_function.h
+/// Lemma 4's change of variables: with U = J(D) uniform on [0, 1] and
+/// r(x) = g(J^{-1}(x)) / w(J^{-1}(x)), the limit cost becomes
+///
+///   c(M, xi) = E[w(D)] * E[r(U) h(xi(U))].                       (Eq. 37)
+///
+/// Monotonicity of r (equivalently of g/w) is what drives the optimality
+/// results of Section 6 (Theorems 3-5). This header evaluates r and the
+/// (37)-form of the cost numerically from a truncated distribution — an
+/// independent route to the same number as Eq. (50), which the test suite
+/// exploits as a cross-check of Lemma 4.
+
+namespace trilist {
+
+/// Evaluates r(x) = g(J^{-1}(x)) / w(J^{-1}(x)) at x in [0, 1), where
+/// J^{-1} is the generalized inverse of the (discrete) spread CDF of `fn`
+/// truncated at t_n.
+/// \param fn truncated degree distribution.
+/// \param t_n truncation point.
+/// \param x argument in [0, 1).
+/// \param w weight function.
+double EvalR(const DegreeDistribution& fn, int64_t t_n, double x,
+             const WeightFn& w = WeightFn::Identity());
+
+/// Evaluates the cost in the Lemma-4 form (Eq. 37) with a midpoint rule
+/// over `grid` u-points: E[w(D)] * (1/grid) sum r(u_k) h(xi(u_k)).
+double CostViaRForm(const DegreeDistribution& fn, int64_t t_n, Method m,
+                    const XiMap& xi, const WeightFn& w = WeightFn::Identity(),
+                    int grid = 200000);
+
+/// True iff g(x)/w(x) is non-decreasing over the support [1, t_n] — the
+/// hypothesis of Corollary 1/2 (always true for w(x) = min(x, a)).
+bool IsRIncreasing(int64_t t_n, const WeightFn& w = WeightFn::Identity());
+
+}  // namespace trilist

@@ -1,0 +1,49 @@
+#include "src/core/scaling.h"
+
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+double SpreadTailRate(double alpha, double x, double t_n) {
+  TRILIST_DCHECK(x > 0.0 && t_n > 1.0);
+  if (alpha > 1.0) {
+    return std::pow(x, 1.0 - alpha);
+  }
+  if (alpha == 1.0) {
+    return 1.0 - std::log(x) / std::log(t_n);
+  }
+  // 0 < alpha < 1.
+  return 1.0 - std::pow(x, 1.0 - alpha) / std::pow(t_n, 1.0 - alpha);
+}
+
+double T1ScalingRate(double alpha, double n) {
+  TRILIST_DCHECK(n > 1.0);
+  constexpr double kFourThirds = 4.0 / 3.0;
+  if (alpha == kFourThirds) return std::log(n);
+  if (alpha > 1.0 && alpha < kFourThirds) {
+    return std::pow(n, 2.0 - 1.5 * alpha);
+  }
+  if (alpha == 1.0) {
+    const double logn = std::log(n);
+    return std::sqrt(n) / (logn * logn);
+  }
+  TRILIST_DCHECK(alpha > 0.0 && alpha < 1.0);
+  return std::pow(n, 1.0 - alpha / 2.0);
+}
+
+double E1ScalingRate(double alpha, double n) {
+  TRILIST_DCHECK(n > 1.0);
+  if (alpha == 1.5) return std::log(n);
+  if (alpha > 1.0 && alpha < 1.5) {
+    return std::pow(n, 1.5 - alpha);
+  }
+  if (alpha == 1.0) {
+    return std::sqrt(n) / std::log(n);
+  }
+  TRILIST_DCHECK(alpha > 0.0 && alpha < 1.0);
+  return std::pow(n, 1.0 - alpha / 2.0);
+}
+
+}  // namespace trilist

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file scaling.h
+/// Growth rates of the cost below the finiteness thresholds under root
+/// truncation (Section 6.3, Eqs. (46)-(48)). When alpha drops below 4/3
+/// (T1) or 3/2 (E1), E[c_n | D_n] diverges and scales as a_n / b_n; the
+/// scaling-law bench checks measured cost against these shapes.
+
+namespace trilist {
+
+/// Spread tail 1 - J_n(x), Eq. (46), for Pareto shape alpha under
+/// truncation point t_n (only the alpha > 1 branch is t_n-free).
+double SpreadTailRate(double alpha, double x, double t_n);
+
+/// a_n of Eq. (47): the divergence rate of E[c_n(T1, theta_D) | D_n]
+/// under root truncation for alpha <= 4/3.
+double T1ScalingRate(double alpha, double n);
+
+/// b_n of Eq. (48): the divergence rate of E[c_n(E1, theta_D) | D_n]
+/// under root truncation for alpha <= 3/2.
+double E1ScalingRate(double alpha, double n);
+
+}  // namespace trilist

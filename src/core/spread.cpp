@@ -1,0 +1,52 @@
+#include "src/core/spread.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+std::vector<double> SpreadTable(const DegreeDistribution& fn, int64_t t_n,
+                                const WeightFn& w) {
+  TRILIST_DCHECK(t_n >= 1);
+  std::vector<double> table(static_cast<size_t>(t_n));
+  double acc = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    acc += w(static_cast<double>(k)) * fn.Pmf(k);
+    table[static_cast<size_t>(k - 1)] = acc;
+  }
+  const double total = acc;
+  TRILIST_DCHECK(total > 0.0);
+  for (double& v : table) v /= total;
+  return table;
+}
+
+double SpreadAt(const DegreeDistribution& fn, int64_t t_n, int64_t x,
+                const WeightFn& w) {
+  double prefix = 0.0;
+  double total = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const double mass = w(static_cast<double>(k)) * fn.Pmf(k);
+    total += mass;
+    if (k <= x) prefix += mass;
+  }
+  TRILIST_DCHECK(total > 0.0);
+  return prefix / total;
+}
+
+std::vector<double> EmpiricalSpread(std::vector<int64_t> degrees,
+                                    const WeightFn& w) {
+  std::sort(degrees.begin(), degrees.end());
+  std::vector<double> j(degrees.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    acc += w(static_cast<double>(degrees[i]));
+    j[i] = acc;
+  }
+  if (acc > 0.0) {
+    for (double& v : j) v /= acc;
+  }
+  return j;
+}
+
+}  // namespace trilist

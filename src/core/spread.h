@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/degree/distribution.h"
+
+/// \file spread.h
+/// The spread distribution J(x) of Lemma 2 / Proposition 5:
+///   J(x) = (1 / E[w(D)]) * integral_0^x w(y) dF(y),
+/// the degree distribution of a node chosen proportional to its weight
+/// (the renewal-theory inspection paradox). For w(x) = x this is the
+/// degree seen at the end of a random edge; the Pareto closed form is
+/// Eq. (19) (ContinuousPareto::SpreadCdf).
+
+namespace trilist {
+
+/// \brief Weight function w(x) = min(x, cap); cap = inf gives w(x) = x.
+///
+/// The paper requires w to be positive and non-decreasing; min(x, a)
+/// covers both weights used in the evaluation: w1(x) = x and
+/// w2(x) = min(x, sqrt(mean_m)) (Table 11).
+struct WeightFn {
+  double cap = std::numeric_limits<double>::infinity();
+
+  /// Evaluates w(x).
+  double operator()(double x) const { return x < cap ? x : cap; }
+
+  /// w(x) = x.
+  static WeightFn Identity() { return WeightFn{}; }
+  /// w(x) = min(x, a).
+  static WeightFn Capped(double a) { return WeightFn{a}; }
+};
+
+/// Dense table of J(k) for k = 1..t_n from a (truncated) distribution:
+/// table[k-1] = sum_{j<=k} w(j) p_j / sum_j w(j) p_j. O(t_n) time/space;
+/// intended for exact models and tests (t_n up to ~1e8).
+std::vector<double> SpreadTable(const DegreeDistribution& fn, int64_t t_n,
+                                const WeightFn& w = WeightFn::Identity());
+
+/// J evaluated at a single point by streaming (no table).
+double SpreadAt(const DegreeDistribution& fn, int64_t t_n, int64_t x,
+                const WeightFn& w = WeightFn::Identity());
+
+/// Empirical q_i denominator: the realized spread of a degree sequence,
+/// J_hat(k) = sum of w(d_j) over d_j <= k divided by the total weight.
+/// Used by tests of Lemma 2 (q_{ceil(nu)} -> J(F^{-1}(u))).
+std::vector<double> EmpiricalSpread(std::vector<int64_t> degrees,
+                                    const WeightFn& w = WeightFn::Identity());
+
+}  // namespace trilist

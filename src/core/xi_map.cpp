@@ -1,0 +1,118 @@
+#include "src/core/xi_map.h"
+
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+XiMap XiMap::Ascending() {
+  return XiMap(false, {{1.0, 0.0, 1.0}}, "xi_A");
+}
+
+XiMap XiMap::Descending() {
+  return XiMap(false, {{1.0, 1.0, -1.0}}, "xi_D");
+}
+
+XiMap XiMap::RoundRobin() {
+  return XiMap(false, {{0.5, 0.5, -0.5}, {0.5, 0.5, 0.5}}, "xi_RR");
+}
+
+XiMap XiMap::ComplementaryRoundRobin() {
+  return XiMap(false, {{0.5, 0.0, 0.5}, {0.5, 1.0, -0.5}}, "xi_CRR");
+}
+
+XiMap XiMap::Uniform() { return XiMap(true, {}, "xi_U"); }
+
+XiMap XiMap::FromKind(PermutationKind kind) {
+  switch (kind) {
+    case PermutationKind::kAscending: return Ascending();
+    case PermutationKind::kDescending: return Descending();
+    case PermutationKind::kRoundRobin: return RoundRobin();
+    case PermutationKind::kComplementaryRoundRobin:
+      return ComplementaryRoundRobin();
+    case PermutationKind::kUniform: return Uniform();
+    case PermutationKind::kDegenerate: break;
+  }
+  TRILIST_DCHECK(false);
+  return Ascending();
+}
+
+XiMap XiMap::Mixture(std::vector<Component> components, std::string name) {
+  double total = 0.0;
+  for (const Component& c : components) {
+    TRILIST_DCHECK(c.weight >= 0.0);
+    total += c.weight;
+  }
+  TRILIST_DCHECK(std::abs(total - 1.0) < 1e-9);
+  return XiMap(false, std::move(components), std::move(name));
+}
+
+double XiMap::ExpectH(const std::function<double(double)>& h,
+                      double u) const {
+  if (uniform_) {
+    // Composite Simpson on [0,1]; the integrand is a low-degree
+    // polynomial for every method, so 64 panels is far beyond enough.
+    constexpr int kPanels = 64;
+    const double step = 1.0 / kPanels;
+    double acc = h(0.0) + h(1.0);
+    for (int i = 1; i < kPanels; ++i) {
+      acc += (i % 2 == 1 ? 4.0 : 2.0) * h(i * step);
+    }
+    return acc * step / 3.0;
+  }
+  double expect = 0.0;
+  for (const Component& c : components_) {
+    expect += c.weight * h(c.intercept + c.slope * u);
+  }
+  return expect;
+}
+
+double XiMap::Cdf(double v, double u) const {
+  if (uniform_) {
+    if (v < 0.0) return 0.0;
+    return v > 1.0 ? 1.0 : v;
+  }
+  double mass = 0.0;
+  for (const Component& c : components_) {
+    if (c.intercept + c.slope * u <= v) mass += c.weight;
+  }
+  return mass;
+}
+
+bool XiMap::IsMeasurePreserving(int grid, double tol) const {
+  // E_U[K(v; U)] must equal v (Definition 4). Midpoint rule over U.
+  for (int vi = 0; vi <= grid; ++vi) {
+    const double v = static_cast<double>(vi) / grid;
+    double acc = 0.0;
+    for (int ui = 0; ui < grid; ++ui) {
+      const double u = (ui + 0.5) / grid;
+      acc += Cdf(v, u);
+    }
+    acc /= grid;
+    if (std::abs(acc - v) > tol) return false;
+  }
+  return true;
+}
+
+XiMap XiMap::Reverse() const {
+  if (uniform_) return *this;
+  std::vector<Component> rev;
+  rev.reserve(components_.size());
+  for (const Component& c : components_) {
+    rev.push_back({c.weight, 1.0 - c.intercept, -c.slope});
+  }
+  return XiMap(false, std::move(rev), name_ + "'");
+}
+
+XiMap XiMap::Complement() const {
+  if (uniform_) return *this;
+  std::vector<Component> comp;
+  comp.reserve(components_.size());
+  for (const Component& c : components_) {
+    comp.push_back({c.weight, c.intercept + c.slope, -c.slope});
+  }
+  return XiMap(false, std::move(comp), name_ + "''");
+}
+
+}  // namespace trilist

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/order/named_orders.h"
+
+/// \file xi_map.h
+/// Limiting random maps xi(u) of admissible permutation sequences
+/// (Section 5). A measure-preserving kernel K(v; u) describes where the
+/// position u in [0,1] lands under theta_n as n -> infinity; the cost limit
+/// is E[g(D) h(xi(J(D)))] (Theorem 2).
+///
+/// Every named permutation converges to a finite mixture of affine maps
+/// u -> a + b u (Propositions 6-7):
+///   ascending   xi(u) = u
+///   descending  xi(u) = 1 - u
+///   RR          xi(u) = (1-u)/2 or (1+u)/2, each w.p. 1/2
+///   CRR         xi(u) = u/2 or 1 - u/2, each w.p. 1/2
+/// plus the uniform map, where xi(u) ~ Uniform[0,1] independent of u.
+/// This class represents exactly that family and exposes the only
+/// operation the models need: E[h(xi(u))] over the map's randomness.
+
+namespace trilist {
+
+/// \brief Limiting map of an admissible permutation sequence.
+class XiMap {
+ public:
+  /// One affine branch xi(u) = intercept + slope * u, taken w.p. weight.
+  struct Component {
+    double weight;
+    double intercept;
+    double slope;
+  };
+
+  /// xi(u) = u.
+  static XiMap Ascending();
+  /// xi(u) = 1 - u.
+  static XiMap Descending();
+  /// Proposition 6: (1-u)/2 or (1+u)/2 with probability 1/2 each.
+  static XiMap RoundRobin();
+  /// u/2 or 1 - u/2 with probability 1/2 each.
+  static XiMap ComplementaryRoundRobin();
+  /// xi(u) ~ Uniform[0,1] independent of u.
+  static XiMap Uniform();
+  /// The map a named permutation sequence converges to. kDegenerate has no
+  /// distribution-free limit and is rejected.
+  static XiMap FromKind(PermutationKind kind);
+  /// Arbitrary mixture of affine branches (weights must sum to 1 and map
+  /// into [0,1]).
+  static XiMap Mixture(std::vector<Component> components, std::string name);
+
+  /// E[h(xi(u))] over the map's randomness. For the uniform map this is
+  /// the u-independent integral of h (65-point composite Simpson).
+  double ExpectH(const std::function<double(double)>& h, double u) const;
+
+  /// The kernel K(v; u) = P(xi(u) <= v) of Definition 4: a CDF in v for
+  /// each fixed u. Mixtures of affine branches yield step functions; the
+  /// uniform map yields clamp(v, 0, 1).
+  double Cdf(double v, double u) const;
+
+  /// Checks Definition 4's measure-preservation numerically:
+  /// E_U[K(v; U)] == v for all v, up to quadrature error `tol` on a grid
+  /// of `grid` points per axis.
+  bool IsMeasurePreserving(int grid = 512, double tol = 5e-3) const;
+
+  /// Reverse map xi'(u) = 1 - xi(u) (Proposition 7).
+  XiMap Reverse() const;
+  /// Complement map xi''(u) = xi(1 - u) (Proposition 7).
+  XiMap Complement() const;
+
+  /// True for the uniform (u-independent) map.
+  bool is_uniform() const { return uniform_; }
+  /// The affine branches (empty for the uniform map).
+  const std::vector<Component>& components() const { return components_; }
+  /// Display name ("xi_D", "xi_RR", ...).
+  const std::string& name() const { return name_; }
+
+ private:
+  XiMap(bool uniform, std::vector<Component> components, std::string name)
+      : uniform_(uniform),
+        components_(std::move(components)),
+        name_(std::move(name)) {}
+
+  bool uniform_ = false;
+  std::vector<Component> components_;
+  std::string name_;
+};
+
+}  // namespace trilist

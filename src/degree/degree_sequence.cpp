@@ -1,0 +1,28 @@
+#include "src/degree/degree_sequence.h"
+
+#include <algorithm>
+
+namespace trilist {
+
+DegreeSequence::DegreeSequence(std::vector<int64_t> degrees)
+    : degrees_(std::move(degrees)) {
+  for (int64_t d : degrees_) {
+    sum_ += d;
+    if (d > max_) max_ = d;
+  }
+}
+
+DegreeSequence DegreeSequence::SampleIid(const DegreeDistribution& dist,
+                                         size_t n, Rng* rng) {
+  std::vector<int64_t> degrees(n);
+  for (size_t i = 0; i < n; ++i) degrees[i] = dist.Sample(rng);
+  return DegreeSequence(std::move(degrees));
+}
+
+std::vector<int64_t> DegreeSequence::SortedAscending() const {
+  std::vector<int64_t> sorted = degrees_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace trilist

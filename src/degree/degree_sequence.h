@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/degree/distribution.h"
+#include "src/util/rng.h"
+
+/// \file degree_sequence.h
+/// IID degree sequences D_n = (D_n1, ..., D_nn) drawn from a (truncated)
+/// degree distribution, and the ascending-sorted view A_n used by the
+/// permutation machinery (Section 3.1).
+
+namespace trilist {
+
+/// \brief An n-vector of node degrees plus cached aggregates.
+class DegreeSequence {
+ public:
+  /// Wraps an explicit degree vector.
+  explicit DegreeSequence(std::vector<int64_t> degrees);
+
+  /// Samples n iid degrees from `dist`.
+  static DegreeSequence SampleIid(const DegreeDistribution& dist, size_t n,
+                                  Rng* rng);
+
+  /// Number of nodes n.
+  size_t size() const { return degrees_.size(); }
+  /// Degree of node i (0-based, pre-sorting order).
+  int64_t operator[](size_t i) const { return degrees_[i]; }
+  /// The raw vector.
+  const std::vector<int64_t>& degrees() const { return degrees_; }
+
+  /// Sum of all degrees (2m if realized exactly; odd sums drop one stub).
+  int64_t Sum() const { return sum_; }
+  /// Largest degree L_n.
+  int64_t Max() const { return max_; }
+  /// True iff the degree sum is even (a necessary graphicality condition).
+  bool HasEvenSum() const { return sum_ % 2 == 0; }
+
+  /// Returns the degrees sorted ascending — the paper's A_n vector. The
+  /// original order is preserved in this object; the sorted copy is what
+  /// permutations index into.
+  std::vector<int64_t> SortedAscending() const;
+
+ private:
+  std::vector<int64_t> degrees_;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace trilist

@@ -1,0 +1,87 @@
+#include "src/degree/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+double DegreeDistribution::Pmf(int64_t k) const {
+  if (k < 1) return 0.0;
+  return Cdf(static_cast<double>(k)) - Cdf(static_cast<double>(k - 1));
+}
+
+int64_t DegreeDistribution::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  // Gallop to find an upper bound, then binary search for the smallest k
+  // with F(k) >= u.
+  int64_t hi = 1;
+  const int64_t max_support = MaxSupport();
+  while (Cdf(static_cast<double>(hi)) < u) {
+    if (hi >= max_support) return max_support;
+    hi = std::min(max_support, hi * 2);
+  }
+  int64_t lo = std::max<int64_t>(1, hi / 2);
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (Cdf(static_cast<double>(mid)) >= u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double DegreeDistribution::Mean() const {
+  // E[D] = sum_{k >= 0} (1 - F(k)); since D >= 1 the k = 0 term is 1.
+  // Blocks [k, k + jump) contribute between jump * (1 - F(k + jump - 1))
+  // and jump * (1 - F(k - 1)); we take the left endpoint (upper estimate)
+  // with small relative jumps, and stop when the tail is negligible or
+  // the support bound is reached.
+  const double eps = 1e-6;
+  const int64_t max_k =
+      MaxSupport() == kUnboundedSupport ? (int64_t{1} << 56) : MaxSupport();
+  double mean = 0.0;
+  int64_t k = 0;
+  while (k < max_k) {
+    const double tail = 1.0 - Cdf(static_cast<double>(k));
+    if (tail <= 0.0) break;
+    const int64_t jump = std::max<int64_t>(
+        1, static_cast<int64_t>(eps * static_cast<double>(k)));
+    const int64_t end = std::min(max_k, k + jump);
+    mean += static_cast<double>(end - k) * tail;
+    if (tail < 1e-15 && k > 1024) {
+      // Heavy-tail guard: if the tail decays slower than 1/k the series
+      // diverges; detect by comparing against a harmonic threshold.
+      break;
+    }
+    k = end;
+    if (mean > 1e18) return std::numeric_limits<double>::infinity();
+  }
+  return mean;
+}
+
+double ApproxExpectation(const DegreeDistribution& dist, double (*g)(double),
+                         int64_t max_k, double eps) {
+  const int64_t bound = dist.MaxSupport() == kUnboundedSupport
+                            ? max_k
+                            : std::min(max_k, dist.MaxSupport());
+  double acc = 0.0;
+  int64_t k = 1;
+  while (k <= bound) {
+    const int64_t jump = std::max<int64_t>(
+        1, static_cast<int64_t>(eps * static_cast<double>(k)));
+    const int64_t end = std::min(bound, k + jump - 1);
+    const double mass = dist.Cdf(static_cast<double>(end)) -
+                        dist.Cdf(static_cast<double>(k - 1));
+    acc += g(static_cast<double>(k)) * mass;
+    k = end + 1;
+    if (acc > 1e300) return std::numeric_limits<double>::infinity();
+  }
+  return acc;
+}
+
+}  // namespace trilist

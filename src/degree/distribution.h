@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/rng.h"
+
+/// \file distribution.h
+/// Degree distributions F(x) on the integers [1, inf) (Section 1.2).
+///
+/// The stochastic framework of the paper starts from a fixed CDF F on the
+/// positive integers; finite graphs use its truncation
+/// F_n(x) = F(x) / F(t_n) to [1, t_n] (see truncated.h). Every distribution
+/// exposes its CDF, PMF, quantile function and sampling; heavy-tailed
+/// implementations override the defaults with closed forms.
+
+namespace trilist {
+
+/// Sentinel for distributions with unbounded support.
+inline constexpr int64_t kUnboundedSupport = INT64_MAX;
+
+/// \brief A discrete degree distribution supported on integers >= 1.
+class DegreeDistribution {
+ public:
+  virtual ~DegreeDistribution() = default;
+
+  /// CDF F(x) = P(D <= x) evaluated at real x (right-continuous step
+  /// function of floor(x)). Must satisfy F(x) = 0 for x < 1.
+  virtual double Cdf(double x) const = 0;
+
+  /// Survival function P(D > x). Defaults to 1 - Cdf(x); heavy-tailed
+  /// distributions override it with a direct form because the model code
+  /// computes block masses as S(a) - S(b), which stays accurate in the
+  /// deep tail where 1 - F(x) underflows the CDF's precision.
+  virtual double Survival(double x) const { return 1.0 - Cdf(x); }
+
+  /// PMF P(D = k). Default: F(k) - F(k-1).
+  virtual double Pmf(int64_t k) const;
+
+  /// Largest support point, or kUnboundedSupport.
+  virtual int64_t MaxSupport() const { return kUnboundedSupport; }
+
+  /// Quantile: smallest integer k >= 1 with F(k) >= u, for u in [0,1).
+  /// Default: galloping + binary search over the CDF.
+  virtual int64_t Quantile(double u) const;
+
+  /// Expected value E[D]; may be +inf for heavy tails with alpha <= 1.
+  /// Default: numeric tail sum via E[D] = sum_{k>=0} (1 - F(k)) with
+  /// geometric block compression (relative block width 1e-6).
+  virtual double Mean() const;
+
+  /// Human-readable name including parameters, for reports.
+  virtual std::string Name() const = 0;
+
+  /// Draws one variate by inversion.
+  int64_t Sample(Rng* rng) const { return Quantile(rng->NextDouble()); }
+};
+
+/// Numerically approximates E[g(D)] for a monotone-block-compressible
+/// integrand by summing g(k) * (F(k + jump - 1) - F(k - 1)) over geometric
+/// blocks with relative width `eps`, stopping at `max_k` (or the
+/// distribution's own support bound).
+///
+/// This is the same compression idea as the paper's Algorithm 2 and is used
+/// for means, second moments, and tail diagnostics of unbounded
+/// distributions.
+double ApproxExpectation(const DegreeDistribution& dist, double (*g)(double),
+                         int64_t max_k = kUnboundedSupport,
+                         double eps = 1e-7);
+
+}  // namespace trilist

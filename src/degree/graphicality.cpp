@@ -1,0 +1,69 @@
+#include "src/degree/graphicality.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+bool IsGraphic(const std::vector<int64_t>& degrees) {
+  const size_t n = degrees.size();
+  if (n == 0) return true;
+  std::vector<int64_t> d = degrees;
+  std::sort(d.begin(), d.end(), std::greater<int64_t>());
+  if (d.back() < 0) return false;
+  if (d.front() > static_cast<int64_t>(n) - 1) return false;
+  int64_t sum = 0;
+  for (int64_t x : d) sum += x;
+  if (sum % 2 != 0) return false;
+
+  // Prefix sums for the right-hand side evaluation.
+  std::vector<int64_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + d[i];
+
+  int64_t lhs = 0;
+  for (size_t k = 1; k <= n; ++k) {
+    lhs += d[k - 1];
+    // rhs = k(k-1) + sum_{i > k} min(d_i, k). Split the tail at the first
+    // index where d_i <= k (sorted descending -> binary search).
+    const auto kk = static_cast<int64_t>(k);
+    const auto split = std::lower_bound(d.begin() + static_cast<int64_t>(k),
+                                        d.end(), kk,
+                                        std::greater_equal<int64_t>()) -
+                       d.begin();
+    // Entries in [k, split) have d_i > k and contribute k each; entries in
+    // [split, n) contribute d_i.
+    const int64_t big = static_cast<int64_t>(split) - kk;
+    const int64_t rhs = kk * (kk - 1) + big * kk +
+                        (prefix[n] - prefix[static_cast<size_t>(split)]);
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+int64_t MakeGraphic(std::vector<int64_t>* degrees) {
+  TRILIST_DCHECK(degrees != nullptr);
+  if (degrees->empty()) return 0;
+  int64_t decrements = 0;
+  auto decrement_max = [&]() {
+    auto it = std::max_element(degrees->begin(), degrees->end());
+    TRILIST_DCHECK(*it > 0);
+    --(*it);
+    ++decrements;
+  };
+  int64_t sum = 0;
+  for (int64_t d : *degrees) sum += d;
+  if (sum % 2 != 0) decrement_max();
+  // Each round of Erdős–Gallai repair removes a full edge (two stubs) from
+  // the largest degree so the parity stays even.
+  while (!IsGraphic(*degrees)) {
+    auto it = std::max_element(degrees->begin(), degrees->end());
+    if (*it < 2) break;  // all-ones corner; already graphic if even sum
+    *it -= 2;
+    decrements += 2;
+  }
+  return decrements;
+}
+
+}  // namespace trilist

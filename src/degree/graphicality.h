@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file graphicality.h
+/// Erdős–Gallai graphicality test: whether a degree sequence is realizable
+/// by a simple undirected graph. The paper assumes D_n is graphic with
+/// probability 1 - o(1) "or can be made such by removal of one edge"; the
+/// generator uses this test to decide whether a sampled sequence needs the
+/// one-stub drop and to reject pathological inputs early.
+
+namespace trilist {
+
+/// Returns true iff `degrees` is graphic (Erdős–Gallai). Runs in
+/// O(n log n): sorts a copy descending and checks all n prefix conditions
+/// with a two-pointer computation of sum_{k>i} min(d_k, i).
+/// Sequences with an odd degree sum are not graphic by definition.
+bool IsGraphic(const std::vector<int64_t>& degrees);
+
+/// Adjusts a sequence in place so it becomes graphic while changing as
+/// little as possible, in this order of preference:
+///  1. If the sum is odd, decrement one maximal degree by 1 (the paper's
+///     "removal of one edge" allowance affects one stub).
+///  2. While Erdős–Gallai fails, decrement the largest degree (rare under
+///     the paper's truncation regimes; each step strictly reduces the
+///     violation).
+/// Degrees never drop below 1. Returns the number of unit decrements made.
+int64_t MakeGraphic(std::vector<int64_t>* degrees);
+
+}  // namespace trilist

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/degree/distribution.h"
+
+/// \file pareto.h
+/// Pareto degree distributions (Section 7.1).
+///
+/// The paper starts with a continuous Pareto CDF
+///   F*(x) = 1 - (1 + x/beta)^(-alpha),  x >= 0,
+/// and discretizes it by rounding each variate up, producing
+///   F(x)  = 1 - (1 + floor(x)/beta)^(-alpha)
+/// on the natural numbers. The evaluation keeps beta = 30(alpha - 1), which
+/// yields E[D] ~ 30.5 after discretization.
+
+namespace trilist {
+
+/// \brief Discretized Pareto degree distribution on integers >= 1.
+class DiscretePareto : public DegreeDistribution {
+ public:
+  /// \param alpha tail/shape parameter (> 0).
+  /// \param beta  scale parameter (> 0).
+  DiscretePareto(double alpha, double beta);
+
+  double Cdf(double x) const override;
+  double Survival(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t Quantile(double u) const override;
+  /// Closed-ish form: E[D] = sum_{k>=0} (1 + k/beta)^(-alpha), evaluated
+  /// with block compression; +inf for alpha <= 1.
+  double Mean() const override;
+  std::string Name() const override;
+
+  /// Tail/shape parameter alpha.
+  double alpha() const { return alpha_; }
+  /// Scale parameter beta.
+  double beta() const { return beta_; }
+
+  /// The paper's evaluation convention beta = 30(alpha-1), giving
+  /// E[D] ~ 30.5 after discretization (Section 7.3).
+  static DiscretePareto PaperParameterization(double alpha) {
+    return DiscretePareto(alpha, 30.0 * (alpha - 1.0));
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// \brief Continuous Pareto on [0, inf): F*(x) = 1 - (1 + x/beta)^(-alpha).
+///
+/// Used by the continuous model Eq. (49) and for the closed-form spread
+/// distribution Eq. (19). Not a DegreeDistribution (support is continuous);
+/// the discrete library interacts with it only through the model layer.
+class ContinuousPareto {
+ public:
+  /// \param alpha tail/shape parameter (> 0).
+  /// \param beta  scale parameter (> 0).
+  ContinuousPareto(double alpha, double beta);
+
+  /// CDF F*(x); 0 for x < 0.
+  double Cdf(double x) const;
+  /// Density f*(x) = alpha/beta (1 + x/beta)^(-alpha-1).
+  double Density(double x) const;
+  /// Inverse CDF for u in [0, 1).
+  double Quantile(double u) const;
+  /// E[D] = beta / (alpha - 1); +inf for alpha <= 1.
+  double Mean() const;
+  /// Closed-form spread CDF with w(x) = x, Eq. (19):
+  ///   J(x) = 1 - (beta + alpha x)/beta * (1 + x/beta)^(-alpha).
+  /// Requires alpha > 1 (finite mean).
+  double SpreadCdf(double x) const;
+
+  /// Tail/shape parameter alpha.
+  double alpha() const { return alpha_; }
+  /// Scale parameter beta.
+  double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace trilist

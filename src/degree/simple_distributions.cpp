@@ -1,0 +1,140 @@
+#include "src/degree/simple_distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+ConstantDegree::ConstantDegree(int64_t degree) : degree_(degree) {
+  TRILIST_DCHECK(degree >= 1);
+}
+
+double ConstantDegree::Cdf(double x) const {
+  return x >= static_cast<double>(degree_) ? 1.0 : 0.0;
+}
+
+double ConstantDegree::Pmf(int64_t k) const {
+  return k == degree_ ? 1.0 : 0.0;
+}
+
+int64_t ConstantDegree::Quantile(double /*u*/) const { return degree_; }
+
+std::string ConstantDegree::Name() const {
+  return "ConstantDegree(" + std::to_string(degree_) + ")";
+}
+
+GeometricDegree::GeometricDegree(double p) : p_(p) {
+  TRILIST_DCHECK(p > 0.0 && p <= 1.0);
+}
+
+double GeometricDegree::Cdf(double x) const {
+  if (x < 1.0) return 0.0;
+  const double k = std::floor(x);
+  return 1.0 - std::pow(1.0 - p_, k);
+}
+
+double GeometricDegree::Pmf(int64_t k) const {
+  if (k < 1) return 0.0;
+  return p_ * std::pow(1.0 - p_, static_cast<double>(k - 1));
+}
+
+int64_t GeometricDegree::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  if (p_ >= 1.0) return 1;
+  const double raw = std::log1p(-u) / std::log1p(-p_);
+  int64_t k = std::max<int64_t>(1, static_cast<int64_t>(std::ceil(raw)));
+  while (k > 1 && Cdf(static_cast<double>(k - 1)) >= u) --k;
+  while (Cdf(static_cast<double>(k)) < u) ++k;
+  return k;
+}
+
+std::string GeometricDegree::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "GeometricDegree(p=%.4g)", p_);
+  return buf;
+}
+
+UniformDegree::UniformDegree(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {
+  TRILIST_DCHECK(lo >= 1 && hi >= lo);
+}
+
+double UniformDegree::Cdf(double x) const {
+  if (x < static_cast<double>(lo_)) return 0.0;
+  const double k = std::floor(x);
+  if (k >= static_cast<double>(hi_)) return 1.0;
+  return (k - static_cast<double>(lo_) + 1.0) /
+         static_cast<double>(hi_ - lo_ + 1);
+}
+
+double UniformDegree::Pmf(int64_t k) const {
+  if (k < lo_ || k > hi_) return 0.0;
+  return 1.0 / static_cast<double>(hi_ - lo_ + 1);
+}
+
+int64_t UniformDegree::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  const auto span = static_cast<double>(hi_ - lo_ + 1);
+  int64_t k = lo_ + static_cast<int64_t>(std::floor(u * span));
+  if (k > hi_) k = hi_;
+  while (k > lo_ && Cdf(static_cast<double>(k - 1)) >= u) --k;
+  while (Cdf(static_cast<double>(k)) < u) ++k;
+  return k;
+}
+
+std::string UniformDegree::Name() const {
+  return "UniformDegree(" + std::to_string(lo_) + "," + std::to_string(hi_) +
+         ")";
+}
+
+TabulatedDegree::TabulatedDegree(std::vector<double> pmf)
+    : pmf_(std::move(pmf)) {
+  TRILIST_DCHECK(!pmf_.empty());
+  double total = 0.0;
+  for (double w : pmf_) {
+    TRILIST_DCHECK(w >= 0.0);
+    total += w;
+  }
+  TRILIST_DCHECK(total > 0.0);
+  cdf_.resize(pmf_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    pmf_[i] /= total;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+double TabulatedDegree::Cdf(double x) const {
+  if (x < 1.0) return 0.0;
+  const auto k = static_cast<size_t>(std::floor(x));
+  if (k >= pmf_.size()) return 1.0;
+  return cdf_[k - 1];
+}
+
+double TabulatedDegree::Pmf(int64_t k) const {
+  if (k < 1 || k > static_cast<int64_t>(pmf_.size())) return 0.0;
+  return pmf_[static_cast<size_t>(k - 1)];
+}
+
+int64_t TabulatedDegree::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double TabulatedDegree::Mean() const {
+  double mean = 0.0;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    mean += static_cast<double>(i + 1) * pmf_[i];
+  }
+  return mean;
+}
+
+std::string TabulatedDegree::Name() const {
+  return "TabulatedDegree(max=" + std::to_string(pmf_.size()) + ")";
+}
+
+}  // namespace trilist

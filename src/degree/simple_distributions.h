@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/degree/distribution.h"
+
+/// \file simple_distributions.h
+/// Light-tailed / degenerate degree distributions. These are not studied by
+/// the paper directly but serve three purposes: (a) sanity baselines whose
+/// spread distributions have textbook forms (geometric D gives a
+/// negative-binomial-like spread, the discrete analogue of the paper's
+/// "exponential D produces Erlang(2) spread" remark), (b) regular graphs
+/// where every permutation must cost the same (the r(x) = const percolation
+/// point of Proposition 8), and (c) corner-case inputs for tests.
+
+namespace trilist {
+
+/// \brief Degenerate distribution: P(D = d) = 1.
+///
+/// With constant degree, g(D)/w(D) is constant, so by Proposition 8 every
+/// permutation yields the same limiting cost — a property the test suite
+/// checks against the model and against simulation.
+class ConstantDegree : public DegreeDistribution {
+ public:
+  /// \param degree the single support point (>= 1).
+  explicit ConstantDegree(int64_t degree);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override { return degree_; }
+  int64_t Quantile(double u) const override;
+  double Mean() const override { return static_cast<double>(degree_); }
+  std::string Name() const override;
+
+ private:
+  int64_t degree_;
+};
+
+/// \brief Shifted geometric: P(D = k) = p (1-p)^(k-1), k >= 1.
+class GeometricDegree : public DegreeDistribution {
+ public:
+  /// \param p success probability in (0, 1]; E[D] = 1/p.
+  explicit GeometricDegree(double p);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t Quantile(double u) const override;
+  double Mean() const override { return 1.0 / p_; }
+  std::string Name() const override;
+
+ private:
+  double p_;
+};
+
+/// \brief Uniform over the integers [lo, hi].
+class UniformDegree : public DegreeDistribution {
+ public:
+  /// \param lo smallest support point (>= 1).
+  /// \param hi largest support point (>= lo).
+  UniformDegree(int64_t lo, int64_t hi);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override { return hi_; }
+  int64_t Quantile(double u) const override;
+  double Mean() const override {
+    return 0.5 * static_cast<double>(lo_ + hi_);
+  }
+  std::string Name() const override;
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+/// \brief Arbitrary finite PMF over [1, n], normalized at construction.
+///
+/// Used in tests to build adversarial distributions (e.g. bimodal degree
+/// mixes) that exercise the model machinery away from smooth families.
+class TabulatedDegree : public DegreeDistribution {
+ public:
+  /// \param pmf weights for degrees 1..pmf.size(); need not be normalized,
+  ///        must be non-negative with a positive sum.
+  explicit TabulatedDegree(std::vector<double> pmf);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override {
+    return static_cast<int64_t>(pmf_.size());
+  }
+  int64_t Quantile(double u) const override;
+  double Mean() const override;
+  std::string Name() const override;
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace trilist

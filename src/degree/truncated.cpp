@@ -1,0 +1,78 @@
+#include "src/degree/truncated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+int64_t TruncationPoint(TruncationKind kind, int64_t n, int64_t fixed_t) {
+  switch (kind) {
+    case TruncationKind::kLinear:
+      TRILIST_DCHECK(n >= 2);
+      return n - 1;
+    case TruncationKind::kRoot: {
+      TRILIST_DCHECK(n >= 2);
+      auto t = static_cast<int64_t>(std::floor(std::sqrt(
+          static_cast<double>(n))));
+      // Guard against floating point off-by-one around perfect squares.
+      while ((t + 1) * (t + 1) <= n) ++t;
+      while (t * t > n) --t;
+      return std::max<int64_t>(1, t);
+    }
+    case TruncationKind::kFixed:
+      TRILIST_DCHECK(fixed_t >= 1);
+      return fixed_t;
+  }
+  return 1;
+}
+
+const char* TruncationKindName(TruncationKind kind) {
+  switch (kind) {
+    case TruncationKind::kLinear: return "linear";
+    case TruncationKind::kRoot: return "root";
+    case TruncationKind::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+TruncatedDistribution::TruncatedDistribution(const DegreeDistribution& base,
+                                             int64_t t_n)
+    : base_(base),
+      t_n_(std::min(t_n, base.MaxSupport())),
+      cdf_at_tn_(base.Cdf(static_cast<double>(t_n_))) {
+  TRILIST_DCHECK(t_n_ >= 1);
+  TRILIST_DCHECK(cdf_at_tn_ > 0.0);
+}
+
+double TruncatedDistribution::Cdf(double x) const {
+  if (x < 1.0) return 0.0;
+  if (x >= static_cast<double>(t_n_)) return 1.0;
+  return base_.Cdf(x) / cdf_at_tn_;
+}
+
+double TruncatedDistribution::Survival(double x) const {
+  if (x < 1.0) return 1.0;
+  if (x >= static_cast<double>(t_n_)) return 0.0;
+  // S_n(x) = (S(x) - S(t_n)) / F(t_n): exact in the tail where the CDF
+  // form 1 - F(x)/F(t_n) would cancel.
+  return (base_.Survival(x) - base_.Survival(static_cast<double>(t_n_))) /
+         cdf_at_tn_;
+}
+
+double TruncatedDistribution::Pmf(int64_t k) const {
+  if (k < 1 || k > t_n_) return 0.0;
+  return base_.Pmf(k) / cdf_at_tn_;
+}
+
+int64_t TruncatedDistribution::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  return std::min(t_n_, base_.Quantile(u * cdf_at_tn_));
+}
+
+std::string TruncatedDistribution::Name() const {
+  return base_.Name() + "|t=" + std::to_string(t_n_);
+}
+
+}  // namespace trilist

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/degree/distribution.h"
+
+/// \file truncated.h
+/// Truncation of a base distribution to [1, t_n] (Section 1.2 / 3.1):
+///   F_n(x) = F(x) / F(t_n).
+///
+/// The paper distinguishes *root* truncation t_n = sqrt(n), which makes the
+/// sequence deterministically AMRC (max degree <= sqrt(n), so the
+/// edge-probability approximation (10) stays a probability), from *linear*
+/// truncation t_n = n - 1, which only requires the degrees to be realizable
+/// and produces "unconstrained" graphs when E[D^2] = inf.
+
+namespace trilist {
+
+/// How the truncation point t_n scales with the graph size n.
+enum class TruncationKind {
+  kLinear,  ///< t_n = n - 1
+  kRoot,    ///< t_n = floor(sqrt(n))
+  kFixed,   ///< t_n = user-supplied constant
+};
+
+/// Returns the truncation point t_n for a graph of n nodes.
+/// \param kind scaling rule.
+/// \param n graph size (>= 2 for kLinear / kRoot).
+/// \param fixed_t used only for kFixed.
+int64_t TruncationPoint(TruncationKind kind, int64_t n, int64_t fixed_t = 0);
+
+/// Human-readable name ("linear", "root", "fixed").
+const char* TruncationKindName(TruncationKind kind);
+
+/// \brief F_n(x) = F(x) / F(t_n) on [1, t_n].
+///
+/// Holds a non-owning reference to the base distribution; the caller keeps
+/// the base alive (typical usage allocates both on the stack of an
+/// experiment). All virtual overrides are exact, not re-normalized tables,
+/// so t_n may be as large as 2^62 without memory cost.
+class TruncatedDistribution : public DegreeDistribution {
+ public:
+  /// \param base underlying F(x); must outlive this object.
+  /// \param t_n truncation point (>= 1; base must have F(t_n) > 0).
+  TruncatedDistribution(const DegreeDistribution& base, int64_t t_n);
+
+  double Cdf(double x) const override;
+  double Survival(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override { return t_n_; }
+  int64_t Quantile(double u) const override;
+  std::string Name() const override;
+
+  /// The truncation point t_n.
+  int64_t truncation_point() const { return t_n_; }
+  /// The untruncated base distribution.
+  const DegreeDistribution& base() const { return base_; }
+
+ private:
+  const DegreeDistribution& base_;
+  int64_t t_n_;
+  double cdf_at_tn_;  // F(t_n), the normalizing constant
+};
+
+}  // namespace trilist

@@ -1,0 +1,96 @@
+#include "src/degree/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+ZipfDegree::ZipfDegree(double s, int64_t max_k) : s_(s), max_k_(max_k) {
+  TRILIST_DCHECK(s > 0.0 && max_k >= 1);
+  cdf_.resize(static_cast<size_t>(max_k));
+  double acc = 0.0;
+  for (int64_t k = 1; k <= max_k; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[static_cast<size_t>(k - 1)] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;
+}
+
+double ZipfDegree::Cdf(double x) const {
+  if (x < 1.0) return 0.0;
+  const auto k = static_cast<int64_t>(std::floor(x));
+  if (k >= max_k_) return 1.0;
+  return cdf_[static_cast<size_t>(k - 1)];
+}
+
+double ZipfDegree::Pmf(int64_t k) const {
+  if (k < 1 || k > max_k_) return 0.0;
+  if (k == 1) return cdf_[0];
+  return cdf_[static_cast<size_t>(k - 1)] - cdf_[static_cast<size_t>(k - 2)];
+}
+
+int64_t ZipfDegree::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDegree::Mean() const {
+  double mean = 0.0;
+  for (int64_t k = 1; k <= max_k_; ++k) {
+    mean += static_cast<double>(k) * Pmf(k);
+  }
+  return mean;
+}
+
+std::string ZipfDegree::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Zipf(s=%.3g, N=%lld)", s_,
+                static_cast<long long>(max_k_));
+  return buf;
+}
+
+ShiftedPoissonDegree::ShiftedPoissonDegree(double lambda)
+    : lambda_(lambda) {
+  TRILIST_DCHECK(lambda > 0.0);
+  // Accumulate the PMF until the remaining tail is below 1e-17.
+  double term = std::exp(-lambda);  // P(P = 0)
+  double acc = term;
+  cdf_.push_back(acc);  // F(1)
+  for (int64_t p = 1; acc < 1.0 - 1e-17 && p < 1 << 22; ++p) {
+    term *= lambda / static_cast<double>(p);
+    acc += term;
+    cdf_.push_back(std::min(acc, 1.0));
+  }
+  cdf_.back() = 1.0;
+}
+
+double ShiftedPoissonDegree::Cdf(double x) const {
+  if (x < 1.0) return 0.0;
+  const auto k = static_cast<size_t>(std::floor(x));
+  if (k >= cdf_.size()) return 1.0;
+  return cdf_[k - 1];
+}
+
+double ShiftedPoissonDegree::Pmf(int64_t k) const {
+  if (k < 1 || k > static_cast<int64_t>(cdf_.size())) return 0.0;
+  if (k == 1) return cdf_[0];
+  return cdf_[static_cast<size_t>(k - 1)] - cdf_[static_cast<size_t>(k - 2)];
+}
+
+int64_t ShiftedPoissonDegree::Quantile(double u) const {
+  TRILIST_DCHECK(u >= 0.0 && u < 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+std::string ShiftedPoissonDegree::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ShiftedPoisson(lambda=%.3g)", lambda_);
+  return buf;
+}
+
+}  // namespace trilist

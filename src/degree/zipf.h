@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/degree/distribution.h"
+
+/// \file zipf.h
+/// Additional degree families beyond the paper's Pareto: bounded Zipf
+/// (the other ubiquitous power law, P(D = k) ∝ k^-s on [1, N]) and a
+/// shifted Poisson (the Erdos-Renyi degree profile). Both plug into the
+/// same model/generator machinery, letting users study how the
+/// cost-regime picture changes away from the Pareto parameterization.
+
+namespace trilist {
+
+/// \brief Bounded Zipf: P(D = k) = k^-s / H_{N,s} for k in [1, N].
+///
+/// The CDF is materialized once (O(N) doubles), so N is intended to be at
+/// most ~1e8. Tail exponent corresponds to Pareto alpha = s - 1.
+class ZipfDegree : public DegreeDistribution {
+ public:
+  /// \param s exponent (> 0).
+  /// \param max_k support bound N (>= 1).
+  ZipfDegree(double s, int64_t max_k);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override { return max_k_; }
+  int64_t Quantile(double u) const override;
+  double Mean() const override;
+  std::string Name() const override;
+
+  /// Exponent s.
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  int64_t max_k_;
+  std::vector<double> cdf_;  // cdf_[k-1] = F(k)
+};
+
+/// \brief Shifted Poisson: D = 1 + P, P ~ Poisson(lambda).
+///
+/// The degree profile of sparse Erdos-Renyi graphs (conditioned on
+/// minimum degree 1). Light-tailed: every cost limit is finite and every
+/// permutation is within a constant of optimal, the opposite corner from
+/// the paper's heavy-tail regimes.
+class ShiftedPoissonDegree : public DegreeDistribution {
+ public:
+  /// \param lambda Poisson rate (> 0); E[D] = 1 + lambda.
+  explicit ShiftedPoissonDegree(double lambda);
+
+  double Cdf(double x) const override;
+  double Pmf(int64_t k) const override;
+  int64_t MaxSupport() const override {
+    return static_cast<int64_t>(cdf_.size());
+  }
+  int64_t Quantile(double u) const override;
+  double Mean() const override { return 1.0 + lambda_; }
+  std::string Name() const override;
+
+ private:
+  double lambda_;
+  std::vector<double> cdf_;  // cdf_[k-1] = F(k), truncated at ~1e-17 tail
+};
+
+}  // namespace trilist

@@ -1,0 +1,69 @@
+#include "src/gen/configuration_model.h"
+
+#include <algorithm>
+
+#include "src/util/flat_hash_set.h"
+
+namespace trilist {
+
+Result<Graph> ConfigurationModel(const std::vector<int64_t>& degrees,
+                                 Rng* rng, ConfigModelStats* stats) {
+  const size_t n = degrees.size();
+  int64_t sum = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (degrees[v] < 0) {
+      return Status::InvalidArgument("negative degree");
+    }
+    if (degrees[v] > static_cast<int64_t>(n) - 1) {
+      return Status::InvalidArgument("degree exceeds n - 1");
+    }
+    sum += degrees[v];
+  }
+
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<size_t>(sum));
+  for (size_t v = 0; v < n; ++v) {
+    for (int64_t k = 0; k < degrees[v]; ++k) {
+      stubs.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  ConfigModelStats local;
+  if (stubs.size() % 2 != 0) {
+    // Drop one stub uniformly at random (the paper's one-edge allowance).
+    const size_t victim = rng->NextBounded(stubs.size());
+    std::swap(stubs[victim], stubs.back());
+    stubs.pop_back();
+    local.odd_stub_dropped = 1;
+  }
+
+  // Fisher-Yates over the stub array IS uniform random matching: pair
+  // consecutive entries after the shuffle.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    const size_t j = rng->NextBounded(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+
+  FlatHashSet64 seen(stubs.size() / 2);
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i];
+    NodeId v = stubs[i + 1];
+    if (u == v) {
+      ++local.self_loops_removed;
+      continue;
+    }
+    if (u > v) std::swap(u, v);
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!seen.Insert(key)) {
+      ++local.duplicates_removed;
+      continue;
+    }
+    edges.emplace_back(u, v);
+  }
+  if (stats != nullptr) *stats = local;
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace trilist

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+/// \file configuration_model.h
+/// The traditional stub-matching generator (Bender-Canfield / Molloy-Reed;
+/// Section 7.2). Place d_i stubs per node, match uniformly at random, then
+/// delete self-loops and duplicate edges to obtain a simple graph.
+///
+/// The paper points out this simplification visibly *under-realizes* large
+/// degrees when Pareto alpha < 2 with linear truncation, which is why the
+/// evaluation uses the residual-degree generator (residual_generator.h)
+/// instead. We keep the configuration model as the baseline so the
+/// degree-shortfall effect itself can be measured (see
+/// tests/gen and the EXPERIMENTS notes).
+
+namespace trilist {
+
+/// Statistics of one configuration-model run.
+struct ConfigModelStats {
+  int64_t self_loops_removed = 0;
+  int64_t duplicates_removed = 0;
+  int64_t odd_stub_dropped = 0;  ///< 1 if the degree sum was odd.
+
+  /// Total stub shortfall: realized degree sum is
+  /// sum(d_i) - 2*(self_loops + duplicates) - odd_stub.
+  int64_t TotalDroppedStubs() const {
+    return 2 * (self_loops_removed + duplicates_removed) + odd_stub_dropped;
+  }
+};
+
+/// Runs the configuration model on `degrees`.
+/// \param degrees desired degree of each node (>= 0); an odd total drops
+///        one stub uniformly at random.
+/// \param rng randomness source.
+/// \param stats optional out-param for shortfall accounting.
+/// \return a simple graph whose degrees are <= the requested ones.
+Result<Graph> ConfigurationModel(const std::vector<int64_t>& degrees,
+                                 Rng* rng,
+                                 ConfigModelStats* stats = nullptr);
+
+}  // namespace trilist

@@ -1,0 +1,72 @@
+#include "src/gen/erdos_renyi.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/flat_hash_set.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+Graph GenerateGnp(size_t n, double p, Rng* rng) {
+  TRILIST_DCHECK(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  if (p > 0.0 && n >= 2) {
+    // Enumerate pairs (u, v), u < v, in lexicographic order and jump
+    // geometrically between successes.
+    const double log1mp = std::log1p(-p);
+    uint64_t idx = 0;  // linear index into the C(n,2) pair space
+    const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    if (p >= 1.0) {
+      for (size_t u = 0; u < n; ++u) {
+        for (size_t v = u + 1; v < n; ++v) {
+          edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+        }
+      }
+      return Graph::FromEdges(n, edges).ValueOrDie();
+    }
+    while (true) {
+      // Geometric gap between successive edges: floor(ln U / ln(1-p)).
+      const double unif = 1.0 - rng->NextDouble();  // in (0, 1]
+      const double skip = std::floor(std::log(unif) / log1mp);
+      idx += static_cast<uint64_t>(skip) + 1;
+      if (idx > total) break;
+      // Convert linear index (1-based) back to the pair (u, v).
+      const uint64_t k = idx - 1;
+      // Row u satisfies offset(u) <= k < offset(u+1) where
+      // offset(u) = u*n - u(u+3)/2 ... solve via the quadratic formula.
+      const double nn = static_cast<double>(n);
+      auto u = static_cast<uint64_t>(std::floor(
+          nn - 0.5 - std::sqrt((nn - 0.5) * (nn - 0.5) - 2.0 *
+                               static_cast<double>(k))));
+      auto offset = [&](uint64_t row) {
+        return row * n - row * (row + 1) / 2;
+      };
+      while (u > 0 && offset(u) > k) --u;
+      while (offset(u + 1) <= k) ++u;
+      const uint64_t v = u + 1 + (k - offset(u));
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  return Graph::FromEdges(n, edges).ValueOrDie();
+}
+
+Graph GenerateGnm(size_t n, size_t m, Rng* rng) {
+  [[maybe_unused]] const uint64_t total =
+      n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  TRILIST_DCHECK(m <= total);
+  FlatHashSet64 seen(m);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    auto u = static_cast<NodeId>(rng->NextBounded(n));
+    auto v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.Insert(key)) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, edges).ValueOrDie();
+}
+
+}  // namespace trilist

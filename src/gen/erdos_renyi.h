@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+/// \file erdos_renyi.h
+/// Classical random graphs. Not a subject of the paper's analysis, but the
+/// test suite and examples use them as neutral inputs with well-understood
+/// triangle counts (E[#triangles] = C(n,3) p^3 in G(n,p)).
+
+namespace trilist {
+
+/// G(n, p): every pair independently connected with probability p.
+/// Uses geometric skip sampling, O(n + m) expected time.
+Graph GenerateGnp(size_t n, double p, Rng* rng);
+
+/// G(n, m): m distinct edges uniformly at random. O(m) expected time.
+/// Precondition: m <= C(n, 2).
+Graph GenerateGnm(size_t n, size_t m, Rng* rng);
+
+}  // namespace trilist

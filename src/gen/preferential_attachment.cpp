@@ -1,0 +1,46 @@
+#include "src/gen/preferential_attachment.h"
+
+#include <vector>
+
+#include "src/util/flat_hash_set.h"
+
+namespace trilist {
+
+Result<Graph> GeneratePreferentialAttachment(size_t n, size_t m, Rng* rng) {
+  if (m < 1) return Status::InvalidArgument("m must be >= 1");
+  if (n < m + 1) {
+    return Status::InvalidArgument("need n >= m + 1 nodes");
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // edge contributes both endpoints to `stubs`, so a uniform draw from it
+  // is a draw proportional to degree.
+  std::vector<NodeId> stubs;
+  stubs.reserve(2 * n * m);
+  std::vector<Edge> edges;
+  edges.reserve(n * m);
+  auto add_edge = [&](NodeId u, NodeId v) {
+    edges.emplace_back(u, v);
+    stubs.push_back(u);
+    stubs.push_back(v);
+  };
+  // Seed: a star over the first m + 1 nodes (every node needs degree > 0
+  // before it can attract attachments).
+  for (size_t v = 1; v <= m; ++v) {
+    add_edge(static_cast<NodeId>(0), static_cast<NodeId>(v));
+  }
+  FlatHashSet64 picked;  // targets already chosen by the current arrival
+  for (size_t v = m + 1; v < n; ++v) {
+    picked.Clear();
+    size_t placed = 0;
+    while (placed < m) {
+      const NodeId target = stubs[rng->NextBounded(stubs.size())];
+      if (target == v) continue;
+      if (!picked.Insert(target)) continue;  // duplicate target
+      add_edge(static_cast<NodeId>(v), target);
+      ++placed;
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace trilist

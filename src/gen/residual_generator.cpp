@@ -1,0 +1,471 @@
+#include "src/gen/residual_generator.h"
+#ifdef TRILIST_AUG_PARANOIA
+#include <cstdio>
+#endif
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/fenwick_tree.h"
+#include "src/util/flat_hash_set.h"
+
+namespace trilist {
+
+namespace {
+
+uint64_t PackUndirected(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Mutable construction state shared by placement and repair.
+struct BuildState {
+  std::vector<int64_t> target;  // requested degrees (immutable)
+  std::vector<int64_t> residual;
+  FenwickTree pool;          // residual weights of eligible candidates
+  FlatHashSet64 seen;        // undirected adjacency membership
+  std::vector<Edge> edges;   // realized edges (order irrelevant)
+  ResidualGenStats stats;
+
+  bool Adjacent(NodeId u, NodeId v) const {
+    return seen.Contains(PackUndirected(u, v));
+  }
+
+  void AddEdge(NodeId u, NodeId v) {
+    seen.Insert(PackUndirected(u, v));
+    edges.emplace_back(u, v);
+    ++stats.edges_placed;
+  }
+
+  /// Removes the edge at `pos` by swap-with-back.
+  void RemoveEdgeAt(size_t pos) {
+    const Edge e = edges[pos];
+    seen.Erase(PackUndirected(e.first, e.second));
+    edges[pos] = edges.back();
+    edges.pop_back();
+    --stats.edges_placed;
+  }
+};
+
+/// Attempts edge-rewiring so node i can place `want` (1 or 2) stubs even
+/// though every non-neighbor's residual is zero. Returns stubs freed.
+/// Applies one rewiring step using the edge at `pos` if legal; returns the
+/// number of stubs freed for node i (0 if the edge does not qualify).
+int64_t TryRewireAt(BuildState* st, NodeId i, int64_t want, size_t pos) {
+  const Edge e = st->edges[pos];
+  const NodeId a = e.first;
+  const NodeId b = e.second;
+  if (a == i || b == i) return 0;
+  if (want >= 2) {
+    // Replace (a,b) with (i,a) and (i,b): degrees of a, b unchanged,
+    // i gains two.
+    if (st->Adjacent(i, a) || st->Adjacent(i, b)) return 0;
+    st->RemoveEdgeAt(pos);
+    st->AddEdge(i, a);
+    st->AddEdge(i, b);
+    ++st->stats.repairs;
+    return 2;
+  }
+  // want == 1: replace (a,b) with (i,a); b's freed stub re-enters the
+  // pool for later consumers (or the cleanup pass).
+  NodeId keep = a;
+  NodeId release = b;
+  if (st->Adjacent(i, keep)) {
+    std::swap(keep, release);
+    if (st->Adjacent(i, keep)) return 0;
+  } else if (!st->Adjacent(i, release) &&
+             st->target[release] > st->target[keep]) {
+    // Both endpoints qualify: park the released stub on the less
+    // saturated (lower-degree) node — deficits on nearly-complete hubs
+    // are the hardest to repair later.
+    std::swap(keep, release);
+  }
+  st->RemoveEdgeAt(pos);
+  st->AddEdge(i, keep);
+  ++st->residual[release];
+  // `release` may currently be zeroed as a neighbor of i; only expose it
+  // in the pool if it is not adjacent to i and is not i itself.
+  if (release != i && !st->Adjacent(i, release)) {
+    st->pool.Set(release, st->residual[release]);
+  }
+  ++st->stats.repairs;
+  return 1;
+}
+
+int64_t Rewire(BuildState* st, NodeId i, int64_t want, Rng* rng,
+               int max_attempts) {
+  if (st->edges.empty()) return 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const size_t pos = rng->NextBounded(st->edges.size());
+    const int64_t freed = TryRewireAt(st, i, want, pos);
+    if (freed > 0) return freed;
+  }
+  // Random probing failed (node i may be adjacent to nearly everything):
+  // deterministic sweep from a random start so a qualifying edge is found
+  // whenever one exists.
+  const size_t start = rng->NextBounded(st->edges.size());
+  for (size_t off = 0; off < st->edges.size(); ++off) {
+    const size_t pos = (start + off) % st->edges.size();
+    const int64_t freed = TryRewireAt(st, i, want, pos);
+    if (freed > 0) return freed;
+  }
+  // No edge qualifies for `want`; a 2-stub request may still be served by
+  // two independent 1-stub moves, which the caller retries.
+  if (want >= 2) return Rewire(st, i, 1, rng, max_attempts);
+  return 0;
+}
+
+/// Places all remaining stubs of node i. The pool must exclude i on entry
+/// (caller zeroes it); neighbors are zeroed lazily as they are hit and
+/// restored before returning.
+void PlaceNode(BuildState* st, NodeId i, Rng* rng,
+               const ResidualGenOptions& options) {
+  int64_t remaining = st->residual[i];
+  if (remaining <= 0) return;
+  std::vector<NodeId> zeroed;  // neighbors temporarily removed from pool
+  auto exclude = [&](NodeId j) {
+    st->pool.Set(j, 0);
+    zeroed.push_back(j);
+  };
+  int stuck_rounds = 0;
+  while (remaining > 0) {
+    const int64_t total = st->pool.Total();
+    if (total <= 0) {
+      const int64_t freed =
+          Rewire(st, i, remaining, rng, options.max_repair_attempts);
+      if (freed == 0) {
+        if (++stuck_rounds > 4) break;  // unplaceable; report shortfall
+        continue;
+      }
+      stuck_rounds = 0;
+      remaining -= freed;
+      continue;
+    }
+    const auto j = static_cast<NodeId>(
+        st->pool.SampleIndex(static_cast<int64_t>(
+            rng->NextBounded(static_cast<uint64_t>(total)))));
+    if (st->Adjacent(i, j)) {
+      ++st->stats.collisions;
+      exclude(j);
+      continue;
+    }
+    st->AddEdge(i, j);
+    --st->residual[j];
+    --remaining;
+    // j is now adjacent: keep it out of the pool for the rest of i.
+    exclude(j);
+  }
+  st->residual[i] = remaining;
+  // Restore true weights (exclusions apply only while i is active).
+  for (NodeId j : zeroed) st->pool.Set(j, st->residual[j]);
+}
+
+/// General deficit repair via alternating-path augmentation.
+///
+/// To give one extra stub to a deficient node i, search (BFS) for a
+/// vertex-disjoint alternating path
+///   i ~ v1 (add), (v1, w1) remove, w1 ~ v2 (add), (v2, w2) remove, ...
+/// ending either at another deficient node t (entered by an add edge) or,
+/// when i itself still needs two stubs, back at i by closing the cycle
+/// with a final add edge. Interior vertices keep their degree; i (and t)
+/// gain one each. This is the textbook augmentation for the
+/// degree-constrained subgraph problem and succeeds in cases where
+/// single- or double-edge rewiring cannot (e.g. several mutually adjacent
+/// hubs short of a few stubs each). One BFS costs O(n + m) amortized: the
+/// unvisited pool is a linked list, so every alive-scan either consumes a
+/// node for good or charges an adjacency test to the expanding endpoint.
+class DeficitAugmenter {
+ public:
+  DeficitAugmenter(BuildState* st, std::vector<std::vector<NodeId>>* adj,
+                   Rng* rng)
+      : st_(st), adj_(adj), rng_(rng), n_(st->residual.size()) {}
+
+  /// Attempts one augmentation rooted at deficient node i; true on
+  /// success (total deficit decreased by exactly 2).
+  ///
+  /// Two-state BFS: a node may be reached once in the "add" role (it was
+  /// connected by a new edge and must shed one of its edges) and once in
+  /// the "endpoint" role (one of its edges was removed and it must gain a
+  /// new one). Allowing both roles is what makes long augmentations
+  /// through densely saturated hubs possible; the rare path that would
+  /// touch the same *edge pair* twice is detected at reconstruction and
+  /// rejected.
+  bool AugmentFrom(NodeId i) {
+    const auto n = static_cast<NodeId>(n_);
+    std::vector<NodeId> pred_add(n_, n);   // v -> endpoint that added v
+    std::vector<NodeId> pred_rem(n_, n);   // w -> add-node whose edge fell
+    std::vector<bool> add_visited(n_, false);
+    std::vector<bool> end_visited(n_, false);
+    // Doubly linked list over add-unvisited nodes (add-edge expansion),
+    // threaded in random order so that a failed (conflicting) search can
+    // be retried along a different BFS tree.
+    std::vector<NodeId> shuffled(n_);
+    for (size_t v = 0; v < n_; ++v) shuffled[v] = static_cast<NodeId>(v);
+    for (size_t v = n_; v > 1; --v) {
+      std::swap(shuffled[v - 1], shuffled[rng_->NextBounded(v)]);
+    }
+    std::vector<NodeId> next(n_ + 1);
+    std::vector<NodeId> prev(n_ + 1);
+    NodeId cursor = n;  // sentinel
+    for (const NodeId v : shuffled) {
+      next[cursor] = v;
+      prev[v] = cursor;
+      cursor = v;
+    }
+    next[cursor] = n;
+    prev[n] = cursor;
+    auto drop = [&](NodeId v) {
+      next[prev[v]] = next[v];
+      prev[next[v]] = prev[v];
+    };
+    add_visited[i] = true;
+    end_visited[i] = true;
+    drop(i);
+
+    const bool wants_two = st_->residual[i] >= 2;
+    std::vector<NodeId> queue = {i};
+    size_t head = 0;
+    NodeId target = n;       // deficient node reached by an add edge
+    NodeId cycle_end = n;    // endpoint closing a cycle back to i
+    while (head < queue.size() && target == n && cycle_end == n) {
+      const NodeId u = queue[head++];
+      if (wants_two && u != i && !st_->Adjacent(i, u)) {
+        cycle_end = u;
+        break;
+      }
+      // Expand add edges u ~ v over the add-unvisited pool. Note u itself
+      // may still be add-unvisited (the two roles are tracked
+      // separately): skip it, a node cannot gain an edge to itself.
+      for (NodeId v = next[n]; v != n && target == n;) {
+        const NodeId following = next[v];
+        if (v != u && !st_->Adjacent(u, v)) {
+          add_visited[v] = true;
+          drop(v);
+          pred_add[v] = u;
+          if (st_->residual[v] > 0) {
+            target = v;
+            break;
+          }
+          // v must shed one edge: every neighbor becomes an endpoint
+          // candidate. Deficient nodes never serve as interior endpoints
+          // (they must stay available as targets).
+          for (const NodeId w : (*adj_)[v]) {
+            if (end_visited[w] || st_->residual[w] > 0) continue;
+            end_visited[w] = true;
+            pred_rem[w] = v;
+            queue.push_back(w);
+          }
+        }
+        v = following;
+      }
+    }
+    if (target == n && cycle_end == n) return false;
+
+    // Reconstruct the op list and verify no edge pair is touched twice
+    // (possible only when a node plays both roles in one path).
+    std::vector<Edge> adds;
+    std::vector<Edge> removes;
+    NodeId endpoint;
+    if (target != n) {
+      adds.emplace_back(pred_add[target], target);
+      endpoint = pred_add[target];
+    } else {
+      adds.emplace_back(cycle_end, i);
+      endpoint = cycle_end;
+    }
+    while (endpoint != i) {
+      const NodeId v = pred_rem[endpoint];
+      removes.emplace_back(v, endpoint);
+      const NodeId u = pred_add[v];
+      adds.emplace_back(u, v);
+      endpoint = u;
+    }
+    FlatHashSet64 touched(adds.size() + removes.size());
+    for (const Edge& e : adds) {
+      if (!touched.Insert(PackUndirected(e.first, e.second))) {
+        return false;  // pair touched twice: reject, caller retries
+      }
+    }
+    for (const Edge& e : removes) {
+      if (!touched.Insert(PackUndirected(e.first, e.second))) {
+        return false;  // pair touched twice: reject, caller retries
+      }
+    }
+
+    for (const Edge& e : removes) RemoveEdge(e.first, e.second);
+    for (const Edge& e : adds) AddEdge(e.first, e.second);
+#ifdef TRILIST_AUG_PARANOIA
+    {
+      auto check = [&](NodeId x, const char* role) {
+        // degree identity: adj degree + residual must equal target after
+        // the residual updates below; here residuals not yet updated for
+        // i/target, account for that.
+        (void)role;
+        int64_t expect = st_->target[x] - st_->residual[x];
+        if (x == i) expect += 1;
+        if (target != n && x == target) expect += 1;
+        if (target == n && x == i) expect += 1;  // cycle: i gains 2
+        if (static_cast<int64_t>((*adj_)[x].size()) != expect) {
+          std::fprintf(stderr,
+                       "PARANOIA %s node=%u adj=%zu expect=%ld adds=%zu\n",
+                       role, x, (*adj_)[x].size(), expect, adds.size());
+        }
+      };
+      for (const Edge& e : adds) { check(e.first, "add"); check(e.second, "add2"); }
+      for (const Edge& e : removes) { check(e.first, "rem"); check(e.second, "rem2"); }
+    }
+#endif
+    --st_->residual[i];
+    if (target != n) {
+      --st_->residual[target];
+    } else {
+      --st_->residual[i];  // the cycle gave i its second stub
+    }
+    st_->stats.repairs += 1;
+    return true;
+  }
+
+ private:
+  void AddEdge(NodeId u, NodeId v) {
+    st_->seen.Insert(PackUndirected(u, v));
+    (*adj_)[u].push_back(v);
+    (*adj_)[v].push_back(u);
+  }
+
+  void RemoveEdge(NodeId u, NodeId v) {
+    st_->seen.Erase(PackUndirected(u, v));
+    auto& au = (*adj_)[u];
+    au.erase(std::find(au.begin(), au.end(), v));
+    auto& av = (*adj_)[v];
+    av.erase(std::find(av.begin(), av.end(), u));
+  }
+
+  BuildState* st_;
+  std::vector<std::vector<NodeId>>* adj_;
+  Rng* rng_;
+  size_t n_;
+};
+
+/// Final authoritative repair: while more than `allowed` stubs are
+/// missing, run alternating-path augmentations from deficient nodes. Each
+/// success reduces the total deficit by exactly 2; a full pass with no
+/// success terminates (at that point no vertex-disjoint augmenting path
+/// exists). The edge vector is rebuilt from adjacency lists afterwards.
+void ResolveDeficits(BuildState* st, Rng* rng, int64_t allowed) {
+  const size_t n = st->residual.size();
+  auto total_deficit = [&]() {
+    int64_t deficit = 0;
+    for (size_t v = 0; v < n; ++v) deficit += st->residual[v];
+    return deficit;
+  };
+  if (total_deficit() <= allowed) return;
+
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : st->edges) {
+    adj[e.first].push_back(e.second);
+    adj[e.second].push_back(e.first);
+  }
+  DeficitAugmenter augmenter(st, &adj, rng);
+  bool progress = true;
+  while (progress && total_deficit() > allowed) {
+    progress = false;
+    for (size_t v = 0; v < n && total_deficit() > allowed; ++v) {
+      while (st->residual[v] > 0) {
+        // A rejected (conflicting) search may succeed along a different
+        // random BFS tree; give each stub a few attempts.
+        bool done = false;
+        for (int attempt = 0; attempt < 4 && !done; ++attempt) {
+          done = augmenter.AugmentFrom(static_cast<NodeId>(v));
+        }
+        if (!done) break;
+        progress = true;
+        if (total_deficit() <= allowed) break;
+      }
+    }
+  }
+
+  // Rebuild the edge vector from adjacency lists.
+  st->edges.clear();
+  for (size_t u = 0; u < n; ++u) {
+    for (const NodeId v : adj[u]) {
+      if (v > u) {
+        st->edges.emplace_back(static_cast<NodeId>(u), v);
+      }
+    }
+  }
+  st->stats.edges_placed = static_cast<int64_t>(st->edges.size());
+}
+
+}  // namespace
+
+Result<Graph> GenerateExactDegree(const std::vector<int64_t>& degrees,
+                                  Rng* rng, ResidualGenStats* stats,
+                                  const ResidualGenOptions& options) {
+  const size_t n = degrees.size();
+  int64_t sum = 0;
+  for (int64_t d : degrees) {
+    if (d < 0 || d > static_cast<int64_t>(n) - 1) {
+      return Status::InvalidArgument(
+          "degree out of range [0, n-1]: " + std::to_string(d));
+    }
+    sum += d;
+  }
+
+  BuildState st;
+  st.target = degrees;
+  st.residual = degrees;
+  st.pool = FenwickTree(degrees);
+  st.seen.Reserve(static_cast<size_t>(sum / 2 + 1));
+  st.edges.reserve(static_cast<size_t>(sum / 2));
+
+  // Descending-degree processing keeps hub-hub edges early, which both
+  // matches the heavy-tail structure and minimizes repair work.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (degrees[a] != degrees[b]) return degrees[a] > degrees[b];
+    return a < b;
+  });
+
+  for (NodeId i : order) {
+    if (st.residual[i] <= 0) continue;
+    st.pool.Set(i, 0);  // a node never connects to itself
+    PlaceNode(&st, i, rng, options);
+    st.pool.Set(i, st.residual[i]);
+  }
+
+  // Cleanup rounds: 1-stub rewires can push deficits onto nodes that were
+  // already processed; sweep until the total deficit stops shrinking.
+  const int64_t allowed_shortfall = (sum % 2 == 0) ? 0 : 1;
+  auto total_deficit = [&]() {
+    int64_t deficit = 0;
+    for (size_t v = 0; v < n; ++v) deficit += st.residual[v];
+    return deficit;
+  };
+  for (int round = 0; round < 8; ++round) {
+    const int64_t before = total_deficit();
+    if (before <= allowed_shortfall) break;
+    for (NodeId i : order) {
+      if (st.residual[i] <= 0) continue;
+      st.pool.Set(i, 0);
+      PlaceNode(&st, i, rng, options);
+      st.pool.Set(i, st.residual[i]);
+    }
+    if (total_deficit() >= before) break;  // no progress
+  }
+  if (total_deficit() > allowed_shortfall) {
+    ResolveDeficits(&st, rng, allowed_shortfall);
+  }
+
+  const int64_t unplaced = total_deficit();
+  st.stats.unplaced_stubs = unplaced;
+  if (options.strict && unplaced > allowed_shortfall) {
+    return Status::GenerationStuck(
+        "could not realize degree sequence; unplaced stubs = " +
+        std::to_string(unplaced));
+  }
+  if (stats != nullptr) *stats = st.stats;
+  return Graph::FromEdges(n, st.edges);
+}
+
+}  // namespace trilist

@@ -1,0 +1,78 @@
+#include "src/graph/builder.h"
+
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  TRILIST_DCHECK(u != v);
+  TRILIST_DCHECK(u < num_nodes_ && v < num_nodes_);
+  edges_.emplace_back(u, v);
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  return Graph::FromEdges(num_nodes_, edges_);
+}
+
+Graph MakeComplete(size_t n) {
+  GraphBuilder b(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+Graph MakeStar(size_t n) {
+  GraphBuilder b(n);
+  for (size_t v = 1; v < n; ++v) {
+    b.AddEdge(0, static_cast<NodeId>(v));
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+Graph MakePath(size_t n) {
+  GraphBuilder b(n);
+  for (size_t v = 1; v < n; ++v) {
+    b.AddEdge(static_cast<NodeId>(v - 1), static_cast<NodeId>(v));
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+Graph MakeCycle(size_t n) {
+  TRILIST_DCHECK(n >= 3);
+  GraphBuilder b(n);
+  for (size_t v = 1; v < n; ++v) {
+    b.AddEdge(static_cast<NodeId>(v - 1), static_cast<NodeId>(v));
+  }
+  b.AddEdge(static_cast<NodeId>(n - 1), 0);
+  return std::move(b).Build().ValueOrDie();
+}
+
+Graph MakeEmpty(size_t n) {
+  GraphBuilder b(n);
+  return std::move(b).Build().ValueOrDie();
+}
+
+Graph MakeBowTie(size_t k) {
+  TRILIST_DCHECK(k >= 2);
+  // Nodes: 0 shared; 1..k-1 left clique; k..2k-2 right clique.
+  const size_t n = 2 * k - 1;
+  GraphBuilder b(n);
+  auto add_clique = [&](size_t lo, size_t hi) {  // [lo, hi) plus node 0
+    for (size_t u = lo; u < hi; ++u) {
+      b.AddEdge(0, static_cast<NodeId>(u));
+      for (size_t v = u + 1; v < hi; ++v) {
+        b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
+    }
+  };
+  add_clique(1, k);
+  add_clique(k, 2 * k - 1);
+  return std::move(b).Build().ValueOrDie();
+}
+
+}  // namespace trilist

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file builder.h
+/// Incremental graph construction plus factories for structured graphs
+/// (cliques, stars, paths, ...) used throughout tests and examples.
+
+namespace trilist {
+
+/// \brief Collects edges and produces a validated simple Graph.
+///
+/// Duplicate and self-loop edges are detected at Build() time (via the
+/// Graph validation); use Contains() for cheap best-effort dedup during
+/// construction when the producer may revisit pairs.
+class GraphBuilder {
+ public:
+  /// \param num_nodes the (fixed) node count of the graph being built.
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Number of nodes.
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of edges added so far.
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Appends an undirected edge. Endpoints must be distinct and in range.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Validates and builds the CSR graph. The builder is consumed.
+  Result<Graph> Build() &&;
+
+ private:
+  size_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Complete graph K_n (every pair connected).
+Graph MakeComplete(size_t n);
+/// Star: node 0 connected to 1..n-1.
+Graph MakeStar(size_t n);
+/// Simple path 0-1-...-n-1.
+Graph MakePath(size_t n);
+/// Cycle 0-1-...-n-1-0 (n >= 3).
+Graph MakeCycle(size_t n);
+/// Graph with n nodes and no edges.
+Graph MakeEmpty(size_t n);
+/// Two cliques of size k sharing node 0 (tests high local clustering with
+/// an articulation point).
+Graph MakeBowTie(size_t k);
+
+}  // namespace trilist

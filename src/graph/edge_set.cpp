@@ -1,0 +1,16 @@
+#include "src/graph/edge_set.h"
+
+namespace trilist {
+
+DirectedEdgeSet::DirectedEdgeSet(const OrientedGraph& g)
+    : set_(g.num_arcs()) {
+  const size_t n = g.num_nodes();
+  for (size_t i = 0; i < n; ++i) {
+    const auto from = static_cast<NodeId>(i);
+    for (NodeId to : g.OutNeighbors(from)) {
+      set_.Insert(PackArc(from, to));
+    }
+  }
+}
+
+}  // namespace trilist

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/oriented_graph.h"
+#include "src/util/flat_hash_set.h"
+
+/// \file edge_set.h
+/// Hash-based arc-existence index over an oriented graph.
+///
+/// Vertex iterators (T1..T6) generate candidate arcs and "check them
+/// against E(theta_n) using a hash table" (Section 2.2); lookup edge
+/// iterators hash one neighbor list per node. This type is the shared
+/// whole-graph variant: arcs packed as (from << 32) | to in a
+/// FlatHashSet64, built once per oriented graph in O(m).
+
+namespace trilist {
+
+/// Packs a directed arc into a 64-bit hash key.
+inline uint64_t PackArc(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+/// \brief Whole-graph directed-arc membership index.
+class DirectedEdgeSet {
+ public:
+  /// Indexes every arc of `g` (O(m) build, <= 50% table load).
+  explicit DirectedEdgeSet(const OrientedGraph& g);
+
+  /// True iff the arc from -> to exists.
+  bool Contains(NodeId from, NodeId to) const {
+    return set_.Contains(PackArc(from, to));
+  }
+
+  /// Number of arcs indexed.
+  size_t size() const { return set_.size(); }
+
+ private:
+  FlatHashSet64 set_;
+};
+
+}  // namespace trilist

@@ -1,0 +1,79 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace trilist {
+
+Graph::Graph(std::vector<size_t> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  TRILIST_DCHECK(!offsets_.empty());
+  TRILIST_DCHECK(offsets_.back() == neighbors_.size());
+}
+
+Result<Graph> Graph::FromEdges(size_t num_nodes,
+                               const std::vector<Edge>& edges) {
+  std::vector<size_t> offsets(num_nodes + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.first >= num_nodes || e.second >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.first == e.second) {
+      return Status::InvalidArgument("self-loop not allowed in simple graph");
+    }
+    ++offsets[e.first + 1];
+    ++offsets[e.second + 1];
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+  std::vector<NodeId> neighbors(edges.size() * 2);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    neighbors[cursor[e.first]++] = e.second;
+    neighbors[cursor[e.second]++] = e.first;
+  }
+  for (size_t v = 0; v < num_nodes; ++v) {
+    auto begin = neighbors.begin() + static_cast<int64_t>(offsets[v]);
+    auto end = neighbors.begin() + static_cast<int64_t>(offsets[v + 1]);
+    std::sort(begin, end);
+    if (std::adjacent_find(begin, end) != end) {
+      return Status::InvalidArgument("duplicate edge not allowed");
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  // Probe the shorter list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto list = Neighbors(u);
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<int64_t> Graph::Degrees() const {
+  std::vector<int64_t> degrees(num_nodes());
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    degrees[v] = Degree(static_cast<NodeId>(v));
+  }
+  return degrees;
+}
+
+int64_t Graph::MaxDegree() const {
+  int64_t best = 0;
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, Degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : Neighbors(static_cast<NodeId>(u))) {
+      if (v > u) edges.emplace_back(static_cast<NodeId>(u), v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace trilist

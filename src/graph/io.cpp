@@ -1,0 +1,83 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace trilist {
+
+void WriteEdgeList(const Graph& g, std::ostream* out) {
+  *out << "# nodes " << g.num_nodes() << "\n";
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(static_cast<NodeId>(u))) {
+      if (v > u) *out << u << " " << v << "\n";
+    }
+  }
+}
+
+Result<Graph> ReadEdgeList(std::istream* in) {
+  std::vector<Edge> edges;
+  size_t num_nodes = 0;
+  bool explicit_nodes = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      if (header >> word && word == "nodes") {
+        size_t n = 0;
+        if (header >> n) {
+          num_nodes = n;
+          explicit_nodes = true;
+        }
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no) + ": '" +
+                                     line + "'");
+    }
+    const uint64_t id_limit = std::numeric_limits<NodeId>::max();
+    if (u >= id_limit || v >= id_limit) {
+      return Status::OutOfRange("node ID too large at line " +
+                                std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (!explicit_nodes) {
+      num_nodes = std::max({num_nodes, static_cast<size_t>(u) + 1,
+                            static_cast<size_t>(v) + 1});
+    }
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  WriteEdgeList(g, &out);
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  return ReadEdgeList(&in);
+}
+
+}  // namespace trilist

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+/// \file io.h
+/// Plain-text edge-list serialization, the lingua franca of graph datasets
+/// (SNAP, KONECT, the Twitter crawl of Section 7.5 all ship this way).
+///
+/// Format: one "u v" pair per line, whitespace separated, 0-based IDs;
+/// lines starting with '#' or '%' are comments. The node count is
+/// max ID + 1 unless a "# nodes N" header is present.
+
+namespace trilist {
+
+/// Writes `g` as an edge list with a "# nodes N" header. Each undirected
+/// edge appears once as "u v" with u < v.
+void WriteEdgeList(const Graph& g, std::ostream* out);
+
+/// Parses an edge list. Self-loops and duplicate edges are rejected
+/// (InvalidArgument), matching the library's simple-graph contract.
+Result<Graph> ReadEdgeList(std::istream* in);
+
+/// Convenience file wrappers.
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+Result<Graph> ReadEdgeListFile(const std::string& path);
+
+}  // namespace trilist

@@ -1,0 +1,94 @@
+#include "src/graph/oriented_graph.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+OrientedGraph OrientedGraph::FromLabels(const Graph& g,
+                                        const std::vector<NodeId>& labels) {
+  const size_t n = g.num_nodes();
+  TRILIST_DCHECK(labels.size() == n);
+  OrientedGraph out;
+  out.original_of_.assign(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    TRILIST_DCHECK(labels[v] < n);
+    out.original_of_[labels[v]] = static_cast<NodeId>(v);
+  }
+
+  // Counting pass over arcs in label space.
+  out.out_offsets_.assign(n + 1, 0);
+  out.in_offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const NodeId lv = labels[v];
+    for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
+      const NodeId lw = labels[w];
+      if (lw < lv) {
+        ++out.out_offsets_[lv + 1];
+      } else {
+        ++out.in_offsets_[lv + 1];
+      }
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    out.out_offsets_[i] += out.out_offsets_[i - 1];
+    out.in_offsets_[i] += out.in_offsets_[i - 1];
+  }
+  out.out_neighbors_.resize(out.out_offsets_[n]);
+  out.in_neighbors_.resize(out.in_offsets_[n]);
+
+  // Fill pass.
+  std::vector<size_t> out_cursor(out.out_offsets_.begin(),
+                                 out.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(out.in_offsets_.begin(),
+                                out.in_offsets_.end() - 1);
+  for (size_t v = 0; v < n; ++v) {
+    const NodeId lv = labels[v];
+    for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
+      const NodeId lw = labels[w];
+      if (lw < lv) {
+        out.out_neighbors_[out_cursor[lv]++] = lw;
+      } else {
+        out.in_neighbors_[in_cursor[lv]++] = lw;
+      }
+    }
+  }
+
+  // Sort each row ascending by label.
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(out.out_neighbors_.begin() +
+                  static_cast<int64_t>(out.out_offsets_[i]),
+              out.out_neighbors_.begin() +
+                  static_cast<int64_t>(out.out_offsets_[i + 1]));
+    std::sort(out.in_neighbors_.begin() +
+                  static_cast<int64_t>(out.in_offsets_[i]),
+              out.in_neighbors_.begin() +
+                  static_cast<int64_t>(out.in_offsets_[i + 1]));
+  }
+  return out;
+}
+
+bool OrientedGraph::HasArc(NodeId from, NodeId to) const {
+  if (to >= from) return false;
+  const auto list = OutNeighbors(from);
+  return std::binary_search(list.begin(), list.end(), to);
+}
+
+std::vector<int64_t> OrientedGraph::OutDegrees() const {
+  std::vector<int64_t> x(num_nodes());
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = OutDegree(static_cast<NodeId>(i));
+  }
+  return x;
+}
+
+std::vector<int64_t> OrientedGraph::InDegrees() const {
+  std::vector<int64_t> y(num_nodes());
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = InDegree(static_cast<NodeId>(i));
+  }
+  return y;
+}
+
+}  // namespace trilist

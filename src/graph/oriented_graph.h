@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file oriented_graph.h
+/// Acyclically oriented graph after relabeling (steps 1-2 of the paper's
+/// three-step framework, Section 2.1).
+///
+/// Every node is renamed to its label under the chosen global order; the
+/// undirected edge (u, v) becomes an arc from the larger label to the
+/// smaller (y -> x iff x < y). Nodes in this structure ARE labels: node i
+/// of an OrientedGraph is the node whose new ID is i. Both the out-list
+/// N+(i) (labels < i) and the in-list N-(i) (labels > i) are stored in CSR
+/// form, sorted ascending, which is exactly the layout the 18 triangle
+/// listing patterns traverse.
+
+namespace trilist {
+
+/// \brief Relabeled + oriented view of a simple undirected graph.
+class OrientedGraph {
+ public:
+  OrientedGraph() = default;
+
+  /// Builds the oriented graph from `g` and a bijective label assignment.
+  /// \param g the undirected graph.
+  /// \param labels labels[v] is the new ID of original node v; must be a
+  ///        permutation of [0, n).
+  static OrientedGraph FromLabels(const Graph& g,
+                                  const std::vector<NodeId>& labels);
+
+  /// Number of nodes n.
+  size_t num_nodes() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+  /// Number of arcs (= undirected edges m).
+  size_t num_arcs() const { return out_neighbors_.size(); }
+
+  /// Out-neighbors N+(i): labels smaller than i, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId i) const {
+    return {out_neighbors_.data() + out_offsets_[i],
+            out_neighbors_.data() + out_offsets_[i + 1]};
+  }
+  /// In-neighbors N-(i): labels larger than i, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId i) const {
+    return {in_neighbors_.data() + in_offsets_[i],
+            in_neighbors_.data() + in_offsets_[i + 1]};
+  }
+
+  /// Out-degree X_i.
+  int64_t OutDegree(NodeId i) const {
+    return static_cast<int64_t>(out_offsets_[i + 1] - out_offsets_[i]);
+  }
+  /// In-degree Y_i.
+  int64_t InDegree(NodeId i) const {
+    return static_cast<int64_t>(in_offsets_[i + 1] - in_offsets_[i]);
+  }
+  /// Total degree d_i = X_i + Y_i.
+  int64_t TotalDegree(NodeId i) const {
+    return OutDegree(i) + InDegree(i);
+  }
+
+  /// Arc-existence test y -> x (requires x < y): binary search in N+(y).
+  bool HasArc(NodeId from, NodeId to) const;
+
+  /// Original node ID of label i (for reporting triangles in input IDs).
+  NodeId OriginalOf(NodeId i) const { return original_of_[i]; }
+  /// The label -> original map.
+  const std::vector<NodeId>& original_of() const { return original_of_; }
+
+  /// Out-degree vector (X_1, ..., X_n) indexed by label.
+  std::vector<int64_t> OutDegrees() const;
+  /// In-degree vector (Y_1, ..., Y_n) indexed by label.
+  std::vector<int64_t> InDegrees() const;
+
+ private:
+  std::vector<size_t> out_offsets_;
+  std::vector<NodeId> out_neighbors_;
+  std::vector<size_t> in_offsets_;
+  std::vector<NodeId> in_neighbors_;
+  std::vector<NodeId> original_of_;
+};
+
+}  // namespace trilist

@@ -1,0 +1,86 @@
+#include "src/order/degenerate.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+namespace {
+
+/// Shared smallest-last elimination. Returns the removal order and, via
+/// out-param, the degeneracy.
+std::vector<NodeId> SmallestLastOrder(const Graph& g, int64_t* degeneracy) {
+  const size_t n = g.num_nodes();
+  std::vector<int64_t> degree = g.Degrees();
+  const int64_t max_degree = n == 0 ? 0 : *std::max_element(degree.begin(),
+                                                            degree.end());
+  // Bucket queue over residual degrees.
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<size_t>(max_degree) + 1);
+  for (size_t v = 0; v < n; ++v) {
+    buckets[static_cast<size_t>(degree[v])].push_back(
+        static_cast<NodeId>(v));
+  }
+  std::vector<bool> removed(n, false);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  int64_t degen = 0;
+  size_t cursor = 0;  // lowest possibly-non-empty bucket
+  for (size_t step = 0; step < n; ++step) {
+    // Residual degrees only drop by 1 per removal, so the true minimum is
+    // never below cursor - 1; rewinding one bucket keeps the scan O(n+m).
+    if (cursor > 0) --cursor;
+    NodeId v = 0;
+    for (;; ++cursor) {
+      TRILIST_DCHECK(cursor < buckets.size());
+      auto& bucket = buckets[cursor];
+      // Lazy deletion: entries whose degree has changed are skipped.
+      while (!bucket.empty()) {
+        const NodeId cand = bucket.back();
+        if (removed[cand] ||
+            degree[cand] != static_cast<int64_t>(cursor)) {
+          bucket.pop_back();
+          continue;
+        }
+        break;
+      }
+      if (!bucket.empty()) {
+        v = bucket.back();
+        bucket.pop_back();
+        break;
+      }
+    }
+    removed[v] = true;
+    degen = std::max(degen, static_cast<int64_t>(cursor));
+    order.push_back(v);
+    for (NodeId w : g.Neighbors(v)) {
+      if (removed[w]) continue;
+      --degree[w];
+      buckets[static_cast<size_t>(degree[w])].push_back(w);
+    }
+  }
+  if (degeneracy != nullptr) *degeneracy = degen;
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> DegenerateLabels(const Graph& g) {
+  const std::vector<NodeId> order = SmallestLastOrder(g, nullptr);
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> labels(n, 0);
+  for (size_t step = 0; step < n; ++step) {
+    // First removed -> largest label.
+    labels[order[step]] = static_cast<NodeId>(n - 1 - step);
+  }
+  return labels;
+}
+
+int64_t Degeneracy(const Graph& g) {
+  int64_t degen = 0;
+  SmallestLastOrder(g, &degen);
+  return degen;
+}
+
+}  // namespace trilist

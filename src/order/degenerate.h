@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file degenerate.h
+/// Degenerate (smallest-last) orientation of Matula & Beck, the
+/// O(m)-computable ordering that minimizes the maximum out-degree
+/// min_theta max_i X_i(theta). The paper's Table 12 uses it as a
+/// graph-aware reference point: it can beat theta_D slightly for T1 but
+/// costs far more to compute on large graphs and degrades the other
+/// methods.
+
+namespace trilist {
+
+/// Computes labels realizing the smallest-last orientation.
+///
+/// Vertices are repeatedly removed in order of minimum *residual* degree
+/// (bucket queue, O(n + m)); the vertex removed first receives the largest
+/// label, so its arcs — which all point at still-remaining vertices with
+/// smaller labels — number at most the graph's degeneracy.
+///
+/// \param g the undirected graph.
+/// \return labels[v] = new ID of node v (a bijection of [0, n)).
+std::vector<NodeId> DegenerateLabels(const Graph& g);
+
+/// The graph's degeneracy: max over the removal sequence of the residual
+/// degree at removal time. Equals the max out-degree of the orientation
+/// produced by DegenerateLabels.
+int64_t Degeneracy(const Graph& g);
+
+}  // namespace trilist

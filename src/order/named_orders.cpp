@@ -1,0 +1,82 @@
+#include "src/order/named_orders.h"
+
+#include <numeric>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+const char* PermutationKindName(PermutationKind kind) {
+  switch (kind) {
+    case PermutationKind::kAscending: return "theta_A";
+    case PermutationKind::kDescending: return "theta_D";
+    case PermutationKind::kRoundRobin: return "theta_RR";
+    case PermutationKind::kComplementaryRoundRobin: return "theta_CRR";
+    case PermutationKind::kUniform: return "theta_U";
+    case PermutationKind::kDegenerate: return "theta_degen";
+  }
+  return "?";
+}
+
+Permutation MakePermutation(PermutationKind kind, size_t n, Rng* rng) {
+  switch (kind) {
+    case PermutationKind::kAscending:
+      return AscendingPermutation(n);
+    case PermutationKind::kDescending:
+      return DescendingPermutation(n);
+    case PermutationKind::kRoundRobin:
+      return RoundRobinPermutation(n);
+    case PermutationKind::kComplementaryRoundRobin:
+      return ComplementaryRoundRobinPermutation(n);
+    case PermutationKind::kUniform:
+      TRILIST_DCHECK(rng != nullptr);
+      return UniformPermutation(n, rng);
+    case PermutationKind::kDegenerate:
+      break;
+  }
+  TRILIST_DCHECK(false);
+  return Permutation(n);
+}
+
+Permutation AscendingPermutation(size_t n) { return Permutation(n); }
+
+Permutation DescendingPermutation(size_t n) {
+  std::vector<uint32_t> map(n);
+  for (size_t i = 0; i < n; ++i) {
+    map[i] = static_cast<uint32_t>(n - 1 - i);
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation RoundRobinPermutation(size_t n) {
+  // Eq. (32), 1-based: odd i -> ceil((n+i)/2); even i -> floor((n-i)/2)+1.
+  std::vector<uint32_t> map(n);
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t i = j + 1;  // 1-based position
+    uint64_t label;
+    if (i % 2 == 1) {
+      label = (n + i + 1) / 2;  // ceil((n+i)/2)
+    } else {
+      label = (n - i) / 2 + 1;  // floor((n-i)/2)+1
+    }
+    map[j] = static_cast<uint32_t>(label - 1);
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation ComplementaryRoundRobinPermutation(size_t n) {
+  return RoundRobinPermutation(n).Complement();
+}
+
+Permutation UniformPermutation(size_t n, Rng* rng) {
+  TRILIST_DCHECK(rng != nullptr);
+  std::vector<uint32_t> map(n);
+  std::iota(map.begin(), map.end(), 0u);
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng->NextBounded(i);
+    std::swap(map[i - 1], map[j]);
+  }
+  return Permutation(std::move(map));
+}
+
+}  // namespace trilist

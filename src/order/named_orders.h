@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "src/order/permutation.h"
+#include "src/util/rng.h"
+
+/// \file named_orders.h
+/// The five named permutations the paper analyzes (Sections 4-5):
+/// ascending theta_A, descending theta_D, uniform theta_U, Round-Robin
+/// theta_RR (Eq. 32) and Complementary Round-Robin theta_CRR.
+///
+/// RR places large degrees towards the two ends of [1, n] (optimal for T2
+/// by Corollary 2); CRR places them towards the middle (optimal for E4).
+
+namespace trilist {
+
+/// Identifiers for the named permutation families.
+enum class PermutationKind {
+  kAscending,   ///< theta(i) = i.
+  kDescending,  ///< theta(i) = n + 1 - i.
+  kRoundRobin,  ///< Eq. (32): large positions map to the ends.
+  kComplementaryRoundRobin,  ///< RR applied from the descending end.
+  kUniform,     ///< Uniformly random bijection ("hashed IDs").
+  kDegenerate,  ///< Matula-Beck smallest-last (graph-dependent; see
+                ///< degenerate.h — cannot be built from n alone).
+};
+
+/// Short name for reports ("theta_D", "theta_RR", ...).
+const char* PermutationKindName(PermutationKind kind);
+
+/// Builds a named positional permutation of size n.
+/// \param kind which family; kDegenerate is rejected here (it depends on
+///        the realized graph, not only on n) — use DegenerateLabels().
+/// \param n size.
+/// \param rng required for kUniform, ignored otherwise (may be null).
+Permutation MakePermutation(PermutationKind kind, size_t n,
+                            Rng* rng = nullptr);
+
+/// theta_A: identity.
+Permutation AscendingPermutation(size_t n);
+/// theta_D: theta(i) = (n-1) - i (0-based).
+Permutation DescendingPermutation(size_t n);
+/// theta_RR per Eq. (32), translated to 0-based indices.
+Permutation RoundRobinPermutation(size_t n);
+/// theta_CRR = complement of theta_RR (Proposition 7).
+Permutation ComplementaryRoundRobinPermutation(size_t n);
+/// theta_U: Fisher-Yates shuffle of the identity.
+Permutation UniformPermutation(size_t n, Rng* rng);
+
+}  // namespace trilist

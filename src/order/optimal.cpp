@@ -1,0 +1,34 @@
+#include "src/order/optimal.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace trilist {
+
+Permutation OptimalPermutation(const std::function<double(double)>& h,
+                               bool r_increasing, size_t n) {
+  // z[i].key = h(i/n) with labels i = 1..n; sort opposite to r and assign
+  // theta(j) = sorted index. Stable sort keeps tie-breaking deterministic.
+  std::vector<double> key(n);
+  for (size_t i = 0; i < n; ++i) {
+    key[i] = h(static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  std::vector<uint32_t> index(n);
+  std::iota(index.begin(), index.end(), 0u);
+  if (r_increasing) {
+    std::stable_sort(index.begin(), index.end(),
+                     [&](uint32_t a, uint32_t b) { return key[a] > key[b]; });
+  } else {
+    std::stable_sort(index.begin(), index.end(),
+                     [&](uint32_t a, uint32_t b) { return key[a] < key[b]; });
+  }
+  return Permutation(std::move(index));
+}
+
+Permutation WorstPermutation(const std::function<double(double)>& h,
+                             bool r_increasing, size_t n) {
+  return OptimalPermutation(h, r_increasing, n).Complement();
+}
+
+}  // namespace trilist

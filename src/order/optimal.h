@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "src/order/permutation.h"
+
+/// \file optimal.h
+/// Algorithm 1 of the paper: constructing optimal permutations.
+///
+/// For a listing method with cost shape h(x) and monotone
+/// r(x) = g(J^{-1}(x)) / w(J^{-1}(x)), Theorem 3 shows the cost
+/// E[w(D)] E[r(U) h(xi(U))] is minimized by sorting the sequence
+/// z = (h(1/n), ..., h(n/n)) in the order *opposite* to r's monotonicity
+/// and assigning theta(j) = index of the j-th sorted element. With
+/// w(x) = min(x, a), r is increasing for all four methods, which recovers
+/// theta_D for T1/E1, RR-like orders for T2, and CRR-like for E4.
+
+namespace trilist {
+
+/// Builds the optimal positional permutation via Algorithm 1.
+/// \param h the method's cost-shape function on (0, 1].
+/// \param r_increasing monotonicity of r(x) = g/w (true for the canonical
+///        w(x) = min(x, a); pass false for decreasing r to obtain the
+///        mirrored optimum).
+/// \param n permutation size.
+/// \return theta with theta(j) = label for ascending-degree position j.
+Permutation OptimalPermutation(const std::function<double(double)>& h,
+                               bool r_increasing, size_t n);
+
+/// The worst-case permutation for the same inputs (Corollary 3: the
+/// complement of the optimum).
+Permutation WorstPermutation(const std::function<double(double)>& h,
+                             bool r_increasing, size_t n);
+
+}  // namespace trilist

@@ -1,0 +1,52 @@
+#include "src/order/permutation.h"
+
+#include <numeric>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+Permutation::Permutation(size_t n) : map_(n) {
+  std::iota(map_.begin(), map_.end(), 0u);
+}
+
+Permutation::Permutation(std::vector<uint32_t> map) : map_(std::move(map)) {
+  TRILIST_DCHECK(IsValid());
+}
+
+Permutation Permutation::Inverse() const {
+  std::vector<uint32_t> inv(map_.size());
+  for (size_t i = 0; i < map_.size(); ++i) {
+    inv[map_[i]] = static_cast<uint32_t>(i);
+  }
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::Reverse() const {
+  const auto n = static_cast<uint32_t>(map_.size());
+  std::vector<uint32_t> rev(map_.size());
+  for (size_t i = 0; i < map_.size(); ++i) {
+    rev[i] = n - 1 - map_[i];
+  }
+  return Permutation(std::move(rev));
+}
+
+Permutation Permutation::Complement() const {
+  const size_t n = map_.size();
+  std::vector<uint32_t> comp(n);
+  for (size_t i = 0; i < n; ++i) {
+    comp[i] = map_[n - 1 - i];
+  }
+  return Permutation(std::move(comp));
+}
+
+bool Permutation::IsValid() const {
+  std::vector<bool> seen(map_.size(), false);
+  for (uint32_t label : map_) {
+    if (label >= map_.size() || seen[label]) return false;
+    seen[label] = true;
+  }
+  return true;
+}
+
+}  // namespace trilist

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+/// \file permutation.h
+/// Positional permutations theta_n : [1, n] -> [1, n] (0-based internally).
+///
+/// Following Section 2.1, every relabeling starts from the ascending-degree
+/// order: the node at ascending-degree position i receives label theta(i).
+/// A Permutation is that positional map; combining it with a graph's
+/// degree ranks (see pipeline.h) yields per-node labels for orientation.
+/// The reverse theta'(i) = n + 1 - theta(i) and complement
+/// theta''(i) = theta(n - i + 1) operators implement Propositions 1 and 7.
+
+namespace trilist {
+
+/// \brief A bijection on positions [0, n).
+class Permutation {
+ public:
+  /// Identity permutation of size n (the ascending order theta_A).
+  explicit Permutation(size_t n);
+
+  /// Wraps an explicit map; must be a bijection of [0, n).
+  explicit Permutation(std::vector<uint32_t> map);
+
+  /// Size n.
+  size_t size() const { return map_.size(); }
+
+  /// theta(i), 0-based.
+  uint32_t operator()(size_t i) const { return map_[i]; }
+
+  /// The underlying map.
+  const std::vector<uint32_t>& map() const { return map_; }
+
+  /// Inverse permutation: Inverse()(theta(i)) == i.
+  Permutation Inverse() const;
+
+  /// Reverse theta'(i) = (n-1) - theta(i) (paper: n + 1 - theta(i),
+  /// 1-based). Swaps out- and in-degrees of the induced orientation
+  /// (Proposition 1).
+  Permutation Reverse() const;
+
+  /// Complement theta''(i) = theta((n-1) - i): the same mapping applied
+  /// from the descending end of the degree order (Proposition 7; also the
+  /// worst-case constructor of Corollary 3).
+  Permutation Complement() const;
+
+  /// Verifies bijectivity (every label hit exactly once). O(n).
+  bool IsValid() const;
+
+ private:
+  std::vector<uint32_t> map_;
+};
+
+}  // namespace trilist

@@ -1,0 +1,50 @@
+#include "src/order/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/order/degenerate.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+std::vector<NodeId> AscendingDegreeRanks(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const int64_t da = g.Degree(a);
+    const int64_t db = g.Degree(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<NodeId> rank(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    rank[order[pos]] = static_cast<NodeId>(pos);
+  }
+  return rank;
+}
+
+std::vector<NodeId> LabelsFromPermutation(const Graph& g,
+                                          const Permutation& theta) {
+  TRILIST_DCHECK(theta.size() == g.num_nodes());
+  const std::vector<NodeId> rank = AscendingDegreeRanks(g);
+  std::vector<NodeId> labels(rank.size());
+  for (size_t v = 0; v < rank.size(); ++v) {
+    labels[v] = theta(rank[v]);
+  }
+  return labels;
+}
+
+OrientedGraph Orient(const Graph& g, const Permutation& theta) {
+  return OrientedGraph::FromLabels(g, LabelsFromPermutation(g, theta));
+}
+
+OrientedGraph OrientNamed(const Graph& g, PermutationKind kind, Rng* rng) {
+  if (kind == PermutationKind::kDegenerate) {
+    return OrientedGraph::FromLabels(g, DegenerateLabels(g));
+  }
+  return Orient(g, MakePermutation(kind, g.num_nodes(), rng));
+}
+
+}  // namespace trilist

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/oriented_graph.h"
+#include "src/order/named_orders.h"
+#include "src/order/permutation.h"
+#include "src/util/rng.h"
+
+/// \file pipeline.h
+/// Steps 1-2 of the paper's three-step framework (Section 2.1): sort nodes
+/// by the global order, relabel, and orient. Step 3 (listing) lives in
+/// src/algo/.
+///
+/// Positional permutations act on the ascending-degree order of the nodes;
+/// this header glues them to a concrete graph by computing degree ranks
+/// (ties broken by original node ID for determinism) and producing the
+/// per-node label map consumed by OrientedGraph.
+
+namespace trilist {
+
+/// Ascending-degree ranks: rank[v] = position of node v when all nodes are
+/// sorted by (degree, node ID). A bijection of [0, n).
+std::vector<NodeId> AscendingDegreeRanks(const Graph& g);
+
+/// Per-node labels induced by a positional permutation:
+/// labels[v] = theta(rank[v]).
+std::vector<NodeId> LabelsFromPermutation(const Graph& g,
+                                          const Permutation& theta);
+
+/// Relabels and orients `g` under the positional permutation `theta`.
+OrientedGraph Orient(const Graph& g, const Permutation& theta);
+
+/// Relabels and orients under a named permutation; handles kDegenerate
+/// (which depends on graph structure) as well.
+/// \param g graph.
+/// \param kind named permutation.
+/// \param rng needed for kUniform (may be null otherwise).
+OrientedGraph OrientNamed(const Graph& g, PermutationKind kind,
+                          Rng* rng = nullptr);
+
+}  // namespace trilist

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/graph/graph.h"
+#include "src/order/named_orders.h"
+#include "src/util/rng.h"
+
+/// \file cost_measurement.h
+/// Measuring c_n(M, theta) on realized graphs.
+///
+/// The paper's cost metric is a deterministic function of the oriented
+/// degrees (Eqs. (7)-(9) and Tables 1-2), so once a graph is oriented the
+/// measurement is an O(n) sum — no triangle listing required. This is what
+/// lets the harness average over thousands of graph instances.
+
+namespace trilist {
+
+/// Per-node cost of each requested method under one orientation of `g`.
+/// The orientation is computed once and shared across methods.
+/// \param g undirected graph.
+/// \param methods methods to evaluate.
+/// \param kind named permutation (kUniform uses `rng`).
+/// \param rng randomness for kUniform (may be null otherwise).
+/// \return per-node costs, parallel to `methods`.
+std::vector<double> MeasurePerNodeCosts(const Graph& g,
+                                        const std::vector<Method>& methods,
+                                        PermutationKind kind, Rng* rng);
+
+/// Convenience for one method.
+double MeasurePerNodeCost(const Graph& g, Method m, PermutationKind kind,
+                          Rng* rng);
+
+}  // namespace trilist

@@ -1,0 +1,87 @@
+#include "src/sim/experiment.h"
+
+#include <map>
+
+#include <limits>
+
+#include "src/core/discrete_model.h"
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/gen/residual_generator.h"
+#include "src/sim/cost_measurement.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+double CellResult::ErrorPercent() const {
+  // The paper's convention: (model - sim) / sim, e.g. Table 6 reports
+  // -2.2% when the model sits 2.2% below the simulation.
+  return RelativeErrorPercent(model, sim.Mean());
+}
+
+double ResolveBeta(const ExperimentConfig& config) {
+  return config.beta > 0.0 ? config.beta : 30.0 * (config.alpha - 1.0);
+}
+
+std::vector<CellResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::vector<ExperimentCell>& cells) {
+  const double beta = ResolveBeta(config);
+  const DiscretePareto base(config.alpha, beta);
+  const int64_t t_n = TruncationPoint(config.truncation,
+                                      static_cast<int64_t>(config.n));
+  const TruncatedDistribution fn(base, t_n);
+
+  std::vector<CellResult> results(cells.size());
+  // Models are graph-independent: compute once per cell.
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const XiMap xi = XiMap::FromKind(cells[c].order);
+    results[c].model = ExactDiscreteCost(fn, t_n, cells[c].method, xi,
+                                         config.weight);
+    results[c].limit =
+        IsFiniteAsymptoticCost(cells[c].method, xi, config.alpha)
+            ? AsymptoticCost(base, cells[c].method, xi, config.weight)
+            : std::numeric_limits<double>::infinity();
+  }
+
+  // Group cells by permutation so each graph is oriented once per order.
+  std::map<PermutationKind, std::vector<size_t>> by_order;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    by_order[cells[c].order].push_back(c);
+  }
+
+  Rng master(config.seed);
+  for (int s = 0; s < config.num_sequences; ++s) {
+    Rng seq_rng = master.Fork();
+    DegreeSequence seq =
+        DegreeSequence::SampleIid(fn, config.n, &seq_rng);
+    std::vector<int64_t> degrees = seq.degrees();
+    MakeGraphic(&degrees);
+    for (int gi = 0; gi < config.graphs_per_sequence; ++gi) {
+      Rng graph_rng = seq_rng.Fork();
+      ResidualGenOptions gen_options;
+      gen_options.strict = false;  // tolerate rare one-stub shortfalls
+      Result<Graph> graph =
+          GenerateExactDegree(degrees, &graph_rng, nullptr, gen_options);
+      TRILIST_DCHECK(graph.ok());
+      if (!graph.ok()) continue;
+      for (const auto& [order, cell_ids] : by_order) {
+        std::vector<Method> methods;
+        methods.reserve(cell_ids.size());
+        for (size_t c : cell_ids) methods.push_back(cells[c].method);
+        const std::vector<double> costs =
+            MeasurePerNodeCosts(*graph, methods, order, &graph_rng);
+        for (size_t k = 0; k < cell_ids.size(); ++k) {
+          results[cell_ids[k]].sim.Add(costs[k]);
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace trilist

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/core/spread.h"
+#include "src/degree/truncated.h"
+#include "src/order/named_orders.h"
+#include "src/util/stats.h"
+
+/// \file experiment.h
+/// The Section 7 experiment loop: sample D_n from the truncated Pareto,
+/// make it graphic, realize it exactly with the residual generator, orient
+/// under each permutation, and accumulate the per-node cost; then compare
+/// against the exact discrete model Eq. (50) and the asymptotic limit.
+
+namespace trilist {
+
+/// One (method, permutation) cell of a paper table.
+struct ExperimentCell {
+  Method method;
+  PermutationKind order;
+};
+
+/// Configuration of a table row (fixed n, alpha, truncation).
+struct ExperimentConfig {
+  double alpha = 1.5;        ///< Pareto shape.
+  double beta = -1.0;        ///< Pareto scale; < 0 means 30 * (alpha - 1).
+  TruncationKind truncation = TruncationKind::kRoot;
+  size_t n = 10000;          ///< graph size.
+  int num_sequences = 3;     ///< degree sequences D_n per row.
+  int graphs_per_sequence = 2;  ///< graph instances per sequence.
+  uint64_t seed = 1;         ///< RNG seed (printed by benches for replay).
+  WeightFn weight = WeightFn::Identity();  ///< w(x) of the model.
+};
+
+/// Simulated and modeled cost for one cell.
+struct CellResult {
+  RunningStats sim;        ///< per-node cost across instances.
+  double model = 0.0;      ///< exact discrete model Eq. (50) at this n.
+  double limit = 0.0;      ///< asymptotic limit (Algorithm 2, huge t).
+
+  /// (sim - model)/model in percent (the paper's error columns).
+  double ErrorPercent() const;
+};
+
+/// Runs the experiment for all cells at a single configuration. Graphs and
+/// orientations are shared across cells where possible (one orientation
+/// per distinct permutation per graph).
+std::vector<CellResult> RunExperiment(
+    const ExperimentConfig& config, const std::vector<ExperimentCell>& cells);
+
+/// Resolves beta (applying the 30(alpha-1) default).
+double ResolveBeta(const ExperimentConfig& config);
+
+}  // namespace trilist

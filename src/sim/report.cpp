@@ -1,0 +1,67 @@
+#include "src/sim/report.h"
+
+#include <ostream>
+
+#include "src/degree/truncated.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+namespace trilist {
+
+std::string CellLabel(const ExperimentCell& cell) {
+  return std::string(MethodName(cell.method)) + "+" +
+         PermutationKindName(cell.order);
+}
+
+void RunAndPrintPaperTable(const PaperTableSpec& spec, std::ostream& out) {
+  out << "=== " << spec.title << " ===\n";
+  out << "config: alpha=" << spec.base.alpha
+      << " beta=" << ResolveBeta(spec.base)
+      << " truncation=" << TruncationKindName(spec.base.truncation)
+      << " sequences=" << spec.base.num_sequences
+      << " graphs/seq=" << spec.base.graphs_per_sequence
+      << " seed=" << spec.base.seed << "\n";
+
+  std::vector<std::string> headers = {"n"};
+  for (const ExperimentCell& cell : spec.cells) {
+    const std::string label = CellLabel(cell);
+    if (!spec.error_only) {
+      headers.push_back(label + " sim");
+      headers.push_back(label + " (50)");
+    }
+    headers.push_back(label + " error");
+  }
+  TablePrinter table(headers);
+
+  std::vector<CellResult> last_results;
+  Timer timer;
+  for (size_t n : spec.sizes) {
+    ExperimentConfig config = spec.base;
+    config.n = n;
+    const std::vector<CellResult> results = RunExperiment(config, spec.cells);
+    std::vector<std::string> row = {FormatCount(n)};
+    for (const CellResult& r : results) {
+      if (!spec.error_only) {
+        row.push_back(FormatNumber(r.sim.Mean(), 1));
+        row.push_back(FormatNumber(r.model, 1));
+      }
+      row.push_back(FormatPercent(r.ErrorPercent(), 1));
+    }
+    table.AddRow(std::move(row));
+    last_results = results;
+  }
+  // Asymptotic-limit row (model only; simulation undefined at n = inf).
+  if (!spec.error_only && !last_results.empty()) {
+    std::vector<std::string> row = {"inf"};
+    for (const CellResult& r : last_results) {
+      row.push_back("");
+      row.push_back(FormatNumber(r.limit, 1));
+      row.push_back("");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(out);
+  out << "elapsed: " << FormatNumber(timer.ElapsedSeconds(), 2) << "s\n\n";
+}
+
+}  // namespace trilist

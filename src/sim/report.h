@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+/// \file report.h
+/// Rendering of model-vs-simulation tables in the paper's row/column
+/// layout (Tables 6-11): one row per graph size n, and per cell the
+/// simulated cost, the exact model Eq. (50), and the relative error,
+/// closed by the asymptotic-limit row (n = inf).
+
+namespace trilist {
+
+/// Declarative description of one paper table.
+struct PaperTableSpec {
+  std::string title;                  ///< e.g. "Table 6: alpha=1.5, root".
+  ExperimentConfig base;              ///< alpha/truncation/reps/seed.
+  std::vector<ExperimentCell> cells;  ///< columns (method + permutation).
+  std::vector<size_t> sizes;          ///< the n values (rows).
+  bool error_only = false;            ///< Table 11 style: only error cols.
+};
+
+/// Runs every row of the table and renders it to `out`. Also prints the
+/// configuration line (alpha, beta, truncation, reps, seed) so runs can be
+/// replayed.
+void RunAndPrintPaperTable(const PaperTableSpec& spec, std::ostream& out);
+
+/// Column label for a cell, e.g. "T1+theta_D".
+std::string CellLabel(const ExperimentCell& cell);
+
+}  // namespace trilist

@@ -1,0 +1,66 @@
+#include "src/util/fenwick_tree.h"
+
+#include <bit>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+FenwickTree::FenwickTree(size_t n)
+    : n_(n), tree_(n + 1, 0), weight_(n, 0) {}
+
+FenwickTree::FenwickTree(const std::vector<int64_t>& weights)
+    : n_(weights.size()), tree_(weights.size() + 1, 0), weight_(weights) {
+  // O(n) construction: propagate each slot into its parent once.
+  for (size_t i = 1; i <= n_; ++i) {
+    tree_[i] += weights[i - 1];
+    const size_t parent = i + (i & (~i + 1));
+    if (parent <= n_) tree_[parent] += tree_[i];
+    total_ += weights[i - 1];
+  }
+}
+
+void FenwickTree::Add(size_t i, int64_t delta) {
+  TRILIST_DCHECK(i < n_);
+  weight_[i] += delta;
+  total_ += delta;
+  for (size_t j = i + 1; j <= n_; j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+void FenwickTree::Set(size_t i, int64_t value) {
+  Add(i, value - weight_[i]);
+}
+
+int64_t FenwickTree::Get(size_t i) const {
+  TRILIST_DCHECK(i < n_);
+  return weight_[i];
+}
+
+int64_t FenwickTree::PrefixSum(size_t i) const {
+  TRILIST_DCHECK(i < n_);
+  int64_t sum = 0;
+  for (size_t j = i + 1; j > 0; j -= j & (~j + 1)) {
+    sum += tree_[j];
+  }
+  return sum;
+}
+
+size_t FenwickTree::SampleIndex(int64_t target) const {
+  TRILIST_DCHECK(target >= 0 && target < total_);
+  size_t pos = 0;
+  size_t mask = n_ == 0 ? 0 : std::bit_floor(n_);
+  int64_t remaining = target;
+  while (mask != 0) {
+    const size_t next = pos + mask;
+    if (next <= n_ && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      pos = next;
+    }
+    mask >>= 1;
+  }
+  return pos;  // pos is the count of slots fully skipped -> 0-based index.
+}
+
+}  // namespace trilist

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file fenwick_tree.h
+/// Binary indexed tree over non-negative weights with prefix sums and
+/// weighted sampling in O(log n).
+///
+/// This is the "interval tree that records the residual probability mass of
+/// degree on both sides of each node" used by the paper's random-graph
+/// generator (Section 7.2): neighbors are drawn in proportion to their
+/// residual degree, residuals are decremented as stubs are consumed, and
+/// candidates can be temporarily zeroed out to exclude already-attached
+/// neighbors.
+
+namespace trilist {
+
+/// \brief Fenwick (binary indexed) tree over `n` int64 weights.
+class FenwickTree {
+ public:
+  /// Creates a tree of `n` zero weights.
+  explicit FenwickTree(size_t n = 0);
+
+  /// Creates a tree initialized to `weights` in O(n).
+  explicit FenwickTree(const std::vector<int64_t>& weights);
+
+  /// Number of slots.
+  size_t size() const { return n_; }
+
+  /// Adds `delta` to slot `i` (may be negative; resulting weight must stay
+  /// non-negative for sampling to be meaningful).
+  void Add(size_t i, int64_t delta);
+
+  /// Sets slot `i` to `value`.
+  void Set(size_t i, int64_t value);
+
+  /// Current weight of slot `i`.
+  int64_t Get(size_t i) const;
+
+  /// Sum of weights in [0, i]; PrefixSum(size()-1) is the total.
+  int64_t PrefixSum(size_t i) const;
+
+  /// Sum of all weights.
+  int64_t Total() const { return total_; }
+
+  /// Returns the smallest index `i` such that PrefixSum(i) > target.
+  /// Precondition: 0 <= target < Total(). This implements weighted
+  /// sampling: draw target uniform in [0, Total()) and call SampleIndex.
+  size_t SampleIndex(int64_t target) const;
+
+ private:
+  size_t n_ = 0;
+  int64_t total_ = 0;
+  std::vector<int64_t> tree_;  // 1-based internal layout
+  std::vector<int64_t> weight_;
+};
+
+}  // namespace trilist

@@ -1,0 +1,77 @@
+#include "src/util/rng.h"
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TRILIST_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  TRILIST_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() {
+  return Rng(Next());
+}
+
+}  // namespace trilist

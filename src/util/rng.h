@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file rng.h
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// All stochastic components of the library (degree sampling, graph
+/// construction, random permutations) draw from `Rng`, a xoshiro256**
+/// generator seeded through SplitMix64. Streams are reproducible across
+/// platforms, which the simulation harness relies on: every experiment
+/// prints its seed and can be replayed exactly.
+
+namespace trilist {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+/// \param state in/out 64-bit state, advanced by the golden-ratio increment.
+/// \return next 64-bit output.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Stateless 64-bit mix of a value (SplitMix64 finalizer). Suitable as a
+/// hash for the "uniform/hashed" node order of Section 2.1.
+uint64_t Mix64(uint64_t x);
+
+/// \brief xoshiro256** pseudo-random generator.
+///
+/// Satisfies the essentials of the C++ UniformRandomBitGenerator concept so
+/// it can also feed <random> facilities when convenient, but the class
+/// provides its own bias-free bounded integers and doubles, which are what
+/// the library uses internally.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 256-bit words via SplitMix64 from a single seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Minimum value produced (URBG concept).
+  static constexpr result_type min() { return 0; }
+  /// Maximum value produced (URBG concept).
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  /// URBG call operator.
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method, so results are exactly uniform. Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Forks an independent child stream; deterministic given this stream's
+  /// state. Useful for giving each repetition of an experiment its own
+  /// stream without sharing state across threads.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace trilist

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+/// \file stats.h
+/// Streaming statistics used by the simulation harness to average measured
+/// cost over repeated degree sequences and graph instances.
+
+namespace trilist {
+
+/// \brief Welford-style streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+  /// Sample mean (0 if empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 if fewer than two observations).
+  double Variance() const;
+  /// Sample standard deviation.
+  double StdDev() const { return std::sqrt(Variance()); }
+  /// Standard error of the mean.
+  double StdError() const;
+  /// Smallest observation seen (+inf if empty).
+  double Min() const { return min_; }
+  /// Largest observation seen (-inf if empty).
+  double Max() const { return max_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative error (x - reference) / reference, in percent. Returns 0 when
+/// the reference is 0.
+double RelativeErrorPercent(double x, double reference);
+
+}  // namespace trilist

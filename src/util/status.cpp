@@ -1,0 +1,38 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trilist {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotGraphic: return "NotGraphic";
+    case StatusCode::kGenerationStuck: return "GenerationStuck";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void DCheckFail(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "DCHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace trilist

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Lightweight Status / Result error propagation, in the style used by
+/// database engines (Arrow, RocksDB). Functions that can fail in expected,
+/// recoverable ways return `Status` or `Result<T>`; programming errors use
+/// assertions (`TRILIST_DCHECK`).
+
+namespace trilist {
+
+/// Error category of a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotGraphic,     ///< Degree sequence is not realizable as a simple graph.
+  kGenerationStuck,///< Random-graph construction could not complete.
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Outcome of an operation that may fail without a payload.
+///
+/// A `Status` is cheap to copy in the OK case (one word); error states
+/// carry a heap-allocated message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotGraphic error (degree sequence not realizable).
+  static Status NotGraphic(std::string msg) {
+    return Status(StatusCode::kNotGraphic, std::move(msg));
+  }
+  /// Returns a GenerationStuck error (graph construction failed).
+  static Status GenerationStuck(std::string msg) {
+    return Status(StatusCode::kGenerationStuck, std::move(msg));
+  }
+  /// Returns a NotImplemented error.
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// Error category.
+  StatusCode code() const { return code_; }
+  /// Human-readable error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Graph> r = GenerateGraph(...);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  /// The error status (OK() if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+  /// Borrow the held value. Precondition: ok().
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  /// Mutable access to the held value. Precondition: ok().
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  /// Move the held value out. Precondition: ok().
+  T ValueOrDie() && { return std::move(std::get<T>(repr_)); }
+  /// Alias of ValueOrDie for range-style access.
+  const T& operator*() const& { return ValueOrDie(); }
+  /// Member access to the held value. Precondition: ok().
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define TRILIST_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::trilist::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Aborts with a message if `cond` is false (debug builds only).
+#ifdef NDEBUG
+#define TRILIST_DCHECK(cond) ((void)0)
+#else
+#define TRILIST_DCHECK(cond)                                   \
+  do {                                                         \
+    if (!(cond)) ::trilist::internal::DCheckFail(#cond, __FILE__, __LINE__); \
+  } while (false)
+#endif
+
+namespace internal {
+/// Prints the failed condition and aborts. Out-of-line to keep the macro slim.
+[[noreturn]] void DCheckFail(const char* cond, const char* file, int line);
+}  // namespace internal
+
+}  // namespace trilist

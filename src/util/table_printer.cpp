@@ -1,0 +1,140 @@
+#include "src/util/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TRILIST_DCHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-");
+    out << std::string(width[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+namespace {
+std::string AddThousandsSeparators(const std::string& digits) {
+  std::string out;
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(digits[i]);
+    const size_t remaining = len - 1 - i;
+    if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+}  // namespace
+
+std::string FormatNumber(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string s(buf);
+  const size_t dot = s.find('.');
+  std::string integral = dot == std::string::npos ? s : s.substr(0, dot);
+  std::string fractional = dot == std::string::npos ? "" : s.substr(dot);
+  bool negative = !integral.empty() && integral[0] == '-';
+  if (negative) integral = integral.substr(1);
+  // Built up with append (not operator+) to sidestep a GCC 12 -Wrestrict
+  // false positive on chained string concatenation at -O3.
+  std::string out;
+  if (negative) out.push_back('-');
+  out.append(AddThousandsSeparators(integral));
+  out.append(fractional);
+  return out;
+}
+
+std::string FormatCount(uint64_t value) {
+  return AddThousandsSeparators(std::to_string(value));
+}
+
+std::string FormatOps(double value) {
+  if (std::isinf(value)) return "inf";
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1e12, "T"}, {1e9, "B"}, {1e6, "M"}, {1e3, "K"}};
+  for (const Unit& u : kUnits) {
+    if (value >= u.scale) {
+      const double scaled = value / u.scale;
+      char buf[32];
+      if (scaled >= 100) {
+        std::snprintf(buf, sizeof(buf), "%.0f%s", scaled, u.suffix);
+      } else if (scaled >= 10) {
+        std::snprintf(buf, sizeof(buf), "%.1f%s", scaled, u.suffix);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s", scaled, u.suffix);
+      }
+      return buf;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1e12, "TB"}, {1e9, "GB"}, {1e6, "MB"}, {1e3, "KB"}};
+  for (const Unit& u : kUnits) {
+    if (bytes >= u.scale) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f%s", bytes / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  return buf;
+}
+
+std::string FormatPercent(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, value);
+  return buf;
+}
+
+}  // namespace trilist

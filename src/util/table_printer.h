@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// Aligned plain-text tables for the benchmark harness. Each bench binary
+/// reproduces one table from the paper and prints it in the same row/column
+/// layout, so output can be compared to the publication side by side.
+
+namespace trilist {
+
+/// \brief Builds and renders an aligned text table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, using
+/// thousands separators for large magnitudes (e.g. "1,354.5") to match the
+/// paper's table style.
+std::string FormatNumber(double value, int digits = 1);
+
+/// Formats a count with thousands separators (e.g. "1,234,567").
+std::string FormatCount(uint64_t value);
+
+/// Formats a value in the paper's compact operations style: "150B", "123T",
+/// i.e. billions/trillions with 2-3 significant digits (used by Table 12).
+std::string FormatOps(double value);
+
+/// Formats a percentage with sign, e.g. "-2.2%" (used by error columns).
+std::string FormatPercent(double value, int digits = 1);
+
+/// Formats a byte count with binary-ish units: "4.76MB", "1.22GB".
+std::string FormatBytes(double bytes);
+
+}  // namespace trilist

@@ -1,0 +1,4 @@
+#include "src/util/timer.h"
+
+// Header-only; this translation unit exists so the build exposes the header
+// through the library target and catches header hygiene issues early.

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock timing for the model-computation experiments (Table 5 reports
+/// seconds per model evaluation) and for bench harness progress output.
+
+namespace trilist {
+
+/// \brief Monotonic stopwatch.
+class Timer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since Start().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since Start().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace trilist

@@ -1,0 +1,81 @@
+#include "src/core/advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace trilist {
+namespace {
+
+TEST(AdvisorTest, OptimalPermutationsMatchCorollaries) {
+  // Corollary 1 + 2 with increasing r (the canonical weight family).
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kT1),
+            PermutationKind::kDescending);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kT3),
+            PermutationKind::kAscending);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kT2),
+            PermutationKind::kRoundRobin);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kE1),
+            PermutationKind::kDescending);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kE3),
+            PermutationKind::kAscending);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kE4),
+            PermutationKind::kComplementaryRoundRobin);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kE5),
+            PermutationKind::kAscending);
+  // Equivalence partners share the optimum.
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kT4),
+            OptimalPermutationKindFor(Method::kT1));
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kE6),
+            OptimalPermutationKindFor(Method::kE4));
+  // Lookup iterators follow their lookup class.
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kL2),
+            PermutationKind::kDescending);
+  EXPECT_EQ(OptimalPermutationKindFor(Method::kL1),
+            PermutationKind::kRoundRobin);
+}
+
+TEST(AdvisorTest, WorstIsComplement) {
+  EXPECT_EQ(WorstPermutationKindFor(Method::kT1),
+            PermutationKind::kAscending);
+  EXPECT_EQ(WorstPermutationKindFor(Method::kT3),
+            PermutationKind::kDescending);
+  EXPECT_EQ(WorstPermutationKindFor(Method::kT2),
+            PermutationKind::kComplementaryRoundRobin);
+  EXPECT_EQ(WorstPermutationKindFor(Method::kE4),
+            PermutationKind::kRoundRobin);
+}
+
+TEST(AdvisorTest, DivergentRegimePicksT1) {
+  const MethodAdvice advice = AdviseForPareto(1.2);
+  EXPECT_EQ(advice.method, Method::kT1);
+  EXPECT_EQ(advice.order, PermutationKind::kDescending);
+  EXPECT_FALSE(advice.t1_cost_finite);
+  EXPECT_FALSE(advice.e1_cost_finite);
+}
+
+TEST(AdvisorTest, GapRegimePicksT1Unconditionally) {
+  const MethodAdvice advice = AdviseForPareto(1.45, /*sei_speedup=*/1e9);
+  EXPECT_EQ(advice.method, Method::kT1);
+  EXPECT_TRUE(advice.t1_cost_finite);
+  EXPECT_FALSE(advice.e1_cost_finite);
+}
+
+TEST(AdvisorTest, FastScanningHardwarePicksE1WhenBothFinite) {
+  const MethodAdvice advice = AdviseForPareto(2.1, /*sei_speedup=*/95.0);
+  EXPECT_TRUE(advice.t1_cost_finite);
+  EXPECT_TRUE(advice.e1_cost_finite);
+  EXPECT_EQ(advice.method, Method::kE1);
+}
+
+TEST(AdvisorTest, SlowScanningHardwarePicksT1) {
+  const MethodAdvice advice = AdviseForPareto(2.1, /*sei_speedup=*/1.0);
+  EXPECT_EQ(advice.method, Method::kT1);
+}
+
+TEST(AdvisorTest, RationaleIsNonEmpty) {
+  for (double alpha : {1.2, 1.45, 2.1}) {
+    EXPECT_FALSE(AdviseForPareto(alpha).rationale.empty()) << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace trilist

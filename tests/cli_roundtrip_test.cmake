@@ -1,0 +1,34 @@
+# End-to-end CLI test: generate a graph, then count its triangles with two
+# methods and require identical counts.
+set(graph_file "${WORKDIR}/cli_test_graph.txt")
+
+execute_process(
+  COMMAND "${CLI}" generate --n 5000 --alpha 1.7 --seed 9 --out
+          "${graph_file}"
+  RESULT_VARIABLE gen_result OUTPUT_VARIABLE gen_out)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${gen_out}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" count --in "${graph_file}" --method T1 --order D
+  RESULT_VARIABLE count1_result OUTPUT_VARIABLE count1_out)
+execute_process(
+  COMMAND "${CLI}" count --in "${graph_file}" --method E4 --order RR
+  RESULT_VARIABLE count2_result OUTPUT_VARIABLE count2_out)
+if(NOT count1_result EQUAL 0 OR NOT count2_result EQUAL 0)
+  message(FATAL_ERROR "count failed: ${count1_out} ${count2_out}")
+endif()
+
+string(REGEX MATCH "triangles ([0-9]+)" m1 "${count1_out}")
+set(t1 "${CMAKE_MATCH_1}")
+string(REGEX MATCH "triangles ([0-9]+)" m2 "${count2_out}")
+set(t2 "${CMAKE_MATCH_1}")
+if(NOT t1 STREQUAL t2)
+  message(FATAL_ERROR "triangle counts disagree: T1=${t1} E4=${t2}")
+endif()
+if(t1 STREQUAL "" OR t1 EQUAL 0)
+  message(FATAL_ERROR "no triangles found — suspicious for alpha=1.7")
+endif()
+
+file(REMOVE "${graph_file}")

@@ -1,0 +1,94 @@
+#include "src/order/degenerate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/graph/oriented_graph.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+int64_t MaxOutDegree(const OrientedGraph& og) {
+  int64_t best = 0;
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    best = std::max(best, og.OutDegree(static_cast<NodeId>(i)));
+  }
+  return best;
+}
+
+TEST(DegeneracyTest, KnownValues) {
+  EXPECT_EQ(Degeneracy(MakeEmpty(5)), 0);
+  EXPECT_EQ(Degeneracy(MakePath(10)), 1);   // trees are 1-degenerate
+  EXPECT_EQ(Degeneracy(MakeCycle(10)), 2);
+  EXPECT_EQ(Degeneracy(MakeComplete(6)), 5);
+  EXPECT_EQ(Degeneracy(MakeStar(100)), 1);
+  EXPECT_EQ(Degeneracy(MakeBowTie(4)), 3);  // two K4's sharing a node
+}
+
+TEST(DegenerateLabelsTest, IsBijection) {
+  Rng rng(3);
+  const Graph g = GenerateGnp(200, 0.05, &rng);
+  const auto labels = DegenerateLabels(g);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId l : labels) {
+    ASSERT_LT(l, g.num_nodes());
+    EXPECT_FALSE(seen[l]);
+    seen[l] = true;
+  }
+}
+
+TEST(DegenerateLabelsTest, MaxOutDegreeEqualsDegeneracy) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = GenerateGnp(150, 0.04 + 0.02 * trial, &rng);
+    const OrientedGraph og =
+        OrientedGraph::FromLabels(g, DegenerateLabels(g));
+    EXPECT_EQ(MaxOutDegree(og), Degeneracy(g)) << trial;
+  }
+}
+
+TEST(DegenerateLabelsTest, BeatsOrTiesDescendingOnMaxOutDegree) {
+  // The degenerate orientation minimizes max out-degree over all
+  // orientations, so no other labeling can do better.
+  Rng rng(7);
+  const Graph g = GenerateGnp(150, 0.05, &rng);
+  const OrientedGraph degen =
+      OrientedGraph::FromLabels(g, DegenerateLabels(g));
+  // Compare against a few arbitrary labelings.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng other(seed);
+    std::vector<NodeId> labels(g.num_nodes());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<NodeId>(i);
+    }
+    for (size_t i = labels.size(); i > 1; --i) {
+      std::swap(labels[i - 1], labels[other.NextBounded(i)]);
+    }
+    const OrientedGraph og = OrientedGraph::FromLabels(g, labels);
+    EXPECT_LE(MaxOutDegree(degen), MaxOutDegree(og)) << seed;
+  }
+}
+
+TEST(DegenerateLabelsTest, StarHubRemovedLast) {
+  // In a star, leaves peel off first; the hub's out-degree must be <= 1.
+  const Graph g = MakeStar(50);
+  const OrientedGraph og =
+      OrientedGraph::FromLabels(g, DegenerateLabels(g));
+  EXPECT_EQ(MaxOutDegree(og), 1);
+}
+
+TEST(DegenerateLabelsTest, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(DegenerateLabels(MakeEmpty(0)).empty());
+  EXPECT_EQ(DegenerateLabels(MakeEmpty(1)).size(), 1u);
+  const auto labels = DegenerateLabels(MakeComplete(2));
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/degree/degree_sequence.h"
+#include "src/degree/distribution.h"
+#include "src/degree/pareto.h"
+#include "src/degree/simple_distributions.h"
+#include "src/degree/truncated.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic CDF/PMF/quantile properties, parameterized over distributions.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DegreeDistribution> MakeDist(const std::string& name) {
+  if (name == "pareto15") {
+    return std::make_unique<DiscretePareto>(1.5, 15.0);
+  }
+  if (name == "pareto21") {
+    return std::make_unique<DiscretePareto>(2.1, 33.0);
+  }
+  if (name == "geometric") {
+    return std::make_unique<GeometricDegree>(0.2);
+  }
+  if (name == "constant") {
+    return std::make_unique<ConstantDegree>(7);
+  }
+  if (name == "uniform") {
+    return std::make_unique<UniformDegree>(3, 12);
+  }
+  if (name == "tabulated") {
+    return std::make_unique<TabulatedDegree>(
+        std::vector<double>{1, 0, 2, 5, 0, 3});
+  }
+  ADD_FAILURE() << "unknown distribution " << name;
+  return nullptr;
+}
+
+class DistributionPropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DistributionPropertyTest, CdfIsMonotoneAndBounded) {
+  auto dist = MakeDist(GetParam());
+  EXPECT_EQ(dist->Cdf(0.0), 0.0);
+  EXPECT_EQ(dist->Cdf(0.999), 0.0);
+  double prev = 0.0;
+  for (int64_t k = 1; k <= 200; ++k) {
+    const double f = dist->Cdf(static_cast<double>(k));
+    EXPECT_GE(f, prev) << k;
+    EXPECT_LE(f, 1.0 + 1e-12) << k;
+    prev = f;
+  }
+}
+
+TEST_P(DistributionPropertyTest, PmfMatchesCdfDifferences) {
+  auto dist = MakeDist(GetParam());
+  for (int64_t k = 1; k <= 100; ++k) {
+    EXPECT_NEAR(dist->Pmf(k),
+                dist->Cdf(static_cast<double>(k)) -
+                    dist->Cdf(static_cast<double>(k - 1)),
+                1e-12)
+        << k;
+  }
+  EXPECT_EQ(dist->Pmf(0), 0.0);
+  EXPECT_EQ(dist->Pmf(-5), 0.0);
+}
+
+TEST_P(DistributionPropertyTest, SurvivalComplementsCdf) {
+  auto dist = MakeDist(GetParam());
+  for (int64_t k = 0; k <= 100; ++k) {
+    EXPECT_NEAR(dist->Survival(static_cast<double>(k)),
+                1.0 - dist->Cdf(static_cast<double>(k)), 1e-12)
+        << k;
+  }
+}
+
+TEST_P(DistributionPropertyTest, QuantileIsGeneralizedInverse) {
+  auto dist = MakeDist(GetParam());
+  for (double u : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999}) {
+    const int64_t k = dist->Quantile(u);
+    EXPECT_GE(k, 1);
+    EXPECT_GE(dist->Cdf(static_cast<double>(k)), u) << u;
+    if (k > 1 && u > 0.0) {
+      EXPECT_LT(dist->Cdf(static_cast<double>(k - 1)), u) << u;
+    }
+  }
+}
+
+TEST_P(DistributionPropertyTest, SamplingMatchesPmf) {
+  auto dist = MakeDist(GetParam());
+  Rng rng(42);
+  const int kN = 200000;
+  std::vector<int64_t> counts(64, 0);
+  for (int i = 0; i < kN; ++i) {
+    const int64_t d = dist->Sample(&rng);
+    ASSERT_GE(d, 1);
+    if (d < static_cast<int64_t>(counts.size())) ++counts[d];
+  }
+  for (int64_t k = 1; k < 40; ++k) {
+    const double expected = dist->Pmf(k) * kN;
+    if (expected < 50) continue;  // skip low-count bins
+    EXPECT_NEAR(counts[k], expected, 6.0 * std::sqrt(expected))
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionPropertyTest,
+                         ::testing::Values("pareto15", "pareto21",
+                                           "geometric", "constant", "uniform",
+                                           "tabulated"));
+
+// ---------------------------------------------------------------------------
+// Pareto specifics.
+// ---------------------------------------------------------------------------
+
+TEST(DiscreteParetoTest, MatchesClosedFormCdf) {
+  const DiscretePareto d(1.5, 15.0);
+  for (int64_t k : {1, 2, 5, 30, 1000}) {
+    const double expected =
+        1.0 - std::pow(1.0 + static_cast<double>(k) / 15.0, -1.5);
+    EXPECT_NEAR(d.Cdf(static_cast<double>(k)), expected, 1e-14);
+  }
+  // Flooring: F is a step function.
+  EXPECT_EQ(d.Cdf(5.7), d.Cdf(5.0));
+}
+
+TEST(DiscreteParetoTest, PaperParameterizationMeanNear30Point5) {
+  // The paper keeps beta = 30(alpha - 1) so E[D] ~ 30.5 after
+  // discretization (Section 7.3).
+  for (double alpha : {1.5, 1.7, 2.1, 3.0}) {
+    const DiscretePareto d = DiscretePareto::PaperParameterization(alpha);
+    EXPECT_NEAR(d.Mean(), 30.5, 0.15) << "alpha=" << alpha;
+  }
+}
+
+TEST(DiscreteParetoTest, MeanInfiniteForAlphaLeqOne) {
+  const DiscretePareto d(0.9, 10.0);
+  EXPECT_TRUE(std::isinf(d.Mean()));
+}
+
+TEST(DiscreteParetoTest, SurvivalAccurateInDeepTail) {
+  const DiscretePareto d(1.5, 15.0);
+  const double s = d.Survival(1e12);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1e-15);
+  // 1 - Cdf would have lost all precision here.
+  EXPECT_NEAR(s, std::pow(1.0 + 1e12 / 15.0, -1.5), s * 1e-10);
+}
+
+TEST(ContinuousParetoTest, QuantileInvertsCdf) {
+  const ContinuousPareto f(1.7, 21.0);
+  for (double u : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(f.Cdf(f.Quantile(u)), u, 1e-12);
+  }
+}
+
+TEST(ContinuousParetoTest, MeanClosedForm) {
+  const ContinuousPareto f(2.5, 30.0);
+  EXPECT_DOUBLE_EQ(f.Mean(), 20.0);
+  EXPECT_TRUE(std::isinf(ContinuousPareto(1.0, 30.0).Mean()));
+}
+
+TEST(ContinuousParetoTest, DensityIntegratesToCdf) {
+  const ContinuousPareto f(1.5, 15.0);
+  // Trapezoid integral of the density over [0, 100].
+  const int kSteps = 200000;
+  const double dx = 100.0 / kSteps;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double x = (i + 0.5) * dx;
+    acc += f.Density(x) * dx;
+  }
+  EXPECT_NEAR(acc, f.Cdf(100.0), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Truncation.
+// ---------------------------------------------------------------------------
+
+TEST(TruncationPointTest, LinearAndRoot) {
+  EXPECT_EQ(TruncationPoint(TruncationKind::kLinear, 100), 99);
+  EXPECT_EQ(TruncationPoint(TruncationKind::kRoot, 100), 10);
+  EXPECT_EQ(TruncationPoint(TruncationKind::kRoot, 99), 9);
+  EXPECT_EQ(TruncationPoint(TruncationKind::kRoot, 101), 10);
+  EXPECT_EQ(TruncationPoint(TruncationKind::kRoot, 1000000), 1000);
+  EXPECT_EQ(TruncationPoint(TruncationKind::kFixed, 100, 42), 42);
+}
+
+TEST(TruncatedDistributionTest, RenormalizesExactly) {
+  const DiscretePareto base(1.5, 15.0);
+  const TruncatedDistribution fn(base, 100);
+  EXPECT_DOUBLE_EQ(fn.Cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.Cdf(1000.0), 1.0);
+  EXPECT_EQ(fn.Survival(100.0), 0.0);
+  // F_n(x) = F(x)/F(t_n) inside the support.
+  for (int64_t k : {1, 5, 50, 99}) {
+    EXPECT_NEAR(fn.Cdf(static_cast<double>(k)),
+                base.Cdf(static_cast<double>(k)) / base.Cdf(100.0), 1e-12);
+  }
+  // PMF sums to 1 over [1, t_n].
+  double total = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) total += fn.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TruncatedDistributionTest, QuantileNeverExceedsTn) {
+  const DiscretePareto base(1.2, 6.0);  // heavy tail
+  const TruncatedDistribution fn(base, 50);
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t d = fn.Sample(&rng);
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, 50);
+  }
+  EXPECT_EQ(fn.Quantile(0.9999999), 50);
+}
+
+TEST(TruncatedDistributionTest, SurvivalConsistent) {
+  const DiscretePareto base(1.5, 15.0);
+  const TruncatedDistribution fn(base, 1000);
+  for (int64_t k : {1, 10, 100, 999}) {
+    EXPECT_NEAR(fn.Survival(static_cast<double>(k)),
+                1.0 - fn.Cdf(static_cast<double>(k)), 1e-12)
+        << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degree sequences.
+// ---------------------------------------------------------------------------
+
+TEST(DegreeSequenceTest, AggregatesAndSorting) {
+  DegreeSequence seq(std::vector<int64_t>{3, 1, 4, 1, 5});
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq.Sum(), 14);
+  EXPECT_EQ(seq.Max(), 5);
+  EXPECT_TRUE(seq.HasEvenSum());
+  EXPECT_EQ(seq.SortedAscending(),
+            (std::vector<int64_t>{1, 1, 3, 4, 5}));
+  EXPECT_EQ(seq[2], 4);
+}
+
+TEST(DegreeSequenceTest, IidSamplingRespectsBounds) {
+  const DiscretePareto base(1.5, 15.0);
+  const TruncatedDistribution fn(base, 31);  // root truncation for n=1000
+  Rng rng(9);
+  const DegreeSequence seq = DegreeSequence::SampleIid(fn, 1000, &rng);
+  EXPECT_EQ(seq.size(), 1000u);
+  EXPECT_LE(seq.Max(), 31);
+  for (size_t i = 0; i < seq.size(); ++i) EXPECT_GE(seq[i], 1);
+}
+
+TEST(ApproxExpectationTest, SecondMomentOfUniform) {
+  const UniformDegree d(1, 10);
+  const double second = ApproxExpectation(
+      d, [](double x) { return x * x; });
+  EXPECT_NEAR(second, 38.5, 1e-9);  // E[K^2] for uniform 1..10
+}
+
+}  // namespace
+}  // namespace trilist

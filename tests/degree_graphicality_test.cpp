@@ -1,0 +1,103 @@
+#include "src/degree/graphicality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(IsGraphicTest, SimpleGraphicSequences) {
+  EXPECT_TRUE(IsGraphic({}));                    // empty graph
+  EXPECT_TRUE(IsGraphic({0}));                   // isolated node
+  EXPECT_TRUE(IsGraphic({1, 1}));                // one edge
+  EXPECT_TRUE(IsGraphic({2, 2, 2}));             // triangle
+  EXPECT_TRUE(IsGraphic({3, 3, 3, 3}));          // K4
+  EXPECT_TRUE(IsGraphic({1, 1, 1, 1}));          // two disjoint edges
+  EXPECT_TRUE(IsGraphic({2, 1, 1}));             // path
+  EXPECT_TRUE(IsGraphic({4, 1, 1, 1, 1}));       // star
+}
+
+TEST(IsGraphicTest, NonGraphicSequences) {
+  EXPECT_FALSE(IsGraphic({1}));          // odd sum
+  EXPECT_FALSE(IsGraphic({3, 1}));       // degree > n-1
+  EXPECT_FALSE(IsGraphic({2, 2, 1}));    // odd sum
+  EXPECT_FALSE(IsGraphic({3, 3, 1, 1}));  // fails Erdos-Gallai at k=2
+  EXPECT_FALSE(IsGraphic({-1, 1}));      // negative degree
+  EXPECT_FALSE(IsGraphic({5, 5, 4, 4, 2, 1, 1}));  // classic EG failure
+}
+
+TEST(IsGraphicTest, AgreesWithHavelHakimiOnRandomInputs) {
+  // Havel-Hakimi as an independent oracle.
+  auto havel_hakimi = [](std::vector<int64_t> d) {
+    while (true) {
+      std::sort(d.begin(), d.end(), std::greater<int64_t>());
+      if (d.empty() || d[0] == 0) return true;
+      const int64_t k = d[0];
+      if (k > static_cast<int64_t>(d.size()) - 1) return false;
+      d.erase(d.begin());
+      for (int64_t i = 0; i < k; ++i) {
+        if (--d[static_cast<size_t>(i)] < 0) return false;
+      }
+    }
+  };
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = 2 + rng.NextBounded(12);
+    std::vector<int64_t> d(n);
+    for (auto& x : d) {
+      x = static_cast<int64_t>(rng.NextBounded(n));
+    }
+    EXPECT_EQ(IsGraphic(d), havel_hakimi(d))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(MakeGraphicTest, LeavesGraphicSequencesAlone) {
+  std::vector<int64_t> d = {2, 2, 2};
+  EXPECT_EQ(MakeGraphic(&d), 0);
+  EXPECT_EQ(d, (std::vector<int64_t>{2, 2, 2}));
+}
+
+TEST(MakeGraphicTest, FixesOddSum) {
+  std::vector<int64_t> d = {3, 2, 2, 2};  // sum 9
+  const int64_t dec = MakeGraphic(&d);
+  EXPECT_EQ(dec, 1);
+  EXPECT_TRUE(IsGraphic(d));
+  EXPECT_EQ(std::accumulate(d.begin(), d.end(), int64_t{0}), 8);
+}
+
+TEST(MakeGraphicTest, FixesOversizedDegree) {
+  std::vector<int64_t> d = {9, 1, 1, 1};  // max degree exceeds n-1
+  MakeGraphic(&d);
+  EXPECT_TRUE(IsGraphic(d));
+}
+
+TEST(MakeGraphicTest, AllOnesOddCount) {
+  std::vector<int64_t> d = {1, 1, 1};
+  MakeGraphic(&d);
+  EXPECT_TRUE(IsGraphic(d));
+}
+
+TEST(MakeGraphicTest, ParetoSequencesNeedAtMostParityFix) {
+  // Under root truncation, sampled Pareto sequences should be graphic up
+  // to the odd-sum stub with overwhelming probability (Section 1.2).
+  const DiscretePareto base(1.5, 15.0);
+  const TruncatedDistribution fn(base, 100);  // t = sqrt(10000)
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> d(10000);
+    for (auto& x : d) x = fn.Sample(&rng);
+    const int64_t decrements = MakeGraphic(&d);
+    EXPECT_LE(decrements, 1) << "trial " << trial;
+    EXPECT_TRUE(IsGraphic(d));
+  }
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/configuration_model.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/residual_generator.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Erdos-Renyi.
+// ---------------------------------------------------------------------------
+
+TEST(GnpTest, EdgeCountMatchesExpectation) {
+  Rng rng(1);
+  const size_t n = 500;
+  const double p = 0.02;
+  double edges = 0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    edges += static_cast<double>(GenerateGnp(n, p, &rng).num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(edges / kTrials, expected, expected * 0.1);
+}
+
+TEST(GnpTest, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(GenerateGnp(50, 0.0, &rng).num_edges(), 0u);
+  EXPECT_EQ(GenerateGnp(10, 1.0, &rng).num_edges(), 45u);
+  EXPECT_EQ(GenerateGnp(0, 0.5, &rng).num_nodes(), 0u);
+  EXPECT_EQ(GenerateGnp(1, 0.5, &rng).num_edges(), 0u);
+}
+
+TEST(GnmTest, ExactEdgeCountAndSimplicity) {
+  Rng rng(3);
+  const Graph g = GenerateGnm(100, 500, &rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);  // construction validates simplicity
+}
+
+TEST(GnmTest, FullAndEmpty) {
+  Rng rng(4);
+  EXPECT_EQ(GenerateGnm(5, 10, &rng).num_edges(), 10u);
+  EXPECT_EQ(GenerateGnm(5, 0, &rng).num_edges(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration model.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigModelTest, RealizesLightSequencesClosely) {
+  Rng rng(5);
+  std::vector<int64_t> degrees(200, 3);
+  ConfigModelStats stats;
+  auto g = ConfigurationModel(degrees, &rng, &stats);
+  ASSERT_TRUE(g.ok());
+  // Light constant degrees: only a few collisions expected.
+  EXPECT_LE(stats.TotalDroppedStubs(), 20);
+  int64_t realized = 0;
+  for (size_t v = 0; v < 200; ++v) realized += g->Degree(static_cast<NodeId>(v));
+  EXPECT_EQ(realized, 600 - stats.TotalDroppedStubs());
+}
+
+TEST(ConfigModelTest, OddSumDropsOneStub) {
+  Rng rng(6);
+  std::vector<int64_t> degrees = {3, 2, 2, 2};  // sum 9
+  ConfigModelStats stats;
+  auto g = ConfigurationModel(degrees, &rng, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(stats.odd_stub_dropped, 1);
+}
+
+TEST(ConfigModelTest, RejectsInvalidDegrees) {
+  Rng rng(7);
+  EXPECT_FALSE(ConfigurationModel({-1, 1}, &rng).ok());
+  EXPECT_FALSE(ConfigurationModel({5, 1, 1, 1}, &rng).ok());
+}
+
+TEST(ConfigModelTest, UnderRealizesHeavyTails) {
+  // The Section 7.2 motivation: simplified stub matching loses stubs on
+  // heavy-tailed inputs, which is why the residual generator exists.
+  Rng rng(8);
+  const size_t n = 2000;
+  const DiscretePareto base(1.2, 6.0);
+  const TruncatedDistribution fn(base, static_cast<int64_t>(n) - 1);
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  MakeGraphic(&degrees);
+  ConfigModelStats stats;
+  auto g = ConfigurationModel(degrees, &rng, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(stats.TotalDroppedStubs(), 10);  // visible shortfall
+}
+
+// ---------------------------------------------------------------------------
+// Residual-degree generator (Section 7.2).
+// ---------------------------------------------------------------------------
+
+void ExpectExactRealization(const std::vector<int64_t>& degrees,
+                            const Graph& g, int64_t allowed_shortfall) {
+  int64_t shortfall = 0;
+  for (size_t v = 0; v < degrees.size(); ++v) {
+    const int64_t got = g.Degree(static_cast<NodeId>(v));
+    ASSERT_LE(got, degrees[v]) << v;
+    shortfall += degrees[v] - got;
+  }
+  EXPECT_LE(shortfall, allowed_shortfall);
+}
+
+TEST(ResidualGenTest, RealizesRegularSequencesExactly) {
+  Rng rng(9);
+  std::vector<int64_t> degrees(100, 4);
+  ResidualGenStats stats;
+  auto g = GenerateExactDegree(degrees, &rng, &stats);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ExpectExactRealization(degrees, *g, 0);
+  EXPECT_EQ(stats.unplaced_stubs, 0);
+}
+
+TEST(ResidualGenTest, RealizesStarAndClique) {
+  Rng rng(10);
+  {
+    std::vector<int64_t> star = {5, 1, 1, 1, 1, 1};
+    auto g = GenerateExactDegree(star, &rng);
+    ASSERT_TRUE(g.ok());
+    ExpectExactRealization(star, *g, 0);
+  }
+  {
+    std::vector<int64_t> clique(6, 5);
+    auto g = GenerateExactDegree(clique, &rng);
+    ASSERT_TRUE(g.ok());
+    ExpectExactRealization(clique, *g, 0);
+    EXPECT_EQ(g->num_edges(), 15u);
+  }
+}
+
+TEST(ResidualGenTest, OddSumLeavesOneStub) {
+  Rng rng(11);
+  std::vector<int64_t> degrees = {3, 2, 2, 2};  // sum 9, graphic after fix
+  ResidualGenStats stats;
+  auto g = GenerateExactDegree(degrees, &rng, &stats);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(stats.unplaced_stubs, 1);
+  ExpectExactRealization(degrees, *g, 1);
+}
+
+TEST(ResidualGenTest, RejectsOutOfRangeDegrees) {
+  Rng rng(12);
+  EXPECT_FALSE(GenerateExactDegree({4, 1, 1, 1}, &rng).ok());
+  EXPECT_FALSE(GenerateExactDegree({-2, 1, 1}, &rng).ok());
+}
+
+TEST(ResidualGenTest, EmptyAndTrivialInputs) {
+  Rng rng(13);
+  EXPECT_TRUE(GenerateExactDegree({}, &rng).ok());
+  auto g = GenerateExactDegree({0, 0, 0}, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+class ResidualGenParetoTest
+    : public ::testing::TestWithParam<std::tuple<double, TruncationKind>> {};
+
+TEST_P(ResidualGenParetoTest, RealizesHeavyTailedSequencesExactly) {
+  const auto [alpha, trunc] = GetParam();
+  const size_t n = 3000;
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t = TruncationPoint(trunc, static_cast<int64_t>(n));
+  const TruncatedDistribution fn(base, t);
+  Rng rng(1000 + static_cast<uint64_t>(alpha * 10));
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<int64_t> degrees(n);
+    for (auto& d : degrees) d = fn.Sample(&rng);
+    MakeGraphic(&degrees);
+    const int64_t parity =
+        std::accumulate(degrees.begin(), degrees.end(), int64_t{0}) % 2;
+    ResidualGenStats stats;
+    auto g = GenerateExactDegree(degrees, &rng, &stats);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    // Exact realization except possibly one stub for odd sums.
+    ExpectExactRealization(degrees, *g, parity);
+    EXPECT_EQ(stats.unplaced_stubs, parity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaTruncationSweep, ResidualGenParetoTest,
+    ::testing::Combine(::testing::Values(1.2, 1.5, 1.7, 2.1, 3.0),
+                       ::testing::Values(TruncationKind::kRoot,
+                                         TruncationKind::kLinear)));
+
+TEST(ResidualGenTest, StrictModeRejectsImpossibleResiduals) {
+  // Non-graphic sequence: two nodes demanding 3 edges each among 4 nodes
+  // where the others want none at all.
+  Rng rng(14);
+  ResidualGenOptions options;
+  options.strict = true;
+  auto g = GenerateExactDegree({3, 3, 0, 0}, &rng, nullptr, options);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kGenerationStuck);
+}
+
+TEST(ResidualGenTest, NonStrictReturnsBestEffort) {
+  Rng rng(15);
+  ResidualGenOptions options;
+  options.strict = false;
+  ResidualGenStats stats;
+  auto g = GenerateExactDegree({3, 3, 0, 0}, &rng, &stats, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(stats.unplaced_stubs, 0);
+}
+
+TEST(ResidualGenTest, DeterministicGivenSeed) {
+  std::vector<int64_t> degrees = {4, 3, 3, 2, 2, 2, 1, 1, 1, 1};
+  Rng rng1(77);
+  Rng rng2(77);
+  auto g1 = GenerateExactDegree(degrees, &rng1);
+  auto g2 = GenerateExactDegree(degrees, &rng2);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->EdgeList(), g2->EdgeList());
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,113 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/algo/brute_force.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(EdgeListIoTest, RoundTripsSmallGraph) {
+  const Graph g = MakeBowTie(4);
+  std::stringstream buf;
+  WriteEdgeList(g, &buf);
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), g.num_nodes());
+  EXPECT_EQ(r->EdgeList(), g.EdgeList());
+}
+
+TEST(EdgeListIoTest, RoundTripsRandomGraph) {
+  Rng rng(3);
+  const Graph g = GenerateGnp(500, 0.02, &rng);
+  std::stringstream buf;
+  WriteEdgeList(g, &buf);
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->EdgeList(), g.EdgeList());
+  EXPECT_EQ(CountTrianglesReference(*r), CountTrianglesReference(g));
+}
+
+TEST(EdgeListIoTest, PreservesIsolatedNodesViaHeader) {
+  // Node 4 is isolated; without the header its existence would be lost.
+  auto g = Graph::FromEdges(5, {{0, 1}, {2, 3}}).ValueOrDie();
+  std::stringstream buf;
+  WriteEdgeList(g, &buf);
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), 5u);
+}
+
+TEST(EdgeListIoTest, InfersNodeCountWithoutHeader) {
+  std::stringstream buf("0 1\n5 2\n");
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), 6u);
+  EXPECT_TRUE(r->HasEdge(5, 2));
+}
+
+TEST(EdgeListIoTest, SkipsCommentsAndBlankLines) {
+  std::stringstream buf(
+      "# a comment\n% another style\n\n0 1\n# nodes 10\n1 2\n");
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), 10u);
+  EXPECT_EQ(r->num_edges(), 2u);
+}
+
+TEST(EdgeListIoTest, RejectsMalformedLine) {
+  std::stringstream buf("0 1\nnot numbers\n");
+  auto r = ReadEdgeList(&buf);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EdgeListIoTest, RejectsSelfLoopAndDuplicate) {
+  std::stringstream loop("1 1\n");
+  EXPECT_FALSE(ReadEdgeList(&loop).ok());
+  std::stringstream dup("0 1\n1 0\n");
+  EXPECT_FALSE(ReadEdgeList(&dup).ok());
+}
+
+TEST(EdgeListIoTest, EmptyInputIsEmptyGraph) {
+  std::stringstream buf("");
+  auto r = ReadEdgeList(&buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), 0u);
+}
+
+TEST(EdgeListIoTest, FileRoundTrip) {
+  const Graph g = MakeComplete(6);
+  const std::string path = ::testing::TempDir() + "/trilist_io_test.txt";
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto r = ReadEdgeListFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->EdgeList(), g.EdgeList());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileErrors) {
+  auto r = ReadEdgeListFile("/nonexistent/definitely/missing.txt");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitsetOracleTest, AgreesWithOtherOracles) {
+  Rng rng(9);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = GenerateGnp(150, 0.02 + 0.03 * trial, &rng);
+    EXPECT_EQ(CountTrianglesBitset(g), CountTrianglesReference(g)) << trial;
+  }
+  EXPECT_EQ(CountTrianglesBitset(MakeComplete(10)), 120u);
+  EXPECT_EQ(CountTrianglesBitset(MakeEmpty(10)), 0u);
+  EXPECT_EQ(CountTrianglesBitset(MakeStar(20)), 0u);
+}
+
+}  // namespace
+}  // namespace trilist

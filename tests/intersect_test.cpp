@@ -1,0 +1,113 @@
+#include "src/algo/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+int64_t ReferenceIntersectionSize(const std::vector<NodeId>& a,
+                                  const std::vector<NodeId>& b) {
+  const std::set<NodeId> sa(a.begin(), a.end());
+  int64_t count = 0;
+  std::set<NodeId> seen;
+  for (NodeId x : b) {
+    if (sa.count(x) > 0 && seen.insert(x).second) ++count;
+  }
+  return count;
+}
+
+TEST(IntersectTest, SmallHandCases) {
+  const std::vector<NodeId> a = {1, 3, 5, 7, 9};
+  const std::vector<NodeId> b = {2, 3, 4, 7, 10};
+  EXPECT_EQ(CountIntersectMerge(a, b), 2);
+  EXPECT_EQ(CountIntersectGallop(a, b), 2);
+  EXPECT_EQ(CountIntersectAuto(a, b), 2);
+}
+
+TEST(IntersectTest, EmptyAndDisjoint) {
+  const std::vector<NodeId> a = {1, 2, 3};
+  const std::vector<NodeId> empty;
+  EXPECT_EQ(CountIntersectMerge(a, empty), 0);
+  EXPECT_EQ(CountIntersectGallop(empty, a), 0);
+  const std::vector<NodeId> b = {10, 20};
+  EXPECT_EQ(CountIntersectAuto(a, b), 0);
+}
+
+TEST(IntersectTest, IdenticalLists) {
+  const std::vector<NodeId> a = {2, 4, 6, 8};
+  EXPECT_EQ(CountIntersectMerge(a, a), 4);
+  EXPECT_EQ(CountIntersectGallop(a, a), 4);
+}
+
+TEST(IntersectTest, EmitsTheActualElements) {
+  const std::vector<NodeId> a = {1, 4, 6, 9};
+  const std::vector<NodeId> b = {4, 9, 12};
+  std::vector<NodeId> out;
+  auto emit = [](NodeId v, void* ctx) {
+    static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+  };
+  IntersectMerge(a, b, emit, &out);
+  EXPECT_EQ(out, (std::vector<NodeId>{4, 9}));
+  out.clear();
+  IntersectGallop(a, b, emit, &out);
+  EXPECT_EQ(out, (std::vector<NodeId>{4, 9}));
+}
+
+TEST(IntersectTest, RandomizedAgainstReference) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t la = rng.NextBounded(50);
+    const size_t lb = rng.NextBounded(800);
+    std::set<NodeId> sa;
+    std::set<NodeId> sb;
+    while (sa.size() < la) {
+      sa.insert(static_cast<NodeId>(rng.NextBounded(1000)));
+    }
+    while (sb.size() < lb) {
+      sb.insert(static_cast<NodeId>(rng.NextBounded(1000)));
+    }
+    const std::vector<NodeId> a(sa.begin(), sa.end());
+    const std::vector<NodeId> b(sb.begin(), sb.end());
+    const int64_t expected = ReferenceIntersectionSize(a, b);
+    ASSERT_EQ(CountIntersectMerge(a, b), expected) << trial;
+    ASSERT_EQ(CountIntersectGallop(a, b), expected) << trial;
+    ASSERT_EQ(CountIntersectAuto(a, b), expected) << trial;
+  }
+}
+
+TEST(IntersectTest, GallopCheaperOnExtremeAsymmetry) {
+  // |A| = 4 against |B| = 100000: gallop must use far fewer comparisons.
+  Rng rng(13);
+  std::vector<NodeId> big(100000);
+  NodeId cur = 0;
+  for (auto& v : big) {
+    cur += 1 + static_cast<NodeId>(rng.NextBounded(5));
+    v = cur;
+  }
+  const std::vector<NodeId> small = {big[10], big[5000], big[70000],
+                                     big[99999]};
+  int64_t merge_cmp = IntersectMerge(small, big, nullptr, nullptr);
+  int64_t gallop_cmp = IntersectGallop(small, big, nullptr, nullptr);
+  EXPECT_GT(merge_cmp, 50000);
+  EXPECT_LT(gallop_cmp, 300);
+}
+
+TEST(IntersectTest, GallopMonotoneCursorHandlesDuplicateFreeRuns) {
+  // Sequential keys: the monotone cursor must not skip matches.
+  std::vector<NodeId> a(100);
+  std::vector<NodeId> b(100);
+  for (NodeId i = 0; i < 100; ++i) {
+    a[i] = i;
+    b[i] = i;
+  }
+  EXPECT_EQ(CountIntersectGallop(a, b), 100);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,93 @@
+#include "src/algo/local_counts.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/algo/brute_force.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(LocalCountsTest, CompleteGraph) {
+  // In K_5 every vertex sits on C(4,2) = 6 triangles.
+  const auto counts = TrianglesPerVertex(MakeComplete(5));
+  for (uint64_t c : counts) EXPECT_EQ(c, 6u);
+  const auto coeffs = LocalClusteringCoefficients(MakeComplete(5));
+  for (double c : coeffs) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(LocalCountsTest, BowTieSharedVertex) {
+  // Two triangles sharing node 0: node 0 counts 2, the rest count 1.
+  const Graph g = MakeBowTie(3);
+  const auto counts = TrianglesPerVertex(g);
+  EXPECT_EQ(counts[0], 2u);
+  for (size_t v = 1; v < g.num_nodes(); ++v) EXPECT_EQ(counts[v], 1u);
+}
+
+TEST(LocalCountsTest, TriangleFreeGraphs) {
+  for (const Graph& g : {MakeStar(10), MakePath(10), MakeCycle(8)}) {
+    const auto counts = TrianglesPerVertex(g);
+    for (uint64_t c : counts) EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(LocalCountsTest, CornerSumIsThreeTimesTriangles) {
+  Rng rng(3);
+  const Graph g = GenerateGnp(200, 0.08, &rng);
+  const auto counts = TrianglesPerVertex(g);
+  const uint64_t corner_sum =
+      std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  EXPECT_EQ(corner_sum, 3 * CountTrianglesReference(g));
+}
+
+TEST(LocalCountsTest, MethodAndOrderInvariant) {
+  Rng rng(5);
+  const Graph g = GenerateGnp(120, 0.1, &rng);
+  const auto reference = TrianglesPerVertex(g, Method::kE1,
+                                            PermutationKind::kDescending);
+  for (Method m : {Method::kT1, Method::kT3, Method::kE4, Method::kL2}) {
+    for (PermutationKind kind :
+         {PermutationKind::kAscending, PermutationKind::kRoundRobin,
+          PermutationKind::kDegenerate}) {
+      EXPECT_EQ(TrianglesPerVertex(g, m, kind), reference)
+          << MethodName(m) << " " << PermutationKindName(kind);
+    }
+  }
+}
+
+TEST(TriangleStatsTest, CompleteGraphValues) {
+  const TriangleStats s = ComputeTriangleStats(MakeComplete(6));
+  EXPECT_EQ(s.triangles, 20u);
+  EXPECT_DOUBLE_EQ(s.wedges, 60.0);  // 6 * C(5,2)
+  EXPECT_DOUBLE_EQ(s.transitivity, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_local, 1.0);
+  EXPECT_EQ(s.max_per_vertex, 10u);  // C(5,2)
+}
+
+TEST(TriangleStatsTest, EmptyAndEdgelessGraphs) {
+  const TriangleStats s = ComputeTriangleStats(MakeEmpty(5));
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.transitivity, 0.0);
+  EXPECT_EQ(s.mean_local, 0.0);
+  const TriangleStats s0 = ComputeTriangleStats(MakeEmpty(0));
+  EXPECT_EQ(s0.triangles, 0u);
+}
+
+TEST(TriangleStatsTest, ErGraphTransitivityNearP) {
+  // In G(n, p) the expected transitivity is ~p.
+  Rng rng(7);
+  const double p = 0.06;
+  double acc = 0.0;
+  const int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    acc += ComputeTriangleStats(GenerateGnp(300, p, &rng)).transitivity;
+  }
+  EXPECT_NEAR(acc / kTrials, p, 0.012);
+}
+
+}  // namespace
+}  // namespace trilist

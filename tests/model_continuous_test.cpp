@@ -1,0 +1,115 @@
+#include "src/core/continuous_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/discrete_model.h"
+#include "src/core/h_function.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+
+namespace trilist {
+namespace {
+
+TEST(WeightedPrefixTest, MatchesSpreadClosedForm) {
+  // M(x)/E[D] must equal Eq. (19) when alpha > 1.
+  for (double alpha : {1.3, 1.7, 2.5}) {
+    const ContinuousPareto f(alpha, 30.0 * (alpha - 1.0));
+    for (double x : {0.5, 5.0, 50.0, 5000.0}) {
+      EXPECT_NEAR(ParetoWeightedPrefix(f, x) / f.Mean(), f.SpreadCdf(x),
+                  1e-9)
+          << alpha << " " << x;
+    }
+  }
+}
+
+TEST(WeightedPrefixTest, AlphaOneBranch) {
+  const ContinuousPareto f(1.0, 30.0);
+  // M(x) finite for finite x even though E[D] = inf.
+  const double m10 = ParetoWeightedPrefix(f, 10.0);
+  const double m100 = ParetoWeightedPrefix(f, 100.0);
+  EXPECT_GT(m10, 0.0);
+  EXPECT_GT(m100, m10);
+  // Numerical cross-check against direct quadrature.
+  double direct = 0.0;
+  const int kSteps = 400000;
+  const double dx = 10.0 / kSteps;
+  for (int i = 0; i < kSteps; ++i) {
+    const double x = (i + 0.5) * dx;
+    direct += x * f.Density(x) * dx;
+  }
+  EXPECT_NEAR(m10, direct, m10 * 1e-5);
+}
+
+TEST(WeightedPrefixTest, ZeroAndNegative) {
+  const ContinuousPareto f(1.5, 15.0);
+  EXPECT_EQ(ParetoWeightedPrefix(f, 0.0), 0.0);
+  EXPECT_EQ(ParetoWeightedPrefix(f, -3.0), 0.0);
+}
+
+TEST(ContinuousCostTest, ConvergesWithGridRefinement) {
+  const ContinuousPareto f(1.5, 15.0);
+  const double coarse = ContinuousCost(f, 1e6, Method::kT1,
+                                       XiMap::Descending(),
+                                       WeightFn::Identity(), 1 << 13);
+  const double fine = ContinuousCost(f, 1e6, Method::kT1,
+                                     XiMap::Descending(),
+                                     WeightFn::Identity(), 1 << 17);
+  EXPECT_NEAR(coarse, fine, std::abs(fine) * 0.01);
+}
+
+TEST(ContinuousCostTest, CloseToDiscreteModelWithinPaperGap) {
+  // Table 5 reports a persistent 1.5-2% gap between the continuous and
+  // discrete models; assert the two land within 5% of each other.
+  const double alpha = 1.5;
+  const double beta = 15.0;
+  const ContinuousPareto cont(alpha, beta);
+  const DiscretePareto disc(alpha, beta);
+  const int64_t t = 1000000;
+  const TruncatedDistribution fn(disc, t);
+  const double c_cont = ContinuousCost(cont, static_cast<double>(t),
+                                       Method::kT1, XiMap::Descending());
+  const double c_disc =
+      ExactDiscreteCost(fn, t, Method::kT1, XiMap::Descending());
+  EXPECT_NEAR(c_cont, c_disc, c_disc * 0.05);
+  // And the gap should be real (the paper's "crude approximation" point):
+  EXPECT_GT(std::abs(c_cont - c_disc) / c_disc, 0.001);
+}
+
+TEST(ContinuousCostTest, UniformMapFactorsLikeEq31) {
+  const ContinuousPareto f(2.1, 33.0);
+  const double t = 10000.0;
+  const double t1 =
+      ContinuousCost(f, t, Method::kT1, XiMap::Uniform());
+  const double e1 =
+      ContinuousCost(f, t, Method::kE1, XiMap::Uniform());
+  // E1 = 2x T1 under the uniform map (1/3 vs 1/6).
+  EXPECT_NEAR(e1 / t1, 2.0, 0.01);
+}
+
+TEST(ContinuousCostTest, IncreasesWithTruncation) {
+  const ContinuousPareto f(1.5, 15.0);
+  const double c_small = ContinuousCost(f, 1e3, Method::kT1,
+                                        XiMap::Descending());
+  const double c_large = ContinuousCost(f, 1e9, Method::kT1,
+                                        XiMap::Descending());
+  EXPECT_LT(c_small, c_large);
+}
+
+TEST(ContinuousCostTest, Table5ConvergencePlateau) {
+  // Paper Table 5 column 2: values rise from ~145 (t~1e3) to ~363
+  // (t >= 1e14) for T1 + theta_D, alpha = 1.5, beta = 15. Check the shape:
+  // a plateau emerges and successive decades stop moving the value.
+  const ContinuousPareto f(1.5, 15.0);
+  const double v14 = ContinuousCost(f, 1e14, Method::kT1,
+                                    XiMap::Descending());
+  const double v17 = ContinuousCost(f, 1e17, Method::kT1,
+                                    XiMap::Descending());
+  EXPECT_NEAR(v14, v17, v17 * 0.005);
+  EXPECT_GT(v17, 300.0);
+  EXPECT_LT(v17, 420.0);
+}
+
+}  // namespace
+}  // namespace trilist

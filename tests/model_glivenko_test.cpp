@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/h_function.h"
+#include "src/core/spread.h"
+#include "src/core/xi_map.h"
+#include "src/degree/pareto.h"
+#include "src/degree/simple_distributions.h"
+#include "src/degree/truncated.h"
+#include "src/order/named_orders.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+/// Numeric E[g(D) 1{F(D) <= u}] = int_0^u g(F^{-1}(x)) dx for a discrete
+/// distribution, evaluated by direct summation over the support.
+double PartialGIntegral(const DegreeDistribution& fn, int64_t t_n,
+                        double u) {
+  // sum over k of g(k) * mass of {x in (F(k-1), F(k)] : x <= u}.
+  double acc = 0.0;
+  double cum = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const double p = fn.Pmf(k);
+    const double lo = cum;
+    cum += p;
+    const double covered = std::min(cum, u) - lo;
+    if (covered > 0.0) acc += GFunction(static_cast<double>(k)) * covered;
+    if (cum >= u) break;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 1: (1/n) sum_{i <= nu} g(A_ni) -> int_0^u g(F^{-1}(x)) dx.
+// ---------------------------------------------------------------------------
+
+class Lemma1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma1Test, PartialSumsConverge) {
+  const double u = GetParam();
+  const DiscretePareto base(2.1, 33.0);
+  const int64_t t_n = 1000;
+  const TruncatedDistribution fn(base, t_n);
+  Rng rng(5);
+  const size_t n = 200000;
+  std::vector<int64_t> a(n);
+  for (auto& d : a) d = fn.Sample(&rng);
+  std::sort(a.begin(), a.end());
+  double partial = 0.0;
+  const auto cut = static_cast<size_t>(std::floor(u * n));
+  for (size_t i = 0; i < cut; ++i) {
+    partial += GFunction(static_cast<double>(a[i]));
+  }
+  partial /= static_cast<double>(n);
+  const double limit = PartialGIntegral(fn, t_n, u);
+  EXPECT_NEAR(partial, limit, std::max(1.0, limit) * 0.05) << "u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, Lemma1Test,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+// ---------------------------------------------------------------------------
+// Lemma 3 / Theorem 2 mechanics: for an admissible permutation,
+// (1/n) sum_i g(d_i(theta)) h(i/n) -> E[g(F^{-1}(U)) h(xi(U))].
+// ---------------------------------------------------------------------------
+
+struct Lemma3Case {
+  const char* name;
+  PermutationKind kind;
+};
+
+class Lemma3Test : public ::testing::TestWithParam<Lemma3Case> {};
+
+TEST_P(Lemma3Test, WeightedSumsConvergeToMapExpectation) {
+  const Lemma3Case c = GetParam();
+  const DiscretePareto base(2.1, 33.0);
+  const int64_t t_n = 1000;
+  const TruncatedDistribution fn(base, t_n);
+  Rng rng(7);
+  const size_t n = 200000;
+  std::vector<int64_t> a(n);
+  for (auto& d : a) d = fn.Sample(&rng);
+  std::sort(a.begin(), a.end());
+
+  const auto h = HOf(Method::kT2);  // any smooth probe works
+  const Permutation theta = MakePermutation(c.kind, n, &rng);
+  // LHS: average of g(A_pos) h(theta(pos)/n) — note d_i(theta) = A at the
+  // position mapping to label i, so summing over positions is equivalent.
+  double lhs = 0.0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    lhs += GFunction(static_cast<double>(a[pos])) *
+           EvalH(Method::kT2,
+                 (static_cast<double>(theta(pos)) + 1.0) /
+                     static_cast<double>(n));
+  }
+  lhs /= static_cast<double>(n);
+
+  // RHS: E[g(F^{-1}(U)) E_xi[h(xi(U))]] by summation over the support.
+  const XiMap xi = XiMap::FromKind(c.kind);
+  double rhs = 0.0;
+  double cum = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    const double p = fn.Pmf(k);
+    if (p <= 0.0) continue;
+    // Average xi over the mass interval (midpoint).
+    const double mid = cum + p / 2.0;
+    rhs += GFunction(static_cast<double>(k)) * xi.ExpectH(h, mid) * p;
+    cum += p;
+  }
+  EXPECT_NEAR(lhs, rhs, rhs * 0.05) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Permutations, Lemma3Test,
+    ::testing::Values(Lemma3Case{"asc", PermutationKind::kAscending},
+                      Lemma3Case{"desc", PermutationKind::kDescending},
+                      Lemma3Case{"rr", PermutationKind::kRoundRobin},
+                      Lemma3Case{"crr",
+                                 PermutationKind::kComplementaryRoundRobin},
+                      Lemma3Case{"uniform", PermutationKind::kUniform}),
+    [](const ::testing::TestParamInfo<Lemma3Case>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------------
+// Theorem 1 consistency: the empirical Proposition-4 sum under theta_A
+// approaches E[g(D) h(J(D))] computed analytically.
+// ---------------------------------------------------------------------------
+
+TEST(Theorem1Test, EmpiricalCostSumMatchesAnalyticExpectation) {
+  const DiscretePareto base(2.1, 33.0);
+  const int64_t t_n = 500;
+  const TruncatedDistribution fn(base, t_n);
+  Rng rng(9);
+  const size_t n = 100000;
+  std::vector<int64_t> a(n);
+  for (auto& d : a) d = fn.Sample(&rng);
+  std::sort(a.begin(), a.end());
+  // Empirical: (1/n) sum g(A_i) h(J_hat_i), J_hat = empirical weighted
+  // prefix.
+  double total_w = 0.0;
+  for (int64_t d : a) total_w += static_cast<double>(d);
+  double prefix = 0.0;
+  double lhs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    prefix += static_cast<double>(a[i]);
+    lhs += GFunction(static_cast<double>(a[i])) *
+           EvalH(Method::kT1, prefix / total_w);
+  }
+  lhs /= static_cast<double>(n);
+  // Analytic: E[g(D) h(J(D))].
+  const auto j = SpreadTable(fn, t_n);
+  double rhs = 0.0;
+  for (int64_t k = 1; k <= t_n; ++k) {
+    rhs += GFunction(static_cast<double>(k)) *
+           EvalH(Method::kT1, j[static_cast<size_t>(k - 1)]) * fn.Pmf(k);
+  }
+  EXPECT_NEAR(lhs, rhs, rhs * 0.03);
+}
+
+}  // namespace
+}  // namespace trilist

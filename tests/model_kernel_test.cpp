@@ -1,0 +1,120 @@
+#include "src/core/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/h_function.h"
+#include "src/order/named_orders.h"
+#include "src/order/optimal.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XiMap kernels (Definition 4).
+// ---------------------------------------------------------------------------
+
+TEST(XiKernelTest, AscendingIsStepAtU) {
+  const XiMap asc = XiMap::Ascending();
+  EXPECT_EQ(asc.Cdf(0.29, 0.3), 0.0);
+  EXPECT_EQ(asc.Cdf(0.30, 0.3), 1.0);
+  EXPECT_EQ(asc.Cdf(0.95, 0.3), 1.0);
+}
+
+TEST(XiKernelTest, RoundRobinTwoSteps) {
+  // xi_RR(0.4) is (1-0.4)/2 = 0.3 or (1+0.4)/2 = 0.7, each w.p. 1/2.
+  const XiMap rr = XiMap::RoundRobin();
+  EXPECT_EQ(rr.Cdf(0.29, 0.4), 0.0);
+  EXPECT_EQ(rr.Cdf(0.3, 0.4), 0.5);
+  EXPECT_EQ(rr.Cdf(0.69, 0.4), 0.5);
+  EXPECT_EQ(rr.Cdf(0.7, 0.4), 1.0);
+}
+
+TEST(XiKernelTest, UniformIsIdentityCdf) {
+  const XiMap uni = XiMap::Uniform();
+  EXPECT_EQ(uni.Cdf(-0.5, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(uni.Cdf(0.37, 0.9), 0.37);
+  EXPECT_EQ(uni.Cdf(1.5, 0.2), 1.0);
+}
+
+TEST(XiKernelTest, AllNamedMapsAreMeasurePreserving) {
+  for (const XiMap& xi :
+       {XiMap::Ascending(), XiMap::Descending(), XiMap::RoundRobin(),
+        XiMap::ComplementaryRoundRobin(), XiMap::Uniform()}) {
+    EXPECT_TRUE(xi.IsMeasurePreserving()) << xi.name();
+  }
+}
+
+TEST(XiKernelTest, NonPreservingMixtureDetected) {
+  // xi(u) = u/2 alone squeezes all mass into [0, 1/2]: not preserving.
+  const XiMap squash = XiMap::Mixture({{1.0, 0.0, 0.5}}, "squash");
+  EXPECT_FALSE(squash.IsMeasurePreserving());
+}
+
+// ---------------------------------------------------------------------------
+// Empirical kernels of concrete permutations (Definition 5).
+// ---------------------------------------------------------------------------
+
+TEST(EmpiricalKernelTest, AscendingMatchesItsLimit) {
+  const Permutation theta = AscendingPermutation(20000);
+  EXPECT_LT(KernelDistance(theta, XiMap::Ascending()), 0.05);
+}
+
+TEST(EmpiricalKernelTest, DescendingMatchesItsLimit) {
+  const Permutation theta = DescendingPermutation(20000);
+  EXPECT_LT(KernelDistance(theta, XiMap::Descending()), 0.05);
+}
+
+TEST(EmpiricalKernelTest, Proposition6RoundRobin) {
+  const Permutation theta = RoundRobinPermutation(20000);
+  EXPECT_LT(KernelDistance(theta, XiMap::RoundRobin()), 0.05);
+}
+
+TEST(EmpiricalKernelTest, CrrMatchesComplementLimit) {
+  const Permutation theta = ComplementaryRoundRobinPermutation(20000);
+  EXPECT_LT(KernelDistance(theta, XiMap::ComplementaryRoundRobin()), 0.05);
+}
+
+TEST(EmpiricalKernelTest, UniformMatchesUniformLimit) {
+  Rng rng(3);
+  const Permutation theta = UniformPermutation(20000, &rng);
+  EXPECT_LT(KernelDistance(theta, XiMap::Uniform()), 0.08);
+}
+
+TEST(EmpiricalKernelTest, WrongLimitIsRejected) {
+  const Permutation theta = DescendingPermutation(20000);
+  EXPECT_GT(KernelDistance(theta, XiMap::Ascending()), 0.5);
+  EXPECT_GT(KernelDistance(theta, XiMap::RoundRobin()), 0.3);
+}
+
+TEST(EmpiricalKernelTest, Proposition7ReverseKernel) {
+  // The reverse of RR must converge to 1 - xi_RR(u).
+  const Permutation theta = RoundRobinPermutation(20000).Reverse();
+  EXPECT_LT(KernelDistance(theta, XiMap::RoundRobin().Reverse()), 0.05);
+}
+
+TEST(EmpiricalKernelTest, OptPermutationForT2HasRrLimit) {
+  // Algorithm 1's optimum for T2 spreads large positions to the ends —
+  // asymptotically the same map as RR (the paper's Corollary 2 story).
+  const Permutation opt = OptimalPermutation(HOf(Method::kT2), true, 20000);
+  EXPECT_LT(KernelDistance(opt, XiMap::RoundRobin()), 0.06);
+}
+
+TEST(EmpiricalKernelTest, ConvergesWithN) {
+  // K_n -> K: the distance must shrink as n grows (admissibility).
+  const double d_small =
+      KernelDistance(RoundRobinPermutation(500), XiMap::RoundRobin());
+  const double d_large =
+      KernelDistance(RoundRobinPermutation(50000), XiMap::RoundRobin());
+  EXPECT_LT(d_large, d_small);
+}
+
+TEST(EmpiricalKernelTest, PointEvaluation) {
+  // For theta_A with n=100, K_n(v; u) ~ 1[u <= v] away from the diagonal.
+  const Permutation theta = AscendingPermutation(100);
+  EXPECT_NEAR(EmpiricalKernel(theta, 0.8, 0.3, 5), 1.0, 1e-12);
+  EXPECT_NEAR(EmpiricalKernel(theta, 0.1, 0.7, 5), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,203 @@
+#include "src/core/limits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/core/fast_model.h"
+#include "src/core/h_function.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+
+namespace trilist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Finiteness thresholds (Sections 4.2, 5.3, 6.3).
+// ---------------------------------------------------------------------------
+
+TEST(FinitenessTest, VanishingOrders) {
+  EXPECT_EQ(VanishingOrderAtOne(Method::kT1, XiMap::Descending()), 2);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kT1, XiMap::Ascending()), 0);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kT2, XiMap::Descending()), 1);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kT2, XiMap::RoundRobin()), 1);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kE1, XiMap::Descending()), 1);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kE1, XiMap::RoundRobin()), 0);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kE4,
+                                XiMap::ComplementaryRoundRobin()),
+            0);
+  EXPECT_EQ(VanishingOrderAtOne(Method::kT1, XiMap::Uniform()), 0);
+}
+
+TEST(FinitenessTest, PaperThresholds) {
+  // T1 + theta_D finite iff alpha > 4/3 (Eq. 4 discussion).
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kT1, XiMap::Descending()),
+              4.0 / 3.0, 1e-9);
+  // T1 + theta_A finite iff alpha > 2.
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kT1, XiMap::Ascending()),
+              2.0, 1e-9);
+  // T2 finite iff alpha > 1.5 under both theta_D and RR.
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kT2, XiMap::Descending()),
+              1.5, 1e-9);
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kT2, XiMap::RoundRobin()),
+              1.5, 1e-9);
+  // E1 + theta_D finite iff alpha > 1.5 (Eq. 35); E1 + RR needs alpha > 2
+  // (Eq. 36).
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kE1, XiMap::Descending()),
+              1.5, 1e-9);
+  EXPECT_NEAR(FinitenessThresholdAlpha(Method::kE1, XiMap::RoundRobin()),
+              2.0, 1e-9);
+  // CRR with any method: alpha > 2 (Section 5.3).
+  for (Method m : {Method::kT1, Method::kT2, Method::kE1, Method::kE4}) {
+    EXPECT_NEAR(FinitenessThresholdAlpha(
+                    m, XiMap::ComplementaryRoundRobin()),
+                2.0, 1e-9)
+        << MethodName(m);
+  }
+}
+
+TEST(FinitenessTest, IsFinitePredicate) {
+  const XiMap d = XiMap::Descending();
+  EXPECT_TRUE(IsFiniteAsymptoticCost(Method::kT1, d, 1.4));
+  EXPECT_FALSE(IsFiniteAsymptoticCost(Method::kT1, d, 4.0 / 3.0));
+  EXPECT_FALSE(IsFiniteAsymptoticCost(Method::kE1, d, 1.4));
+  EXPECT_TRUE(IsFiniteAsymptoticCost(Method::kE1, d, 1.6));
+}
+
+TEST(FinitenessTest, DivergenceShowsUpInTruncatedModels) {
+  // Below the threshold the truncated model must keep growing with t_n;
+  // above it, it must plateau.
+  const XiMap d = XiMap::Descending();
+  {
+    const DiscretePareto heavy(1.25, 7.5);  // below 4/3 for T1
+    const TruncatedDistribution f1(heavy, 1 << 18);
+    const TruncatedDistribution f2(heavy, 1 << 24);
+    const double c1 = FastDiscreteCost(f1, 1 << 18, Method::kT1, d,
+                                       WeightFn::Identity(), 1e-4);
+    const double c2 = FastDiscreteCost(f2, 1 << 24, Method::kT1, d,
+                                       WeightFn::Identity(), 1e-4);
+    EXPECT_GT(c2, c1 * 1.5);
+  }
+  {
+    const DiscretePareto light(1.7, 21.0);  // above 1.5 for E1
+    const TruncatedDistribution f1(light, int64_t{1} << 24);
+    const TruncatedDistribution f2(light, int64_t{1} << 30);
+    const double c1 = FastDiscreteCost(f1, int64_t{1} << 24, Method::kE1,
+                                       d, WeightFn::Identity(), 1e-4);
+    const double c2 = FastDiscreteCost(f2, int64_t{1} << 30, Method::kE1,
+                                       d, WeightFn::Identity(), 1e-4);
+    EXPECT_NEAR(c2, c1, c1 * 0.02);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 4-5: comparisons under optimal permutations.
+// ---------------------------------------------------------------------------
+
+class ComparisonAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComparisonAlphaTest, Theorem4_T1BeatsT2) {
+  const double alpha = GetParam();
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const double c_t1 = AsymptoticCost(f, Method::kT1, XiMap::Descending());
+  const double c_t2 = AsymptoticCost(f, Method::kT2, XiMap::RoundRobin());
+  EXPECT_LT(c_t1, c_t2) << "alpha=" << alpha;
+}
+
+TEST_P(ComparisonAlphaTest, Theorem5_E1BeatsE4) {
+  const double alpha = GetParam();
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const double c_e1 = AsymptoticCost(f, Method::kE1, XiMap::Descending());
+  const double c_e4 =
+      AsymptoticCost(f, Method::kE4, XiMap::ComplementaryRoundRobin());
+  EXPECT_LT(c_e1, c_e4) << "alpha=" << alpha;
+}
+
+TEST_P(ComparisonAlphaTest, OptimalMapBeatsNamedAlternatives) {
+  const double alpha = GetParam();
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  struct Case {
+    Method m;
+    XiMap best;
+    std::vector<XiMap> rest;
+  };
+  const Case cases[] = {
+      {Method::kT1,
+       XiMap::Descending(),
+       {XiMap::Ascending(), XiMap::RoundRobin(),
+        XiMap::ComplementaryRoundRobin(), XiMap::Uniform()}},
+      {Method::kT2,
+       XiMap::RoundRobin(),
+       {XiMap::Descending(), XiMap::ComplementaryRoundRobin(),
+        XiMap::Uniform()}},
+      {Method::kE1,
+       XiMap::Descending(),
+       {XiMap::Ascending(), XiMap::RoundRobin(),
+        XiMap::ComplementaryRoundRobin(), XiMap::Uniform()}},
+      {Method::kE4,
+       XiMap::ComplementaryRoundRobin(),
+       {XiMap::Descending(), XiMap::RoundRobin(), XiMap::Uniform()}},
+  };
+  // Use a moderately truncated model so diverging combinations still have
+  // comparable finite values.
+  const int64_t t = 1 << 22;
+  const TruncatedDistribution fn(f, t);
+  for (const Case& c : cases) {
+    const double best = FastDiscreteCost(fn, t, c.m, c.best,
+                                         WeightFn::Identity(), 1e-4);
+    for (const XiMap& other : c.rest) {
+      const double alt =
+          FastDiscreteCost(fn, t, c.m, other, WeightFn::Identity(), 1e-4);
+      EXPECT_LE(best, alt * (1.0 + 1e-9))
+          << MethodName(c.m) << " best=" << c.best.name()
+          << " other=" << other.name() << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST_P(ComparisonAlphaTest, Corollary3WorstIsComplementOfBest) {
+  const double alpha = GetParam();
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t = 1 << 20;
+  const TruncatedDistribution fn(f, t);
+  // For T1, best = descending, worst = ascending (its complement) among
+  // the named maps.
+  const double asc = FastDiscreteCost(fn, t, Method::kT1,
+                                      XiMap::Ascending());
+  for (const XiMap& xi :
+       {XiMap::Descending(), XiMap::RoundRobin(),
+        XiMap::ComplementaryRoundRobin(), XiMap::Uniform()}) {
+    EXPECT_GE(asc * (1.0 + 1e-9),
+              FastDiscreteCost(fn, t, Method::kT1, xi))
+        << xi.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, ComparisonAlphaTest,
+                         ::testing::Values(1.6, 1.7, 2.1, 2.5, 3.0));
+
+TEST(ComparisonTest, T1StrictlyBetterThanE1InTheGapRegime) {
+  // alpha in (4/3, 1.5]: c(T1, xi_D) finite, c(E1, xi_D) infinite.
+  const double alpha = 1.45;
+  EXPECT_TRUE(
+      IsFiniteAsymptoticCost(Method::kT1, XiMap::Descending(), alpha));
+  EXPECT_FALSE(
+      IsFiniteAsymptoticCost(Method::kE1, XiMap::Descending(), alpha));
+}
+
+TEST(ComparisonTest, FourRegimesOfVertexIterator) {
+  // Section 4.2: thresholds at 4/3 (T1+D), 1.5 (T2), 2 (T1+A).
+  const XiMap d = XiMap::Descending();
+  const XiMap a = XiMap::Ascending();
+  EXPECT_FALSE(IsFiniteAsymptoticCost(Method::kT1, d, 1.30));
+  EXPECT_TRUE(IsFiniteAsymptoticCost(Method::kT1, d, 1.40));
+  EXPECT_FALSE(IsFiniteAsymptoticCost(Method::kT2, d, 1.40));
+  EXPECT_TRUE(IsFiniteAsymptoticCost(Method::kT2, d, 1.60));
+  EXPECT_FALSE(IsFiniteAsymptoticCost(Method::kT1, a, 1.90));
+  EXPECT_TRUE(IsFiniteAsymptoticCost(Method::kT1, a, 2.10));
+}
+
+}  // namespace
+}  // namespace trilist

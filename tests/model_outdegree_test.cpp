@@ -1,0 +1,201 @@
+#include "src/core/out_degree_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/core/discrete_model.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/residual_generator.h"
+#include "src/order/pipeline.h"
+#include "src/sim/cost_measurement.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace trilist {
+namespace {
+
+TEST(DegreesByLabelTest, AppliesPermutation) {
+  const std::vector<int64_t> asc = {1, 2, 5, 9};
+  const Permutation desc(std::vector<uint32_t>{3, 2, 1, 0});
+  EXPECT_EQ(DegreesByLabel(asc, desc),
+            (std::vector<int64_t>{9, 5, 2, 1}));
+  const Permutation id(4);
+  EXPECT_EQ(DegreesByLabel(asc, id), asc);
+}
+
+TEST(ExpectedOutDegreesTest, HandComputedSmallCase) {
+  // Degrees by label (1, 2, 3); total weight 6 with w = identity.
+  // E[X_0] = 1 * 0 / (6-1) = 0
+  // E[X_1] = 2 * 1 / (6-2) = 0.5
+  // E[X_2] = 3 * 3 / (6-3) = 3
+  const std::vector<int64_t> by_label = {1, 2, 3};
+  const auto x = ExpectedOutDegrees(by_label);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(ExpectedOutDegreesTest, SumsToEdgeCountApproximately) {
+  // sum_i E[X_i] should approximate m = sum d / 2; the denominators
+  // 2m - w(d_i) make it exact only asymptotically, so allow a small gap.
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 100);
+  Rng rng(3);
+  std::vector<int64_t> degrees(10000);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  std::sort(degrees.begin(), degrees.end());
+  const auto by_label =
+      DegreesByLabel(degrees, Permutation(degrees.size()));
+  const auto x = ExpectedOutDegrees(by_label);
+  const double m =
+      std::accumulate(degrees.begin(), degrees.end(), 0.0) / 2.0;
+  const double total = std::accumulate(x.begin(), x.end(), 0.0);
+  EXPECT_NEAR(total, m, m * 0.01);
+}
+
+TEST(ExpectedOutDegreesTest, ZeroAndSingleNode) {
+  EXPECT_TRUE(ExpectedOutDegrees({}).empty());
+  const auto single = ExpectedOutDegrees({5});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 0.0);  // no other nodes to point at
+}
+
+TEST(QFractionsTest, MonotoneUnderAscendingOrder) {
+  // Under theta_A, q_i grows with the label (more weight below you).
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 100);
+  Rng rng(5);
+  std::vector<int64_t> degrees(5000);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  std::sort(degrees.begin(), degrees.end());
+  const auto q = ExpectedSmallerNeighborFractions(
+      DegreesByLabel(degrees, Permutation(degrees.size())));
+  for (size_t i = 1; i < q.size(); ++i) {
+    EXPECT_GE(q[i] + 1e-12, q[i - 1]) << i;
+  }
+  EXPECT_GE(q.front(), 0.0);
+  EXPECT_LE(q.back(), 1.0);
+}
+
+TEST(QFractionsTest, ReversalComplementsQ) {
+  // q_i(theta') = 1 - q_i(theta) in the limit; at finite n the identity
+  // q(theta)_label + q(theta')_mirror ~ 1 holds up to the self-exclusion
+  // term.
+  const DiscretePareto base(2.1, 33.0);
+  const TruncatedDistribution fn(base, 50);
+  Rng rng(7);
+  std::vector<int64_t> degrees(20000);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  std::sort(degrees.begin(), degrees.end());
+  const size_t n = degrees.size();
+  const Permutation asc(n);
+  const auto q_asc = ExpectedSmallerNeighborFractions(
+      DegreesByLabel(degrees, asc));
+  const auto q_desc = ExpectedSmallerNeighborFractions(
+      DegreesByLabel(degrees, asc.Reverse()));
+  for (size_t pos = 0; pos < n; pos += 997) {
+    const size_t label_asc = asc(pos);
+    const size_t label_desc = n - 1 - label_asc;
+    EXPECT_NEAR(q_asc[label_asc] + q_desc[label_desc], 1.0, 0.01)
+        << pos;
+  }
+}
+
+TEST(OutDegreeModelTest, MatchesSimulatedOutDegrees) {
+  // Average realized X_i over many exact-degree graphs and compare with
+  // Eq. (12) positionally (bucketed to smooth the noise).
+  const size_t n = 2000;
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 44);  // sqrt(2000) ~ 44
+  Rng rng(11);
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  MakeGraphic(&degrees);
+  std::vector<int64_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  const Permutation theta = DescendingPermutation(n);
+  const auto by_label = DegreesByLabel(sorted, theta);
+  const auto model_x = ExpectedOutDegrees(by_label);
+
+  std::vector<double> mean_x(n, 0.0);
+  const int kGraphs = 40;
+  for (int rep = 0; rep < kGraphs; ++rep) {
+    auto g = GenerateExactDegree(degrees, &rng);
+    ASSERT_TRUE(g.ok());
+    const OrientedGraph og =
+        OrientNamed(*g, PermutationKind::kDescending);
+    for (size_t i = 0; i < n; ++i) {
+      mean_x[i] += static_cast<double>(og.OutDegree(static_cast<NodeId>(i)));
+    }
+  }
+  for (double& x : mean_x) x /= kGraphs;
+
+  // Bucket 10 consecutive labels to reduce variance, then compare.
+  const size_t kBucket = 100;
+  for (size_t start = 0; start + kBucket <= n; start += kBucket) {
+    double sim = 0.0;
+    double model = 0.0;
+    for (size_t i = start; i < start + kBucket; ++i) {
+      sim += mean_x[i];
+      model += model_x[i];
+    }
+    if (model < 10.0) continue;  // skip near-empty buckets
+    EXPECT_NEAR(sim, model, std::max(5.0, 0.15 * model))
+        << "bucket " << start;
+  }
+}
+
+TEST(SequenceConditionalCostTest, AgreesWithMeasuredCost) {
+  // Proposition 4: the q-based cost tracks measured cost on realized
+  // graphs of the same sequence.
+  const size_t n = 20000;
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 141);
+  Rng rng(13);
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  MakeGraphic(&degrees);
+  std::vector<int64_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (Method m : {Method::kT1, Method::kT2, Method::kE1}) {
+    const double model = SequenceConditionalCost(
+        sorted, DescendingPermutation(n), m);
+    RunningStats sim;
+    for (int rep = 0; rep < 5; ++rep) {
+      auto g = GenerateExactDegree(degrees, &rng);
+      ASSERT_TRUE(g.ok());
+      sim.Add(MeasurePerNodeCost(*g, m, PermutationKind::kDescending,
+                                 nullptr));
+    }
+    EXPECT_NEAR(sim.Mean(), model, model * 0.10) << MethodName(m);
+  }
+}
+
+TEST(SequenceConditionalCostTest, ConvergesToDistributionModel) {
+  // Sampling the sequence from F_n and plugging into Proposition 4 must
+  // approach Eq. (50) as n grows (Theorem 1's mechanism).
+  const DiscretePareto base(1.7, 21.0);
+  const int64_t t_n = 316;
+  const TruncatedDistribution fn(base, t_n);
+  const double eq50 =
+      ExactDiscreteCost(fn, t_n, Method::kT1, XiMap::Descending());
+  Rng rng(17);
+  const size_t n = 100000;
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  std::sort(degrees.begin(), degrees.end());
+  const double seq_model = SequenceConditionalCost(
+      degrees, DescendingPermutation(n), Method::kT1);
+  EXPECT_NEAR(seq_model, eq50, eq50 * 0.05);
+}
+
+}  // namespace
+}  // namespace trilist

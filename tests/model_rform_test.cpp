@@ -1,0 +1,91 @@
+#include "src/core/r_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/discrete_model.h"
+#include "src/core/h_function.h"
+#include "src/degree/pareto.h"
+#include "src/degree/simple_distributions.h"
+#include "src/degree/truncated.h"
+
+namespace trilist {
+namespace {
+
+TEST(RFunctionTest, IncreasingForIdentityAndCappedWeights) {
+  // Corollary 1's premise: g(x)/w(x) is increasing for w(x) = min(x, a).
+  EXPECT_TRUE(IsRIncreasing(10000, WeightFn::Identity()));
+  EXPECT_TRUE(IsRIncreasing(10000, WeightFn::Capped(50.0)));
+  EXPECT_TRUE(IsRIncreasing(10000, WeightFn::Capped(1.0)));
+}
+
+TEST(RFunctionTest, EvalRMatchesDirectComputation) {
+  // r(x) = g(J^{-1}(x)) / w(J^{-1}(x)); at x just below J(k) the inverse
+  // is k.
+  const DiscretePareto base(2.1, 33.0);
+  const TruncatedDistribution fn(base, 200);
+  const auto j = SpreadTable(fn, 200);
+  for (int64_t k : {5, 20, 80}) {
+    const double x = j[static_cast<size_t>(k - 1)] - 1e-9;
+    const double expected =
+        GFunction(static_cast<double>(k)) / static_cast<double>(k);
+    EXPECT_NEAR(EvalR(fn, 200, x), expected, 1e-9) << k;
+  }
+}
+
+TEST(RFunctionTest, RIsNonDecreasingInX) {
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 300);
+  double prev = -1.0;
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    const double r = EvalR(fn, 300, x);
+    EXPECT_GE(r, prev) << x;
+    prev = r;
+  }
+}
+
+class RFormEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Method, int>> {};
+
+TEST_P(RFormEquivalenceTest, Lemma4MatchesEq50) {
+  // Eq. (37) is a change of variables of Eq. (29)/(50); numerically the
+  // two routes must agree up to in-block discretization error.
+  const auto [method, xi_index] = GetParam();
+  const XiMap xis[] = {XiMap::Ascending(), XiMap::Descending(),
+                       XiMap::RoundRobin(), XiMap::Uniform()};
+  const XiMap& xi = xis[xi_index];
+  const DiscretePareto base(2.1, 33.0);
+  const int64_t t_n = 3000;
+  const TruncatedDistribution fn(base, t_n);
+  const double via_50 = ExactDiscreteCost(fn, t_n, method, xi);
+  const double via_37 = CostViaRForm(fn, t_n, method, xi);
+  EXPECT_NEAR(via_37, via_50, via_50 * 0.02)
+      << MethodName(method) << " " << xi.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByMaps, RFormEquivalenceTest,
+    ::testing::Combine(::testing::Values(Method::kT1, Method::kT2,
+                                         Method::kE1, Method::kE4),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(RFormTest, ConstantDegreeIsProposition8PercolationPoint) {
+  // For constant degree, r is constant, so every map must give the same
+  // (37)-value = E[g(D)] E[h(U)]... except that J is degenerate: all maps
+  // see xi evaluated across the whole u-range uniformly. Verify the
+  // equal-cost conclusion across maps.
+  const ConstantDegree dist(8);
+  const double t1_asc = CostViaRForm(dist, 8, Method::kT1,
+                                     XiMap::Ascending());
+  const double t1_desc = CostViaRForm(dist, 8, Method::kT1,
+                                      XiMap::Descending());
+  const double t1_uni = CostViaRForm(dist, 8, Method::kT1, XiMap::Uniform());
+  EXPECT_NEAR(t1_asc, t1_desc, 1e-9);
+  EXPECT_NEAR(t1_asc, t1_uni, t1_uni * 1e-6);
+  // Proposition 8 value: E[g(D)] * E[h(U)] = 56 * 1/6.
+  EXPECT_NEAR(t1_asc, 56.0 / 6.0, 56.0 / 6.0 * 1e-3);
+}
+
+}  // namespace
+}  // namespace trilist

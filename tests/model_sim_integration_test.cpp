@@ -1,0 +1,134 @@
+#include "src/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/sim/cost_measurement.h"
+#include "src/sim/report.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(CostMeasurementTest, MatchesDirectComputationOnCompleteGraph) {
+  const Graph g = MakeComplete(12);
+  // K_12 under any orientation: T1 total = C(12, 3) = 220.
+  const double c =
+      MeasurePerNodeCost(g, Method::kT1, PermutationKind::kAscending,
+                         nullptr);
+  EXPECT_DOUBLE_EQ(c, 220.0 / 12.0);
+}
+
+TEST(CostMeasurementTest, SharedOrientationAcrossMethods) {
+  Rng rng(3);
+  const Graph g = GenerateGnp(200, 0.05, &rng);
+  const auto costs = MeasurePerNodeCosts(
+      g, {Method::kT1, Method::kT2, Method::kE1},
+      PermutationKind::kDescending, nullptr);
+  ASSERT_EQ(costs.size(), 3u);
+  // Proposition 2 on the shared orientation.
+  EXPECT_NEAR(costs[2], costs[0] + costs[1], 1e-9);
+}
+
+TEST(ExperimentTest, ResolveBetaDefault) {
+  ExperimentConfig config;
+  config.alpha = 1.5;
+  EXPECT_DOUBLE_EQ(ResolveBeta(config), 15.0);
+  config.beta = 21.5;
+  EXPECT_DOUBLE_EQ(ResolveBeta(config), 21.5);
+}
+
+TEST(ExperimentTest, ModelTracksSimulationAtModerateN) {
+  // The Table 6 setting (alpha = 1.5, root truncation): the model should
+  // land within a few percent of simulation already at n = 2e4.
+  ExperimentConfig config;
+  config.alpha = 1.5;
+  config.truncation = TruncationKind::kRoot;
+  config.n = 20000;
+  config.num_sequences = 3;
+  config.graphs_per_sequence = 2;
+  config.seed = 42;
+  const std::vector<ExperimentCell> cells = {
+      {Method::kT1, PermutationKind::kAscending},
+      {Method::kT1, PermutationKind::kDescending},
+      {Method::kT2, PermutationKind::kRoundRobin},
+  };
+  const auto results = RunExperiment(config, cells);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t c = 0; c < results.size(); ++c) {
+    EXPECT_EQ(results[c].sim.count(), 6u);
+    EXPECT_GT(results[c].model, 0.0);
+    EXPECT_LT(std::abs(results[c].ErrorPercent()), 10.0)
+        << "cell " << c << ": sim=" << results[c].sim.Mean()
+        << " model=" << results[c].model;
+  }
+  // And the qualitative ordering of Table 6: theta_D way below theta_A.
+  EXPECT_LT(results[1].sim.Mean() * 2.0, results[0].sim.Mean());
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  ExperimentConfig config;
+  config.alpha = 1.7;
+  config.truncation = TruncationKind::kRoot;
+  config.n = 2000;
+  config.num_sequences = 2;
+  config.graphs_per_sequence = 1;
+  config.seed = 7;
+  const std::vector<ExperimentCell> cells = {
+      {Method::kT2, PermutationKind::kDescending}};
+  const auto a = RunExperiment(config, cells);
+  const auto b = RunExperiment(config, cells);
+  EXPECT_DOUBLE_EQ(a[0].sim.Mean(), b[0].sim.Mean());
+}
+
+TEST(ExperimentTest, LimitFieldReflectsFiniteness) {
+  ExperimentConfig config;
+  config.alpha = 1.5;
+  config.truncation = TruncationKind::kRoot;
+  config.n = 1000;
+  config.num_sequences = 1;
+  config.graphs_per_sequence = 1;
+  const std::vector<ExperimentCell> cells = {
+      {Method::kT1, PermutationKind::kDescending},  // finite (4/3 < 1.5)
+      {Method::kT1, PermutationKind::kAscending},   // infinite (needs > 2)
+      {Method::kE1, PermutationKind::kDescending},  // boundary: infinite
+  };
+  const auto results = RunExperiment(config, cells);
+  EXPECT_TRUE(std::isfinite(results[0].limit));
+  EXPECT_TRUE(std::isinf(results[1].limit));
+  EXPECT_TRUE(std::isinf(results[2].limit));
+}
+
+TEST(ReportTest, RendersTableWithAllColumns) {
+  PaperTableSpec spec;
+  spec.title = "smoke";
+  spec.base.alpha = 1.7;
+  spec.base.truncation = TruncationKind::kRoot;
+  spec.base.num_sequences = 1;
+  spec.base.graphs_per_sequence = 1;
+  spec.base.seed = 5;
+  spec.cells = {{Method::kT2, PermutationKind::kDescending}};
+  spec.sizes = {1000, 2000};
+  std::ostringstream out;
+  RunAndPrintPaperTable(spec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("=== smoke ==="), std::string::npos);
+  EXPECT_NE(text.find("T2+theta_D sim"), std::string::npos);
+  EXPECT_NE(text.find("T2+theta_D (50)"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("inf"), std::string::npos);  // the n = inf row
+  EXPECT_NE(text.find("seed=5"), std::string::npos);
+}
+
+TEST(ReportTest, CellLabelFormat) {
+  EXPECT_EQ(CellLabel({Method::kE4,
+                       PermutationKind::kComplementaryRoundRobin}),
+            "E4+theta_CRR");
+}
+
+}  // namespace
+}  // namespace trilist

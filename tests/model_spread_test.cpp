@@ -1,0 +1,165 @@
+#include "src/core/spread.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/continuous_model.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/pareto.h"
+#include "src/degree/simple_distributions.h"
+#include "src/degree/truncated.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(SpreadTableTest, IsACdf) {
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 500);
+  const auto j = SpreadTable(fn, 500);
+  ASSERT_EQ(j.size(), 500u);
+  double prev = 0.0;
+  for (double v : j) {
+    EXPECT_GE(v, prev - 1e-15);
+    prev = v;
+  }
+  EXPECT_NEAR(j.back(), 1.0, 1e-12);
+}
+
+TEST(SpreadTableTest, SpreadStochasticallyDominatesDegree) {
+  // The inspection paradox: J(x) <= F_n(x) pointwise (size bias favors
+  // larger degrees).
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 300);
+  const auto j = SpreadTable(fn, 300);
+  for (int64_t k = 1; k <= 300; ++k) {
+    EXPECT_LE(j[static_cast<size_t>(k - 1)],
+              fn.Cdf(static_cast<double>(k)) + 1e-12)
+        << k;
+  }
+}
+
+TEST(SpreadTableTest, CappedWeightReducesBias) {
+  // With w(x) = min(x, 1), J should coincide with F_n (no bias).
+  const DiscretePareto base(1.5, 15.0);
+  const TruncatedDistribution fn(base, 200);
+  const auto j = SpreadTable(fn, 200, WeightFn::Capped(1.0));
+  for (int64_t k = 1; k <= 200; ++k) {
+    EXPECT_NEAR(j[static_cast<size_t>(k - 1)],
+                fn.Cdf(static_cast<double>(k)), 1e-12)
+        << k;
+  }
+}
+
+TEST(SpreadAtTest, MatchesTable) {
+  const DiscretePareto base(2.1, 33.0);
+  const TruncatedDistribution fn(base, 400);
+  const auto table = SpreadTable(fn, 400);
+  for (int64_t x : {1, 10, 100, 400}) {
+    EXPECT_NEAR(SpreadAt(fn, 400, x), table[static_cast<size_t>(x - 1)],
+                1e-12);
+  }
+}
+
+TEST(SpreadClosedFormTest, MatchesEq19ForLargeTruncation) {
+  // The discrete spread of the discretized Pareto approaches the
+  // continuous closed form (19) when truncation is far out.
+  const double alpha = 1.7;
+  const double beta = 21.0;
+  const DiscretePareto base(alpha, beta);
+  const TruncatedDistribution fn(base, 2000000);
+  const ContinuousPareto cont(alpha, beta);
+  for (int64_t x : {5, 15, 40, 100, 400}) {
+    const double discrete = SpreadAt(fn, 2000000, x);
+    const double closed = cont.SpreadCdf(static_cast<double>(x));
+    EXPECT_NEAR(discrete, closed, 0.02) << x;
+  }
+}
+
+TEST(SpreadClosedFormTest, Eq19MatchesNumericPrefix) {
+  // J(x) = M(x) / E[D] with M the weighted prefix integral.
+  const ContinuousPareto f(2.3, 39.0);
+  for (double x : {1.0, 10.0, 50.0, 300.0}) {
+    EXPECT_NEAR(f.SpreadCdf(x), ParetoWeightedPrefix(f, x) / f.Mean(),
+                1e-10)
+        << x;
+  }
+}
+
+TEST(SpreadClosedFormTest, ParetoSpreadHasHeavierTail) {
+  // 1 - J(x) ~ x^(1-alpha): shape alpha - 1, one heavier than F's alpha.
+  const ContinuousPareto f(2.0, 30.0);
+  const double x1 = 1e5;
+  const double x2 = 1e6;
+  const double tail_ratio =
+      (1.0 - f.SpreadCdf(x1)) / (1.0 - f.SpreadCdf(x2));
+  // For shape alpha-1 = 1, tail ratio across one decade ~ 10.
+  EXPECT_NEAR(std::log10(tail_ratio), 1.0, 0.05);
+}
+
+TEST(InspectionParadoxTest, WeightedPickConvergesToSpread) {
+  // Proposition 5: picking node i proportional to w(D_i) yields degree
+  // distribution J in the limit.
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 100);
+  Rng rng(21);
+  const size_t n = 20000;
+  std::vector<int64_t> degrees(n);
+  double total_weight = 0.0;
+  for (auto& d : degrees) {
+    d = fn.Sample(&rng);
+    total_weight += static_cast<double>(d);
+  }
+  // Empirical CDF of the weighted pick (exact, no sampling noise).
+  std::vector<double> mass(101, 0.0);
+  for (int64_t d : degrees) {
+    mass[static_cast<size_t>(d)] += static_cast<double>(d) / total_weight;
+  }
+  const auto j = SpreadTable(fn, 100);
+  double cum = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) {
+    cum += mass[static_cast<size_t>(k)];
+    EXPECT_NEAR(cum, j[static_cast<size_t>(k - 1)], 0.03) << k;
+  }
+}
+
+TEST(EmpiricalSpreadTest, Lemma2Convergence) {
+  // q_{ceil(nu)}(theta_A) -> J(F^{-1}(u)): the empirical weighted prefix
+  // at ascending position nu approaches the spread at the u-quantile.
+  const DiscretePareto base(1.7, 21.0);
+  const TruncatedDistribution fn(base, 200);
+  Rng rng(23);
+  const size_t n = 50000;
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  const auto empirical = EmpiricalSpread(degrees);
+  const auto j = SpreadTable(fn, 200);
+  for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const size_t pos = static_cast<size_t>(u * n);
+    const int64_t quantile = fn.Quantile(u);
+    // Compare against J just below the quantile (ties inflate slightly).
+    const double target = j[static_cast<size_t>(quantile - 1)];
+    EXPECT_NEAR(empirical[pos], target, 0.05) << "u=" << u;
+  }
+}
+
+TEST(EmpiricalSpreadTest, HandlesEmptyAndUniformDegrees) {
+  EXPECT_TRUE(EmpiricalSpread({}).empty());
+  const auto j = EmpiricalSpread({3, 3, 3, 3});
+  ASSERT_EQ(j.size(), 4u);
+  EXPECT_NEAR(j[0], 0.25, 1e-12);
+  EXPECT_NEAR(j[3], 1.0, 1e-12);
+}
+
+TEST(WeightFnTest, IdentityAndCapped) {
+  const WeightFn id = WeightFn::Identity();
+  EXPECT_EQ(id(5.0), 5.0);
+  EXPECT_EQ(id(1e12), 1e12);
+  const WeightFn capped = WeightFn::Capped(10.0);
+  EXPECT_EQ(capped(5.0), 5.0);
+  EXPECT_EQ(capped(50.0), 10.0);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,163 @@
+#include "src/graph/oriented_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/graph/edge_set.h"
+#include "src/order/pipeline.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(OrientedGraphTest, TriangleUnderIdentityLabels) {
+  const Graph g = MakeComplete(3);
+  const std::vector<NodeId> labels = {0, 1, 2};
+  const OrientedGraph og = OrientedGraph::FromLabels(g, labels);
+  EXPECT_EQ(og.num_nodes(), 3u);
+  EXPECT_EQ(og.num_arcs(), 3u);
+  EXPECT_EQ(og.OutDegree(0), 0);
+  EXPECT_EQ(og.OutDegree(1), 1);
+  EXPECT_EQ(og.OutDegree(2), 2);
+  EXPECT_EQ(og.InDegree(0), 2);
+  EXPECT_EQ(og.InDegree(2), 0);
+  EXPECT_TRUE(og.HasArc(2, 0));
+  EXPECT_TRUE(og.HasArc(2, 1));
+  EXPECT_TRUE(og.HasArc(1, 0));
+  EXPECT_FALSE(og.HasArc(0, 1));
+  EXPECT_FALSE(og.HasArc(0, 2));
+}
+
+TEST(OrientedGraphTest, RelabelingPermutesStructure) {
+  // Path 0-1-2 with labels reversed: original 0 -> label 2, etc.
+  const Graph g = MakePath(3);
+  const OrientedGraph og =
+      OrientedGraph::FromLabels(g, {2, 1, 0});
+  EXPECT_EQ(og.OriginalOf(2), 0u);
+  EXPECT_EQ(og.OriginalOf(0), 2u);
+  // Original edges (0,1) and (1,2) become arcs 2->1 and 1->0.
+  EXPECT_TRUE(og.HasArc(2, 1));
+  EXPECT_TRUE(og.HasArc(1, 0));
+  EXPECT_FALSE(og.HasArc(2, 0));
+}
+
+TEST(OrientedGraphTest, ListsAreSortedAndPartitioned) {
+  Rng rng(3);
+  const Graph g = GenerateGnp(200, 0.05, &rng);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kUniform, &rng);
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    const auto node = static_cast<NodeId>(i);
+    const auto out = og.OutNeighbors(node);
+    const auto in = og.InNeighbors(node);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+    for (NodeId w : out) EXPECT_LT(w, node);
+    for (NodeId w : in) EXPECT_GT(w, node);
+    EXPECT_EQ(og.TotalDegree(node), og.OutDegree(node) + og.InDegree(node));
+  }
+}
+
+class OrientationInvariantTest
+    : public ::testing::TestWithParam<PermutationKind> {};
+
+TEST_P(OrientationInvariantTest, ArcCountsAndDegreeSums) {
+  Rng rng(17);
+  const Graph g = GenerateGnp(300, 0.03, &rng);
+  const OrientedGraph og = OrientNamed(g, GetParam(), &rng);
+  EXPECT_EQ(og.num_arcs(), g.num_edges());
+  int64_t sum_x = 0;
+  int64_t sum_y = 0;
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    sum_x += og.OutDegree(static_cast<NodeId>(i));
+    sum_y += og.InDegree(static_cast<NodeId>(i));
+  }
+  // sum X_i = sum Y_i = m (Section 2.3).
+  EXPECT_EQ(sum_x, static_cast<int64_t>(g.num_edges()));
+  EXPECT_EQ(sum_y, static_cast<int64_t>(g.num_edges()));
+}
+
+TEST_P(OrientationInvariantTest, TotalDegreePreserved) {
+  Rng rng(19);
+  const Graph g = GenerateGnp(300, 0.03, &rng);
+  const OrientedGraph og = OrientNamed(g, GetParam(), &rng);
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    const auto node = static_cast<NodeId>(i);
+    EXPECT_EQ(og.TotalDegree(node),
+              g.Degree(og.OriginalOf(node)));
+  }
+}
+
+TEST_P(OrientationInvariantTest, OriginalOfIsBijective) {
+  Rng rng(23);
+  const Graph g = GenerateGnp(100, 0.1, &rng);
+  const OrientedGraph og = OrientNamed(g, GetParam(), &rng);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    const NodeId orig = og.OriginalOf(static_cast<NodeId>(i));
+    ASSERT_LT(orig, g.num_nodes());
+    EXPECT_FALSE(seen[orig]);
+    seen[orig] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, OrientationInvariantTest,
+    ::testing::Values(PermutationKind::kAscending,
+                      PermutationKind::kDescending,
+                      PermutationKind::kRoundRobin,
+                      PermutationKind::kComplementaryRoundRobin,
+                      PermutationKind::kUniform,
+                      PermutationKind::kDegenerate));
+
+TEST(OrientedGraphTest, AscendingDegreeRanksSortByDegreeThenId) {
+  // Degrees: star center 0 has degree 4, leaves degree 1.
+  const Graph g = MakeStar(5);
+  const auto rank = AscendingDegreeRanks(g);
+  EXPECT_EQ(rank[0], 4u);  // the hub is last
+  // Leaves keep ID order.
+  EXPECT_EQ(rank[1], 0u);
+  EXPECT_EQ(rank[2], 1u);
+  EXPECT_EQ(rank[3], 2u);
+  EXPECT_EQ(rank[4], 3u);
+}
+
+TEST(OrientedGraphTest, DescendingOrientationBoundsHubOutDegree) {
+  // Under theta_D the hub gets the smallest label, hence out-degree 0.
+  const Graph g = MakeStar(6);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kDescending);
+  // Hub's label is 0.
+  EXPECT_EQ(og.OriginalOf(0), 0u);
+  EXPECT_EQ(og.OutDegree(0), 0);
+  EXPECT_EQ(og.InDegree(0), 5);
+}
+
+TEST(OrientedGraphTest, AscendingOrientationGivesHubFullOutDegree) {
+  const Graph g = MakeStar(6);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kAscending);
+  const auto hub_label = static_cast<NodeId>(5);
+  EXPECT_EQ(og.OriginalOf(hub_label), 0u);
+  EXPECT_EQ(og.OutDegree(hub_label), 5);
+}
+
+TEST(DirectedEdgeSetTest, ContainsExactlyTheArcs) {
+  Rng rng(29);
+  const Graph g = GenerateGnp(80, 0.1, &rng);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kUniform, &rng);
+  const DirectedEdgeSet arcs(og);
+  EXPECT_EQ(arcs.size(), og.num_arcs());
+  for (size_t i = 0; i < og.num_nodes(); ++i) {
+    const auto from = static_cast<NodeId>(i);
+    for (NodeId to : og.OutNeighbors(from)) {
+      EXPECT_TRUE(arcs.Contains(from, to));
+      EXPECT_FALSE(arcs.Contains(to, from));
+    }
+  }
+  EXPECT_FALSE(arcs.Contains(0, 0));
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,228 @@
+#include "src/order/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/h_function.h"
+#include "src/order/named_orders.h"
+#include "src/order/optimal.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(PermutationTest, IdentityByDefault) {
+  Permutation p(5);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(p(i), i);
+  EXPECT_TRUE(p.IsValid());
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  Permutation p(std::vector<uint32_t>{2, 0, 3, 1});
+  const Permutation inv = p.Inverse();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inv(p(i)), i);
+    EXPECT_EQ(p(inv(i)), i);
+  }
+}
+
+TEST(PermutationTest, ReverseFormula) {
+  Permutation p(std::vector<uint32_t>{2, 0, 3, 1});
+  const Permutation rev = p.Reverse();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rev(i), 3 - p(i));
+  }
+  EXPECT_TRUE(rev.IsValid());
+}
+
+TEST(PermutationTest, ComplementFormula) {
+  Permutation p(std::vector<uint32_t>{2, 0, 3, 1});
+  const Permutation comp = p.Complement();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(comp(i), p(3 - i));
+  }
+}
+
+TEST(PermutationTest, ReverseAndComplementAreInvolutions) {
+  Rng rng(5);
+  const Permutation p = UniformPermutation(64, &rng);
+  const Permutation rr = p.Reverse().Reverse();
+  const Permutation cc = p.Complement().Complement();
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(rr(i), p(i));
+    EXPECT_EQ(cc(i), p(i));
+  }
+}
+
+TEST(NamedOrdersTest, AscendingDescending) {
+  const Permutation asc = AscendingPermutation(6);
+  const Permutation desc = DescendingPermutation(6);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(asc(i), i);
+    EXPECT_EQ(desc(i), 5 - i);
+  }
+  // theta_D is the reverse of theta_A.
+  const Permutation rev = asc.Reverse();
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(rev(i), desc(i));
+}
+
+TEST(NamedOrdersTest, RoundRobinMatchesEq32) {
+  // Eq. (32), 1-based: odd i -> ceil((n+i)/2), even i -> floor((n-i)/2)+1.
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 10u, 11u, 100u}) {
+    const Permutation rr = RoundRobinPermutation(n);
+    ASSERT_TRUE(rr.IsValid()) << n;
+    for (size_t j = 0; j < n; ++j) {
+      const size_t i = j + 1;
+      const size_t expected =
+          (i % 2 == 1) ? (n + i + 1) / 2 : (n - i) / 2 + 1;
+      EXPECT_EQ(rr(j), expected - 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(NamedOrdersTest, RoundRobinSpreadsLargePositionsToEnds) {
+  // The two largest positions (largest degrees) must land on labels
+  // 0 or n-1.
+  const size_t n = 100;
+  const Permutation rr = RoundRobinPermutation(n);
+  const uint32_t last = rr(n - 1);
+  const uint32_t second_last = rr(n - 2);
+  EXPECT_TRUE(last == 0 || last == n - 1);
+  EXPECT_TRUE(second_last == 0 || second_last == n - 1);
+  EXPECT_NE(last, second_last);
+}
+
+TEST(NamedOrdersTest, CrrIsComplementOfRr) {
+  const size_t n = 37;
+  const Permutation rr = RoundRobinPermutation(n);
+  const Permutation crr = ComplementaryRoundRobinPermutation(n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(crr(i), rr(n - 1 - i));
+  }
+}
+
+TEST(NamedOrdersTest, CrrPutsLargePositionsInMiddle) {
+  const size_t n = 101;
+  const Permutation crr = ComplementaryRoundRobinPermutation(n);
+  const double mid = (n - 1) / 2.0;
+  // The largest position maps near the middle...
+  EXPECT_LT(std::abs(static_cast<double>(crr(n - 1)) - mid), 2.0);
+  // ...and the smallest position maps near an end.
+  const double d0 = std::min<double>(crr(0), n - 1 - crr(0));
+  EXPECT_LT(d0, 2.0);
+}
+
+TEST(NamedOrdersTest, UniformIsValidAndSeeded) {
+  Rng rng1(7);
+  Rng rng2(7);
+  const Permutation a = UniformPermutation(100, &rng1);
+  const Permutation b = UniformPermutation(100, &rng2);
+  EXPECT_TRUE(a.IsValid());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(a(i), b(i));
+}
+
+TEST(NamedOrdersTest, UniformCoversAllPositionsEvenly) {
+  Rng rng(9);
+  const size_t n = 6;
+  std::map<uint32_t, int> where_zero_goes;
+  const int kTrials = 6000;
+  for (int t = 0; t < kTrials; ++t) {
+    const Permutation p = UniformPermutation(n, &rng);
+    ++where_zero_goes[p(0)];
+  }
+  for (size_t label = 0; label < n; ++label) {
+    EXPECT_NEAR(where_zero_goes[static_cast<uint32_t>(label)],
+                kTrials / static_cast<int>(n), 150);
+  }
+}
+
+TEST(NamedOrdersTest, MakePermutationDispatch) {
+  Rng rng(1);
+  for (PermutationKind kind :
+       {PermutationKind::kAscending, PermutationKind::kDescending,
+        PermutationKind::kRoundRobin,
+        PermutationKind::kComplementaryRoundRobin,
+        PermutationKind::kUniform}) {
+    const Permutation p = MakePermutation(kind, 33, &rng);
+    EXPECT_TRUE(p.IsValid()) << PermutationKindName(kind);
+    EXPECT_EQ(p.size(), 33u);
+  }
+}
+
+TEST(NamedOrdersTest, KindNames) {
+  EXPECT_STREQ(PermutationKindName(PermutationKind::kDescending), "theta_D");
+  EXPECT_STREQ(PermutationKindName(PermutationKind::kRoundRobin),
+               "theta_RR");
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (optimal permutations).
+// ---------------------------------------------------------------------------
+
+TEST(OptimalPermutationTest, T1RecoverDescending) {
+  // h increasing + r increasing => descending order optimal (Cor. 1).
+  const auto h = HOf(Method::kT1);
+  const size_t n = 16;
+  const Permutation opt = OptimalPermutation(h, /*r_increasing=*/true, n);
+  const Permutation desc = DescendingPermutation(n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(opt(i), desc(i)) << i;
+}
+
+TEST(OptimalPermutationTest, T3RecoverAscending) {
+  const auto h = HOf(Method::kT3);
+  const size_t n = 16;
+  const Permutation opt = OptimalPermutation(h, true, n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(opt(i), i) << i;
+}
+
+TEST(OptimalPermutationTest, T2ProducesRrLikeOrder) {
+  // For h = x(1-x) the largest positions must get extreme labels.
+  const auto h = HOf(Method::kT2);
+  const size_t n = 101;
+  const Permutation opt = OptimalPermutation(h, true, n);
+  EXPECT_TRUE(opt.IsValid());
+  const uint32_t biggest = opt(n - 1);
+  EXPECT_TRUE(biggest == 0 || biggest == n - 1) << biggest;
+  // Smallest position pairs with the largest h, i.e. a middle label.
+  const double mid = (n - 1) / 2.0;
+  EXPECT_LT(std::abs(static_cast<double>(opt(0)) - mid), 2.0);
+}
+
+TEST(OptimalPermutationTest, E4ProducesCrrLikeOrder) {
+  const auto h = HOf(Method::kE4);
+  const size_t n = 101;
+  const Permutation opt = OptimalPermutation(h, true, n);
+  // h of E4 is largest at the ends, so the smallest position takes an end
+  // label and the biggest position a middle label.
+  const uint32_t smallest = opt(0);
+  EXPECT_TRUE(smallest == 0 || smallest == n - 1);
+  const double mid = (n - 1) / 2.0;
+  EXPECT_LT(std::abs(static_cast<double>(opt(n - 1)) - mid), 2.0);
+}
+
+TEST(OptimalPermutationTest, DecreasingRMirrors) {
+  const auto h = HOf(Method::kT1);
+  const size_t n = 16;
+  const Permutation inc = OptimalPermutation(h, true, n);
+  const Permutation dec = OptimalPermutation(h, false, n);
+  // Opposite monotonicity of r flips the sort order; with strictly
+  // monotone h this is exactly the complement relationship on keys.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dec(i), inc(n - 1 - i));
+  }
+}
+
+TEST(OptimalPermutationTest, WorstIsComplementOfBest) {
+  const auto h = HOf(Method::kT2);
+  const size_t n = 33;
+  const Permutation best = OptimalPermutation(h, true, n);
+  const Permutation worst = WorstPermutation(h, true, n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(worst(i), best(n - 1 - i));
+  }
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,113 @@
+#include "src/core/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/fast_model.h"
+#include "src/core/xi_map.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+
+namespace trilist {
+namespace {
+
+TEST(SpreadTailRateTest, BranchesOfEq46) {
+  // alpha > 1: x^(1-alpha), independent of t_n.
+  EXPECT_DOUBLE_EQ(SpreadTailRate(1.5, 100.0, 1e6),
+                   std::pow(100.0, -0.5));
+  // alpha = 1: 1 - log(x)/log(t_n).
+  EXPECT_NEAR(SpreadTailRate(1.0, 100.0, 1e6),
+              1.0 - std::log(100.0) / std::log(1e6), 1e-12);
+  // alpha < 1: 1 - (x/t_n)^(1-alpha).
+  EXPECT_NEAR(SpreadTailRate(0.5, 100.0, 1e6),
+              1.0 - std::sqrt(100.0) / std::sqrt(1e6), 1e-12);
+  // Tails decrease in x.
+  for (double alpha : {0.5, 1.0, 1.5}) {
+    EXPECT_GT(SpreadTailRate(alpha, 10.0, 1e6),
+              SpreadTailRate(alpha, 1000.0, 1e6));
+  }
+}
+
+TEST(ScalingRateTest, Eq47Branches) {
+  EXPECT_DOUBLE_EQ(T1ScalingRate(4.0 / 3.0, 1e6), std::log(1e6));
+  EXPECT_NEAR(T1ScalingRate(1.2, 1e6), std::pow(1e6, 0.2), 1e-9);
+  EXPECT_NEAR(T1ScalingRate(1.0, 1e6),
+              1e3 / (std::log(1e6) * std::log(1e6)), 1e-9);
+  EXPECT_NEAR(T1ScalingRate(0.8, 1e6), std::pow(1e6, 0.6), 1e-6);
+}
+
+TEST(ScalingRateTest, Eq48Branches) {
+  EXPECT_DOUBLE_EQ(E1ScalingRate(1.5, 1e6), std::log(1e6));
+  EXPECT_NEAR(E1ScalingRate(1.2, 1e6), std::pow(1e6, 0.3), 1e-9);
+  EXPECT_NEAR(E1ScalingRate(1.0, 1e6), 1e3 / std::log(1e6), 1e-9);
+  EXPECT_NEAR(E1ScalingRate(0.8, 1e6), std::pow(1e6, 0.6), 1e-6);
+}
+
+TEST(ScalingRateTest, T1GrowsSlowerThanE1InsideUnitGap) {
+  // Section 6.3: a_n = o(b_n) on the shared divergence range alpha in
+  // [1, 4/3); for alpha < 1 the two rates coincide. (a_n is only defined
+  // up to T1's own threshold 4/3.)
+  for (double alpha : {1.05, 1.15, 1.25, 1.32}) {
+    const double r6 = T1ScalingRate(alpha, 1e6) / E1ScalingRate(alpha, 1e6);
+    const double r9 = T1ScalingRate(alpha, 1e9) / E1ScalingRate(alpha, 1e9);
+    EXPECT_LT(r9, r6) << alpha;
+  }
+  for (double alpha : {0.5, 0.8}) {
+    EXPECT_DOUBLE_EQ(T1ScalingRate(alpha, 1e8), E1ScalingRate(alpha, 1e8))
+        << alpha;
+  }
+}
+
+TEST(ScalingRateTest, ModelGrowthTracksEq47UnderRootTruncation) {
+  // E[c_n(T1, theta_D)] / a_n should approach a constant: check that the
+  // ratio moves by less across decades than the cost itself.
+  const double alpha = 1.2;
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const XiMap xi = XiMap::Descending();
+  double prev_cost = 0.0;
+  double prev_ratio = 0.0;
+  double cost_drift = 0.0;
+  double ratio_drift = 0.0;
+  for (double n : {1e6, 1e8, 1e10}) {
+    const auto t = static_cast<int64_t>(std::sqrt(n));
+    const TruncatedDistribution fn(f, t);
+    const double cost = FastDiscreteCost(fn, t, Method::kT1, xi,
+                                         WeightFn::Identity(), 1e-5);
+    const double ratio = cost / T1ScalingRate(alpha, n);
+    if (prev_cost > 0.0) {
+      cost_drift += std::abs(std::log(cost / prev_cost));
+      ratio_drift += std::abs(std::log(ratio / prev_ratio));
+    }
+    prev_cost = cost;
+    prev_ratio = ratio;
+  }
+  EXPECT_LT(ratio_drift, cost_drift * 0.35);
+}
+
+TEST(ScalingRateTest, E1ModelGrowthTracksEq48) {
+  const double alpha = 1.2;
+  const DiscretePareto f = DiscretePareto::PaperParameterization(alpha);
+  const XiMap xi = XiMap::Descending();
+  double prev_cost = 0.0;
+  double prev_ratio = 0.0;
+  double cost_drift = 0.0;
+  double ratio_drift = 0.0;
+  for (double n : {1e6, 1e8, 1e10}) {
+    const auto t = static_cast<int64_t>(std::sqrt(n));
+    const TruncatedDistribution fn(f, t);
+    const double cost = FastDiscreteCost(fn, t, Method::kE1, xi,
+                                         WeightFn::Identity(), 1e-5);
+    const double ratio = cost / E1ScalingRate(alpha, n);
+    if (prev_cost > 0.0) {
+      cost_drift += std::abs(std::log(cost / prev_cost));
+      ratio_drift += std::abs(std::log(ratio / prev_ratio));
+    }
+    prev_cost = cost;
+    prev_ratio = ratio;
+  }
+  EXPECT_LT(ratio_drift, cost_drift * 0.35);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/spread.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/simple_distributions.h"
+#include "src/degree/truncated.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Proposition 3 / AMRC behavior (Definition 1).
+// ---------------------------------------------------------------------------
+
+TEST(AmrcTest, FiniteVarianceKeepsMaxDegreeBelowRoot) {
+  // Proposition 3 with c = 1/2: E[D^2] < inf implies P(L_n > sqrt(n)) -> 0.
+  // At test-affordable n the decay is only visible for fast tails
+  // (n P(D > sqrt(n)) ~ beta^alpha n^{1 - alpha/2}), so use alpha = 4.
+  const DiscretePareto light(4.0, 3.0);
+  Rng rng(3);
+  auto exceed_fraction = [&](size_t n, int reps) {
+    int exceed = 0;
+    const double root = std::sqrt(static_cast<double>(n));
+    for (int r = 0; r < reps; ++r) {
+      int64_t max_degree = 0;
+      for (size_t i = 0; i < n; ++i) {
+        max_degree = std::max(max_degree, light.Sample(&rng));
+      }
+      if (static_cast<double>(max_degree) > root) ++exceed;
+    }
+    return static_cast<double>(exceed) / reps;
+  };
+  const double small = exceed_fraction(300, 80);
+  const double large = exceed_fraction(30000, 80);
+  EXPECT_LT(large, small);
+  EXPECT_LT(large, 0.06);
+  EXPECT_GT(small, 0.10);  // the contrast is real, not vacuous
+}
+
+TEST(AmrcTest, HeavyTailViolatesRootBoundUnderLinearTruncation) {
+  // alpha = 1.2 with linear truncation: the max degree lands far above
+  // sqrt(n) essentially always — the unconstrained case of Section 3.1.
+  const DiscretePareto heavy(1.2, 6.0);
+  Rng rng(5);
+  const size_t n = 20000;
+  const TruncatedDistribution fn(heavy, static_cast<int64_t>(n) - 1);
+  int exceed = 0;
+  const int kReps = 20;
+  for (int r = 0; r < kReps; ++r) {
+    int64_t max_degree = 0;
+    for (size_t i = 0; i < n; ++i) {
+      max_degree = std::max(max_degree, fn.Sample(&rng));
+    }
+    if (static_cast<double>(max_degree) >
+        std::sqrt(static_cast<double>(n))) {
+      ++exceed;
+    }
+  }
+  EXPECT_GT(exceed, kReps / 2);
+}
+
+TEST(AmrcTest, RootTruncationIsDeterministicallyConstrained) {
+  const DiscretePareto heavy(1.2, 6.0);
+  Rng rng(7);
+  const size_t n = 10000;
+  const TruncatedDistribution fn(
+      heavy, TruncationPoint(TruncationKind::kRoot,
+                             static_cast<int64_t>(n)));
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LE(static_cast<double>(fn.Sample(&rng)),
+              std::sqrt(static_cast<double>(n)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spread identities (Section 4.1).
+// ---------------------------------------------------------------------------
+
+TEST(SpreadIdentityTest, MeanOfSpreadIsSecondMomentRatio) {
+  // With w(x) = x, E[S] = E[D^2] / E[D] (the size-bias identity behind
+  // the inspection paradox).
+  const DiscretePareto base(2.5, 45.0);
+  const int64_t t = 5000;
+  const TruncatedDistribution fn(base, t);
+  double ed = 0.0;
+  double ed2 = 0.0;
+  for (int64_t k = 1; k <= t; ++k) {
+    const double p = fn.Pmf(k);
+    ed += static_cast<double>(k) * p;
+    ed2 += static_cast<double>(k) * static_cast<double>(k) * p;
+  }
+  const auto j = SpreadTable(fn, t);
+  // E[S] = sum_k k (J(k) - J(k-1)).
+  double es = j[0];
+  for (int64_t k = 2; k <= t; ++k) {
+    es += static_cast<double>(k) *
+          (j[static_cast<size_t>(k - 1)] - j[static_cast<size_t>(k - 2)]);
+  }
+  EXPECT_NEAR(es, ed2 / ed, es * 1e-9);
+}
+
+TEST(SpreadIdentityTest, GeometricSpreadMatchesSizeBiasedForm) {
+  // For any discrete D with w(x)=x, P(S=k) = k P(D=k) / E[D]; verify the
+  // full PMF for the geometric.
+  const GeometricDegree d(0.25);
+  const int64_t t = 200;
+  const TruncatedDistribution fn(d, t);
+  double ed = 0.0;
+  for (int64_t k = 1; k <= t; ++k) ed += static_cast<double>(k) * fn.Pmf(k);
+  const auto j = SpreadTable(fn, t);
+  double prev = 0.0;
+  for (int64_t k = 1; k <= 50; ++k) {
+    const double spread_pmf = j[static_cast<size_t>(k - 1)] - prev;
+    prev = j[static_cast<size_t>(k - 1)];
+    EXPECT_NEAR(spread_pmf, static_cast<double>(k) * fn.Pmf(k) / ed, 1e-12)
+        << k;
+  }
+}
+
+TEST(SpreadIdentityTest, SpreadOfConstantIsDegenerate) {
+  const ConstantDegree d(6);
+  const auto j = SpreadTable(d, 6);
+  for (size_t k = 0; k < 5; ++k) EXPECT_EQ(j[k], 0.0);
+  EXPECT_DOUBLE_EQ(j[5], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Degree sequences at scale: graphicality frequency (Section 1.2).
+// ---------------------------------------------------------------------------
+
+TEST(GraphicalityFrequencyTest, RootTruncatedSequencesAlmostAlwaysGraphic) {
+  // The paper assumes D_n is graphic w.p. 1 - o(1) or fixable by one
+  // edge. Empirically: under root truncation, every sampled sequence with
+  // an even sum should already be graphic.
+  const DiscretePareto base(1.5, 15.0);
+  Rng rng(11);
+  const size_t n = 5000;
+  const TruncatedDistribution fn(
+      base, TruncationPoint(TruncationKind::kRoot,
+                            static_cast<int64_t>(n)));
+  int even_and_graphic = 0;
+  int even_total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
+    if (!seq.HasEvenSum()) continue;
+    ++even_total;
+    if (IsGraphic(seq.degrees())) ++even_and_graphic;
+  }
+  EXPECT_EQ(even_and_graphic, even_total);
+  EXPECT_GT(even_total, 5);  // sanity: parity is ~50/50
+}
+
+}  // namespace
+}  // namespace trilist

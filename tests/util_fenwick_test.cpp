@@ -1,0 +1,138 @@
+#include "src/util/fenwick_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(FenwickTest, EmptyTree) {
+  FenwickTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Total(), 0);
+}
+
+TEST(FenwickTest, ZeroInitialized) {
+  FenwickTree t(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.Total(), 0);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t.Get(i), 0);
+}
+
+TEST(FenwickTest, BulkConstructionMatchesAdds) {
+  const std::vector<int64_t> weights = {3, 1, 4, 1, 5, 9, 2, 6};
+  FenwickTree bulk(weights);
+  FenwickTree incremental(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    incremental.Add(i, weights[i]);
+  }
+  EXPECT_EQ(bulk.Total(), incremental.Total());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(bulk.PrefixSum(i), incremental.PrefixSum(i)) << i;
+    EXPECT_EQ(bulk.Get(i), weights[i]);
+  }
+}
+
+TEST(FenwickTest, PrefixSumsAreCumulative) {
+  const std::vector<int64_t> weights = {2, 0, 7, 1};
+  FenwickTree t(weights);
+  EXPECT_EQ(t.PrefixSum(0), 2);
+  EXPECT_EQ(t.PrefixSum(1), 2);
+  EXPECT_EQ(t.PrefixSum(2), 9);
+  EXPECT_EQ(t.PrefixSum(3), 10);
+  EXPECT_EQ(t.Total(), 10);
+}
+
+TEST(FenwickTest, AddAndSetUpdate) {
+  FenwickTree t(4);
+  t.Add(1, 5);
+  t.Add(3, 2);
+  EXPECT_EQ(t.Total(), 7);
+  t.Set(1, 1);
+  EXPECT_EQ(t.Get(1), 1);
+  EXPECT_EQ(t.Total(), 3);
+  t.Add(1, -1);
+  EXPECT_EQ(t.Get(1), 0);
+  EXPECT_EQ(t.Total(), 2);
+}
+
+TEST(FenwickTest, SampleIndexPicksByPrefix) {
+  // weights: [2, 0, 3, 1]; prefix sums [2, 2, 5, 6].
+  FenwickTree t(std::vector<int64_t>{2, 0, 3, 1});
+  EXPECT_EQ(t.SampleIndex(0), 0u);
+  EXPECT_EQ(t.SampleIndex(1), 0u);
+  EXPECT_EQ(t.SampleIndex(2), 2u);
+  EXPECT_EQ(t.SampleIndex(3), 2u);
+  EXPECT_EQ(t.SampleIndex(4), 2u);
+  EXPECT_EQ(t.SampleIndex(5), 3u);
+}
+
+TEST(FenwickTest, SampleIndexNeverPicksZeroWeight) {
+  FenwickTree t(std::vector<int64_t>{0, 5, 0, 0, 7, 0});
+  for (int64_t target = 0; target < t.Total(); ++target) {
+    const size_t idx = t.SampleIndex(target);
+    EXPECT_TRUE(idx == 1 || idx == 4) << target;
+  }
+}
+
+TEST(FenwickTest, WeightedSamplingMatchesProportions) {
+  FenwickTree t(std::vector<int64_t>{1, 2, 3, 4});
+  Rng rng(5);
+  std::vector<int> hits(4, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++hits[t.SampleIndex(static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(t.Total()))))];
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    const double expected = kN * static_cast<double>(i + 1) / 10.0;
+    EXPECT_NEAR(hits[i], expected, 5.0 * std::sqrt(expected)) << i;
+  }
+}
+
+TEST(FenwickTest, RandomizedAgainstNaive) {
+  Rng rng(31);
+  const size_t n = 257;  // non-power-of-two size
+  std::vector<int64_t> naive(n, 0);
+  FenwickTree t(n);
+  for (int step = 0; step < 2000; ++step) {
+    const size_t i = rng.NextBounded(n);
+    const int64_t delta = rng.NextInRange(-3, 10);
+    if (naive[i] + delta < 0) continue;
+    naive[i] += delta;
+    t.Add(i, delta);
+  }
+  int64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += naive[i];
+    ASSERT_EQ(t.PrefixSum(i), acc) << i;
+    ASSERT_EQ(t.Get(i), naive[i]) << i;
+  }
+  // SampleIndex inverse property: for every target, the returned slot is
+  // the first with PrefixSum > target.
+  if (t.Total() > 0) {
+    for (int64_t target : {int64_t{0}, t.Total() / 2, t.Total() - 1}) {
+      const size_t idx = t.SampleIndex(target);
+      EXPECT_GT(t.PrefixSum(idx), target);
+      if (idx > 0) {
+        EXPECT_LE(t.PrefixSum(idx - 1), target);
+      }
+    }
+  }
+}
+
+TEST(FenwickTest, SingleSlot) {
+  FenwickTree t(1);
+  t.Add(0, 42);
+  EXPECT_EQ(t.Total(), 42);
+  EXPECT_EQ(t.SampleIndex(0), 0u);
+  EXPECT_EQ(t.SampleIndex(41), 0u);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,110 @@
+#include "src/util/flat_hash_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(FlatHashSetTest, StartsEmpty) {
+  FlatHashSet64 s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(FlatHashSetTest, InsertAndContains) {
+  FlatHashSet64 s;
+  EXPECT_TRUE(s.Insert(7));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatHashSetTest, DuplicateInsertReturnsFalse) {
+  FlatHashSet64 s;
+  EXPECT_TRUE(s.Insert(100));
+  EXPECT_FALSE(s.Insert(100));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatHashSetTest, GrowsBeyondInitialCapacity) {
+  FlatHashSet64 s;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(s.Insert(i * 2654435761ull));
+  }
+  EXPECT_EQ(s.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(s.Contains(i * 2654435761ull));
+  }
+  EXPECT_FALSE(s.Contains(999999999999ull));
+}
+
+TEST(FlatHashSetTest, EraseRemovesAndKeepsChains) {
+  FlatHashSet64 s;
+  for (uint64_t i = 0; i < 1000; ++i) s.Insert(i);
+  // Delete evens; odds must still be findable despite probe-chain shifts.
+  for (uint64_t i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(s.Erase(i));
+  }
+  EXPECT_EQ(s.size(), 500u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(s.Contains(i), i % 2 == 1) << i;
+  }
+}
+
+TEST(FlatHashSetTest, EraseMissingReturnsFalse) {
+  FlatHashSet64 s;
+  s.Insert(5);
+  EXPECT_FALSE(s.Erase(6));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatHashSetTest, ClearKeepsCapacityDropsKeys) {
+  FlatHashSet64 s;
+  for (uint64_t i = 0; i < 100; ++i) s.Insert(i);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(s.Contains(i));
+  EXPECT_TRUE(s.Insert(3));
+}
+
+TEST(FlatHashSetTest, ReserveAvoidsRehash) {
+  FlatHashSet64 s(100000);
+  for (uint64_t i = 0; i < 100000; ++i) s.Insert(i + 1);
+  EXPECT_EQ(s.size(), 100000u);
+}
+
+TEST(FlatHashSetTest, RandomizedAgainstStdSet) {
+  Rng rng(77);
+  FlatHashSet64 s;
+  std::set<uint64_t> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBounded(512);  // force collisions
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const bool inserted = s.Insert(key);
+        EXPECT_EQ(inserted, reference.insert(key).second);
+        break;
+      }
+      case 1: {
+        const bool erased = s.Erase(key);
+        EXPECT_EQ(erased, reference.erase(key) > 0);
+        break;
+      }
+      default:
+        EXPECT_EQ(s.Contains(key), reference.count(key) > 0);
+    }
+    ASSERT_EQ(s.size(), reference.size());
+  }
+  for (uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(s.Contains(key), reference.count(key) > 0) << key;
+  }
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,80 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 5.0);
+  EXPECT_EQ(s.Max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sum of squared deviations = 32; sample variance = 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+  EXPECT_NEAR(s.StdError(), s.StdDev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsPooled) {
+  Rng rng(3);
+  RunningStats a;
+  RunningStats b;
+  RunningStats pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    (i % 3 == 0 ? a : b).Add(x);
+    pooled.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.Mean(), pooled.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), pooled.Variance(), 1e-9);
+  EXPECT_EQ(a.Min(), pooled.Min());
+  EXPECT_EQ(a.Max(), pooled.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  RunningStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.Mean(), 2.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,78 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace trilist {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotGraphic("deg").code(), StatusCode::kNotGraphic);
+  EXPECT_EQ(Status::GenerationStuck("g").code(),
+            StatusCode::kGenerationStuck);
+  EXPECT_EQ(Status::NotImplemented("n").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotGraphic("odd sum").ToString(),
+            "NotGraphic: odd sum");
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::OutOfRange("deep"); };
+  auto outer = [&]() -> Status {
+    TRILIST_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, ReturnNotOkMacroPassesThroughOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    TRILIST_RETURN_NOT_OK(inner());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,65 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace trilist {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"n", "cost"});
+  t.AddRow({"10", "1.5"});
+  t.AddRow({"10000", "142.85"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| n     | cost   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 10000 | 142.85 |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, HeaderUnderline) {
+  TablePrinter t({"a"});
+  t.AddRow({"x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("|---|"), std::string::npos) << out;
+}
+
+TEST(FormatNumberTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatNumber(1354.5, 1), "1,354.5");
+  EXPECT_EQ(FormatNumber(142.85, 2), "142.85");
+  EXPECT_EQ(FormatNumber(1234567.0, 0), "1,234,567");
+  EXPECT_EQ(FormatNumber(-1234.5, 1), "-1,234.5");
+  EXPECT_EQ(FormatNumber(0.5, 1), "0.5");
+}
+
+TEST(FormatNumberTest, SpecialValues) {
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::infinity(), 1), "inf");
+  EXPECT_EQ(FormatNumber(-std::numeric_limits<double>::infinity(), 1),
+            "-inf");
+  EXPECT_EQ(FormatNumber(std::nan(""), 1), "nan");
+}
+
+TEST(FormatCountTest, Separators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(41000000), "41,000,000");
+}
+
+TEST(FormatOpsTest, PaperStyleUnits) {
+  EXPECT_EQ(FormatOps(150e9), "150B");
+  EXPECT_EQ(FormatOps(123e12), "123T");
+  EXPECT_EQ(FormatOps(1.5e6), "1.50M");
+  EXPECT_EQ(FormatOps(62e12), "62.0T");
+  EXPECT_EQ(FormatOps(500.0), "500");
+  EXPECT_EQ(FormatOps(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(FormatPercentTest, SignAndDigits) {
+  EXPECT_EQ(FormatPercent(-2.2, 1), "-2.2%");
+  EXPECT_EQ(FormatPercent(0.003, 3), "0.003%");
+  EXPECT_EQ(FormatPercent(71.1, 1), "71.1%");
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,81 @@
+#include "src/algo/wedge_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/brute_force.h"
+#include "src/algo/local_counts.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/builder.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(WedgeSamplingTest, CompleteGraphIsFullyClosed) {
+  Rng rng(1);
+  const auto est =
+      EstimateTrianglesByWedgeSampling(MakeComplete(10), 2000, &rng);
+  EXPECT_DOUBLE_EQ(est.transitivity, 1.0);
+  EXPECT_NEAR(est.triangles, 120.0, 1e-9);
+  EXPECT_EQ(est.samples, 2000u);
+  EXPECT_EQ(est.closed, 2000u);
+}
+
+TEST(WedgeSamplingTest, TriangleFreeGraphEstimatesZero) {
+  Rng rng(2);
+  const auto est =
+      EstimateTrianglesByWedgeSampling(MakeStar(50), 2000, &rng);
+  EXPECT_EQ(est.closed, 0u);
+  EXPECT_DOUBLE_EQ(est.triangles, 0.0);
+}
+
+TEST(WedgeSamplingTest, DegenerateInputs) {
+  Rng rng(3);
+  const auto empty =
+      EstimateTrianglesByWedgeSampling(MakeEmpty(5), 100, &rng);
+  EXPECT_EQ(empty.samples, 0u);
+  EXPECT_EQ(empty.wedges, 0.0);
+  const auto single_edge = EstimateTrianglesByWedgeSampling(
+      MakePath(2), 100, &rng);
+  EXPECT_EQ(single_edge.samples, 0u);  // no wedges in a single edge
+}
+
+TEST(WedgeSamplingTest, EstimateWithinConfidenceOfTruth) {
+  Rng rng(5);
+  const Graph g = GenerateGnp(400, 0.06, &rng);
+  const TriangleStats truth = ComputeTriangleStats(g);
+  const auto est = EstimateTrianglesByWedgeSampling(g, 50000, &rng);
+  EXPECT_EQ(est.wedges, truth.wedges);
+  // 99% confidence band, with a safety factor for the test.
+  EXPECT_NEAR(est.transitivity, truth.transitivity,
+              2.0 * est.confidence99);
+  const double tri_tolerance =
+      2.0 * est.confidence99 * est.wedges / 3.0;
+  EXPECT_NEAR(est.triangles, static_cast<double>(truth.triangles),
+              tri_tolerance);
+}
+
+TEST(WedgeSamplingTest, ConfidenceShrinksWithSamples) {
+  Rng rng(7);
+  const Graph g = GenerateGnp(100, 0.1, &rng);
+  const auto coarse = EstimateTrianglesByWedgeSampling(g, 100, &rng);
+  const auto fine = EstimateTrianglesByWedgeSampling(g, 10000, &rng);
+  // Wald band ~ sqrt(k(1-k)/s): two orders of magnitude more samples
+  // shrink it by roughly 10x (the estimate itself also fluctuates).
+  EXPECT_LT(fine.confidence99, coarse.confidence99 * 0.3);
+  EXPECT_GT(fine.confidence99, 0.0);
+}
+
+TEST(WedgeSamplingTest, DeterministicGivenSeed) {
+  const Graph g = MakeBowTie(6);
+  Rng a(9);
+  Rng b(9);
+  const auto ea = EstimateTrianglesByWedgeSampling(g, 500, &a);
+  const auto eb = EstimateTrianglesByWedgeSampling(g, 500, &b);
+  EXPECT_EQ(ea.closed, eb.closed);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,109 @@
+#include "src/degree/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/truncated.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(ZipfTest, PmfProportionalToPowerLaw) {
+  const ZipfDegree z(2.0, 1000);
+  // p(k) / p(2k) = (2k)^s / k^s = 2^s = 4.
+  for (int64_t k : {1, 5, 50, 400}) {
+    EXPECT_NEAR(z.Pmf(k) / z.Pmf(2 * k), 4.0, 1e-9) << k;
+  }
+}
+
+TEST(ZipfTest, CdfNormalized) {
+  const ZipfDegree z(1.5, 500);
+  EXPECT_DOUBLE_EQ(z.Cdf(500.0), 1.0);
+  EXPECT_DOUBLE_EQ(z.Cdf(5000.0), 1.0);
+  EXPECT_EQ(z.Cdf(0.5), 0.0);
+  double total = 0.0;
+  for (int64_t k = 1; k <= 500; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, QuantileInverts) {
+  const ZipfDegree z(1.2, 300);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t k = z.Sample(&rng);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 300);
+  }
+  EXPECT_EQ(z.Quantile(0.0), 1);
+  EXPECT_EQ(z.Quantile(0.999999), 300);
+}
+
+TEST(ZipfTest, MeanMatchesDirectSum) {
+  const ZipfDegree z(2.5, 200);
+  double direct = 0.0;
+  for (int64_t k = 1; k <= 200; ++k) {
+    direct += static_cast<double>(k) * z.Pmf(k);
+  }
+  EXPECT_NEAR(z.Mean(), direct, 1e-12);
+}
+
+TEST(ZipfTest, PlugsIntoTheCostModel) {
+  // Zipf s corresponds to Pareto tail alpha = s - 1; with s = 3.2 the
+  // T1+theta_D limit is finite and the ordering T1 < T2 holds.
+  const ZipfDegree z(3.2, 1 << 20);
+  const double t1 = AsymptoticCost(z, Method::kT1, XiMap::Descending());
+  const double t2 = AsymptoticCost(z, Method::kT2, XiMap::RoundRobin());
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(ShiftedPoissonTest, MomentsAndSupport) {
+  const ShiftedPoissonDegree d(4.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 5.0);
+  double total = 0.0;
+  double mean = 0.0;
+  for (int64_t k = 1; k <= d.MaxSupport(); ++k) {
+    total += d.Pmf(k);
+    mean += static_cast<double>(k) * d.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mean, 5.0, 1e-7);
+}
+
+TEST(ShiftedPoissonTest, PmfRecurrence) {
+  // P(D = k+1) / P(D = k) = lambda / k for the shifted Poisson.
+  const ShiftedPoissonDegree d(3.0);
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(d.Pmf(k + 1) / d.Pmf(k), 3.0 / static_cast<double>(k),
+                1e-9)
+        << k;
+  }
+}
+
+TEST(ShiftedPoissonTest, SamplingMatchesMean) {
+  const ShiftedPoissonDegree d(7.5);
+  Rng rng(5);
+  double acc = 0.0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) acc += static_cast<double>(d.Sample(&rng));
+  EXPECT_NEAR(acc / kN, 8.5, 0.05);
+}
+
+TEST(ShiftedPoissonTest, LightTailMakesEveryLimitFinite) {
+  // All four methods have finite limits for any alpha-equivalent > 2
+  // light tail; Algorithm 2 on the Poisson converges to small constants
+  // and theta_D still beats theta_A for T1.
+  const ShiftedPoissonDegree d(10.0);
+  const double t1_d = AsymptoticCost(d, Method::kT1, XiMap::Descending());
+  const double t1_a = AsymptoticCost(d, Method::kT1, XiMap::Ascending());
+  EXPECT_GT(t1_d, 0.0);
+  EXPECT_LT(t1_d, t1_a);
+  EXPECT_LT(t1_a, 200.0);  // light tails: everything is cheap
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,254 @@
+/// \file trilist_cli.cpp
+/// Command-line front end covering the library's main workflows:
+///
+///   trilist_cli generate --n N --alpha A [--trunc root|linear]
+///                        [--seed S] --out FILE
+///       Sample a truncated-Pareto degree sequence, realize it exactly,
+///       write the graph as an edge list.
+///
+///   trilist_cli count --in FILE [--method T1|T2|E1|E4|...]
+///                     [--order D|A|RR|CRR|U|degen] [--seed S]
+///       Relabel + orient an edge-list graph and list its triangles,
+///       reporting the count and the operation metrics.
+///
+///   trilist_cli model --alpha A [--n N] [--trunc root|linear]
+///                     [--method M] [--order O] [--eps E]
+///       Evaluate the exact discrete cost model Eq. (50) at n and the
+///       asymptotic limit via Algorithm 2.
+///
+///   trilist_cli advise --alpha A [--speedup X]
+///       Recommend a method + ordering for a Pareto graph family.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/algo/registry.h"
+#include "src/core/advisor.h"
+#include "src/core/discrete_model.h"
+#include "src/core/fast_model.h"
+#include "src/core/limits.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/residual_generator.h"
+#include "src/graph/io.h"
+#include "src/order/pipeline.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace trilist;
+
+/// Minimal --flag value parser: flags() returns "" for missing keys.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    const std::string v = Get(key);
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+  uint64_t GetUint(const std::string& key, uint64_t def) const {
+    const std::string v = Get(key);
+    return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bool ParseMethod(const std::string& name, Method* out) {
+  for (Method m : AllMethods()) {
+    if (name == MethodName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseOrder(const std::string& name, PermutationKind* out) {
+  static const std::map<std::string, PermutationKind> kOrders = {
+      {"D", PermutationKind::kDescending},
+      {"A", PermutationKind::kAscending},
+      {"RR", PermutationKind::kRoundRobin},
+      {"CRR", PermutationKind::kComplementaryRoundRobin},
+      {"U", PermutationKind::kUniform},
+      {"degen", PermutationKind::kDegenerate},
+  };
+  const auto it = kOrders.find(name);
+  if (it == kOrders.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+TruncationKind ParseTrunc(const std::string& name) {
+  return name == "linear" ? TruncationKind::kLinear : TruncationKind::kRoot;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const auto n = static_cast<size_t>(flags.GetUint("n", 100000));
+  const double alpha = flags.GetDouble("alpha", 1.7);
+  const TruncationKind trunc = ParseTrunc(flags.Get("trunc", "root"));
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out FILE is required\n");
+    return 2;
+  }
+  Rng rng(seed);
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t_n = TruncationPoint(trunc, static_cast<int64_t>(n));
+  const TruncatedDistribution fn(base, t_n);
+  std::vector<int64_t> degrees =
+      DegreeSequence::SampleIid(fn, n, &rng).degrees();
+  MakeGraphic(&degrees);
+  Timer timer;
+  ResidualGenStats stats;
+  auto graph = GenerateExactDegree(degrees, &rng, &stats);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  const Status write = WriteEdgeListFile(*graph, out);
+  if (!write.ok()) {
+    std::fprintf(stderr, "%s\n", write.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: n=%zu m=%zu (alpha=%.3f trunc=%s seed=%llu, %.2fs, "
+      "unplaced stubs %lld)\n",
+      out.c_str(), graph->num_nodes(), graph->num_edges(), alpha,
+      TruncationKindName(trunc), static_cast<unsigned long long>(seed),
+      timer.ElapsedSeconds(), static_cast<long long>(stats.unplaced_stubs));
+  return 0;
+}
+
+int CmdCount(const Flags& flags) {
+  const std::string in = flags.Get("in");
+  if (in.empty()) {
+    std::fprintf(stderr, "count: --in FILE is required\n");
+    return 2;
+  }
+  Method method = Method::kE1;
+  if (!flags.Get("method").empty() &&
+      !ParseMethod(flags.Get("method"), &method)) {
+    std::fprintf(stderr, "unknown method '%s'\n",
+                 flags.Get("method").c_str());
+    return 2;
+  }
+  PermutationKind order = PermutationKind::kDescending;
+  if (!flags.Get("order").empty() &&
+      !ParseOrder(flags.Get("order"), &order)) {
+    std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
+    return 2;
+  }
+  auto graph = ReadEdgeListFile(in);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(flags.GetUint("seed", 1));
+  Timer timer;
+  const OrientedGraph og = OrientNamed(*graph, order, &rng);
+  CountingSink sink;
+  const OpCounts ops = RunMethod(method, og, &sink);
+  std::printf(
+      "%s + %s on %s (n=%zu m=%zu):\n  triangles %llu\n  paper-metric ops "
+      "%lld\n  wall time %.3fs\n",
+      MethodName(method), PermutationKindName(order), in.c_str(),
+      graph->num_nodes(), graph->num_edges(),
+      static_cast<unsigned long long>(sink.count()),
+      static_cast<long long>(ops.PaperCost()), timer.ElapsedSeconds());
+  return 0;
+}
+
+int CmdModel(const Flags& flags) {
+  const double alpha = flags.GetDouble("alpha", 1.7);
+  const auto n = static_cast<int64_t>(flags.GetUint("n", 1000000));
+  const TruncationKind trunc = ParseTrunc(flags.Get("trunc", "root"));
+  const double eps = flags.GetDouble("eps", 1e-5);
+  Method method = Method::kT1;
+  if (!flags.Get("method").empty() &&
+      !ParseMethod(flags.Get("method"), &method)) {
+    std::fprintf(stderr, "unknown method '%s'\n",
+                 flags.Get("method").c_str());
+    return 2;
+  }
+  PermutationKind order = PermutationKind::kDescending;
+  if (!flags.Get("order").empty() &&
+      !ParseOrder(flags.Get("order"), &order)) {
+    std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
+    return 2;
+  }
+  if (order == PermutationKind::kDegenerate) {
+    std::fprintf(stderr,
+                 "the degenerate order has no distribution-level model\n");
+    return 2;
+  }
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t_n = TruncationPoint(trunc, n);
+  const TruncatedDistribution fn(base, t_n);
+  const XiMap xi = XiMap::FromKind(order);
+  const double model = ExactDiscreteCost(fn, t_n, method, xi);
+  std::printf("E[c_n(%s, %s)] at n=%lld (%s truncation): %.4f\n",
+              MethodName(method), PermutationKindName(order),
+              static_cast<long long>(n), TruncationKindName(trunc), model);
+  if (IsFiniteAsymptoticCost(method, xi, alpha)) {
+    std::printf("asymptotic limit: %.4f\n",
+                AsymptoticCost(base, method, xi, WeightFn::Identity(), eps));
+  } else {
+    std::printf("asymptotic limit: infinite (finite iff alpha > %.4f)\n",
+                FinitenessThresholdAlpha(method, xi));
+  }
+  return 0;
+}
+
+int CmdAdvise(const Flags& flags) {
+  const double alpha = flags.GetDouble("alpha", 1.7);
+  const double speedup = flags.GetDouble("speedup", 95.0);
+  const MethodAdvice advice = AdviseForPareto(alpha, speedup);
+  std::printf("alpha=%.3f, scanning speedup %.0fx -> use %s with %s\n%s\n",
+              alpha, speedup, MethodName(advice.method),
+              PermutationKindName(advice.order), advice.rationale.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: trilist_cli <generate|count|model|advise> [--flag value]...\n"
+      "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
+      "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
+      "  model    --alpha A [--n N] [--trunc ...] [--method M] [--order O]\n"
+      "  advise   --alpha A [--speedup X]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "count") return CmdCount(flags);
+  if (cmd == "model") return CmdModel(flags);
+  if (cmd == "advise") return CmdAdvise(flags);
+  return Usage();
+}

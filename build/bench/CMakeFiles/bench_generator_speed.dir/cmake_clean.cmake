@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generator_speed.dir/bench_generator_speed.cpp.o"
+  "CMakeFiles/bench_generator_speed.dir/bench_generator_speed.cpp.o.d"
+  "bench_generator_speed"
+  "bench_generator_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generator_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

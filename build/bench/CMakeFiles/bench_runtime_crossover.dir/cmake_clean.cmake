@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_crossover.dir/bench_runtime_crossover.cpp.o"
+  "CMakeFiles/bench_runtime_crossover.dir/bench_runtime_crossover.cpp.o.d"
+  "bench_runtime_crossover"
+  "bench_runtime_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_laws.dir/bench_scaling_laws.cpp.o"
+  "CMakeFiles/bench_scaling_laws.dir/bench_scaling_laws.cpp.o.d"
+  "bench_scaling_laws"
+  "bench_scaling_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

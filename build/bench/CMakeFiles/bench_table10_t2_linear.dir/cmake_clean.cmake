@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_t2_linear.dir/bench_table10_t2_linear.cpp.o"
+  "CMakeFiles/bench_table10_t2_linear.dir/bench_table10_t2_linear.cpp.o.d"
+  "bench_table10_t2_linear"
+  "bench_table10_t2_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_t2_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

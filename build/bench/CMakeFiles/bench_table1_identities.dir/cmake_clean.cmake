@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_identities.dir/bench_table1_identities.cpp.o"
+  "CMakeFiles/bench_table1_identities.dir/bench_table1_identities.cpp.o.d"
+  "bench_table1_identities"
+  "bench_table1_identities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_identities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_model_computation.dir/bench_table5_model_computation.cpp.o"
+  "CMakeFiles/bench_table5_model_computation.dir/bench_table5_model_computation.cpp.o.d"
+  "bench_table5_model_computation"
+  "bench_table5_model_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_model_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_t1_root.dir/bench_table6_t1_root.cpp.o"
+  "CMakeFiles/bench_table6_t1_root.dir/bench_table6_t1_root.cpp.o.d"
+  "bench_table6_t1_root"
+  "bench_table6_t1_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_t1_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

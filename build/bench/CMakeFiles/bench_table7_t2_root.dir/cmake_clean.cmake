@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_t2_root.dir/bench_table7_t2_root.cpp.o"
+  "CMakeFiles/bench_table7_t2_root.dir/bench_table7_t2_root.cpp.o.d"
+  "bench_table7_t2_root"
+  "bench_table7_t2_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_t2_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

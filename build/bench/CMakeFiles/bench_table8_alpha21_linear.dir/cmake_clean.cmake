@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_alpha21_linear.dir/bench_table8_alpha21_linear.cpp.o"
+  "CMakeFiles/bench_table8_alpha21_linear.dir/bench_table8_alpha21_linear.cpp.o.d"
+  "bench_table8_alpha21_linear"
+  "bench_table8_alpha21_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_alpha21_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

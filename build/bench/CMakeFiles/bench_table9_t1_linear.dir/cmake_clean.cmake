@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_t1_linear.dir/bench_table9_t1_linear.cpp.o"
+  "CMakeFiles/bench_table9_t1_linear.dir/bench_table9_t1_linear.cpp.o.d"
+  "bench_table9_t1_linear"
+  "bench_table9_t1_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_t1_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_analysis.dir/clustering_analysis.cpp.o"
+  "CMakeFiles/clustering_analysis.dir/clustering_analysis.cpp.o.d"
+  "clustering_analysis"
+  "clustering_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_explorer.dir/cost_model_explorer.cpp.o"
+  "CMakeFiles/cost_model_explorer.dir/cost_model_explorer.cpp.o.d"
+  "cost_model_explorer"
+  "cost_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_vs_approximate.dir/exact_vs_approximate.cpp.o"
+  "CMakeFiles/exact_vs_approximate.dir/exact_vs_approximate.cpp.o.d"
+  "exact_vs_approximate"
+  "exact_vs_approximate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_vs_approximate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

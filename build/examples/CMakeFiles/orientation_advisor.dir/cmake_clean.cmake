@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orientation_advisor.dir/orientation_advisor.cpp.o"
+  "CMakeFiles/orientation_advisor.dir/orientation_advisor.cpp.o.d"
+  "orientation_advisor"
+  "orientation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orientation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

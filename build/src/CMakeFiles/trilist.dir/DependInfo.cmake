@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baselines.cpp" "src/CMakeFiles/trilist.dir/algo/baselines.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/baselines.cpp.o.d"
+  "/root/repo/src/algo/brute_force.cpp" "src/CMakeFiles/trilist.dir/algo/brute_force.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/brute_force.cpp.o.d"
+  "/root/repo/src/algo/cost.cpp" "src/CMakeFiles/trilist.dir/algo/cost.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/cost.cpp.o.d"
+  "/root/repo/src/algo/edge_iterator.cpp" "src/CMakeFiles/trilist.dir/algo/edge_iterator.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/edge_iterator.cpp.o.d"
+  "/root/repo/src/algo/intersect.cpp" "src/CMakeFiles/trilist.dir/algo/intersect.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/intersect.cpp.o.d"
+  "/root/repo/src/algo/local_counts.cpp" "src/CMakeFiles/trilist.dir/algo/local_counts.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/local_counts.cpp.o.d"
+  "/root/repo/src/algo/lookup_iterator.cpp" "src/CMakeFiles/trilist.dir/algo/lookup_iterator.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/lookup_iterator.cpp.o.d"
+  "/root/repo/src/algo/registry.cpp" "src/CMakeFiles/trilist.dir/algo/registry.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/registry.cpp.o.d"
+  "/root/repo/src/algo/triangle_sink.cpp" "src/CMakeFiles/trilist.dir/algo/triangle_sink.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/triangle_sink.cpp.o.d"
+  "/root/repo/src/algo/vertex_iterator.cpp" "src/CMakeFiles/trilist.dir/algo/vertex_iterator.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/vertex_iterator.cpp.o.d"
+  "/root/repo/src/algo/wedge_sampling.cpp" "src/CMakeFiles/trilist.dir/algo/wedge_sampling.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/algo/wedge_sampling.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/CMakeFiles/trilist.dir/core/advisor.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/advisor.cpp.o.d"
+  "/root/repo/src/core/continuous_model.cpp" "src/CMakeFiles/trilist.dir/core/continuous_model.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/continuous_model.cpp.o.d"
+  "/root/repo/src/core/discrete_model.cpp" "src/CMakeFiles/trilist.dir/core/discrete_model.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/discrete_model.cpp.o.d"
+  "/root/repo/src/core/fast_model.cpp" "src/CMakeFiles/trilist.dir/core/fast_model.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/fast_model.cpp.o.d"
+  "/root/repo/src/core/h_function.cpp" "src/CMakeFiles/trilist.dir/core/h_function.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/h_function.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/trilist.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/limits.cpp" "src/CMakeFiles/trilist.dir/core/limits.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/limits.cpp.o.d"
+  "/root/repo/src/core/out_degree_model.cpp" "src/CMakeFiles/trilist.dir/core/out_degree_model.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/out_degree_model.cpp.o.d"
+  "/root/repo/src/core/pmf_table.cpp" "src/CMakeFiles/trilist.dir/core/pmf_table.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/pmf_table.cpp.o.d"
+  "/root/repo/src/core/r_function.cpp" "src/CMakeFiles/trilist.dir/core/r_function.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/r_function.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/CMakeFiles/trilist.dir/core/scaling.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/scaling.cpp.o.d"
+  "/root/repo/src/core/spread.cpp" "src/CMakeFiles/trilist.dir/core/spread.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/spread.cpp.o.d"
+  "/root/repo/src/core/xi_map.cpp" "src/CMakeFiles/trilist.dir/core/xi_map.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/core/xi_map.cpp.o.d"
+  "/root/repo/src/degree/degree_sequence.cpp" "src/CMakeFiles/trilist.dir/degree/degree_sequence.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/degree_sequence.cpp.o.d"
+  "/root/repo/src/degree/distribution.cpp" "src/CMakeFiles/trilist.dir/degree/distribution.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/distribution.cpp.o.d"
+  "/root/repo/src/degree/graphicality.cpp" "src/CMakeFiles/trilist.dir/degree/graphicality.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/graphicality.cpp.o.d"
+  "/root/repo/src/degree/pareto.cpp" "src/CMakeFiles/trilist.dir/degree/pareto.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/pareto.cpp.o.d"
+  "/root/repo/src/degree/simple_distributions.cpp" "src/CMakeFiles/trilist.dir/degree/simple_distributions.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/simple_distributions.cpp.o.d"
+  "/root/repo/src/degree/truncated.cpp" "src/CMakeFiles/trilist.dir/degree/truncated.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/truncated.cpp.o.d"
+  "/root/repo/src/degree/zipf.cpp" "src/CMakeFiles/trilist.dir/degree/zipf.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/degree/zipf.cpp.o.d"
+  "/root/repo/src/gen/configuration_model.cpp" "src/CMakeFiles/trilist.dir/gen/configuration_model.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/gen/configuration_model.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/CMakeFiles/trilist.dir/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/preferential_attachment.cpp" "src/CMakeFiles/trilist.dir/gen/preferential_attachment.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/gen/preferential_attachment.cpp.o.d"
+  "/root/repo/src/gen/residual_generator.cpp" "src/CMakeFiles/trilist.dir/gen/residual_generator.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/gen/residual_generator.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/trilist.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/edge_set.cpp" "src/CMakeFiles/trilist.dir/graph/edge_set.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/graph/edge_set.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/trilist.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/trilist.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/oriented_graph.cpp" "src/CMakeFiles/trilist.dir/graph/oriented_graph.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/graph/oriented_graph.cpp.o.d"
+  "/root/repo/src/order/degenerate.cpp" "src/CMakeFiles/trilist.dir/order/degenerate.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/order/degenerate.cpp.o.d"
+  "/root/repo/src/order/named_orders.cpp" "src/CMakeFiles/trilist.dir/order/named_orders.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/order/named_orders.cpp.o.d"
+  "/root/repo/src/order/optimal.cpp" "src/CMakeFiles/trilist.dir/order/optimal.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/order/optimal.cpp.o.d"
+  "/root/repo/src/order/permutation.cpp" "src/CMakeFiles/trilist.dir/order/permutation.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/order/permutation.cpp.o.d"
+  "/root/repo/src/order/pipeline.cpp" "src/CMakeFiles/trilist.dir/order/pipeline.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/order/pipeline.cpp.o.d"
+  "/root/repo/src/sim/cost_measurement.cpp" "src/CMakeFiles/trilist.dir/sim/cost_measurement.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/sim/cost_measurement.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/trilist.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/trilist.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/sim/report.cpp.o.d"
+  "/root/repo/src/util/fenwick_tree.cpp" "src/CMakeFiles/trilist.dir/util/fenwick_tree.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/fenwick_tree.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/trilist.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/trilist.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/trilist.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/trilist.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/table_printer.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/trilist.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/util/timer.cpp.o.d"
+  "/root/repo/src/xm/partitioned.cpp" "src/CMakeFiles/trilist.dir/xm/partitioned.cpp.o" "gcc" "src/CMakeFiles/trilist.dir/xm/partitioned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_correctness_test.dir/algo_correctness_test.cpp.o"
+  "CMakeFiles/algo_correctness_test.dir/algo_correctness_test.cpp.o.d"
+  "algo_correctness_test"
+  "algo_correctness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degenerate_test.dir/degenerate_test.cpp.o"
+  "CMakeFiles/degenerate_test.dir/degenerate_test.cpp.o.d"
+  "degenerate_test"
+  "degenerate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degenerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_distribution_test.dir/degree_distribution_test.cpp.o"
+  "CMakeFiles/degree_distribution_test.dir/degree_distribution_test.cpp.o.d"
+  "degree_distribution_test"
+  "degree_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_graphicality_test.dir/degree_graphicality_test.cpp.o"
+  "CMakeFiles/degree_graphicality_test.dir/degree_graphicality_test.cpp.o.d"
+  "degree_graphicality_test"
+  "degree_graphicality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_graphicality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

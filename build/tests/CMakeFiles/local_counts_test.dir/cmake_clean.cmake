@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_counts_test.dir/local_counts_test.cpp.o"
+  "CMakeFiles/local_counts_test.dir/local_counts_test.cpp.o.d"
+  "local_counts_test"
+  "local_counts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_counts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

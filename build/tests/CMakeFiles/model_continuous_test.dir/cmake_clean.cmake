@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_continuous_test.dir/model_continuous_test.cpp.o"
+  "CMakeFiles/model_continuous_test.dir/model_continuous_test.cpp.o.d"
+  "model_continuous_test"
+  "model_continuous_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

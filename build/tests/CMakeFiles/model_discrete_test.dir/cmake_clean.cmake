@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_discrete_test.dir/model_discrete_test.cpp.o"
+  "CMakeFiles/model_discrete_test.dir/model_discrete_test.cpp.o.d"
+  "model_discrete_test"
+  "model_discrete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_discrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

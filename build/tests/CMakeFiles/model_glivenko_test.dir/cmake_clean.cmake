@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_glivenko_test.dir/model_glivenko_test.cpp.o"
+  "CMakeFiles/model_glivenko_test.dir/model_glivenko_test.cpp.o.d"
+  "model_glivenko_test"
+  "model_glivenko_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_glivenko_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

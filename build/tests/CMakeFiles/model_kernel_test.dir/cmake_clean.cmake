@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_kernel_test.dir/model_kernel_test.cpp.o"
+  "CMakeFiles/model_kernel_test.dir/model_kernel_test.cpp.o.d"
+  "model_kernel_test"
+  "model_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_limits_test.dir/model_limits_test.cpp.o"
+  "CMakeFiles/model_limits_test.dir/model_limits_test.cpp.o.d"
+  "model_limits_test"
+  "model_limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_rform_test.dir/model_rform_test.cpp.o"
+  "CMakeFiles/model_rform_test.dir/model_rform_test.cpp.o.d"
+  "model_rform_test"
+  "model_rform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_rform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sim_integration_test.dir/model_sim_integration_test.cpp.o"
+  "CMakeFiles/model_sim_integration_test.dir/model_sim_integration_test.cpp.o.d"
+  "model_sim_integration_test"
+  "model_sim_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sim_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

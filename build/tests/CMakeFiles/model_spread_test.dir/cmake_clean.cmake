@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_spread_test.dir/model_spread_test.cpp.o"
+  "CMakeFiles/model_spread_test.dir/model_spread_test.cpp.o.d"
+  "model_spread_test"
+  "model_spread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_spread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

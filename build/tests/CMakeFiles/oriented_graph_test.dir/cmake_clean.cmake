@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oriented_graph_test.dir/oriented_graph_test.cpp.o"
+  "CMakeFiles/oriented_graph_test.dir/oriented_graph_test.cpp.o.d"
+  "oriented_graph_test"
+  "oriented_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oriented_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

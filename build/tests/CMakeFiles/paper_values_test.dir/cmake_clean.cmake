@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_values_test.dir/paper_values_test.cpp.o"
+  "CMakeFiles/paper_values_test.dir/paper_values_test.cpp.o.d"
+  "paper_values_test"
+  "paper_values_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preferential_attachment_test.dir/preferential_attachment_test.cpp.o"
+  "CMakeFiles/preferential_attachment_test.dir/preferential_attachment_test.cpp.o.d"
+  "preferential_attachment_test"
+  "preferential_attachment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preferential_attachment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

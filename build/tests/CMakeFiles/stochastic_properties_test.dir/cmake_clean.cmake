@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_properties_test.dir/stochastic_properties_test.cpp.o"
+  "CMakeFiles/stochastic_properties_test.dir/stochastic_properties_test.cpp.o.d"
+  "stochastic_properties_test"
+  "stochastic_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

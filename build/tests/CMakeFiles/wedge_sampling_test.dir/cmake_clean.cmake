@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedge_sampling_test.dir/wedge_sampling_test.cpp.o"
+  "CMakeFiles/wedge_sampling_test.dir/wedge_sampling_test.cpp.o.d"
+  "wedge_sampling_test"
+  "wedge_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedge_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

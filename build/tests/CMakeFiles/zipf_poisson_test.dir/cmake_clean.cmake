@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipf_poisson_test.dir/zipf_poisson_test.cpp.o"
+  "CMakeFiles/zipf_poisson_test.dir/zipf_poisson_test.cpp.o.d"
+  "zipf_poisson_test"
+  "zipf_poisson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipf_poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trilist_cli.dir/trilist_cli.cpp.o"
+  "CMakeFiles/trilist_cli.dir/trilist_cli.cpp.o.d"
+  "trilist_cli"
+  "trilist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trilist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

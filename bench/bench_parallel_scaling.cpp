@@ -1,0 +1,172 @@
+/// \file bench_parallel_scaling.cpp
+/// Strong-scaling curve of the parallel listing engine: wall time and
+/// speedup of T1/T2/E1/E4 (plus the orientation pipeline) at 1, 2, 4 and
+/// 8 threads on a Pareto configuration-model graph, emitted both as a
+/// console table and as machine-readable BENCH_parallel_scaling.json so
+/// later performance PRs have a trajectory to regress against.
+///
+/// Default scale keeps the run under a minute; TRILIST_PAPER_SCALE=1
+/// targets the ~1M-edge graph of the acceptance experiment. Override the
+/// output path with TRILIST_BENCH_JSON. Speedups are only meaningful up
+/// to the machine's hardware concurrency, which is recorded in the JSON.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/algo/parallel_engine.h"
+#include "src/algo/registry.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/configuration_model.h"
+#include "src/order/pipeline.h"
+#include "src/util/parallel_for.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace trilist;
+
+struct Sample {
+  std::string phase;  // "orient" or a method name
+  int threads = 1;
+  double wall_s = 0;
+  double speedup = 1;
+  uint64_t triangles = 0;
+  int64_t paper_cost = 0;
+};
+
+/// Best-of-`reps` wall time of `body` in seconds.
+template <typename Body>
+double BestWall(int reps, Body&& body) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    body();
+    const double wall = timer.ElapsedSeconds();
+    if (best < 0 || wall < best) best = wall;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool paper = trilist_bench::PaperScale();
+  // alpha = 1.7 with linear truncation: heavy Pareto hubs, the regime
+  // where degree-aware chunking matters most.
+  const double alpha = 1.7;
+  const size_t n = paper ? 500000 : 40000;
+  const int reps = paper ? 3 : 2;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  Rng rng(trilist_bench::Seed());
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t_n =
+      TruncationPoint(TruncationKind::kLinear, static_cast<int64_t>(n));
+  const TruncatedDistribution fn(base, t_n);
+  std::vector<int64_t> degrees =
+      DegreeSequence::SampleIid(fn, n, &rng).degrees();
+  MakeGraphic(&degrees);
+  auto graph = ConfigurationModel(degrees, &rng);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "parallel scaling: Pareto alpha=%.2f configuration model, n=%zu "
+      "m=%zu (hardware threads: %d)\n",
+      alpha, graph->num_nodes(), graph->num_edges(), HardwareThreads());
+
+  std::vector<Sample> samples;
+
+  // Orientation pipeline scaling.
+  double orient_serial = 0;
+  for (int threads : thread_counts) {
+    const double wall = BestWall(reps, [&] {
+      const OrientedGraph og =
+          OrientNamed(*graph, PermutationKind::kDescending, nullptr,
+                      threads);
+      (void)og;
+    });
+    if (threads == 1) orient_serial = wall;
+    samples.push_back({"orient", threads, wall,
+                       wall > 0 ? orient_serial / wall : 1.0, 0, 0});
+  }
+
+  const OrientedGraph og =
+      OrientNamed(*graph, PermutationKind::kDescending);
+  const DirectedEdgeSet arcs(og);
+
+  for (Method m : {Method::kT1, Method::kT2, Method::kE1, Method::kE4}) {
+    double serial_wall = 0;
+    for (int threads : thread_counts) {
+      Sample s;
+      s.phase = MethodName(m);
+      s.threads = threads;
+      ExecPolicy exec;
+      exec.threads = threads;
+      s.wall_s = BestWall(reps, [&] {
+        CountingSink sink;
+        const OpCounts ops = RunMethodParallel(m, og, arcs, &sink, exec);
+        s.triangles = sink.count();
+        s.paper_cost = ops.PaperCost();
+      });
+      if (threads == 1) serial_wall = s.wall_s;
+      s.speedup = s.wall_s > 0 ? serial_wall / s.wall_s : 1.0;
+      samples.push_back(s);
+    }
+  }
+
+  std::printf("%-8s %8s %12s %9s %14s %16s\n", "phase", "threads",
+              "wall_s", "speedup", "triangles", "paper_cost");
+  for (const Sample& s : samples) {
+    std::printf("%-8s %8d %12.4f %9.2f %14llu %16lld\n", s.phase.c_str(),
+                s.threads, s.wall_s, s.speedup,
+                static_cast<unsigned long long>(s.triangles),
+                static_cast<long long>(s.paper_cost));
+  }
+
+  const char* path_env = std::getenv("TRILIST_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_parallel_scaling.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"alpha\": %.2f,\n"
+               "  \"n\": %zu,\n"
+               "  \"m\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"paper_scale\": %s,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"results\": [\n",
+               alpha, graph->num_nodes(), graph->num_edges(),
+               static_cast<unsigned long long>(trilist_bench::Seed()),
+               paper ? "true" : "false", HardwareThreads());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"threads\": %d, "
+                 "\"wall_s\": %.6f, \"speedup\": %.4f, "
+                 "\"triangles\": %llu, \"paper_cost\": %lld}%s\n",
+                 s.phase.c_str(), s.threads, s.wall_s, s.speedup,
+                 static_cast<unsigned long long>(s.triangles),
+                 static_cast<long long>(s.paper_cost),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,48 +1,14 @@
 #include "src/algo/edge_iterator.h"
 
-#include <algorithm>
 #include <span>
+
+#include "src/algo/sei_common.h"
 
 namespace trilist {
 
-namespace {
-
-/// Two-pointer intersection of sorted ranges; emits each common element
-/// and counts actual loop steps in *comparisons.
-template <typename Emit>
-void MergeIntersect(std::span<const NodeId> a, std::span<const NodeId> b,
-                    int64_t* comparisons, Emit&& emit) {
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    ++*comparisons;
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      emit(a[i]);
-      ++i;
-      ++j;
-    }
-  }
-}
-
-/// Elements of `list` strictly below `bound` (a sorted prefix).
-std::span<const NodeId> PrefixBelow(std::span<const NodeId> list,
-                                    NodeId bound) {
-  const auto it = std::lower_bound(list.begin(), list.end(), bound);
-  return list.first(static_cast<size_t>(it - list.begin()));
-}
-
-/// Elements of `list` strictly above `bound` (a sorted suffix).
-std::span<const NodeId> SuffixAbove(std::span<const NodeId> list,
-                                    NodeId bound) {
-  const auto it = std::upper_bound(list.begin(), list.end(), bound);
-  return list.subspan(static_cast<size_t>(it - list.begin()));
-}
-
-}  // namespace
+using sei::MergeIntersect;
+using sei::PrefixBelow;
+using sei::SuffixAbove;
 
 OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink) {
   OpCounts ops;

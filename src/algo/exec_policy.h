@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file exec_policy.h
+/// Execution policy for listing runs: how many threads to use and how
+/// finely to over-decompose the work. Lives in its own header so the
+/// registry can accept a policy without depending on the engine.
+
+namespace trilist {
+
+/// \brief Concurrency knobs for RunMethod / RunMethodParallel.
+///
+/// The default policy (threads = 1) is exactly the serial engine: same
+/// code path, same counters, same emission order, so existing callers and
+/// all paper tables are unaffected.
+struct ExecPolicy {
+  /// Total worker threads (the calling thread included). Values <= 1 run
+  /// serial; 0 is treated as 1, not as "auto" — ask HardwareThreads()
+  /// explicitly when you want the machine width.
+  int threads = 1;
+
+  /// Work-chunk over-decomposition factor: the planner cuts the iteration
+  /// space into `threads * chunks_per_thread` equal-cost chunks so a
+  /// straggler chunk cannot idle the rest of the pool. Clamped to >= 1.
+  int chunks_per_thread = 8;
+};
+
+}  // namespace trilist

@@ -75,10 +75,15 @@ int64_t IntersectGallop(std::span<const NodeId> a,
 
 int64_t IntersectAuto(std::span<const NodeId> a, std::span<const NodeId> b,
                       void (*emit)(NodeId, void*), void* ctx) {
+  // Empty input: nothing to intersect, zero comparisons, and no kernel
+  // dispatch (the ratio below would divide by zero).
+  if (a.empty() || b.empty()) return 0;
   const size_t small = std::min(a.size(), b.size());
   const size_t large = std::max(a.size(), b.size());
-  if (small == 0) return 0;
-  if (large / small > 32) return IntersectGallop(a, b, emit, ctx);
+  // Gallop strictly above the 32x ratio. Compare multiplicatively:
+  // `large / small > 32` truncates, wrongly sending e.g. 65-vs-2 (32.5x)
+  // to the merge kernel.
+  if (large > 32 * small) return IntersectGallop(a, b, emit, ctx);
   return IntersectMerge(a, b, emit, ctx);
 }
 

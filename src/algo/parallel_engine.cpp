@@ -1,0 +1,254 @@
+#include "src/algo/parallel_engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/algo/registry.h"
+#include "src/algo/sei_common.h"
+#include "src/util/parallel_for.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+namespace {
+
+/// A boundary in the concatenated outer iteration space: the first
+/// (node, outer position) pair owned by a chunk. Cuts with pos > 0 land
+/// inside a node's range — that is how hubs get split across workers.
+struct Cut {
+  NodeId node = 0;
+  size_t pos = 0;
+};
+
+/// Length of the outer position range of node v under method m.
+size_t OuterLen(Method m, const OrientedGraph& g, NodeId v) {
+  return static_cast<size_t>(m == Method::kT2 ? g.InDegree(v)
+                                              : g.OutDegree(v));
+}
+
+/// Paper-cost weight of one outer position (see the header): the work the
+/// serial kernel performs at (v, p). The planner adds 1 per position on
+/// top, so zero-cost positions still advance chunk boundaries.
+int64_t PositionWeight(Method m, const OrientedGraph& g, NodeId v,
+                       size_t p) {
+  switch (m) {
+    case Method::kT1:
+      return static_cast<int64_t>(p);  // pairs (a, b) with a < b = p
+    case Method::kT2:
+      return g.OutDegree(v);  // each in-neighbor scans the full out-list
+    case Method::kE1:
+      return static_cast<int64_t>(p) + g.OutDegree(g.OutNeighbors(v)[p]);
+    case Method::kE4:
+      return static_cast<int64_t>(g.OutNeighbors(v).size() - 1 - p) +
+             g.InDegree(g.OutNeighbors(v)[p]);
+    default:
+      TRILIST_DCHECK(false);
+      return 1;
+  }
+}
+
+/// Cuts the concatenated position space into `num_chunks` contiguous
+/// slices of near-equal total weight. Returns num_chunks + 1 cuts with
+/// cuts[0] = begin and cuts[num_chunks] = end; chunks may be empty when
+/// the graph has fewer positions than chunks. Deterministic: depends only
+/// on the graph and the chunk count.
+std::vector<Cut> PlanCuts(Method m, const OrientedGraph& g,
+                          size_t num_chunks) {
+  const size_t n = g.num_nodes();
+  unsigned __int128 total = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    const size_t len = OuterLen(m, g, node);
+    for (size_t p = 0; p < len; ++p) {
+      total += static_cast<unsigned __int128>(
+          PositionWeight(m, g, node, p) + 1);
+    }
+  }
+  std::vector<Cut> cuts;
+  cuts.reserve(num_chunks + 1);
+  cuts.push_back(Cut{0, 0});
+  unsigned __int128 acc = 0;
+  size_t next_boundary = 1;  // boundary k sits at weight >= k*total/chunks
+  for (size_t v = 0; v < n && cuts.size() < num_chunks; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    const size_t len = OuterLen(m, g, node);
+    for (size_t p = 0; p < len && cuts.size() < num_chunks; ++p) {
+      acc += static_cast<unsigned __int128>(
+          PositionWeight(m, g, node, p) + 1);
+      while (cuts.size() < num_chunks &&
+             acc * num_chunks >= total * next_boundary) {
+        // The position after (v, p) starts the next chunk.
+        if (p + 1 < len) {
+          cuts.push_back(Cut{node, p + 1});
+        } else {
+          cuts.push_back(Cut{static_cast<NodeId>(v + 1), 0});
+        }
+        ++next_boundary;
+      }
+    }
+  }
+  while (cuts.size() <= num_chunks) {
+    cuts.push_back(Cut{static_cast<NodeId>(n), 0});
+  }
+  return cuts;
+}
+
+/// Output of one chunk: exact counters plus the triangles in the order
+/// the serial engine would have emitted them within the slice.
+struct ChunkResult {
+  OpCounts ops;
+  std::vector<Triangle> triangles;
+};
+
+void RunSliceT1(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                NodeId z, size_t p0, size_t p1, ChunkResult* out) {
+  const auto list = g.OutNeighbors(z);
+  for (size_t b = p0; b < p1; ++b) {
+    const NodeId y = list[b];
+    for (size_t a = 0; a < b; ++a) {
+      const NodeId x = list[a];
+      ++out->ops.candidate_checks;
+      if (arcs.Contains(y, x)) {
+        ++out->ops.triangles;
+        out->triangles.push_back({x, y, z});
+      }
+    }
+  }
+}
+
+void RunSliceT2(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                NodeId y, size_t p0, size_t p1, ChunkResult* out) {
+  const auto in = g.InNeighbors(y);
+  const auto outs = g.OutNeighbors(y);
+  for (size_t zi = p0; zi < p1; ++zi) {
+    const NodeId z = in[zi];
+    for (const NodeId x : outs) {
+      ++out->ops.candidate_checks;
+      if (arcs.Contains(z, x)) {
+        ++out->ops.triangles;
+        out->triangles.push_back({x, y, z});
+      }
+    }
+  }
+}
+
+void RunSliceE1(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
+                ChunkResult* out) {
+  const auto outs = g.OutNeighbors(z);
+  for (size_t idx = p0; idx < p1; ++idx) {
+    const NodeId y = outs[idx];
+    const auto local = outs.first(idx);  // elements of N+(z) below y
+    const auto remote = g.OutNeighbors(y);
+    out->ops.local_scans += static_cast<int64_t>(local.size());
+    out->ops.remote_scans += static_cast<int64_t>(remote.size());
+    sei::MergeIntersect(local, remote, &out->ops.merge_comparisons,
+                        [&](NodeId x) {
+                          ++out->ops.triangles;
+                          out->triangles.push_back({x, y, z});
+                        });
+  }
+}
+
+void RunSliceE4(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
+                ChunkResult* out) {
+  const auto outs = g.OutNeighbors(z);
+  for (size_t idx = p0; idx < p1; ++idx) {
+    const NodeId x = outs[idx];
+    const auto local = outs.subspan(idx + 1);  // y candidates above x
+    const auto remote = sei::PrefixBelow(g.InNeighbors(x), z);
+    out->ops.local_scans += static_cast<int64_t>(local.size());
+    out->ops.remote_scans += static_cast<int64_t>(remote.size());
+    sei::MergeIntersect(local, remote, &out->ops.merge_comparisons,
+                        [&](NodeId y) {
+                          ++out->ops.triangles;
+                          out->triangles.push_back({x, y, z});
+                        });
+  }
+}
+
+void RunSlice(Method m, const OrientedGraph& g, const DirectedEdgeSet& arcs,
+              NodeId v, size_t p0, size_t p1, ChunkResult* out) {
+  if (p0 >= p1) return;
+  switch (m) {
+    case Method::kT1: RunSliceT1(g, arcs, v, p0, p1, out); break;
+    case Method::kT2: RunSliceT2(g, arcs, v, p0, p1, out); break;
+    case Method::kE1: RunSliceE1(g, v, p0, p1, out); break;
+    case Method::kE4: RunSliceE4(g, v, p0, p1, out); break;
+    default: TRILIST_DCHECK(false);
+  }
+}
+
+/// Runs the slices covering [lo, hi): full node ranges in the middle,
+/// partial ranges where a cut split a node.
+void RunChunk(Method m, const OrientedGraph& g, const DirectedEdgeSet& arcs,
+              Cut lo, Cut hi, ChunkResult* out) {
+  const size_t n = g.num_nodes();
+  NodeId v = lo.node;
+  size_t start = lo.pos;
+  while (v < n && v < hi.node) {
+    RunSlice(m, g, arcs, v, start, OuterLen(m, g, v), out);
+    ++v;
+    start = 0;
+  }
+  if (v < n && v == hi.node && start < hi.pos) {
+    RunSlice(m, g, arcs, v, start, hi.pos, out);
+  }
+}
+
+/// Field-wise accumulation; all counters are exact integer sums over a
+/// partition of the serial iteration space, so order cannot matter.
+void AddInto(OpCounts* total, const OpCounts& part) {
+  total->candidate_checks += part.candidate_checks;
+  total->local_scans += part.local_scans;
+  total->remote_scans += part.remote_scans;
+  total->merge_comparisons += part.merge_comparisons;
+  total->hash_inserts += part.hash_inserts;
+  total->lookups += part.lookups;
+  total->binary_searches += part.binary_searches;
+  total->triangles += part.triangles;
+}
+
+}  // namespace
+
+bool SupportsParallel(Method m) {
+  return m == Method::kT1 || m == Method::kT2 || m == Method::kE1 ||
+         m == Method::kE4;
+}
+
+OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
+                           TriangleSink* sink, const ExecPolicy& policy) {
+  if (MethodFamily(m) == Family::kVertexIterator) {
+    const DirectedEdgeSet arcs(g);
+    return RunMethodParallel(m, g, arcs, sink, policy);
+  }
+  const DirectedEdgeSet empty_arcs{OrientedGraph()};
+  return RunMethodParallel(m, g, empty_arcs, sink, policy);
+}
+
+OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           const ExecPolicy& policy) {
+  const int threads = std::max(1, policy.threads);
+  if (threads == 1 || !SupportsParallel(m) || g.num_nodes() == 0) {
+    return RunMethod(m, g, arcs, sink);
+  }
+  const size_t num_chunks = static_cast<size_t>(threads) *
+                            static_cast<size_t>(
+                                std::max(1, policy.chunks_per_thread));
+  const std::vector<Cut> cuts = PlanCuts(m, g, num_chunks);
+  std::vector<ChunkResult> results(num_chunks);
+  ThreadPool pool(threads);
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    RunChunk(m, g, arcs, cuts[c], cuts[c + 1], &results[c]);
+  });
+  // Deterministic merge: chunk order is serial order.
+  OpCounts total;
+  for (const ChunkResult& r : results) {
+    AddInto(&total, r.ops);
+    for (const Triangle& t : r.triangles) sink->Consume(t.x, t.y, t.z);
+  }
+  return total;
+}
+
+}  // namespace trilist

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "src/algo/cost.h"
+#include "src/algo/exec_policy.h"
+#include "src/algo/triangle_sink.h"
+#include "src/algo/vertex_iterator.h"  // OpCounts
+#include "src/graph/edge_set.h"
+#include "src/graph/oriented_graph.h"
+
+/// \file parallel_engine.h
+/// Multi-threaded drivers for the four fundamental cost classes T1, T2,
+/// E1, E4 (the paper's non-isomorphic representatives, Section 2).
+///
+/// ## Partitioning
+/// The serial kernels are loops over an outer iteration space: for every
+/// node v, a per-node range of "outer positions" (pair index, in-list
+/// index, or arc index depending on the method). The planner assigns each
+/// position its paper-cost weight — pairs below it for T1, X_v for T2,
+/// local + remote list lengths for E1/E4 — and cuts the concatenated
+/// position space into chunks of (approximately) equal total weight.
+/// Cuts may land *inside* a node's range: a Pareto hub whose quadratic
+/// work exceeds a chunk budget is split across as many chunks (and hence
+/// workers) as its weight demands, so no single vertex can serialize the
+/// run. Chunks are claimed dynamically from the pool's atomic counter.
+///
+/// ## Determinism
+/// Chunks are contiguous slices of the *serial* iteration order, each
+/// chunk accumulates into its own OpCounts and triangle buffer, and the
+/// merge replays chunks in index order. Parallel runs therefore emit the
+/// exact same triangle sequence to the sink and report bit-identical
+/// OpCounts (all counters are exact integer sums over a partition of the
+/// serial iteration space) for every thread count, including 1.
+///
+/// Methods outside {T1, T2, E1, E4} fall back to the serial engine.
+
+namespace trilist {
+
+/// True for the methods with a parallel driver (T1, T2, E1, E4).
+bool SupportsParallel(Method m);
+
+/// Runs `m` under `policy`, building the arc set internally when the
+/// method is a vertex iterator (as RunMethod does).
+OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
+                           TriangleSink* sink, const ExecPolicy& policy);
+
+/// Same, reusing a caller-provided arc set for vertex iterators.
+OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           const ExecPolicy& policy);
+
+}  // namespace trilist

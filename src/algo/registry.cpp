@@ -2,6 +2,7 @@
 
 #include "src/algo/edge_iterator.h"
 #include "src/algo/lookup_iterator.h"
+#include "src/algo/parallel_engine.h"
 
 namespace trilist {
 
@@ -37,6 +38,19 @@ OpCounts RunMethod(Method m, const OrientedGraph& g,
     case Method::kL6: return RunL6(g, sink);
   }
   return OpCounts{};
+}
+
+OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink,
+                   const ExecPolicy& exec) {
+  if (exec.threads > 1) return RunMethodParallel(m, g, sink, exec);
+  return RunMethod(m, g, sink);
+}
+
+OpCounts RunMethod(Method m, const OrientedGraph& g,
+                   const DirectedEdgeSet& arcs, TriangleSink* sink,
+                   const ExecPolicy& exec) {
+  if (exec.threads > 1) return RunMethodParallel(m, g, arcs, sink, exec);
+  return RunMethod(m, g, arcs, sink);
 }
 
 }  // namespace trilist

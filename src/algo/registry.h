@@ -1,6 +1,7 @@
 #pragma once
 
 #include "src/algo/cost.h"
+#include "src/algo/exec_policy.h"
 #include "src/algo/triangle_sink.h"
 #include "src/algo/vertex_iterator.h"
 #include "src/graph/edge_set.h"
@@ -20,5 +21,17 @@ OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink);
 /// set is ignored by the other families).
 OpCounts RunMethod(Method m, const OrientedGraph& g,
                    const DirectedEdgeSet& arcs, TriangleSink* sink);
+
+/// Runs `m` under an execution policy. With exec.threads > 1 the four
+/// fundamental methods (T1, T2, E1, E4) dispatch to the parallel engine
+/// (see parallel_engine.h), which reports bit-identical triangles and
+/// counters to the serial run; every other method runs serial.
+OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink,
+                   const ExecPolicy& exec);
+
+/// Policy variant reusing a caller-provided arc set.
+OpCounts RunMethod(Method m, const OrientedGraph& g,
+                   const DirectedEdgeSet& arcs, TriangleSink* sink,
+                   const ExecPolicy& exec);
 
 }  // namespace trilist

@@ -1,16 +1,148 @@
 #include "src/graph/oriented_graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
+#include "src/util/parallel_for.h"
 #include "src/util/status.h"
 
 namespace trilist {
 
+namespace {
+
+/// Parallel CSR build: counting with per-label atomic counters, blocked
+/// parallel prefix sums, fill through atomic row cursors, then a parallel
+/// sort of every row. See FromLabels' header comment for the determinism
+/// argument.
+void BuildAdjacencyParallel(const Graph& g,
+                            const std::vector<NodeId>& labels, int threads,
+                            std::vector<size_t>* out_offsets,
+                            std::vector<NodeId>* out_neighbors,
+                            std::vector<size_t>* in_offsets,
+                            std::vector<NodeId>* in_neighbors) {
+  const size_t n = g.num_nodes();
+  ThreadPool pool(threads);
+  const auto num_chunks =
+      static_cast<size_t>(pool.num_threads()) * 8;
+  const size_t chunk_len = (n + num_chunks - 1) / num_chunks;
+  const auto chunk_range = [&](size_t c) {
+    const size_t lo = c * chunk_len;
+    return std::pair<size_t, size_t>{std::min(n, lo),
+                                     std::min(n, lo + chunk_len)};
+  };
+
+  // Counting pass: relaxed fetch_add per arc; sums are order-independent.
+  std::unique_ptr<std::atomic<size_t>[]> out_count(
+      new std::atomic<size_t>[n]);
+  std::unique_ptr<std::atomic<size_t>[]> in_count(
+      new std::atomic<size_t>[n]);
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t i = lo; i < hi; ++i) {
+      out_count[i].store(0, std::memory_order_relaxed);
+      in_count[i].store(0, std::memory_order_relaxed);
+    }
+  });
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t v = lo; v < hi; ++v) {
+      const NodeId lv = labels[v];
+      for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
+        if (labels[w] < lv) {
+          out_count[lv].fetch_add(1, std::memory_order_relaxed);
+        } else {
+          in_count[lv].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  // Prefix sums: offsets[i + 1] = sum of counts[0..i].
+  out_offsets->assign(n + 1, 0);
+  in_offsets->assign(n + 1, 0);
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t i = lo; i < hi; ++i) {
+      (*out_offsets)[i + 1] = out_count[i].load(std::memory_order_relaxed);
+      (*in_offsets)[i + 1] = in_count[i].load(std::memory_order_relaxed);
+    }
+  });
+  ParallelInclusivePrefixSum(&pool, out_offsets);
+  ParallelInclusivePrefixSum(&pool, in_offsets);
+  out_neighbors->resize((*out_offsets)[n]);
+  in_neighbors->resize((*in_offsets)[n]);
+
+  // Fill pass: the counters now serve as atomic row cursors.
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t i = lo; i < hi; ++i) {
+      out_count[i].store((*out_offsets)[i], std::memory_order_relaxed);
+      in_count[i].store((*in_offsets)[i], std::memory_order_relaxed);
+    }
+  });
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t v = lo; v < hi; ++v) {
+      const NodeId lv = labels[v];
+      for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
+        const NodeId lw = labels[w];
+        if (lw < lv) {
+          const size_t slot =
+              out_count[lv].fetch_add(1, std::memory_order_relaxed);
+          (*out_neighbors)[slot] = lw;
+        } else {
+          const size_t slot =
+              in_count[lv].fetch_add(1, std::memory_order_relaxed);
+          (*in_neighbors)[slot] = lw;
+        }
+      }
+    }
+  });
+
+  // Sort each row ascending by label (restores determinism).
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const auto [lo, hi] = chunk_range(c);
+    for (size_t i = lo; i < hi; ++i) {
+      std::sort(out_neighbors->begin() +
+                    static_cast<int64_t>((*out_offsets)[i]),
+                out_neighbors->begin() +
+                    static_cast<int64_t>((*out_offsets)[i + 1]));
+      std::sort(in_neighbors->begin() +
+                    static_cast<int64_t>((*in_offsets)[i]),
+                in_neighbors->begin() +
+                    static_cast<int64_t>((*in_offsets)[i + 1]));
+    }
+  });
+}
+
+}  // namespace
+
 OrientedGraph OrientedGraph::FromLabels(const Graph& g,
-                                        const std::vector<NodeId>& labels) {
+                                        const std::vector<NodeId>& labels,
+                                        int threads) {
   const size_t n = g.num_nodes();
   TRILIST_DCHECK(labels.size() == n);
   OrientedGraph out;
+  if (threads > 1 && n > 0) {
+    out.original_of_.assign(n, 0);
+    // labels is a bijection, so these writes are disjoint.
+    ParallelFor(threads, static_cast<size_t>(threads), [&](size_t c) {
+      const size_t chunk =
+          (n + static_cast<size_t>(threads) - 1) /
+          static_cast<size_t>(threads);
+      const size_t lo = std::min(n, c * chunk);
+      const size_t hi = std::min(n, lo + chunk);
+      for (size_t v = lo; v < hi; ++v) {
+        TRILIST_DCHECK(labels[v] < n);
+        out.original_of_[labels[v]] = static_cast<NodeId>(v);
+      }
+    });
+    BuildAdjacencyParallel(g, labels, threads, &out.out_offsets_,
+                           &out.out_neighbors_, &out.in_offsets_,
+                           &out.in_neighbors_);
+    return out;
+  }
   out.original_of_.assign(n, 0);
   for (size_t v = 0; v < n; ++v) {
     TRILIST_DCHECK(labels[v] < n);

@@ -29,8 +29,15 @@ class OrientedGraph {
   /// \param g the undirected graph.
   /// \param labels labels[v] is the new ID of original node v; must be a
   ///        permutation of [0, n).
+  /// \param threads concurrency of the build: with threads > 1 the degree
+  ///        counting, prefix sums, adjacency fill and row sorting run on a
+  ///        thread pool (see src/util/parallel_for.h). The result is
+  ///        identical to the serial build for any thread count: fill order
+  ///        within a row is nondeterministic but every row is sorted
+  ///        afterwards, and a row's content is a set.
   static OrientedGraph FromLabels(const Graph& g,
-                                  const std::vector<NodeId>& labels);
+                                  const std::vector<NodeId>& labels,
+                                  int threads = 1);
 
   /// Number of nodes n.
   size_t num_nodes() const {

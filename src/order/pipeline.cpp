@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/order/degenerate.h"
+#include "src/util/parallel_for.h"
 #include "src/util/status.h"
 
 namespace trilist {
@@ -36,15 +37,18 @@ std::vector<NodeId> LabelsFromPermutation(const Graph& g,
   return labels;
 }
 
-OrientedGraph Orient(const Graph& g, const Permutation& theta) {
-  return OrientedGraph::FromLabels(g, LabelsFromPermutation(g, theta));
+OrientedGraph Orient(const Graph& g, const Permutation& theta,
+                     int threads) {
+  return OrientedGraph::FromLabels(g, LabelsFromPermutation(g, theta),
+                                   threads);
 }
 
-OrientedGraph OrientNamed(const Graph& g, PermutationKind kind, Rng* rng) {
+OrientedGraph OrientNamed(const Graph& g, PermutationKind kind, Rng* rng,
+                          int threads) {
   if (kind == PermutationKind::kDegenerate) {
-    return OrientedGraph::FromLabels(g, DegenerateLabels(g));
+    return OrientedGraph::FromLabels(g, DegenerateLabels(g), threads);
   }
-  return Orient(g, MakePermutation(kind, g.num_nodes(), rng));
+  return Orient(g, MakePermutation(kind, g.num_nodes(), rng), threads);
 }
 
 }  // namespace trilist

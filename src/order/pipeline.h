@@ -30,14 +30,21 @@ std::vector<NodeId> LabelsFromPermutation(const Graph& g,
                                           const Permutation& theta);
 
 /// Relabels and orients `g` under the positional permutation `theta`.
-OrientedGraph Orient(const Graph& g, const Permutation& theta);
+/// \param threads orientation concurrency (label computation and the CSR
+///        build; see OrientedGraph::FromLabels). threads <= 1 is the
+///        serial pipeline; the result is identical for any value.
+OrientedGraph Orient(const Graph& g, const Permutation& theta,
+                     int threads = 1);
 
 /// Relabels and orients under a named permutation; handles kDegenerate
 /// (which depends on graph structure) as well.
 /// \param g graph.
 /// \param kind named permutation.
 /// \param rng needed for kUniform (may be null otherwise).
+/// \param threads orientation concurrency (as in Orient). The degenerate
+///        order's smallest-last peeling is inherently sequential, so only
+///        its CSR build parallelizes.
 OrientedGraph OrientNamed(const Graph& g, PermutationKind kind,
-                          Rng* rng = nullptr);
+                          Rng* rng = nullptr, int threads = 1);
 
 }  // namespace trilist

@@ -1,0 +1,168 @@
+#include "src/util/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace trilist {
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_start;  // workers wait here between jobs
+  std::condition_variable cv_done;   // ParallelFor waits here for workers
+  std::vector<std::thread> workers;
+
+  // Current job, valid while `pending_workers > 0` or a generation is live.
+  const std::function<void(size_t)>* body = nullptr;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+  uint64_t generation = 0;   // bumped per job so workers never re-run one
+  int pending_workers = 0;   // workers that have not finished the job yet
+  bool shutdown = false;
+  std::exception_ptr first_error;  // guarded by mu
+
+  /// Claims chunks until exhausted; records the first exception.
+  void DrainChunks(const std::function<void(size_t)>& fn, size_t total) {
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= total) return;
+      try {
+        fn(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(size_t)>* fn = nullptr;
+      size_t total = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_start.wait(lock, [&] {
+          return shutdown || generation != seen_generation;
+        });
+        if (shutdown) return;
+        seen_generation = generation;
+        fn = body;
+        total = num_chunks;
+      }
+      DrainChunks(*fn, total);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending_workers == 0) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(std::make_unique<Impl>()),
+      num_threads_(std::max(1, num_threads)) {
+  const int spawned = num_threads_ - 1;  // calling thread is worker #0
+  impl_->workers.reserve(static_cast<size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_start.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t num_chunks,
+                             const std::function<void(size_t)>& body) {
+  if (num_chunks == 0) return;
+  if (impl_->workers.empty() || num_chunks == 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->body = &body;
+    impl_->num_chunks = num_chunks;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->pending_workers = static_cast<int>(impl_->workers.size());
+    ++impl_->generation;
+  }
+  impl_->cv_start.notify_all();
+  impl_->DrainChunks(body, num_chunks);
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] { return impl_->pending_workers == 0; });
+  impl_->body = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(int threads, size_t num_chunks,
+                 const std::function<void(size_t)>& body) {
+  if (threads <= 1 || num_chunks <= 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(num_chunks, body);
+}
+
+void ParallelInclusivePrefixSum(ThreadPool* pool,
+                                std::vector<size_t>* values) {
+  const size_t n = values->size();
+  const auto blocks = static_cast<size_t>(pool->num_threads());
+  if (n < 2 || blocks < 2) {
+    size_t acc = 0;
+    for (size_t& v : *values) {
+      acc += v;
+      v = acc;
+    }
+    return;
+  }
+  const size_t block_len = (n + blocks - 1) / blocks;
+  std::vector<size_t> block_totals(blocks, 0);
+  size_t* data = values->data();
+  pool->ParallelFor(blocks, [&](size_t b) {
+    const size_t lo = b * block_len;
+    const size_t hi = std::min(n, lo + block_len);
+    size_t acc = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      acc += data[i];
+      data[i] = acc;
+    }
+    block_totals[b] = acc;
+  });
+  // Exclusive scan of the per-block totals (a handful of elements).
+  size_t carry = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t total = block_totals[b];
+    block_totals[b] = carry;
+    carry += total;
+  }
+  pool->ParallelFor(blocks, [&](size_t b) {
+    const size_t offset = block_totals[b];
+    if (offset == 0) return;
+    const size_t lo = b * block_len;
+    const size_t hi = std::min(n, lo + block_len);
+    for (size_t i = lo; i < hi; ++i) data[i] += offset;
+  });
+}
+
+}  // namespace trilist

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+/// \file parallel_for.h
+/// Minimal reusable thread pool with a chunked parallel-for primitive.
+///
+/// The pool is the substrate of the parallel listing engine (see
+/// src/algo/parallel_engine.h): work is expressed as `num_chunks`
+/// independent chunk indices, claimed by workers through a single atomic
+/// counter, so uneven chunks (hub-heavy graphs) load-balance without any
+/// per-chunk scheduling state. No external dependencies — std::thread,
+/// std::atomic and condition variables only.
+///
+/// Determinism contract: ParallelFor guarantees each chunk index in
+/// [0, num_chunks) is executed exactly once. It makes no ordering
+/// guarantee between chunks; callers that need a deterministic result
+/// (the listing engine, the parallel orienter) must write chunk output
+/// into chunk-indexed slots and merge in index order afterwards.
+
+namespace trilist {
+
+/// Number of hardware threads, at least 1 (0 is never returned even when
+/// std::thread::hardware_concurrency cannot detect the machine).
+int HardwareThreads();
+
+/// \brief Persistent worker pool executing chunked parallel loops.
+///
+/// Construction spawns `num_threads - 1` workers; the thread calling
+/// ParallelFor always participates as the remaining worker, so a pool of
+/// one runs everything inline with zero synchronization.
+class ThreadPool {
+ public:
+  /// \param num_threads total concurrency (callers + workers); clamped to
+  ///        at least 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (including the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk) for every chunk in [0, num_chunks), distributing
+  /// chunks over the pool, and returns when all chunks completed. If any
+  /// invocation throws, the first exception is rethrown on the calling
+  /// thread after all chunks finish or are abandoned. Not reentrant: do
+  /// not call ParallelFor from inside a body running on the same pool.
+  void ParallelFor(size_t num_chunks, const std::function<void(size_t)>& body);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int num_threads_ = 1;
+};
+
+/// One-shot convenience: runs the loop on a temporary pool (inline when
+/// threads <= 1 or num_chunks <= 1).
+void ParallelFor(int threads, size_t num_chunks,
+                 const std::function<void(size_t)>& body);
+
+/// In-place inclusive prefix sum of `values` using `pool`, blocked into
+/// one chunk per pool thread: per-block partial sums in parallel, a serial
+/// scan over the (few) block totals, then a parallel offset-add pass.
+/// Bit-identical to the serial scan for any pool size.
+void ParallelInclusivePrefixSum(ThreadPool* pool, std::vector<size_t>* values);
+
+}  // namespace trilist

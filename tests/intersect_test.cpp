@@ -98,6 +98,50 @@ TEST(IntersectTest, GallopCheaperOnExtremeAsymmetry) {
   EXPECT_LT(gallop_cmp, 300);
 }
 
+TEST(IntersectTest, AutoEmptySpansPerformNoComparisons) {
+  const std::vector<NodeId> a = {1, 2, 3};
+  const std::vector<NodeId> empty;
+  std::vector<NodeId> out;
+  auto emit = [](NodeId v, void* ctx) {
+    static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+  };
+  EXPECT_EQ(IntersectAuto(empty, empty, emit, &out), 0);
+  EXPECT_EQ(IntersectAuto(a, empty, emit, &out), 0);
+  EXPECT_EQ(IntersectAuto(empty, a, emit, &out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+/// Builds a sorted list [0, len) used by the threshold tests below. The
+/// probe list {big values} makes merge scan the whole long list, so the
+/// merge and gallop comparison counts differ and identify which kernel
+/// Auto dispatched to.
+std::vector<NodeId> Iota(size_t len) {
+  std::vector<NodeId> v(len);
+  for (size_t i = 0; i < len; ++i) v[i] = static_cast<NodeId>(i);
+  return v;
+}
+
+TEST(IntersectTest, AutoDispatchesMergeAtExactly32xRatio) {
+  const std::vector<NodeId> small = {1000000, 1000001};
+  const std::vector<NodeId> big = Iota(32 * small.size());  // exactly 32x
+  const int64_t merge_cmp = IntersectMerge(small, big, nullptr, nullptr);
+  const int64_t gallop_cmp = IntersectGallop(small, big, nullptr, nullptr);
+  ASSERT_NE(merge_cmp, gallop_cmp) << "test needs distinguishable kernels";
+  EXPECT_EQ(IntersectAuto(small, big, nullptr, nullptr), merge_cmp);
+  // Argument order must not matter.
+  EXPECT_EQ(IntersectAuto(big, small, nullptr, nullptr), merge_cmp);
+}
+
+TEST(IntersectTest, AutoDispatchesGallopJustAbove32xRatio) {
+  const std::vector<NodeId> small = {1000000, 1000001};
+  const std::vector<NodeId> big = Iota(32 * small.size() + 1);  // 32.5x
+  const int64_t merge_cmp = IntersectMerge(small, big, nullptr, nullptr);
+  const int64_t gallop_cmp = IntersectGallop(small, big, nullptr, nullptr);
+  ASSERT_NE(merge_cmp, gallop_cmp) << "test needs distinguishable kernels";
+  EXPECT_EQ(IntersectAuto(small, big, nullptr, nullptr), gallop_cmp);
+  EXPECT_EQ(IntersectAuto(big, small, nullptr, nullptr), gallop_cmp);
+}
+
 TEST(IntersectTest, GallopMonotoneCursorHandlesDuplicateFreeRuns) {
   // Sequential keys: the monotone cursor must not skip matches.
   std::vector<NodeId> a(100);

@@ -1,0 +1,276 @@
+/// \file bench_io_formats.cpp
+/// Loading-path shootout for the on-disk graph subsystem: strict text
+/// parse vs tolerant parallel ingest vs `.tlg` mmap load vs `.tlg` load
+/// with a cached orientation (which skips OrderPipeline preprocessing
+/// entirely). Also verifies — not just times — the container contracts:
+/// the mmap-backed graph lists the same triangles with the same operation
+/// counts as the text-loaded graph, and the cached oriented CSR is
+/// bit-identical to a fresh Orient run.
+///
+/// Emits BENCH_io_formats.json (override the path with
+/// TRILIST_BENCH_JSON). TRILIST_PAPER_SCALE=1 grows the graph to ~1M
+/// edges.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/algo/registry.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/configuration_model.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/ingest.h"
+#include "src/graph/io.h"
+#include "src/order/pipeline.h"
+#include "src/util/parallel_for.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace trilist;
+
+struct Sample {
+  std::string phase;
+  double wall_s = 0;
+  size_t bytes = 0;
+};
+
+/// Best-of-`reps` wall time of `body` in seconds.
+template <typename Body>
+double BestWall(int reps, Body&& body) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    body();
+    const double wall = timer.ElapsedSeconds();
+    if (best < 0 || wall < best) best = wall;
+  }
+  return best;
+}
+
+size_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size > 0 ? static_cast<size_t>(size) : 0;
+}
+
+bool SameOrientedCsr(const OrientedGraph& a, const OrientedGraph& b) {
+  const auto eq = [](auto x, auto y) {
+    return std::equal(x.begin(), x.end(), y.begin(), y.end());
+  };
+  return a.num_nodes() == b.num_nodes() && a.num_arcs() == b.num_arcs() &&
+         eq(a.RawOutOffsets(), b.RawOutOffsets()) &&
+         eq(a.RawOutNeighbors(), b.RawOutNeighbors()) &&
+         eq(a.RawInOffsets(), b.RawInOffsets()) &&
+         eq(a.RawInNeighbors(), b.RawInNeighbors()) &&
+         eq(a.original_of(), b.original_of());
+}
+
+}  // namespace
+
+int main() {
+  const bool paper = trilist_bench::PaperScale();
+  const double alpha = 1.7;
+  const size_t n = paper ? 500000 : 50000;
+  const int reps = paper ? 3 : 3;
+  const int threads = std::min(4, HardwareThreads());
+  const std::string text_path = "/tmp/trilist_bench_io.txt";
+  const std::string tlg_path = "/tmp/trilist_bench_io.tlg";
+  const OrientSpec spec{PermutationKind::kDescending, 0};
+
+  Rng rng(trilist_bench::Seed());
+  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
+  const int64_t t_n =
+      TruncationPoint(TruncationKind::kRoot, static_cast<int64_t>(n));
+  const TruncatedDistribution fn(base, t_n);
+  std::vector<int64_t> degrees =
+      DegreeSequence::SampleIid(fn, n, &rng).degrees();
+  MakeGraphic(&degrees);
+  auto graph = ConfigurationModel(degrees, &rng);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteEdgeListFile(*graph, text_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", text_path.c_str());
+    return 1;
+  }
+  TlgWriteOptions wopts;
+  wopts.orientations = {spec};
+  wopts.threads = threads;
+  if (!WriteTlgFile(*graph, tlg_path, wopts).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", tlg_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "io formats: Pareto alpha=%.2f configuration model, n=%zu m=%zu\n"
+      "  text %zu bytes, .tlg %zu bytes (1 cached orientation)\n",
+      alpha, graph->num_nodes(), graph->num_edges(), FileSize(text_path),
+      FileSize(tlg_path));
+
+  std::vector<Sample> samples;
+
+  samples.push_back({"text_parse_strict",
+                     BestWall(reps,
+                              [&] {
+                                auto r = ReadEdgeListFile(text_path);
+                                if (!r.ok()) std::abort();
+                              }),
+                     FileSize(text_path)});
+
+  samples.push_back(
+      {"ingest_tolerant_1t",
+       BestWall(reps,
+                [&] {
+                  auto r = IngestEdgeListFile(text_path);
+                  if (!r.ok()) std::abort();
+                }),
+       FileSize(text_path)});
+
+  if (threads > 1) {
+    IngestOptions opts;
+    opts.threads = threads;
+    samples.push_back(
+        {"ingest_tolerant_" + std::to_string(threads) + "t",
+         BestWall(reps,
+                  [&] {
+                    auto r = IngestEdgeListFile(text_path, opts);
+                    if (!r.ok()) std::abort();
+                  }),
+         FileSize(text_path)});
+  }
+
+  samples.push_back({"tlg_mmap_load",
+                     BestWall(reps,
+                              [&] {
+                                auto t = TlgFile::Open(tlg_path);
+                                if (!t.ok()) std::abort();
+                              }),
+                     FileSize(tlg_path)});
+
+  {
+    TlgLoadOptions lopts;
+    lopts.verify_crc = false;
+    samples.push_back({"tlg_mmap_load_nocrc",
+                       BestWall(reps,
+                                [&] {
+                                  auto t = TlgFile::Open(tlg_path, lopts);
+                                  if (!t.ok()) std::abort();
+                                }),
+                       FileSize(tlg_path)});
+  }
+
+  // Preprocessing skipped vs done fresh: both start from an opened
+  // container, one asks for the cached (O, theta), the other reruns the
+  // pipeline.
+  auto container = TlgFile::Open(tlg_path);
+  if (!container.ok()) {
+    std::fprintf(stderr, "%s\n", container.status().ToString().c_str());
+    return 1;
+  }
+  samples.push_back(
+      {"orient_fresh", BestWall(reps,
+                                [&] {
+                                  const OrientedGraph og =
+                                      OrientWithSpec(container->graph(),
+                                                     spec);
+                                  (void)og;
+                                }),
+       0});
+  samples.push_back(
+      {"orient_cached",
+       BestWall(reps,
+                [&] {
+                  const OrientedGraph* og =
+                      container->FindOrientation(spec);
+                  if (og == nullptr) std::abort();
+                }),
+       0});
+
+  // Contract checks (the bench fails loudly rather than reporting
+  // numbers for a broken container).
+  const OrientedGraph fresh = OrientWithSpec(container->graph(), spec);
+  const OrientedGraph* cached = container->FindOrientation(spec);
+  if (cached == nullptr || !SameOrientedCsr(fresh, *cached)) {
+    std::fprintf(stderr,
+                 "FAIL: cached orientation differs from fresh pipeline\n");
+    return 1;
+  }
+  auto text_graph = ReadEdgeListFile(text_path);
+  if (!text_graph.ok()) return 1;
+  uint64_t text_triangles = 0;
+  uint64_t tlg_triangles = 0;
+  int64_t text_ops = 0;
+  int64_t tlg_ops = 0;
+  for (Method m : {Method::kT1, Method::kT2, Method::kE1, Method::kE4}) {
+    CountingSink s1;
+    CountingSink s2;
+    const OrientedGraph og_text = OrientWithSpec(*text_graph, spec);
+    text_ops += RunMethod(m, og_text, &s1).PaperCost();
+    tlg_ops += RunMethod(m, *cached, &s2).PaperCost();
+    text_triangles += s1.count();
+    tlg_triangles += s2.count();
+  }
+  if (text_triangles != tlg_triangles || text_ops != tlg_ops) {
+    std::fprintf(stderr, "FAIL: text vs .tlg listing disagrees\n");
+    return 1;
+  }
+  std::printf(
+      "  contract: cached orientation bit-identical, T1/T2/E1/E4 "
+      "triangles+ops identical (%llu triangles/method-sum)\n",
+      static_cast<unsigned long long>(text_triangles));
+
+  std::printf("%-24s %12s %14s\n", "phase", "wall_s", "input_bytes");
+  for (const Sample& s : samples) {
+    std::printf("%-24s %12.4f %14zu\n", s.phase.c_str(), s.wall_s,
+                s.bytes);
+  }
+
+  const char* path_env = std::getenv("TRILIST_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_io_formats.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"io_formats\",\n"
+               "  \"alpha\": %.2f,\n"
+               "  \"n\": %zu,\n"
+               "  \"m\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"paper_scale\": %s,\n"
+               "  \"text_bytes\": %zu,\n"
+               "  \"tlg_bytes\": %zu,\n"
+               "  \"results\": [\n",
+               alpha, graph->num_nodes(), graph->num_edges(),
+               static_cast<unsigned long long>(trilist_bench::Seed()),
+               paper ? "true" : "false", FileSize(text_path),
+               FileSize(tlg_path));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"wall_s\": %.6f, "
+                 "\"input_bytes\": %zu}%s\n",
+                 samples[i].phase.c_str(), samples[i].wall_s,
+                 samples[i].bytes, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  std::remove(text_path.c_str());
+  std::remove(tlg_path.c_str());
+  return 0;
+}

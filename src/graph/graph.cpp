@@ -4,10 +4,36 @@
 
 namespace trilist {
 
-Graph::Graph(std::vector<size_t> offsets, std::vector<NodeId> neighbors)
-    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
-  TRILIST_DCHECK(!offsets_.empty());
-  TRILIST_DCHECK(offsets_.back() == neighbors_.size());
+namespace {
+
+/// Owned backing storage for a Graph built from vectors.
+struct OwnedCsr {
+  std::vector<size_t> offsets;
+  std::vector<NodeId> neighbors;
+};
+
+}  // namespace
+
+Graph::Graph(std::vector<size_t> offsets, std::vector<NodeId> neighbors) {
+  TRILIST_DCHECK(!offsets.empty());
+  TRILIST_DCHECK(offsets.back() == neighbors.size());
+  auto owned = std::make_shared<OwnedCsr>(
+      OwnedCsr{std::move(offsets), std::move(neighbors)});
+  offsets_ = owned->offsets;
+  neighbors_ = owned->neighbors;
+  storage_ = std::move(owned);
+}
+
+Graph Graph::FromCsrView(std::span<const size_t> offsets,
+                         std::span<const NodeId> neighbors,
+                         std::shared_ptr<const void> storage) {
+  TRILIST_DCHECK(!offsets.empty());
+  TRILIST_DCHECK(offsets.back() == neighbors.size());
+  Graph g;
+  g.offsets_ = offsets;
+  g.neighbors_ = neighbors;
+  g.storage_ = std::move(storage);
+  return g;
 }
 
 Result<Graph> Graph::FromEdges(size_t num_nodes,

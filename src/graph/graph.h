@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -13,6 +14,12 @@
 /// Adjacency lists are sorted ascending by node ID, matching the paper's
 /// standing assumption (Section 2). The structure is the substrate for the
 /// relabel/orient preprocessing pipeline and the 18 listing algorithms.
+///
+/// Storage is span-backed: a Graph either owns its CSR arrays (built from
+/// edges or vectors) or is a zero-copy view into externally owned memory —
+/// typically a section of an mmap'ed `.tlg` container (src/graph/binfmt.h)
+/// — kept alive through a type-erased shared holder. Copies are cheap and
+/// share the immutable backing storage.
 
 namespace trilist {
 
@@ -37,7 +44,17 @@ class Graph {
                                  const std::vector<Edge>& edges);
 
   /// Internal constructor from validated CSR arrays (used by builders).
+  /// Takes ownership of the vectors.
   Graph(std::vector<size_t> offsets, std::vector<NodeId> neighbors);
+
+  /// Zero-copy view over externally owned CSR arrays. `storage` keeps the
+  /// backing memory (e.g. an MmapFile) alive for the Graph's lifetime and
+  /// that of every copy. The caller is responsible for having validated
+  /// the arrays (monotone offsets, in-range sorted rows); the `.tlg`
+  /// loader does so before calling.
+  static Graph FromCsrView(std::span<const size_t> offsets,
+                           std::span<const NodeId> neighbors,
+                           std::shared_ptr<const void> storage);
 
   /// Number of nodes n.
   size_t num_nodes() const {
@@ -53,7 +70,7 @@ class Graph {
 
   /// Sorted neighbor list of v.
   std::span<const NodeId> Neighbors(NodeId v) const {
-    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+    return neighbors_.subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
   }
 
   /// Edge-existence test via binary search: O(log deg).
@@ -68,9 +85,15 @@ class Graph {
   /// The undirected edge list with u < v in each pair, ordered by (u, v).
   std::vector<Edge> EdgeList() const;
 
+  /// Raw CSR arrays, for serialization (offsets has size n+1, neighbors
+  /// size 2m with each row sorted ascending).
+  std::span<const size_t> RawOffsets() const { return offsets_; }
+  std::span<const NodeId> RawNeighbors() const { return neighbors_; }
+
  private:
-  std::vector<size_t> offsets_;    // size n+1
-  std::vector<NodeId> neighbors_;  // size 2m, each row sorted ascending
+  std::span<const size_t> offsets_;    // size n+1
+  std::span<const NodeId> neighbors_;  // size 2m, each row sorted ascending
+  std::shared_ptr<const void> storage_;  // owns (or pins) the arrays
 };
 
 }  // namespace trilist

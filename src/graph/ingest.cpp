@@ -1,0 +1,270 @@
+#include "src/graph/ingest.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "src/graph/mmap_file.h"
+#include "src/util/parallel_for.h"
+
+namespace trilist {
+
+namespace {
+
+using RawEdge = std::pair<uint64_t, uint64_t>;
+
+/// What one parser chunk produced. Chunks are newline-aligned slices of
+/// the input, so every counter composes by summation in chunk order.
+struct ChunkResult {
+  std::vector<RawEdge> records;  // self-loops already dropped
+  size_t lines = 0;
+  size_t comment_lines = 0;
+  size_t blank_lines = 0;
+  size_t edges_in = 0;
+  size_t self_loops = 0;
+  uint64_t max_id = 0;
+  bool has_header = false;
+  uint64_t header_nodes = 0;
+  bool has_error = false;
+  size_t error_line = 0;  // chunk-local, 1-based
+  std::string error_text;
+};
+
+bool IsSep(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Parses one unsigned field at `p` (within [p, end)), returns the
+/// position past the field or nullptr on failure. Requires the field to
+/// be terminated by whitespace or end-of-line so "12abc" is malformed.
+const char* ParseField(const char* p, const char* end, uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(p, end, *out);
+  if (ec != std::errc() || ptr == p) return nullptr;
+  if (ptr != end && !IsSep(*ptr)) return nullptr;
+  return ptr;
+}
+
+/// Parses the lines in [begin, end) into `r`. `end` is a line boundary
+/// (or the end of the input).
+void ParseChunk(const char* begin, const char* end, ChunkResult* r) {
+  const char* p = begin;
+  while (p < end) {
+    const char* nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = nl != nullptr ? nl : end;
+    ++r->lines;
+    const char* s = p;
+    while (s < line_end && IsSep(*s)) ++s;
+    if (s == line_end) {
+      ++r->blank_lines;
+    } else if (*s == '#' || *s == '%') {
+      ++r->comment_lines;
+      // Recognize the "nodes N" header our own writer emits.
+      ++s;
+      while (s < line_end && IsSep(*s)) ++s;
+      static constexpr char kWord[] = "nodes";
+      if (line_end - s > 5 && std::memcmp(s, kWord, 5) == 0 &&
+          IsSep(s[5])) {
+        s += 5;
+        while (s < line_end && IsSep(*s)) ++s;
+        uint64_t n = 0;
+        if (ParseField(s, line_end, &n) != nullptr) {
+          r->has_header = true;
+          r->header_nodes = n;
+        }
+      }
+    } else {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      const char* after_u = ParseField(s, line_end, &u);
+      const char* q = after_u;
+      if (q != nullptr) {
+        while (q < line_end && IsSep(*q)) ++q;
+        q = ParseField(q, line_end, &v);
+      }
+      if (q == nullptr) {
+        r->has_error = true;
+        r->error_line = r->lines;
+        r->error_text.assign(p, line_end);
+        return;
+      }
+      // Anything after the second field (weights, timestamps) is ignored.
+      ++r->edges_in;
+      r->max_id = std::max({r->max_id, u, v});
+      if (u == v) {
+        ++r->self_loops;
+      } else {
+        r->records.emplace_back(u, v);
+      }
+    }
+    if (nl == nullptr) break;
+    p = nl + 1;
+  }
+}
+
+}  // namespace
+
+Result<IngestedGraph> IngestEdgeList(std::string_view text,
+                                     const IngestOptions& options) {
+  const int threads = std::max(1, options.threads);
+  const char* base = text.data();
+  const size_t size = text.size();
+
+  // Cut the input into newline-aligned chunks, one slice per unit of
+  // parallelism (over-decomposed so a comment-dense region cannot stall
+  // the pool).
+  const size_t want_chunks =
+      threads == 1 ? 1
+                   : std::min<size_t>(static_cast<size_t>(threads) * 4,
+                                      std::max<size_t>(1, size / 4096));
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  for (size_t c = 1; c < want_chunks; ++c) {
+    size_t pos = size * c / want_chunks;
+    if (pos <= bounds.back()) continue;
+    const void* nl = std::memchr(base + pos, '\n', size - pos);
+    if (nl == nullptr) break;
+    pos = static_cast<size_t>(static_cast<const char*>(nl) - base) + 1;
+    if (pos > bounds.back() && pos < size) bounds.push_back(pos);
+  }
+  bounds.push_back(size);
+  const size_t num_chunks = bounds.size() - 1;
+
+  std::vector<ChunkResult> chunks(num_chunks);
+  ParallelFor(threads, num_chunks, [&](size_t c) {
+    ParseChunk(base + bounds[c], base + bounds[c + 1], &chunks[c]);
+  });
+
+  // Surface the earliest malformed line with its global line number
+  // (chunks before the failing one always parsed to completion).
+  IngestStats stats;
+  bool has_header = false;
+  uint64_t header_nodes = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const ChunkResult& r = chunks[c];
+    if (r.has_error) {
+      return Status::InvalidArgument(
+          "malformed edge at line " + std::to_string(stats.lines +
+                                                     r.error_line) +
+          ": '" + r.error_text + "'");
+    }
+    stats.lines += r.lines;
+    stats.comment_lines += r.comment_lines;
+    stats.blank_lines += r.blank_lines;
+    stats.edges_in += r.edges_in;
+    stats.self_loops_dropped += r.self_loops;
+    stats.max_input_id = std::max(stats.max_input_id, r.max_id);
+    if (r.has_header && !has_header) {
+      has_header = true;
+      header_nodes = r.header_nodes;
+    }
+  }
+
+  // Concatenate the per-chunk records (chunk order keeps this
+  // deterministic; the later sort makes order irrelevant anyway).
+  size_t total_records = 0;
+  for (const ChunkResult& r : chunks) total_records += r.records.size();
+  std::vector<RawEdge> records;
+  records.reserve(total_records);
+  for (ChunkResult& r : chunks) {
+    records.insert(records.end(), r.records.begin(), r.records.end());
+    r.records.clear();
+    r.records.shrink_to_fit();
+  }
+
+  // The node-ID universe: sorted distinct endpoints. Input is "compact"
+  // when they already form a prefix of the naturals, in which case the
+  // original numbering (and any header-declared isolated nodes) is kept.
+  std::vector<uint64_t> ids;
+  ids.reserve(records.size() * 2);
+  for (const RawEdge& e : records) {
+    ids.push_back(e.first);
+    ids.push_back(e.second);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const bool compact =
+      ids.empty() || (ids.front() == 0 && ids.back() == ids.size() - 1);
+
+  size_t num_nodes = 0;
+  std::vector<Edge> edges(records.size());
+  if (compact) {
+    num_nodes = ids.empty() ? 0 : static_cast<size_t>(ids.back()) + 1;
+    if (has_header) num_nodes = std::max<size_t>(num_nodes, header_nodes);
+    if (num_nodes >= std::numeric_limits<NodeId>::max()) {
+      return Status::OutOfRange("graph too large for 32-bit node IDs: " +
+                                std::to_string(num_nodes) + " nodes");
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      NodeId a = static_cast<NodeId>(records[i].first);
+      NodeId b = static_cast<NodeId>(records[i].second);
+      if (a > b) std::swap(a, b);
+      edges[i] = {a, b};
+    }
+  } else {
+    stats.relabeled = true;
+    num_nodes = ids.size();
+    if (num_nodes >= std::numeric_limits<NodeId>::max()) {
+      return Status::OutOfRange("graph too large for 32-bit node IDs: " +
+                                std::to_string(num_nodes) + " nodes");
+    }
+    // Relabel by rank of the original ID (binary search into `ids`),
+    // parallel over records.
+    const size_t relabel_chunks =
+        std::max<size_t>(1, static_cast<size_t>(threads) * 4);
+    const size_t chunk_len =
+        (records.size() + relabel_chunks - 1) / relabel_chunks;
+    ParallelFor(threads, relabel_chunks, [&](size_t c) {
+      const size_t lo = std::min(records.size(), c * chunk_len);
+      const size_t hi = std::min(records.size(), lo + chunk_len);
+      for (size_t i = lo; i < hi; ++i) {
+        const auto rank = [&](uint64_t id) {
+          return static_cast<NodeId>(
+              std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+        };
+        NodeId a = rank(records[i].first);
+        NodeId b = rank(records[i].second);
+        if (a > b) std::swap(a, b);
+        edges[i] = {a, b};
+      }
+    });
+  }
+  records.clear();
+  records.shrink_to_fit();
+
+  // Dedupe: canonical (min, max) pairs, sorted; repeats in either
+  // direction collapse to one edge.
+  std::sort(edges.begin(), edges.end());
+  const auto last = std::unique(edges.begin(), edges.end());
+  stats.duplicates_dropped = static_cast<size_t>(edges.end() - last);
+  edges.erase(last, edges.end());
+
+  auto graph = Graph::FromEdges(num_nodes, edges);
+  if (!graph.ok()) return graph.status();
+
+  IngestedGraph out;
+  out.graph = std::move(graph).ValueOrDie();
+  if (compact) {
+    out.original_id.resize(num_nodes);
+    std::iota(out.original_id.begin(), out.original_id.end(), 0u);
+  } else {
+    out.original_id = std::move(ids);
+  }
+  stats.num_nodes = out.graph.num_nodes();
+  stats.num_edges = out.graph.num_edges();
+  out.stats = stats;
+  return out;
+}
+
+Result<IngestedGraph> IngestEdgeListFile(const std::string& path,
+                                         const IngestOptions& options) {
+  auto file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  const std::span<const std::byte> bytes = file->bytes();
+  const std::string_view text(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return IngestEdgeList(text, options);
+}
+
+}  // namespace trilist

@@ -9,6 +9,42 @@
 
 namespace trilist {
 
+namespace {
+
+/// Trims trailing whitespace (space, tab, CR) in place — the tolerant
+/// mode's answer to CRLF files and padded columns.
+void TrimTrailing(std::string* line) {
+  while (!line->empty()) {
+    const char c = line->back();
+    if (c == '\r' || c == ' ' || c == '\t') {
+      line->pop_back();
+    } else {
+      break;
+    }
+  }
+}
+
+bool IsBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+std::string IngestStats::Summary() const {
+  std::ostringstream out;
+  out << lines << " lines (" << comment_lines << " comments, "
+      << blank_lines << " blank), " << edges_in << " edge records -> "
+      << num_edges << " edges over " << num_nodes << " nodes";
+  if (self_loops_dropped > 0 || duplicates_dropped > 0) {
+    out << " (dropped " << self_loops_dropped << " self-loops, "
+        << duplicates_dropped << " duplicates)";
+  }
+  if (relabeled) {
+    out << ", sparse IDs relabeled (max input ID " << max_input_id << ")";
+  }
+  return out.str();
+}
+
 void WriteEdgeList(const Graph& g, std::ostream* out) {
   *out << "# nodes " << g.num_nodes() << "\n";
   for (size_t u = 0; u < g.num_nodes(); ++u) {
@@ -18,7 +54,10 @@ void WriteEdgeList(const Graph& g, std::ostream* out) {
   }
 }
 
-Result<Graph> ReadEdgeList(std::istream* in) {
+Result<Graph> ReadEdgeList(std::istream* in, EdgeListMode mode,
+                           IngestStats* stats) {
+  const bool tolerant = mode == EdgeListMode::kTolerant;
+  IngestStats local;
   std::vector<Edge> edges;
   size_t num_nodes = 0;
   bool explicit_nodes = false;
@@ -26,8 +65,14 @@ Result<Graph> ReadEdgeList(std::istream* in) {
   size_t line_no = 0;
   while (std::getline(*in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    ++local.lines;
+    if (tolerant) TrimTrailing(&line);
+    if (line.empty() || (tolerant && IsBlank(line))) {
+      ++local.blank_lines;
+      continue;
+    }
     if (line[0] == '#' || line[0] == '%') {
+      ++local.comment_lines;
       std::istringstream header(line.substr(1));
       std::string word;
       if (header >> word && word == "nodes") {
@@ -47,10 +92,16 @@ Result<Graph> ReadEdgeList(std::istream* in) {
                                      std::to_string(line_no) + ": '" +
                                      line + "'");
     }
+    ++local.edges_in;
+    local.max_input_id = std::max({local.max_input_id, u, v});
     const uint64_t id_limit = std::numeric_limits<NodeId>::max();
     if (u >= id_limit || v >= id_limit) {
       return Status::OutOfRange("node ID too large at line " +
                                 std::to_string(line_no));
+    }
+    if (tolerant && u == v) {
+      ++local.self_loops_dropped;
+      continue;
     }
     edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
     if (!explicit_nodes) {
@@ -58,6 +109,21 @@ Result<Graph> ReadEdgeList(std::istream* in) {
                             static_cast<size_t>(v) + 1});
     }
   }
+  if (tolerant) {
+    // Canonicalize (min, max), then sort + unique to drop duplicates
+    // regardless of the direction they were written in.
+    for (Edge& e : edges) {
+      if (e.first > e.second) std::swap(e.first, e.second);
+    }
+    std::sort(edges.begin(), edges.end());
+    const auto last = std::unique(edges.begin(), edges.end());
+    local.duplicates_dropped =
+        static_cast<size_t>(edges.end() - last);
+    edges.erase(last, edges.end());
+  }
+  local.num_nodes = num_nodes;
+  local.num_edges = edges.size();
+  if (stats != nullptr) *stats = local;
   return Graph::FromEdges(num_nodes, edges);
 }
 
@@ -72,12 +138,13 @@ Status WriteEdgeListFile(const Graph& g, const std::string& path) {
   return Status::OK();
 }
 
-Result<Graph> ReadEdgeListFile(const std::string& path) {
+Result<Graph> ReadEdgeListFile(const std::string& path, EdgeListMode mode,
+                               IngestStats* stats) {
   std::ifstream in(path);
   if (!in) {
     return Status::InvalidArgument("cannot open for reading: " + path);
   }
-  return ReadEdgeList(&in);
+  return ReadEdgeList(&in, mode, stats);
 }
 
 }  // namespace trilist

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -13,19 +14,58 @@
 /// Format: one "u v" pair per line, whitespace separated, 0-based IDs;
 /// lines starting with '#' or '%' are comments. The node count is
 /// max ID + 1 unless a "# nodes N" header is present.
+///
+/// Two parsing modes: kStrict (the default) enforces the library's
+/// simple-graph contract and is the round-trip inverse of WriteEdgeList;
+/// kTolerant accepts what real dataset dumps actually contain — duplicate
+/// edges (either direction), self-loops, CRLF line endings, tab
+/// separators, trailing whitespace — normalizing away the noise and
+/// reporting what it dropped. For large files prefer the chunked parallel
+/// ingester in src/graph/ingest.h, which additionally relabels sparse
+/// node IDs.
 
 namespace trilist {
+
+/// What a tolerant parse / ingest run saw and did. All counters refer to
+/// the input; `num_nodes` / `num_edges` describe the normalized output.
+struct IngestStats {
+  size_t lines = 0;               ///< Total input lines.
+  size_t comment_lines = 0;       ///< '#'/'%' lines (headers included).
+  size_t blank_lines = 0;         ///< Empty or whitespace-only lines.
+  size_t edges_in = 0;            ///< Parsed "u v" records.
+  size_t self_loops_dropped = 0;  ///< Records with u == v.
+  size_t duplicates_dropped = 0;  ///< Repeats of an edge, either direction.
+  uint64_t max_input_id = 0;      ///< Largest node ID seen in the input.
+  bool relabeled = false;         ///< Input IDs were compacted to [0, n).
+  size_t num_nodes = 0;           ///< Nodes in the normalized graph.
+  size_t num_edges = 0;           ///< Edges in the normalized graph.
+
+  /// One-line human-readable summary for CLI reports.
+  std::string Summary() const;
+};
+
+/// Parsing strictness of ReadEdgeList.
+enum class EdgeListMode {
+  kStrict,    ///< Reject self-loops and duplicates (simple-graph contract).
+  kTolerant,  ///< Drop self-loops/duplicates, accept CRLF/tabs/whitespace.
+};
 
 /// Writes `g` as an edge list with a "# nodes N" header. Each undirected
 /// edge appears once as "u v" with u < v.
 void WriteEdgeList(const Graph& g, std::ostream* out);
 
-/// Parses an edge list. Self-loops and duplicate edges are rejected
-/// (InvalidArgument), matching the library's simple-graph contract.
-Result<Graph> ReadEdgeList(std::istream* in);
+/// Parses an edge list. In kStrict mode self-loops and duplicate edges
+/// are rejected (InvalidArgument), matching the library's simple-graph
+/// contract; in kTolerant mode they are dropped and tallied in `stats`
+/// (which may be null). Malformed lines are errors in both modes.
+Result<Graph> ReadEdgeList(std::istream* in,
+                           EdgeListMode mode = EdgeListMode::kStrict,
+                           IngestStats* stats = nullptr);
 
 /// Convenience file wrappers.
 Status WriteEdgeListFile(const Graph& g, const std::string& path);
-Result<Graph> ReadEdgeListFile(const std::string& path);
+Result<Graph> ReadEdgeListFile(const std::string& path,
+                               EdgeListMode mode = EdgeListMode::kStrict,
+                               IngestStats* stats = nullptr);
 
 }  // namespace trilist

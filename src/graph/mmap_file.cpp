@@ -1,0 +1,108 @@
+#include "src/graph/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace trilist {
+
+namespace {
+
+/// Reads exactly `size` bytes from `fd` into `dst`, retrying on EINTR and
+/// short reads. Returns false on I/O error or premature EOF.
+bool ReadAll(int fd, std::byte* dst, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::read(fd, dst + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // file shrank under us
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fstat failed for " + path + ": " + err);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ == 0) {
+    ::close(fd);
+    return out;
+  }
+  if (backing != Backing::kRead) {
+    void* base =
+        ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      out.data_ = static_cast<const std::byte*>(base);
+      out.mapped_ = true;
+      ::close(fd);  // the mapping outlives the descriptor
+      return out;
+    }
+    if (backing == Backing::kMmap) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("mmap failed for " + path + ": " + err);
+    }
+  }
+  // Fallback: one contiguous read. new[] guarantees alignment suitable
+  // for any fundamental type, which the .tlg section layout relies on.
+  out.heap_.reset(new std::byte[out.size_]);
+  if (!ReadAll(fd, out.heap_.get(), out.size_)) {
+    ::close(fd);
+    return Status::Internal("short read for " + path);
+  }
+  ::close(fd);
+  out.data_ = out.heap_.get();
+  return out;
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      heap_(std::move(other.heap_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && data_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    heap_ = std::move(other.heap_);
+  }
+  return *this;
+}
+
+}  // namespace trilist

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/util/status.h"
+
+/// \file mmap_file.h
+/// RAII read-only file mapping for zero-copy graph loading.
+///
+/// The `.tlg` loader (src/graph/binfmt.h) maps the container and hands out
+/// spans pointing straight into the page cache, so a multi-gigabyte graph
+/// "loads" in the time it takes to validate its checksums. When mmap is
+/// unavailable (special files, exotic filesystems) — or when explicitly
+/// requested for testing — the file is read into an 8-byte-aligned heap
+/// buffer instead; callers see the same `bytes()` span either way.
+
+namespace trilist {
+
+/// \brief Read-only byte view of a file, mmap-backed when possible.
+class MmapFile {
+ public:
+  /// How to back the view.
+  enum class Backing {
+    kAuto,  ///< Try mmap, silently fall back to read() on failure.
+    kMmap,  ///< mmap only; Open fails if the file cannot be mapped.
+    kRead,  ///< Plain read() into a heap buffer (fallback path, testable).
+  };
+
+  /// Opens `path` and materializes its contents. Rejects directories and
+  /// other non-regular files; an empty file yields an empty span.
+  static Result<MmapFile> Open(const std::string& path,
+                               Backing backing = Backing::kAuto);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The whole file. Mmap-backed spans are page-aligned; heap-backed
+  /// spans are aligned to at least alignof(std::max_align_t).
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  /// File size in bytes.
+  size_t size() const { return size_; }
+  /// True when the view is an actual memory mapping (zero-copy).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<std::byte[]> heap_;  ///< Owns the read() fallback buffer.
+};
+
+}  // namespace trilist

@@ -11,6 +11,15 @@ namespace trilist {
 
 namespace {
 
+/// Owned backing storage for an OrientedGraph built from labels.
+struct OwnedArrays {
+  std::vector<size_t> out_offsets;
+  std::vector<NodeId> out_neighbors;
+  std::vector<size_t> in_offsets;
+  std::vector<NodeId> in_neighbors;
+  std::vector<NodeId> original_of;
+};
+
 /// Parallel CSR build: counting with per-label atomic counters, blocked
 /// parallel prefix sums, fill through atomic row cursors, then a parallel
 /// sort of every row. See FromLabels' header comment for the determinism
@@ -123,9 +132,9 @@ OrientedGraph OrientedGraph::FromLabels(const Graph& g,
                                         int threads) {
   const size_t n = g.num_nodes();
   TRILIST_DCHECK(labels.size() == n);
-  OrientedGraph out;
+  auto owned = std::make_shared<OwnedArrays>();
   if (threads > 1 && n > 0) {
-    out.original_of_.assign(n, 0);
+    owned->original_of.assign(n, 0);
     // labels is a bijection, so these writes are disjoint.
     ParallelFor(threads, static_cast<size_t>(threads), [&](size_t c) {
       const size_t chunk =
@@ -135,69 +144,104 @@ OrientedGraph OrientedGraph::FromLabels(const Graph& g,
       const size_t hi = std::min(n, lo + chunk);
       for (size_t v = lo; v < hi; ++v) {
         TRILIST_DCHECK(labels[v] < n);
-        out.original_of_[labels[v]] = static_cast<NodeId>(v);
+        owned->original_of[labels[v]] = static_cast<NodeId>(v);
       }
     });
-    BuildAdjacencyParallel(g, labels, threads, &out.out_offsets_,
-                           &out.out_neighbors_, &out.in_offsets_,
-                           &out.in_neighbors_);
+    BuildAdjacencyParallel(g, labels, threads, &owned->out_offsets,
+                           &owned->out_neighbors, &owned->in_offsets,
+                           &owned->in_neighbors);
+    OrientedGraph out;
+    out.out_offsets_ = owned->out_offsets;
+    out.out_neighbors_ = owned->out_neighbors;
+    out.in_offsets_ = owned->in_offsets;
+    out.in_neighbors_ = owned->in_neighbors;
+    out.original_of_ = owned->original_of;
+    out.storage_ = std::move(owned);
     return out;
   }
-  out.original_of_.assign(n, 0);
+  owned->original_of.assign(n, 0);
   for (size_t v = 0; v < n; ++v) {
     TRILIST_DCHECK(labels[v] < n);
-    out.original_of_[labels[v]] = static_cast<NodeId>(v);
+    owned->original_of[labels[v]] = static_cast<NodeId>(v);
   }
 
   // Counting pass over arcs in label space.
-  out.out_offsets_.assign(n + 1, 0);
-  out.in_offsets_.assign(n + 1, 0);
+  owned->out_offsets.assign(n + 1, 0);
+  owned->in_offsets.assign(n + 1, 0);
   for (size_t v = 0; v < n; ++v) {
     const NodeId lv = labels[v];
     for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
       const NodeId lw = labels[w];
       if (lw < lv) {
-        ++out.out_offsets_[lv + 1];
+        ++owned->out_offsets[lv + 1];
       } else {
-        ++out.in_offsets_[lv + 1];
+        ++owned->in_offsets[lv + 1];
       }
     }
   }
   for (size_t i = 1; i <= n; ++i) {
-    out.out_offsets_[i] += out.out_offsets_[i - 1];
-    out.in_offsets_[i] += out.in_offsets_[i - 1];
+    owned->out_offsets[i] += owned->out_offsets[i - 1];
+    owned->in_offsets[i] += owned->in_offsets[i - 1];
   }
-  out.out_neighbors_.resize(out.out_offsets_[n]);
-  out.in_neighbors_.resize(out.in_offsets_[n]);
+  owned->out_neighbors.resize(owned->out_offsets[n]);
+  owned->in_neighbors.resize(owned->in_offsets[n]);
 
   // Fill pass.
-  std::vector<size_t> out_cursor(out.out_offsets_.begin(),
-                                 out.out_offsets_.end() - 1);
-  std::vector<size_t> in_cursor(out.in_offsets_.begin(),
-                                out.in_offsets_.end() - 1);
+  std::vector<size_t> out_cursor(owned->out_offsets.begin(),
+                                 owned->out_offsets.end() - 1);
+  std::vector<size_t> in_cursor(owned->in_offsets.begin(),
+                                owned->in_offsets.end() - 1);
   for (size_t v = 0; v < n; ++v) {
     const NodeId lv = labels[v];
     for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
       const NodeId lw = labels[w];
       if (lw < lv) {
-        out.out_neighbors_[out_cursor[lv]++] = lw;
+        owned->out_neighbors[out_cursor[lv]++] = lw;
       } else {
-        out.in_neighbors_[in_cursor[lv]++] = lw;
+        owned->in_neighbors[in_cursor[lv]++] = lw;
       }
     }
   }
 
   // Sort each row ascending by label.
   for (size_t i = 0; i < n; ++i) {
-    std::sort(out.out_neighbors_.begin() +
-                  static_cast<int64_t>(out.out_offsets_[i]),
-              out.out_neighbors_.begin() +
-                  static_cast<int64_t>(out.out_offsets_[i + 1]));
-    std::sort(out.in_neighbors_.begin() +
-                  static_cast<int64_t>(out.in_offsets_[i]),
-              out.in_neighbors_.begin() +
-                  static_cast<int64_t>(out.in_offsets_[i + 1]));
+    std::sort(owned->out_neighbors.begin() +
+                  static_cast<int64_t>(owned->out_offsets[i]),
+              owned->out_neighbors.begin() +
+                  static_cast<int64_t>(owned->out_offsets[i + 1]));
+    std::sort(owned->in_neighbors.begin() +
+                  static_cast<int64_t>(owned->in_offsets[i]),
+              owned->in_neighbors.begin() +
+                  static_cast<int64_t>(owned->in_offsets[i + 1]));
   }
+  OrientedGraph out;
+  out.out_offsets_ = owned->out_offsets;
+  out.out_neighbors_ = owned->out_neighbors;
+  out.in_offsets_ = owned->in_offsets;
+  out.in_neighbors_ = owned->in_neighbors;
+  out.original_of_ = owned->original_of;
+  out.storage_ = std::move(owned);
+  return out;
+}
+
+OrientedGraph OrientedGraph::FromCsrView(
+    std::span<const size_t> out_offsets,
+    std::span<const NodeId> out_neighbors,
+    std::span<const size_t> in_offsets,
+    std::span<const NodeId> in_neighbors,
+    std::span<const NodeId> original_of,
+    std::shared_ptr<const void> storage) {
+  TRILIST_DCHECK(out_offsets.size() == in_offsets.size());
+  TRILIST_DCHECK(!out_offsets.empty());
+  TRILIST_DCHECK(out_offsets.back() == out_neighbors.size());
+  TRILIST_DCHECK(in_offsets.back() == in_neighbors.size());
+  OrientedGraph out;
+  out.out_offsets_ = out_offsets;
+  out.out_neighbors_ = out_neighbors;
+  out.in_offsets_ = in_offsets;
+  out.in_neighbors_ = in_neighbors;
+  out.original_of_ = original_of;
+  out.storage_ = std::move(storage);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,11 @@
 /// N+(i) (labels < i) and the in-list N-(i) (labels > i) are stored in CSR
 /// form, sorted ascending, which is exactly the layout the 18 triangle
 /// listing patterns traverse.
+///
+/// Like Graph, storage is span-backed: an OrientedGraph either owns its
+/// arrays (FromLabels) or is a zero-copy view of a cached orientation
+/// inside an mmap'ed `.tlg` container (FromCsrView), so preprocessing can
+/// be skipped entirely on reload.
 
 namespace trilist {
 
@@ -39,6 +45,18 @@ class OrientedGraph {
                                   const std::vector<NodeId>& labels,
                                   int threads = 1);
 
+  /// Zero-copy view over externally owned, already validated CSR arrays
+  /// (a cached orientation section of a `.tlg` file). `storage` pins the
+  /// backing memory. The caller must have verified the orientation
+  /// invariants (see binfmt.cpp): out-rows sorted < i, in-rows sorted > i,
+  /// original_of a permutation image of [0, n).
+  static OrientedGraph FromCsrView(std::span<const size_t> out_offsets,
+                                   std::span<const NodeId> out_neighbors,
+                                   std::span<const size_t> in_offsets,
+                                   std::span<const NodeId> in_neighbors,
+                                   std::span<const NodeId> original_of,
+                                   std::shared_ptr<const void> storage);
+
   /// Number of nodes n.
   size_t num_nodes() const {
     return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
@@ -48,13 +66,13 @@ class OrientedGraph {
 
   /// Out-neighbors N+(i): labels smaller than i, sorted ascending.
   std::span<const NodeId> OutNeighbors(NodeId i) const {
-    return {out_neighbors_.data() + out_offsets_[i],
-            out_neighbors_.data() + out_offsets_[i + 1]};
+    return out_neighbors_.subspan(out_offsets_[i],
+                                  out_offsets_[i + 1] - out_offsets_[i]);
   }
   /// In-neighbors N-(i): labels larger than i, sorted ascending.
   std::span<const NodeId> InNeighbors(NodeId i) const {
-    return {in_neighbors_.data() + in_offsets_[i],
-            in_neighbors_.data() + in_offsets_[i + 1]};
+    return in_neighbors_.subspan(in_offsets_[i],
+                                 in_offsets_[i + 1] - in_offsets_[i]);
   }
 
   /// Out-degree X_i.
@@ -76,19 +94,27 @@ class OrientedGraph {
   /// Original node ID of label i (for reporting triangles in input IDs).
   NodeId OriginalOf(NodeId i) const { return original_of_[i]; }
   /// The label -> original map.
-  const std::vector<NodeId>& original_of() const { return original_of_; }
+  std::span<const NodeId> original_of() const { return original_of_; }
 
   /// Out-degree vector (X_1, ..., X_n) indexed by label.
   std::vector<int64_t> OutDegrees() const;
   /// In-degree vector (Y_1, ..., Y_n) indexed by label.
   std::vector<int64_t> InDegrees() const;
 
+  /// Raw CSR arrays, for serialization (offsets have size n+1; neighbor
+  /// arrays have size m).
+  std::span<const size_t> RawOutOffsets() const { return out_offsets_; }
+  std::span<const size_t> RawInOffsets() const { return in_offsets_; }
+  std::span<const NodeId> RawOutNeighbors() const { return out_neighbors_; }
+  std::span<const NodeId> RawInNeighbors() const { return in_neighbors_; }
+
  private:
-  std::vector<size_t> out_offsets_;
-  std::vector<NodeId> out_neighbors_;
-  std::vector<size_t> in_offsets_;
-  std::vector<NodeId> in_neighbors_;
-  std::vector<NodeId> original_of_;
+  std::span<const size_t> out_offsets_;
+  std::span<const NodeId> out_neighbors_;
+  std::span<const size_t> in_offsets_;
+  std::span<const NodeId> in_neighbors_;
+  std::span<const NodeId> original_of_;
+  std::shared_ptr<const void> storage_;  // owns (or pins) the arrays
 };
 
 }  // namespace trilist

@@ -51,4 +51,10 @@ OrientedGraph OrientNamed(const Graph& g, PermutationKind kind, Rng* rng,
   return Orient(g, MakePermutation(kind, g.num_nodes(), rng), threads);
 }
 
+OrientedGraph OrientWithSpec(const Graph& g, const OrientSpec& spec,
+                             int threads) {
+  Rng rng(spec.seed);
+  return OrientNamed(g, spec.kind, &rng, threads);
+}
+
 }  // namespace trilist

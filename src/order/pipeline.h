@@ -47,4 +47,29 @@ OrientedGraph Orient(const Graph& g, const Permutation& theta,
 OrientedGraph OrientNamed(const Graph& g, PermutationKind kind,
                           Rng* rng = nullptr, int threads = 1);
 
+/// \brief Reproducible identity of a preprocessing configuration (O, θ).
+///
+/// A named permutation family plus the RNG seed that realizes it — the
+/// seed only matters for kUniform, where θ is a random bijection; the
+/// other families are fully determined by `kind`. Two OrientSpecs compare
+/// equal exactly when OrientWithSpec is guaranteed to produce the same
+/// oriented CSR, which is what keys the precomputed orientations cached
+/// inside a `.tlg` container (src/graph/binfmt.h).
+struct OrientSpec {
+  PermutationKind kind = PermutationKind::kDescending;
+  uint64_t seed = 0;  ///< Consulted for kUniform only.
+
+  friend bool operator==(const OrientSpec& a, const OrientSpec& b) {
+    return a.kind == b.kind &&
+           (a.kind != PermutationKind::kUniform || a.seed == b.seed);
+  }
+};
+
+/// Relabels and orients `g` under `spec`, constructing the spec's RNG
+/// internally so the result is a pure function of (graph, spec, nothing
+/// else) — the reproducibility contract that lets a cached orientation
+/// loaded from disk stand in for a fresh pipeline run, bit for bit.
+OrientedGraph OrientWithSpec(const Graph& g, const OrientSpec& spec,
+                             int threads = 1);
+
 }  // namespace trilist

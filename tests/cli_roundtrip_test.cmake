@@ -31,4 +31,73 @@ if(t1 STREQUAL "" OR t1 EQUAL 0)
   message(FATAL_ERROR "no triangles found — suspicious for alpha=1.7")
 endif()
 
-file(REMOVE "${graph_file}")
+# --- Binary container round trip -------------------------------------------
+# text -> .tlg (with cached orientations) -> text must reproduce the exact
+# input bytes, conversion must be deterministic, and `count` must accept
+# the .tlg transparently with the same triangle count.
+set(tlg_file "${WORKDIR}/cli_test_graph.tlg")
+set(tlg_file2 "${WORKDIR}/cli_test_graph2.tlg")
+set(roundtrip_file "${WORKDIR}/cli_test_graph_rt.txt")
+
+execute_process(
+  COMMAND "${CLI}" convert --in "${graph_file}" --out "${tlg_file}"
+          --orders D,RR --seed 9
+  RESULT_VARIABLE conv_result OUTPUT_VARIABLE conv_out)
+if(NOT conv_result EQUAL 0)
+  message(FATAL_ERROR "convert to .tlg failed: ${conv_out}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" info --in "${tlg_file}"
+  RESULT_VARIABLE info_result OUTPUT_VARIABLE info_out)
+if(NOT info_result EQUAL 0)
+  message(FATAL_ERROR "info failed: ${info_out}")
+endif()
+string(FIND "${info_out}" "csr_offsets" has_sections)
+if(has_sections EQUAL -1)
+  message(FATAL_ERROR "info output lists no sections: ${info_out}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" count --in "${tlg_file}" --method T1 --order D
+  RESULT_VARIABLE count3_result OUTPUT_VARIABLE count3_out)
+if(NOT count3_result EQUAL 0)
+  message(FATAL_ERROR "count on .tlg failed: ${count3_out}")
+endif()
+string(REGEX MATCH "triangles ([0-9]+)" m3 "${count3_out}")
+set(t3 "${CMAKE_MATCH_1}")
+if(NOT t3 STREQUAL t1)
+  message(FATAL_ERROR "triangle counts disagree: text=${t1} tlg=${t3}")
+endif()
+string(FIND "${count3_out}" "cached orientation" used_cache)
+if(used_cache EQUAL -1)
+  message(FATAL_ERROR "count on .tlg did not use the cached orientation")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" convert --in "${tlg_file}" --out "${roundtrip_file}"
+  RESULT_VARIABLE back_result OUTPUT_VARIABLE back_out)
+if(NOT back_result EQUAL 0)
+  message(FATAL_ERROR "convert back to text failed: ${back_out}")
+endif()
+file(SHA256 "${graph_file}" text_hash)
+file(SHA256 "${roundtrip_file}" roundtrip_hash)
+if(NOT text_hash STREQUAL roundtrip_hash)
+  message(FATAL_ERROR "text -> .tlg -> text round trip is not byte-identical")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" convert --in "${graph_file}" --out "${tlg_file2}"
+          --orders D,RR --seed 9 --threads 4
+  RESULT_VARIABLE conv2_result OUTPUT_VARIABLE conv2_out)
+if(NOT conv2_result EQUAL 0)
+  message(FATAL_ERROR "second convert failed: ${conv2_out}")
+endif()
+file(SHA256 "${tlg_file}" tlg_hash)
+file(SHA256 "${tlg_file2}" tlg2_hash)
+if(NOT tlg_hash STREQUAL tlg2_hash)
+  message(FATAL_ERROR ".tlg conversion is not deterministic")
+endif()
+
+file(REMOVE "${graph_file}" "${tlg_file}" "${tlg_file2}"
+     "${roundtrip_file}")

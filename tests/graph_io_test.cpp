@@ -98,6 +98,52 @@ TEST(EdgeListIoTest, MissingFileErrors) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(EdgeListIoTest, TolerantModeDropsLoopsAndDuplicates) {
+  std::stringstream buf("0 0\n0 1\n1 0\n0 1\n1 2\n");
+  IngestStats stats;
+  auto r = ReadEdgeList(&buf, EdgeListMode::kTolerant, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 2u);
+  EXPECT_EQ(stats.self_loops_dropped, 1u);
+  EXPECT_EQ(stats.duplicates_dropped, 2u);
+  EXPECT_EQ(stats.edges_in, 5u);
+  EXPECT_EQ(stats.num_edges, 2u);
+  EXPECT_FALSE(stats.Summary().empty());
+}
+
+TEST(EdgeListIoTest, TolerantModeAcceptsCrlfTabsAndTrailingWhitespace) {
+  std::stringstream buf("0\t1\r\n1 2 \t\r\n   \r\n2 3\n");
+  IngestStats stats;
+  auto r = ReadEdgeList(&buf, EdgeListMode::kTolerant, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 3u);
+  EXPECT_EQ(stats.blank_lines, 1u);
+}
+
+TEST(EdgeListIoTest, TolerantModeStillRejectsMalformedLines) {
+  std::stringstream buf("0 1\ngarbage here\n");
+  auto r = ReadEdgeList(&buf, EdgeListMode::kTolerant);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EdgeListIoTest, TolerantModeMatchesStrictOnCleanInput) {
+  Rng rng(5);
+  const Graph g = GenerateGnp(300, 0.03, &rng);
+  std::stringstream strict_buf;
+  WriteEdgeList(g, &strict_buf);
+  std::stringstream tolerant_buf(strict_buf.str());
+  auto strict = ReadEdgeList(&strict_buf);
+  IngestStats stats;
+  auto tolerant =
+      ReadEdgeList(&tolerant_buf, EdgeListMode::kTolerant, &stats);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(strict->EdgeList(), tolerant->EdgeList());
+  EXPECT_EQ(stats.self_loops_dropped, 0u);
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+}
+
 TEST(BitsetOracleTest, AgreesWithOtherOracles) {
   Rng rng(9);
   for (int trial = 0; trial < 6; ++trial) {

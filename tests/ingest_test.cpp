@@ -1,0 +1,209 @@
+#include "src/graph/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/io.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+TEST(IngestTest, SparseIdsRelabeledByAscendingOriginalId) {
+  auto r = IngestEdgeList("10 20\n20 1000000\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->graph.num_nodes(), 3u);
+  EXPECT_EQ(r->graph.EdgeList(), (std::vector<Edge>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(r->original_id, (std::vector<uint64_t>{10, 20, 1000000}));
+  EXPECT_TRUE(r->stats.relabeled);
+  EXPECT_EQ(r->stats.max_input_id, 1000000u);
+}
+
+TEST(IngestTest, CompactInputKeepsOriginalNumbering) {
+  auto r = IngestEdgeList("0 1\n1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->stats.relabeled);
+  EXPECT_EQ(r->original_id, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(IngestTest, BothDirectionDuplicatesCollapse) {
+  auto r = IngestEdgeList("0 1\n1 0\n0 1\n1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_edges(), 2u);
+  EXPECT_EQ(r->stats.edges_in, 4u);
+  EXPECT_EQ(r->stats.duplicates_dropped, 2u);
+}
+
+TEST(IngestTest, SelfLoopsDroppedAndCounted) {
+  // Node 5 appears only in a self-loop, so it vanishes entirely and the
+  // remaining IDs {0, 1} are already compact.
+  auto r = IngestEdgeList("0 0\n0 1\n5 5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.self_loops_dropped, 2u);
+  EXPECT_EQ(r->graph.num_nodes(), 2u);
+  EXPECT_EQ(r->graph.num_edges(), 1u);
+  EXPECT_FALSE(r->stats.relabeled);
+}
+
+TEST(IngestTest, MessyInputNormalizesToCleanEquivalent) {
+  // CRLF endings, tab separators, trailing columns, comments, blank
+  // lines, duplicates and self-loops — all noise around the same graph.
+  const std::string messy =
+      "# a comment\r\n"
+      "0\t1\r\n"
+      "1 0 0.75 1234567\n"
+      "\r\n"
+      "   \n"
+      "2 2\n"
+      "% another comment\n"
+      "1 2 \t\r\n"
+      "0 2\n";
+  auto noisy = IngestEdgeList(messy);
+  auto clean = IngestEdgeList("0 1\n0 2\n1 2\n");
+  ASSERT_TRUE(noisy.ok()) << noisy.status().ToString();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(noisy->graph.EdgeList(), clean->graph.EdgeList());
+  EXPECT_EQ(noisy->stats.comment_lines, 2u);
+  EXPECT_EQ(noisy->stats.blank_lines, 2u);
+  EXPECT_EQ(noisy->stats.self_loops_dropped, 1u);
+  EXPECT_EQ(noisy->stats.duplicates_dropped, 1u);
+}
+
+TEST(IngestTest, ParallelIngestIsBitIdenticalToSerial) {
+  // A large noisy input (every edge emitted in both directions plus
+  // periodic self-loops) spanning multiple parser chunks.
+  Rng rng(11);
+  const Graph g = GenerateGnp(800, 0.02, &rng);
+  std::ostringstream text;
+  text << "# synthetic noisy dump\n";
+  size_t k = 0;
+  for (const Edge& e : g.EdgeList()) {
+    text << e.first << " " << e.second << "\n";
+    text << e.second << "\t" << e.first << "\r\n";
+    if (++k % 97 == 0) text << e.first << " " << e.first << "\n";
+  }
+  const std::string input = text.str();
+  auto serial = IngestEdgeList(input);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->graph.EdgeList(), g.EdgeList());
+  for (int threads : {2, 4, 8}) {
+    IngestOptions opts;
+    opts.threads = threads;
+    auto parallel = IngestEdgeList(input, opts);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel->graph.EdgeList(), serial->graph.EdgeList())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->original_id, serial->original_id);
+    EXPECT_EQ(parallel->stats.edges_in, serial->stats.edges_in);
+    EXPECT_EQ(parallel->stats.duplicates_dropped,
+              serial->stats.duplicates_dropped);
+    EXPECT_EQ(parallel->stats.self_loops_dropped,
+              serial->stats.self_loops_dropped);
+    EXPECT_EQ(parallel->stats.lines, serial->stats.lines);
+  }
+}
+
+TEST(IngestTest, MalformedLineReportsGlobalLineNumber) {
+  // Input long enough to split into several chunks even at 4 threads; the
+  // bad record's reported line number must be global, not chunk-local.
+  std::ostringstream text;
+  const size_t kBadLine = 2500;
+  for (size_t i = 1; i <= 3000; ++i) {
+    if (i == kBadLine) {
+      text << "12abc 7\n";
+    } else {
+      text << i << " " << (i + 1) << "\n";
+    }
+  }
+  const std::string input = text.str();
+  for (int threads : {1, 4}) {
+    IngestOptions opts;
+    opts.threads = threads;
+    auto r = IngestEdgeList(input, opts);
+    ASSERT_FALSE(r.ok()) << "threads=" << threads;
+    EXPECT_NE(r.status().message().find("line " +
+                                        std::to_string(kBadLine)),
+              std::string::npos)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find("12abc"), std::string::npos);
+  }
+}
+
+TEST(IngestTest, RejectsNonNumericAndPartialRecords) {
+  for (const char* bad : {"0 x\n", "0\n", "0 1.5\n", "-1 2\n", "a b\n"}) {
+    auto r = IngestEdgeList(bad);
+    EXPECT_FALSE(r.ok()) << "input: " << bad;
+  }
+}
+
+TEST(IngestTest, HeaderPreservesIsolatedNodes) {
+  auto r = IngestEdgeList("# nodes 5\n0 1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_nodes(), 5u);
+  EXPECT_EQ(r->graph.num_edges(), 1u);
+  EXPECT_EQ(r->original_id.size(), 5u);
+}
+
+TEST(IngestTest, HeaderIgnoredWhenIdsAreSparse) {
+  // Sparse IDs force relabeling; the header's node count refers to the
+  // original numbering and must not leak into the compacted graph.
+  auto r = IngestEdgeList("# nodes 3\n10 20\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stats.relabeled);
+  EXPECT_EQ(r->graph.num_nodes(), 2u);
+}
+
+TEST(IngestTest, EmptyAndCommentOnlyInputs) {
+  auto empty = IngestEdgeList("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->graph.num_nodes(), 0u);
+  auto comments = IngestEdgeList("# nothing\n% here\n\n");
+  ASSERT_TRUE(comments.ok());
+  EXPECT_EQ(comments->graph.num_nodes(), 0u);
+  EXPECT_EQ(comments->stats.comment_lines, 2u);
+}
+
+TEST(IngestTest, FileVariantMatchesInMemoryParse) {
+  const std::string path = ::testing::TempDir() + "/ingest_file.txt";
+  const std::string input = "3 4\n4 5\n3 5\n";
+  std::ofstream(path) << input;
+  auto from_file = IngestEdgeListFile(path);
+  auto from_text = IngestEdgeList(input);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_EQ(from_file->graph.EdgeList(), from_text->graph.EdgeList());
+  EXPECT_EQ(from_file->original_id, from_text->original_id);
+  std::remove(path.c_str());
+  EXPECT_FALSE(IngestEdgeListFile("/nonexistent/edges.txt").ok());
+}
+
+TEST(IngestTest, RoundTripsThroughWriterOutput) {
+  // Ingest must be a superset of the strict reader: our own writer's
+  // output parses to the same graph.
+  Rng rng(23);
+  const Graph g = GenerateGnp(200, 0.05, &rng);
+  std::ostringstream out;
+  WriteEdgeList(g, &out);
+  auto r = IngestEdgeList(out.str());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.EdgeList(), g.EdgeList());
+  EXPECT_EQ(r->graph.num_nodes(), g.num_nodes());
+  EXPECT_FALSE(r->stats.relabeled);
+}
+
+TEST(IngestTest, StatsSummaryMentionsTheCounts) {
+  auto r = IngestEdgeList("0 0\n0 1\n1 0\n");
+  ASSERT_TRUE(r.ok());
+  const std::string summary = r->stats.Summary();
+  EXPECT_FALSE(summary.empty());
+  EXPECT_NE(summary.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -22,12 +22,33 @@
 ///
 ///   trilist_cli advise --alpha A [--speedup X]
 ///       Recommend a method + ordering for a Pareto graph family.
+///
+///   trilist_cli convert --in FILE --out FILE [--orders D,RR,...]
+///                       [--seed S] [--threads N]
+///       Convert between text edge lists and the `.tlg` binary container.
+///       Text input goes through the tolerant ingester (duplicates,
+///       self-loops and sparse IDs are normalized, with a report);
+///       --orders embeds precomputed orientations so later runs skip
+///       preprocessing. Output format follows the --out extension
+///       (`.tlg` = binary, anything else = text). Deterministic: the
+///       same input bytes always produce the same output bytes.
+///
+///   trilist_cli info --in FILE.tlg
+///       Print the container's header, section table and cached
+///       orientations (validates every CRC on the way).
+///
+/// `count` accepts either format transparently: `.tlg` inputs are
+/// detected by magic, mmap-loaded zero-copy, and reuse a cached
+/// orientation when one matches the requested --order/--seed.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/algo/parallel_engine.h"
 #include "src/algo/registry.h"
@@ -40,6 +61,8 @@
 #include "src/degree/pareto.h"
 #include "src/degree/truncated.h"
 #include "src/gen/residual_generator.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/ingest.h"
 #include "src/graph/io.h"
 #include "src/order/pipeline.h"
 #include "src/util/parallel_for.h"
@@ -164,30 +187,189 @@ int CmdCount(const Flags& flags) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
-  auto graph = ReadEdgeListFile(in);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
   int threads = static_cast<int>(flags.GetUint("threads", 1));
   if (threads == 0) threads = HardwareThreads();
-  Rng rng(flags.GetUint("seed", 1));
+  const uint64_t seed = flags.GetUint("seed", 1);
+
+  // Accept either format: `.tlg` containers are detected by magic and
+  // mmap-loaded zero-copy; anything else parses as a text edge list.
+  Graph graph;
+  std::shared_ptr<TlgFile> tlg;
+  if (LooksLikeTlgFile(in)) {
+    auto t = TlgFile::Open(in);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    tlg = std::make_shared<TlgFile>(std::move(t).ValueOrDie());
+    graph = tlg->graph();
+  } else {
+    auto r = ReadEdgeListFile(in);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(r).ValueOrDie();
+  }
+
   Timer timer;
-  const OrientedGraph og = OrientNamed(*graph, order, &rng, threads);
+  const OrientSpec spec{order, seed};
+  const OrientedGraph* cached =
+      tlg != nullptr ? tlg->FindOrientation(spec) : nullptr;
+  const OrientedGraph og =
+      cached != nullptr ? *cached : OrientWithSpec(graph, spec, threads);
   CountingSink sink;
   ExecPolicy exec;
   exec.threads = threads;
   const OpCounts ops = RunMethod(method, og, &sink, exec);
   const bool parallel_listing = threads > 1 && SupportsParallel(method);
   std::printf(
-      "%s + %s on %s (n=%zu m=%zu, %d thread%s%s):\n  triangles %llu\n"
+      "%s + %s on %s (n=%zu m=%zu, %d thread%s%s%s):\n  triangles %llu\n"
       "  paper-metric ops %lld\n  wall time %.3fs\n",
       MethodName(method), PermutationKindName(order), in.c_str(),
-      graph->num_nodes(), graph->num_edges(), threads,
+      graph.num_nodes(), graph.num_edges(), threads,
       threads == 1 ? "" : "s",
       threads > 1 && !parallel_listing ? ", serial listing fallback" : "",
+      cached != nullptr ? ", cached orientation" : "",
       static_cast<unsigned long long>(sink.count()),
       static_cast<long long>(ops.PaperCost()), timer.ElapsedSeconds());
+  return 0;
+}
+
+/// Parses a comma-separated --orders list ("D,RR,U") into OrientSpecs.
+bool ParseOrderList(const std::string& csv, uint64_t seed,
+                    std::vector<OrientSpec>* out) {
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    PermutationKind kind;
+    if (!ParseOrder(token, &kind)) {
+      std::fprintf(stderr, "unknown order '%s' in --orders\n",
+                   token.c_str());
+      return false;
+    }
+    out->push_back(OrientSpec{kind, seed});
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int CmdConvert(const Flags& flags) {
+  const std::string in = flags.Get("in");
+  const std::string out = flags.Get("out");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "convert: --in FILE and --out FILE are required\n");
+    return 2;
+  }
+  int threads = static_cast<int>(flags.GetUint("threads", 1));
+  if (threads == 0) threads = HardwareThreads();
+  const uint64_t seed = flags.GetUint("seed", 1);
+
+  Timer timer;
+  Graph graph;
+  if (LooksLikeTlgFile(in)) {
+    auto t = TlgFile::Open(in);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    graph = t->graph();
+    std::printf("loaded %s: n=%zu m=%zu (%s)\n", in.c_str(),
+                graph.num_nodes(), graph.num_edges(),
+                t->mmap_backed() ? "mmap" : "read fallback");
+  } else {
+    IngestOptions opts;
+    opts.threads = threads;
+    auto r = IngestEdgeListFile(in, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(r->graph);
+    std::printf("ingested %s: %s\n", in.c_str(),
+                r->stats.Summary().c_str());
+  }
+
+  if (EndsWith(out, ".tlg")) {
+    TlgWriteOptions opts;
+    opts.threads = threads;
+    if (!flags.Get("orders").empty() &&
+        !ParseOrderList(flags.Get("orders"), seed, &opts.orientations)) {
+      return 2;
+    }
+    const Status st = WriteTlgFile(graph, out, opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: n=%zu m=%zu, %zu cached orientation%s "
+                "(%.2fs)\n",
+                out.c_str(), graph.num_nodes(), graph.num_edges(),
+                opts.orientations.size(),
+                opts.orientations.size() == 1 ? "" : "s",
+                timer.ElapsedSeconds());
+  } else {
+    const Status st = WriteEdgeListFile(graph, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: n=%zu m=%zu as text (%.2fs)\n", out.c_str(),
+                graph.num_nodes(), graph.num_edges(),
+                timer.ElapsedSeconds());
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string in = flags.Get("in");
+  if (in.empty()) {
+    std::fprintf(stderr, "info: --in FILE.tlg is required\n");
+    return 2;
+  }
+  if (!LooksLikeTlgFile(in)) {
+    std::fprintf(stderr, "%s is not a .tlg container\n", in.c_str());
+    return 1;
+  }
+  auto t = TlgFile::Open(in);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = t->graph();
+  std::printf("%s: .tlg version %u, %zu bytes (%s)\n", in.c_str(),
+              t->version(), t->file_size(),
+              t->mmap_backed() ? "mmap" : "read fallback");
+  std::printf("  nodes %zu, edges %zu, max degree %lld\n",
+              g.num_nodes(), g.num_edges(),
+              static_cast<long long>(g.MaxDegree()));
+  std::printf("  %-14s %6s %12s %12s %10s\n", "section", "aux", "offset",
+              "length", "crc32");
+  for (const TlgFile::SectionInfo& s : t->sections()) {
+    std::printf("  %-14s %6u %12llu %12llu %10u\n",
+                TlgSectionTypeName(s.type), s.aux,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.length), s.crc32);
+  }
+  if (t->orientation_specs().empty()) {
+    std::printf("  cached orientations: none\n");
+  } else {
+    std::printf("  cached orientations:");
+    for (const OrientSpec& spec : t->orientation_specs()) {
+      std::printf(" %s", PermutationKindName(spec.kind));
+      if (spec.kind == PermutationKind::kUniform) {
+        std::printf("(seed=%llu)",
+                    static_cast<unsigned long long>(spec.seed));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("  all section CRCs verified\n");
   return 0;
 }
 
@@ -245,12 +427,17 @@ int CmdAdvise(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trilist_cli <generate|count|model|advise> [--flag value]...\n"
+      "usage: trilist_cli <generate|count|model|advise|convert|info> "
+      "[--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
       "           [--threads N]   (N > 1: parallel engine; 0 = hardware)\n"
+      "           (--in accepts text edge lists or .tlg containers)\n"
       "  model    --alpha A [--n N] [--trunc ...] [--method M] [--order O]\n"
-      "  advise   --alpha A [--speedup X]\n");
+      "  advise   --alpha A [--speedup X]\n"
+      "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
+      "           [--threads N]   (--out *.tlg = binary, else text)\n"
+      "  info     --in F.tlg\n");
   return 2;
 }
 
@@ -264,5 +451,7 @@ int main(int argc, char** argv) {
   if (cmd == "count") return CmdCount(flags);
   if (cmd == "model") return CmdModel(flags);
   if (cmd == "advise") return CmdAdvise(flags);
+  if (cmd == "convert") return CmdConvert(flags);
+  if (cmd == "info") return CmdInfo(flags);
   return Usage();
 }

@@ -375,6 +375,19 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
   if (sec_offsets == nullptr || sec_neighbors == nullptr) {
     return CorruptError(path, "missing CSR sections");
   }
+  // Reject counts whose sections could not possibly fit in the file
+  // BEFORE any length arithmetic: with m near 2^62 an expression like
+  // `2 * m * sizeof(NodeId)` below (and in the orientation `want`
+  // computation) wraps mod 2^64, so a forged header could otherwise
+  // pass every length/bounds/CRC check with a tiny section and hand the
+  // validator a ~2^62-element view (the CRC is not a defense — it is
+  // trivially recomputable by an attacker).
+  if (m > bytes.size() / (2 * sizeof(NodeId))) {
+    return CorruptError(path, "edge count impossible for file size");
+  }
+  if (n + 1 > bytes.size() / sizeof(uint64_t)) {
+    return CorruptError(path, "node count impossible for file size");
+  }
   if (sec_offsets->length != (n + 1) * sizeof(uint64_t)) {
     return CorruptError(path, "csr_offsets length disagrees with header");
   }

@@ -20,6 +20,7 @@ using RawEdge = std::pair<uint64_t, uint64_t>;
 /// the input, so every counter composes by summation in chunk order.
 struct ChunkResult {
   std::vector<RawEdge> records;  // self-loops already dropped
+  std::vector<uint64_t> loop_ids;  // endpoints of dropped self-loops
   size_t lines = 0;
   size_t comment_lines = 0;
   size_t blank_lines = 0;
@@ -94,6 +95,10 @@ void ParseChunk(const char* begin, const char* end, ChunkResult* r) {
       r->max_id = std::max({r->max_id, u, v});
       if (u == v) {
         ++r->self_loops;
+        // The record is dropped but its endpoint still names a node, so
+        // a vertex whose only incident records are self-loops survives
+        // as an isolated node instead of vanishing.
+        r->loop_ids.push_back(u);
       } else {
         r->records.emplace_back(u, v);
       }
@@ -173,14 +178,20 @@ Result<IngestedGraph> IngestEdgeList(std::string_view text,
     r.records.shrink_to_fit();
   }
 
-  // The node-ID universe: sorted distinct endpoints. Input is "compact"
-  // when they already form a prefix of the naturals, in which case the
-  // original numbering (and any header-declared isolated nodes) is kept.
+  // The node-ID universe: sorted distinct endpoints, including the
+  // endpoints of dropped self-loops. Input is "compact" when they
+  // already form a prefix of the naturals, in which case the original
+  // numbering (and any header-declared isolated nodes) is kept.
+  size_t total_loop_ids = 0;
+  for (const ChunkResult& r : chunks) total_loop_ids += r.loop_ids.size();
   std::vector<uint64_t> ids;
-  ids.reserve(records.size() * 2);
+  ids.reserve(records.size() * 2 + total_loop_ids);
   for (const RawEdge& e : records) {
     ids.push_back(e.first);
     ids.push_back(e.second);
+  }
+  for (const ChunkResult& r : chunks) {
+    ids.insert(ids.end(), r.loop_ids.begin(), r.loop_ids.end());
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());

@@ -21,7 +21,9 @@
 /// (compact relabeling of sparse IDs, canonicalization, deduplication,
 /// self-loop removal) is deterministic for every thread count, so the
 /// same input bytes always produce the same Graph — the property the
-/// `convert` CLI relies on for reproducible `.tlg` artifacts.
+/// `convert` CLI relies on for reproducible `.tlg` artifacts. Dropped
+/// self-loops still contribute their endpoint to the node universe, so a
+/// node incident only to self-loops survives as an isolated node.
 ///
 /// A "# nodes N" (or "% nodes N") header is honored when the input IDs
 /// are already compact within [0, N), preserving isolated nodes; sparse

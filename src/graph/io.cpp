@@ -99,15 +99,17 @@ Result<Graph> ReadEdgeList(std::istream* in, EdgeListMode mode,
       return Status::OutOfRange("node ID too large at line " +
                                 std::to_string(line_no));
     }
+    // The endpoint extends the implicit node count even when the record
+    // itself is a dropped self-loop, so `5 5` keeps node 5 as isolated.
+    if (!explicit_nodes) {
+      num_nodes = std::max({num_nodes, static_cast<size_t>(u) + 1,
+                            static_cast<size_t>(v) + 1});
+    }
     if (tolerant && u == v) {
       ++local.self_loops_dropped;
       continue;
     }
     edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
-    if (!explicit_nodes) {
-      num_nodes = std::max({num_nodes, static_cast<size_t>(u) + 1,
-                            static_cast<size_t>(v) + 1});
-    }
   }
   if (tolerant) {
     // Canonicalize (min, max), then sort + unique to drop duplicates

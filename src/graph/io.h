@@ -57,7 +57,10 @@ void WriteEdgeList(const Graph& g, std::ostream* out);
 /// Parses an edge list. In kStrict mode self-loops and duplicate edges
 /// are rejected (InvalidArgument), matching the library's simple-graph
 /// contract; in kTolerant mode they are dropped and tallied in `stats`
-/// (which may be null). Malformed lines are errors in both modes.
+/// (which may be null). A dropped self-loop's endpoint still counts
+/// toward the implicit node count, so a node whose only incident records
+/// are self-loops is kept as an isolated node. Malformed lines are
+/// errors in both modes.
 Result<Graph> ReadEdgeList(std::istream* in,
                            EdgeListMode mode = EdgeListMode::kStrict,
                            IngestStats* stats = nullptr);

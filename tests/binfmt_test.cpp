@@ -297,6 +297,31 @@ TEST_F(TlgFaultInjectionTest, OversizedSectionOffset) {
   ExpectOpenFails("section extends past end of file");
 }
 
+TEST_F(TlgFaultInjectionTest, ForgedHugeEdgeCountRejectedBeforeLengthMath) {
+  // num_edges = 2^61 makes `2 * m * sizeof(NodeId)` wrap to 0 mod 2^64.
+  // Paired with a zero-length csr_neighbors section and recomputed CRCs
+  // (checksums are attacker-forgeable), every length and checksum test
+  // would pass and the loader would build a ~2^62-element view over an
+  // empty payload. The impossible count must be rejected up front.
+  WriteAt<uint64_t>(&bytes_, 24, uint64_t{1} << 61);  // header num_edges
+  const size_t entry = kHeaderSize + kEntrySize;  // csr_neighbors
+  WriteAt<uint64_t>(&bytes_, entry + kEntryLengthOff, uint64_t{0});
+  WriteAt<uint32_t>(&bytes_, entry + kEntryCrcOff,
+                    Crc32Update(0, bytes_.data(), 0));
+  const auto count = ReadAt<uint32_t>(bytes_, 12);
+  WriteAt<uint32_t>(&bytes_, kHeaderTableCrcOff,
+                    Crc32Update(0, bytes_.data() + kHeaderSize,
+                                count * kEntrySize));
+  ExpectOpenFails("edge count impossible for file size");
+}
+
+TEST_F(TlgFaultInjectionTest, ForgedHugeNodeCountRejectedBeforeLengthMath) {
+  // Within the 32-bit ID space but needing a 16 GiB offsets section —
+  // impossible for this file, and rejected before any length arithmetic.
+  WriteAt<uint64_t>(&bytes_, 16, uint64_t{1} << 31);  // header num_nodes
+  ExpectOpenFails("node count impossible for file size");
+}
+
 TEST_F(TlgFaultInjectionTest, MisalignedSectionOffset) {
   const size_t entry = kHeaderSize + kEntrySize;
   const auto offset = ReadAt<uint64_t>(bytes_, entry + kEntryOffsetOff);

@@ -111,6 +111,20 @@ TEST(EdgeListIoTest, TolerantModeDropsLoopsAndDuplicates) {
   EXPECT_FALSE(stats.Summary().empty());
 }
 
+TEST(EdgeListIoTest, TolerantModeKeepsSelfLoopOnlyNodeAsIsolated) {
+  // Node 5's only incident record is a self-loop; dropping the loop must
+  // not shrink the implicit node count, so nodes 0..5 all exist and 5 is
+  // isolated.
+  std::stringstream buf("0 1\n5 5\n");
+  IngestStats stats;
+  auto r = ReadEdgeList(&buf, EdgeListMode::kTolerant, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 6u);
+  EXPECT_EQ(r->num_edges(), 1u);
+  EXPECT_EQ(r->Degree(5), 0);
+  EXPECT_EQ(stats.self_loops_dropped, 1u);
+}
+
 TEST(EdgeListIoTest, TolerantModeAcceptsCrlfTabsAndTrailingWhitespace) {
   std::stringstream buf("0\t1\r\n1 2 \t\r\n   \r\n2 3\n");
   IngestStats stats;

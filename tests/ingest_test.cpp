@@ -41,13 +41,27 @@ TEST(IngestTest, BothDirectionDuplicatesCollapse) {
 }
 
 TEST(IngestTest, SelfLoopsDroppedAndCounted) {
-  // Node 5 appears only in a self-loop, so it vanishes entirely and the
-  // remaining IDs {0, 1} are already compact.
+  // Node 5 appears only in a self-loop: the loop record is dropped, but
+  // its endpoint still names a node, so 5 survives as isolated. The ID
+  // universe {0, 1, 5} is sparse, hence relabeled.
   auto r = IngestEdgeList("0 0\n0 1\n5 5\n");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->stats.self_loops_dropped, 2u);
-  EXPECT_EQ(r->graph.num_nodes(), 2u);
+  EXPECT_EQ(r->graph.num_nodes(), 3u);
   EXPECT_EQ(r->graph.num_edges(), 1u);
+  EXPECT_TRUE(r->stats.relabeled);
+  EXPECT_EQ(r->original_id, (std::vector<uint64_t>{0, 1, 5}));
+  EXPECT_EQ(r->graph.Degree(2), 0);
+}
+
+TEST(IngestTest, SelfLoopOnlyInputKeepsNodes) {
+  // An input consisting solely of self-loops is an edgeless graph over
+  // the loop endpoints, not an empty graph.
+  auto r = IngestEdgeList("0 0\n1 1\n2 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_nodes(), 3u);
+  EXPECT_EQ(r->graph.num_edges(), 0u);
+  EXPECT_EQ(r->stats.self_loops_dropped, 3u);
   EXPECT_FALSE(r->stats.relabeled);
 }
 

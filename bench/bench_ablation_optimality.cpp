@@ -20,31 +20,16 @@
 #include "src/algo/edge_iterator.h"
 #include "src/algo/registry.h"
 #include "src/core/h_function.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
 #include "src/order/optimal.h"
 #include "src/order/pipeline.h"
 #include "src/util/table_printer.h"
 
 int main() {
   using namespace trilist;
-  const size_t n = trilist_bench::PaperScale() ? 1000000 : 100000;
+  const size_t n = trilist_bench::ScaledN(1000000, 100000);
   Rng rng(trilist_bench::Seed());
-  const DiscretePareto base = DiscretePareto::PaperParameterization(1.7);
-  const int64_t t_n =
-      TruncationPoint(TruncationKind::kRoot, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
-  std::vector<int64_t> degrees = seq.degrees();
-  MakeGraphic(&degrees);
-  auto graph = GenerateExactDegree(degrees, &rng);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "generation failed\n");
-    return 1;
-  }
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, 1.7, TruncationKind::kRoot), &rng);
 
   int failures = 0;
   auto check = [&](bool ok, const char* what) {
@@ -68,16 +53,16 @@ int main() {
     double best_named = 0.0;
     double worst_named = 0.0;
     for (PermutationKind kind : named) {
-      const OrientedGraph og = OrientNamed(*graph, kind, &rng);
+      const OrientedGraph og = OrientNamed(graph, kind, &rng);
       const double cost = MethodCostTotal(og, m);
       row.push_back(FormatOps(cost));
       if (best_named == 0.0 || cost < best_named) best_named = cost;
       if (cost > worst_named) worst_named = cost;
     }
     const Permutation opt = OptimalPermutation(HOf(m), true, n);
-    const double opt_cost = MethodCostTotal(Orient(*graph, opt), m);
+    const double opt_cost = MethodCostTotal(Orient(graph, opt), m);
     const double comp_cost =
-        MethodCostTotal(Orient(*graph, opt.Complement()), m);
+        MethodCostTotal(Orient(graph, opt.Complement()), m);
     row.push_back(FormatOps(opt_cost));
     row.push_back(FormatOps(comp_cost));
     table.AddRow(std::move(row));
@@ -99,19 +84,9 @@ int main() {
   std::cout << "\n=== Ablation B: preprocessing levels (Section 2.4) ===\n";
   // The classic (non-oriented) iterator pays a binary search per candidate
   // pair, so part B runs on a smaller graph.
-  const size_t n_b = trilist_bench::PaperScale() ? 100000 : 30000;
-  DegreeSequence seq_b = DegreeSequence::SampleIid(
-      TruncatedDistribution(base, TruncationPoint(TruncationKind::kRoot,
-                                                  static_cast<int64_t>(n_b))),
-      n_b, &rng);
-  std::vector<int64_t> degrees_b = seq_b.degrees();
-  MakeGraphic(&degrees_b);
-  auto graph_b_result = GenerateExactDegree(degrees_b, &rng);
-  if (!graph_b_result.ok()) {
-    std::fprintf(stderr, "generation failed (part B)\n");
-    return 1;
-  }
-  const Graph& graph_b = *graph_b_result;
+  const size_t n_b = trilist_bench::ScaledN(100000, 30000);
+  const Graph graph_b = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n_b, 1.7, TruncationKind::kRoot), &rng);
   const OrientedGraph og_d = OrientNamed(graph_b, PermutationKind::kDescending);
   const DirectedEdgeSet arcs(og_d);
   CountingSink sink;

@@ -1,14 +1,22 @@
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/run/runner.h"
+#include "src/util/timer.h"
+
 /// \file bench_common.h
-/// Shared knobs for the bench harness. Every bench runs at a reduced
-/// default scale so the full suite finishes in minutes on one core;
-/// setting TRILIST_PAPER_SCALE=1 in the environment restores sizes and
-/// repetition counts close to the publication (expect hours).
+/// Shared knobs and helpers for the bench harness. Every bench runs at a
+/// reduced default scale so the full suite finishes in minutes on one
+/// core; setting TRILIST_PAPER_SCALE=1 in the environment restores sizes
+/// and repetition counts close to the publication (expect hours).
+///
+/// Graph acquisition goes through the run layer (src/run/runner.h) so the
+/// benches sample and realize graphs exactly like `trilist_cli run` and
+/// the Section 7 simulation loop — one code path, one RNG discipline.
 
 namespace trilist_bench {
 
@@ -16,6 +24,11 @@ namespace trilist_bench {
 inline bool PaperScale() {
   const char* v = std::getenv("TRILIST_PAPER_SCALE");
   return v != nullptr && v[0] == '1';
+}
+
+/// Graph size by scale tier (publication size vs seconds-long default).
+inline size_t ScaledN(size_t paper_n, size_t dev_n) {
+  return PaperScale() ? paper_n : dev_n;
 }
 
 /// Graph sizes for simulation tables: the paper uses 1e4..1e7.
@@ -32,6 +45,54 @@ inline int GraphsPerSequence() { return PaperScale() ? 10 : 2; }
 inline uint64_t Seed() {
   const char* v = std::getenv("TRILIST_SEED");
   return v != nullptr ? std::strtoull(v, nullptr, 10) : 20170514;  // PODS'17
+}
+
+/// Output path for a bench's machine-readable results: TRILIST_BENCH_JSON
+/// when set, else `default_name` in the working directory.
+inline std::string JsonPath(const std::string& default_name) {
+  const char* v = std::getenv("TRILIST_BENCH_JSON");
+  return v != nullptr ? v : default_name;
+}
+
+/// Best-of-`reps` wall time of `body` in seconds.
+template <typename Body>
+double BestWall(int reps, Body&& body) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    trilist::Timer timer;
+    body();
+    const double wall = timer.ElapsedSeconds();
+    if (best < 0 || wall < best) best = wall;
+  }
+  return best;
+}
+
+/// The standard bench graph family: truncated Pareto with the paper's
+/// beta = 30(alpha-1) parameterization, realized by `generator`.
+inline trilist::GenerateSpec ParetoSpec(
+    size_t n, double alpha, trilist::TruncationKind truncation,
+    trilist::GeneratorKind generator = trilist::GeneratorKind::kResidual) {
+  trilist::GenerateSpec spec;
+  spec.n = n;
+  spec.alpha = alpha;
+  spec.truncation = truncation;
+  spec.generator = generator;
+  return spec;
+}
+
+/// Samples + realizes `spec` through the shared run-layer path, exiting
+/// loudly on failure (benches have no recovery story). Consumes `rng`
+/// exactly like the historical inline sampling blocks, so bench output is
+/// bit-identical across the migration.
+inline trilist::Graph MakeBenchGraph(const trilist::GenerateSpec& spec,
+                                     trilist::Rng* rng) {
+  auto graph = trilist::GenerateGraph(spec, rng);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(graph);
 }
 
 }  // namespace trilist_bench

@@ -10,10 +10,6 @@
 #include <numeric>
 
 #include "bench/bench_common.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
 #include "src/gen/configuration_model.h"
 #include "src/gen/residual_generator.h"
 #include "src/util/table_printer.h"
@@ -31,13 +27,8 @@ int main() {
       for (TruncationKind trunc :
            {TruncationKind::kRoot, TruncationKind::kLinear}) {
         Rng rng(trilist_bench::Seed());
-        const DiscretePareto base =
-            DiscretePareto::PaperParameterization(alpha);
-        const TruncatedDistribution fn(
-            base, TruncationPoint(trunc, static_cast<int64_t>(n)));
-        std::vector<int64_t> degrees =
-            DegreeSequence::SampleIid(fn, n, &rng).degrees();
-        MakeGraphic(&degrees);
+        const std::vector<int64_t> degrees = SampleGraphicDegrees(
+            trilist_bench::ParetoSpec(n, alpha, trunc), &rng);
 
         Timer timer;
         ResidualGenStats stats;

@@ -19,41 +19,24 @@
 
 #include "bench/bench_common.h"
 #include "src/algo/registry.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/configuration_model.h"
 #include "src/graph/binfmt.h"
 #include "src/graph/ingest.h"
 #include "src/graph/io.h"
 #include "src/order/pipeline.h"
+#include "src/util/json_writer.h"
 #include "src/util/parallel_for.h"
 #include "src/util/rng.h"
-#include "src/util/timer.h"
 
 namespace {
 
 using namespace trilist;
+using trilist_bench::BestWall;
 
 struct Sample {
   std::string phase;
   double wall_s = 0;
   size_t bytes = 0;
 };
-
-/// Best-of-`reps` wall time of `body` in seconds.
-template <typename Body>
-double BestWall(int reps, Body&& body) {
-  double best = -1;
-  for (int r = 0; r < reps; ++r) {
-    Timer timer;
-    body();
-    const double wall = timer.ElapsedSeconds();
-    if (best < 0 || wall < best) best = wall;
-  }
-  return best;
-}
 
 size_t FileSize(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -79,44 +62,34 @@ bool SameOrientedCsr(const OrientedGraph& a, const OrientedGraph& b) {
 }  // namespace
 
 int main() {
-  const bool paper = trilist_bench::PaperScale();
   const double alpha = 1.7;
-  const size_t n = paper ? 500000 : 50000;
-  const int reps = paper ? 3 : 3;
+  const size_t n = trilist_bench::ScaledN(500000, 50000);
+  const int reps = 3;
   const int threads = std::min(4, HardwareThreads());
   const std::string text_path = "/tmp/trilist_bench_io.txt";
   const std::string tlg_path = "/tmp/trilist_bench_io.tlg";
   const OrientSpec spec{PermutationKind::kDescending, 0};
 
   Rng rng(trilist_bench::Seed());
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n =
-      TruncationPoint(TruncationKind::kRoot, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  std::vector<int64_t> degrees =
-      DegreeSequence::SampleIid(fn, n, &rng).degrees();
-  MakeGraphic(&degrees);
-  auto graph = ConfigurationModel(degrees, &rng);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph generation failed: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
-  if (!WriteEdgeListFile(*graph, text_path).ok()) {
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, alpha, TruncationKind::kRoot,
+                                GeneratorKind::kConfiguration),
+      &rng);
+  if (!WriteEdgeListFile(graph, text_path).ok()) {
     std::fprintf(stderr, "cannot write %s\n", text_path.c_str());
     return 1;
   }
   TlgWriteOptions wopts;
   wopts.orientations = {spec};
   wopts.threads = threads;
-  if (!WriteTlgFile(*graph, tlg_path, wopts).ok()) {
+  if (!WriteTlgFile(graph, tlg_path, wopts).ok()) {
     std::fprintf(stderr, "cannot write %s\n", tlg_path.c_str());
     return 1;
   }
   std::printf(
       "io formats: Pareto alpha=%.2f configuration model, n=%zu m=%zu\n"
       "  text %zu bytes, .tlg %zu bytes (1 cached orientation)\n",
-      alpha, graph->num_nodes(), graph->num_edges(), FileSize(text_path),
+      alpha, graph.num_nodes(), graph.num_edges(), FileSize(text_path),
       FileSize(tlg_path));
 
   std::vector<Sample> samples;
@@ -237,37 +210,36 @@ int main() {
                 s.bytes);
   }
 
-  const char* path_env = std::getenv("TRILIST_BENCH_JSON");
-  const std::string path =
-      path_env != nullptr ? path_env : "BENCH_io_formats.json";
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "io_formats");
+  w.FieldDouble("alpha", alpha, 2);
+  w.Field("n", graph.num_nodes());
+  w.Field("m", graph.num_edges());
+  w.Field("seed", trilist_bench::Seed());
+  w.Field("paper_scale", trilist_bench::PaperScale());
+  w.Field("text_bytes", FileSize(text_path));
+  w.Field("tlg_bytes", FileSize(tlg_path));
+  w.Key("results");
+  w.BeginArray();
+  for (const Sample& s : samples) {
+    w.BeginObject();
+    w.Field("phase", s.phase);
+    w.FieldDouble("wall_s", s.wall_s);
+    w.Field("input_bytes", s.bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string path = trilist_bench::JsonPath("BENCH_io_formats.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"io_formats\",\n"
-               "  \"alpha\": %.2f,\n"
-               "  \"n\": %zu,\n"
-               "  \"m\": %zu,\n"
-               "  \"seed\": %llu,\n"
-               "  \"paper_scale\": %s,\n"
-               "  \"text_bytes\": %zu,\n"
-               "  \"tlg_bytes\": %zu,\n"
-               "  \"results\": [\n",
-               alpha, graph->num_nodes(), graph->num_edges(),
-               static_cast<unsigned long long>(trilist_bench::Seed()),
-               paper ? "true" : "false", FileSize(text_path),
-               FileSize(tlg_path));
-  for (size_t i = 0; i < samples.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"phase\": \"%s\", \"wall_s\": %.6f, "
-                 "\"input_bytes\": %zu}%s\n",
-                 samples[i].phase.c_str(), samples[i].wall_s,
-                 samples[i].bytes, i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  const std::string json = std::move(w).Finish();
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   std::remove(text_path.c_str());

@@ -10,7 +10,6 @@
 /// output path with TRILIST_BENCH_JSON. Speedups are only meaningful up
 /// to the machine's hardware concurrency, which is recorded in the JSON.
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,15 +17,11 @@
 #include "bench/bench_common.h"
 #include "src/algo/parallel_engine.h"
 #include "src/algo/registry.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/configuration_model.h"
+#include "src/graph/edge_set.h"
 #include "src/order/pipeline.h"
+#include "src/util/json_writer.h"
 #include "src/util/parallel_for.h"
 #include "src/util/rng.h"
-#include "src/util/timer.h"
 
 namespace {
 
@@ -41,57 +36,34 @@ struct Sample {
   int64_t paper_cost = 0;
 };
 
-/// Best-of-`reps` wall time of `body` in seconds.
-template <typename Body>
-double BestWall(int reps, Body&& body) {
-  double best = -1;
-  for (int r = 0; r < reps; ++r) {
-    Timer timer;
-    body();
-    const double wall = timer.ElapsedSeconds();
-    if (best < 0 || wall < best) best = wall;
-  }
-  return best;
-}
-
 }  // namespace
 
 int main() {
-  const bool paper = trilist_bench::PaperScale();
   // alpha = 1.7 with linear truncation: heavy Pareto hubs, the regime
   // where degree-aware chunking matters most.
   const double alpha = 1.7;
-  const size_t n = paper ? 500000 : 40000;
-  const int reps = paper ? 3 : 2;
+  const size_t n = trilist_bench::ScaledN(500000, 40000);
+  const int reps = trilist_bench::PaperScale() ? 3 : 2;
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   Rng rng(trilist_bench::Seed());
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n =
-      TruncationPoint(TruncationKind::kLinear, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  std::vector<int64_t> degrees =
-      DegreeSequence::SampleIid(fn, n, &rng).degrees();
-  MakeGraphic(&degrees);
-  auto graph = ConfigurationModel(degrees, &rng);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph generation failed: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, alpha, TruncationKind::kLinear,
+                                GeneratorKind::kConfiguration),
+      &rng);
   std::printf(
       "parallel scaling: Pareto alpha=%.2f configuration model, n=%zu "
       "m=%zu (hardware threads: %d)\n",
-      alpha, graph->num_nodes(), graph->num_edges(), HardwareThreads());
+      alpha, graph.num_nodes(), graph.num_edges(), HardwareThreads());
 
   std::vector<Sample> samples;
 
   // Orientation pipeline scaling.
   double orient_serial = 0;
   for (int threads : thread_counts) {
-    const double wall = BestWall(reps, [&] {
+    const double wall = trilist_bench::BestWall(reps, [&] {
       const OrientedGraph og =
-          OrientNamed(*graph, PermutationKind::kDescending, nullptr,
+          OrientNamed(graph, PermutationKind::kDescending, nullptr,
                       threads);
       (void)og;
     });
@@ -101,7 +73,7 @@ int main() {
   }
 
   const OrientedGraph og =
-      OrientNamed(*graph, PermutationKind::kDescending);
+      OrientNamed(graph, PermutationKind::kDescending);
   const DirectedEdgeSet arcs(og);
 
   for (Method m : {Method::kT1, Method::kT2, Method::kE1, Method::kE4}) {
@@ -112,7 +84,7 @@ int main() {
       s.threads = threads;
       ExecPolicy exec;
       exec.threads = threads;
-      s.wall_s = BestWall(reps, [&] {
+      s.wall_s = trilist_bench::BestWall(reps, [&] {
         CountingSink sink;
         const OpCounts ops = RunMethodParallel(m, og, arcs, &sink, exec);
         s.triangles = sink.count();
@@ -133,39 +105,39 @@ int main() {
                 static_cast<long long>(s.paper_cost));
   }
 
-  const char* path_env = std::getenv("TRILIST_BENCH_JSON");
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "parallel_scaling");
+  w.FieldDouble("alpha", alpha, 2);
+  w.Field("n", graph.num_nodes());
+  w.Field("m", graph.num_edges());
+  w.Field("seed", trilist_bench::Seed());
+  w.Field("paper_scale", trilist_bench::PaperScale());
+  w.Field("hardware_threads", HardwareThreads());
+  w.Key("results");
+  w.BeginArray();
+  for (const Sample& s : samples) {
+    w.BeginObject();
+    w.Field("phase", s.phase);
+    w.Field("threads", s.threads);
+    w.FieldDouble("wall_s", s.wall_s);
+    w.FieldDouble("speedup", s.speedup, 4);
+    w.Field("triangles", s.triangles);
+    w.Field("paper_cost", s.paper_cost);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
   const std::string path =
-      path_env != nullptr ? path_env : "BENCH_parallel_scaling.json";
+      trilist_bench::JsonPath("BENCH_parallel_scaling.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"parallel_scaling\",\n"
-               "  \"alpha\": %.2f,\n"
-               "  \"n\": %zu,\n"
-               "  \"m\": %zu,\n"
-               "  \"seed\": %llu,\n"
-               "  \"paper_scale\": %s,\n"
-               "  \"hardware_threads\": %d,\n"
-               "  \"results\": [\n",
-               alpha, graph->num_nodes(), graph->num_edges(),
-               static_cast<unsigned long long>(trilist_bench::Seed()),
-               paper ? "true" : "false", HardwareThreads());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(f,
-                 "    {\"phase\": \"%s\", \"threads\": %d, "
-                 "\"wall_s\": %.6f, \"speedup\": %.4f, "
-                 "\"triangles\": %llu, \"paper_cost\": %lld}%s\n",
-                 s.phase.c_str(), s.threads, s.wall_s, s.speedup,
-                 static_cast<unsigned long long>(s.triangles),
-                 static_cast<long long>(s.paper_cost),
-                 i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  const std::string json = std::move(w).Finish();
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return 0;

@@ -6,68 +6,51 @@
 /// T1 vs E1 (and the LEI variant L2) on real generated graphs across
 /// alpha, reporting the operation ratio w_n, the time ratio, and which
 /// method wins on this machine — connecting Table 3's microbenchmark to
-/// the cost model's prediction.
+/// the cost model's prediction. Each alpha's graph + orientation + runs
+/// execute through the shared RunPipeline, which also reuses one
+/// orientation across the three methods.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/algo/registry.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
-#include "src/order/pipeline.h"
 #include "src/util/table_printer.h"
-#include "src/util/timer.h"
 
 int main() {
   using namespace trilist;
-  const size_t n = trilist_bench::PaperScale() ? 1000000 : 200000;
+  const size_t n = trilist_bench::ScaledN(1000000, 200000);
   std::cout << "=== Runtime crossover: T1 vs E1 vs L2 under theta_D "
                "(n=" << n << ") ===\n";
 
   TablePrinter table({"alpha", "w_n = ops(E1)/ops(T1)", "T1 time", "E1 time",
                       "L2 time", "winner"});
   for (double alpha : {1.5, 1.7, 2.1, 3.0}) {
-    Rng rng(trilist_bench::Seed());
-    const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-    const TruncatedDistribution fn(
-        base, TruncationPoint(TruncationKind::kRoot,
-                              static_cast<int64_t>(n)));
-    std::vector<int64_t> degrees =
-        DegreeSequence::SampleIid(fn, n, &rng).degrees();
-    MakeGraphic(&degrees);
-    auto graph = GenerateExactDegree(degrees, &rng);
-    if (!graph.ok()) {
-      std::fprintf(stderr, "generation failed\n");
+    RunSpec spec;
+    spec.source = GraphSource::FromGenerator(
+        trilist_bench::ParetoSpec(n, alpha, TruncationKind::kRoot));
+    spec.methods = {Method::kT1, Method::kE1, Method::kL2};
+    spec.seed = trilist_bench::Seed();
+    auto report = RunPipeline(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
       return 1;
     }
-    const OrientedGraph og =
-        OrientNamed(*graph, PermutationKind::kDescending);
-    const DirectedEdgeSet arcs(og);
-
-    auto timed = [&](Method m) {
-      CountingSink sink;
-      Timer timer;
-      const OpCounts ops = RunMethod(m, og, arcs, &sink);
-      return std::make_pair(timer.ElapsedSeconds(),
-                            static_cast<double>(ops.PaperCost()));
-    };
-    const auto [t1_time, t1_ops] = timed(Method::kT1);
-    const auto [e1_time, e1_ops] = timed(Method::kE1);
-    const auto [l2_time, l2_ops] = timed(Method::kL2);
-    (void)l2_ops;
-    const double wn = t1_ops > 0 ? e1_ops / t1_ops : 0.0;
-    const double best = std::min({t1_time, e1_time, l2_time});
-    const char* winner = best == e1_time ? "E1"
-                         : best == t1_time ? "T1"
-                                           : "L2";
+    const MethodReport& t1 = report->methods[0];
+    const MethodReport& e1 = report->methods[1];
+    const MethodReport& l2 = report->methods[2];
+    const double t1_ops = static_cast<double>(t1.ops.PaperCost());
+    const double wn =
+        t1_ops > 0 ? static_cast<double>(e1.ops.PaperCost()) / t1_ops : 0.0;
+    const double best = std::min({t1.wall_s, e1.wall_s, l2.wall_s});
+    const char* winner = best == e1.wall_s ? "E1"
+                         : best == t1.wall_s ? "T1"
+                                             : "L2";
     table.AddRow({FormatNumber(alpha, 1), FormatNumber(wn, 2),
-                  FormatNumber(t1_time, 3) + "s",
-                  FormatNumber(e1_time, 3) + "s",
-                  FormatNumber(l2_time, 3) + "s", winner});
+                  FormatNumber(t1.wall_s, 3) + "s",
+                  FormatNumber(e1.wall_s, 3) + "s",
+                  FormatNumber(l2.wall_s, 3) + "s", winner});
   }
   table.Print(std::cout);
   std::cout << "\nreading: E1 runs w_n times more operations but each "

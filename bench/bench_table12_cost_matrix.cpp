@@ -18,11 +18,6 @@
 #include <map>
 
 #include "bench/bench_common.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
 #include "src/order/pipeline.h"
 #include "src/sim/cost_measurement.h"
 #include "src/util/table_printer.h"
@@ -30,7 +25,7 @@
 
 int main() {
   using namespace trilist;
-  const size_t n = trilist_bench::PaperScale() ? 2000000 : 200000;
+  const size_t n = trilist_bench::ScaledN(2000000, 200000);
   const double alpha = 1.7;
   const uint64_t seed = trilist_bench::Seed();
   Rng rng(seed);
@@ -42,22 +37,11 @@ int main() {
       "alpha=%.1f, seed=%llu) in place of the Twitter crawl\n",
       n, alpha, static_cast<unsigned long long>(seed));
 
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n =
-      TruncationPoint(TruncationKind::kLinear, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
-  std::vector<int64_t> degrees = seq.degrees();
-  MakeGraphic(&degrees);
   Timer timer;
-  auto graph = GenerateExactDegree(degrees, &rng);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "generation failed: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
-  }
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, alpha, TruncationKind::kLinear), &rng);
   std::printf("graph: m=%zu edges, generated in %.1fs\n\n",
-              graph->num_edges(), timer.ElapsedSeconds());
+              graph.num_edges(), timer.ElapsedSeconds());
 
   const std::vector<Method> methods = FundamentalMethods();
   const PermutationKind kinds[] = {
@@ -72,7 +56,7 @@ int main() {
   // cost[kind][method] = n * c_n.
   std::map<PermutationKind, std::vector<double>> cost;
   for (PermutationKind kind : kinds) {
-    const auto per_node = MeasurePerNodeCosts(*graph, methods, kind, &rng);
+    const auto per_node = MeasurePerNodeCosts(graph, methods, kind, &rng);
     auto& row = cost[kind];
     for (double c : per_node) row.push_back(c * static_cast<double>(n));
   }

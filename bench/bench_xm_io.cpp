@@ -10,33 +10,18 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
 #include "src/order/pipeline.h"
 #include "src/util/table_printer.h"
 #include "src/xm/partitioned.h"
 
 int main() {
   using namespace trilist;
-  const size_t n = trilist_bench::PaperScale() ? 500000 : 100000;
+  const size_t n = trilist_bench::ScaledN(500000, 100000);
   Rng rng(trilist_bench::Seed());
-  const DiscretePareto base = DiscretePareto::PaperParameterization(1.7);
-  const TruncatedDistribution fn(
-      base, TruncationPoint(TruncationKind::kRoot,
-                            static_cast<int64_t>(n)));
-  std::vector<int64_t> degrees =
-      DegreeSequence::SampleIid(fn, n, &rng).degrees();
-  MakeGraphic(&degrees);
-  auto graph = GenerateExactDegree(degrees, &rng);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "generation failed\n");
-    return 1;
-  }
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, 1.7, TruncationKind::kRoot), &rng);
   const OrientedGraph og =
-      OrientNamed(*graph, PermutationKind::kDescending);
+      OrientNamed(graph, PermutationKind::kDescending);
   const auto graph_bytes =
       static_cast<int64_t>(og.num_arcs() * sizeof(NodeId));
 

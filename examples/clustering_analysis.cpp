@@ -16,14 +16,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "src/algo/registry.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
 #include "src/gen/erdos_renyi.h"
-#include "src/gen/residual_generator.h"
-#include "src/order/pipeline.h"
+#include "src/run/runner.h"
 #include "src/util/rng.h"
 #include "src/util/table_printer.h"
 
@@ -40,10 +34,18 @@ struct ClusteringReport {
 
 ClusteringReport Analyze(const Graph& g) {
   ClusteringReport report;
-  const OrientedGraph og = OrientNamed(g, PermutationKind::kDescending);
-  CountingSink sink;
-  RunMethod(Method::kE1, og, &sink);
-  report.triangles = sink.count();
+  // E1 + theta_D, the cheapest exact configuration for light tails,
+  // through the shared pipeline (orient + list).
+  RunSpec spec;
+  spec.source = GraphSource::FromGraph(g);
+  spec.methods = {Method::kE1};
+  auto run = RunPipeline(spec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  report.triangles = run->Triangles();
   double wedges = 0.0;
   double degree_sum = 0.0;
   for (size_t v = 0; v < g.num_nodes(); ++v) {
@@ -69,15 +71,11 @@ int main(int argc, char** argv) {
   Rng rng(seed);
 
   // Heavy-tailed "social network": exact realization of a truncated
-  // Pareto degree sequence.
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n =
-      TruncationPoint(TruncationKind::kRoot, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
-  std::vector<int64_t> degrees = seq.degrees();
-  MakeGraphic(&degrees);
-  auto social = GenerateExactDegree(degrees, &rng);
+  // Pareto degree sequence, via the shared run-layer generation path.
+  GenerateSpec gen;
+  gen.n = n;
+  gen.alpha = alpha;
+  auto social = GenerateGraph(gen, &rng);
   if (!social.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  social.status().ToString().c_str());

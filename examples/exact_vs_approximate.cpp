@@ -12,12 +12,8 @@
 
 #include "src/algo/registry.h"
 #include "src/algo/wedge_sampling.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
 #include "src/order/pipeline.h"
+#include "src/run/runner.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
 #include "src/xm/partitioned.h"
@@ -29,14 +25,10 @@ int main(int argc, char** argv) {
   const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 21;
 
   Rng rng(seed);
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const TruncatedDistribution fn(
-      base, TruncationPoint(TruncationKind::kRoot,
-                            static_cast<int64_t>(n)));
-  std::vector<int64_t> degrees =
-      DegreeSequence::SampleIid(fn, n, &rng).degrees();
-  MakeGraphic(&degrees);
-  auto graph = GenerateExactDegree(degrees, &rng);
+  GenerateSpec gen;
+  gen.n = n;
+  gen.alpha = alpha;
+  auto graph = GenerateGraph(gen, &rng);
   if (!graph.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
                  graph.status().ToString().c_str());

@@ -1,29 +1,22 @@
 /// \file quickstart.cpp
-/// Minimal end-to-end tour of the library:
-///  1. sample a heavy-tailed degree sequence (truncated Pareto),
-///  2. realize it exactly as a simple graph (Section 7.2 generator),
-///  3. relabel + orient under the descending-degree order,
-///  4. list triangles with the four fundamental methods (T1, T2, E1, E4)
-///     and compare their measured operation counts with the paper's cost
-///     formulas.
+/// Minimal end-to-end tour of the library, driven through the unified
+/// run layer: one RunSpec describes the whole experiment —
+///  1. sample a heavy-tailed degree sequence (truncated Pareto) and
+///     realize it exactly as a simple graph (Section 7.2 generator),
+///  2. relabel + orient under the descending-degree order,
+///  3. list triangles with the four fundamental methods (T1, T2, E1, E4)
+/// — and RunPipeline returns a RunReport with per-stage wall times plus,
+/// per method, the measured operation counters next to the paper's
+/// closed-form cost prediction.
 ///
 /// Usage: quickstart [n] [alpha] [seed]
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <string>
 
-#include "src/algo/registry.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
-#include "src/degree/pareto.h"
-#include "src/degree/truncated.h"
-#include "src/gen/residual_generator.h"
-#include "src/order/pipeline.h"
-#include "src/util/rng.h"
+#include "src/run/runner.h"
 #include "src/util/table_printer.h"
-#include "src/util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace trilist;
@@ -34,46 +27,33 @@ int main(int argc, char** argv) {
   std::printf("trilist quickstart: n=%zu alpha=%.2f seed=%llu\n", n, alpha,
               static_cast<unsigned long long>(seed));
 
-  // 1. Degree distribution: discretized Pareto, root truncation (AMRC).
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n = TruncationPoint(TruncationKind::kRoot,
-                                      static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  Rng rng(seed);
-  DegreeSequence seq = DegreeSequence::SampleIid(fn, n, &rng);
-  std::vector<int64_t> degrees = seq.degrees();
-  MakeGraphic(&degrees);
+  RunSpec spec;
+  GenerateSpec gen;
+  gen.n = n;
+  gen.alpha = alpha;  // root truncation + residual generator by default
+  spec.source = GraphSource::FromGenerator(gen);
+  spec.orient = OrientSpec{PermutationKind::kDescending, seed};
+  spec.methods = FundamentalMethods();
+  spec.seed = seed;
 
-  // 2. Exact realization.
-  Timer timer;
-  ResidualGenStats gen_stats;
-  auto graph_result = GenerateExactDegree(degrees, &rng, &gen_stats);
-  if (!graph_result.ok()) {
-    std::fprintf(stderr, "generation failed: %s\n",
-                 graph_result.status().ToString().c_str());
+  auto report = RunPipeline(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
     return 1;
   }
-  const Graph& graph = *graph_result;
-  std::printf("generated graph: m=%zu edges in %.2fs (unplaced stubs: %lld)\n",
-              graph.num_edges(), timer.ElapsedSeconds(),
-              static_cast<long long>(gen_stats.unplaced_stubs));
+  std::printf(
+      "generated graph: m=%zu edges in %.2fs (orient %.2fs)\n",
+      report->num_edges, report->stages.WallOf("generate"),
+      report->stages.WallOf("order") + report->stages.WallOf("orient"));
 
-  // 3. Relabel + orient (three-step framework, steps 1-2).
-  const OrientedGraph oriented =
-      OrientNamed(graph, PermutationKind::kDescending);
-
-  // 4. List triangles with each fundamental method and compare costs.
   TablePrinter table({"method", "triangles", "paper-metric ops",
                       "formula ops", "seconds"});
-  for (Method m : FundamentalMethods()) {
-    CountingSink sink;
-    Timer method_timer;
-    const OpCounts ops = RunMethod(m, oriented, &sink);
-    table.AddRow({MethodName(m), FormatCount(sink.count()),
-                  FormatCount(static_cast<uint64_t>(ops.PaperCost())),
-                  FormatCount(static_cast<uint64_t>(
-                      MethodCostTotal(oriented, m))),
-                  FormatNumber(method_timer.ElapsedSeconds(), 3)});
+  for (const MethodReport& m : report->methods) {
+    table.AddRow({MethodName(m.method), FormatCount(m.triangles),
+                  FormatCount(static_cast<uint64_t>(m.ops.PaperCost())),
+                  FormatCount(static_cast<uint64_t>(m.formula_cost)),
+                  FormatNumber(m.wall_s, 3)});
   }
   table.Print(std::cout);
   return 0;

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/algo/triangle_sink.h"
+#include "src/algo/vertex_iterator.h"
+#include "src/util/metrics.h"
+
+/// \file run_report.h
+/// Structured result of one Runner execution: where the time went (per
+/// pipeline stage), what each method produced (triangles, paper-metric
+/// operation counters, wall time), and what the process consumed (peak
+/// RSS, CPU seconds, thread utilization). Exports as machine-readable
+/// JSON (`trilist_cli run --report json`, golden-tested schema) or as an
+/// aligned console table.
+
+namespace trilist {
+
+/// Version of the JSON schema emitted by RunReport::ToJson. Bump when
+/// fields are renamed or removed (additions are compatible).
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// \brief Result of one method's listing pass (best of RunSpec::repeats).
+struct MethodReport {
+  Method method = Method::kE1;
+  uint64_t triangles = 0;    ///< triangles listed (identical across repeats).
+  OpCounts ops;              ///< operation counters of one pass.
+  /// Closed-form cost of this method on the realized orientation (Tables
+  /// 1-2 evaluated on the oriented degrees) — the prediction the measured
+  /// paper-metric counters should match.
+  double formula_cost = 0;
+  double wall_s = 0;         ///< best listing wall time across repeats.
+  double wall_total_s = 0;   ///< summed listing wall across repeats.
+  bool parallel = false;     ///< ran on the parallel engine.
+  /// Collected triangles when RunSpec::sink == kCollect (else empty).
+  std::vector<Triangle> listed;
+};
+
+/// \brief Everything the Runner measured about one pipeline execution.
+struct RunReport {
+  /// Human-readable description of the graph source ("pareto(n=...,
+  /// alpha=...)", a file path, or "in-memory").
+  std::string source;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+
+  /// Preprocessing configuration.
+  std::string order;               ///< permutation name ("theta_D", ...).
+  uint64_t orient_seed = 0;        ///< OrientSpec seed (kUniform only).
+  bool cached_orientation = false; ///< reused a `.tlg`-embedded (O, theta).
+
+  /// Execution configuration.
+  int threads = 1;
+  int repeats = 1;
+
+  /// Per-stage wall clocks, in pipeline order: "load" or "generate",
+  /// "order", "orient", plus "arcs" (directed-arc set build, vertex
+  /// iterators only) and "list".
+  StageClock stages;
+
+  /// Per-method results, in RunSpec::methods order.
+  std::vector<MethodReport> methods;
+
+  /// Process resource gauges, sampled across the whole run.
+  size_t peak_rss_bytes = 0;
+  double cpu_s = 0;
+  /// CPU seconds / (listing wall * threads): ~1.0 = fully busy workers.
+  double utilization = 0;
+
+  /// Sum of stage walls (the run's accounted wall time).
+  double TotalWallSeconds() const { return stages.Total(); }
+
+  /// Triangle count of the first method (all methods agree on any valid
+  /// run; convenience for single-method callers).
+  uint64_t Triangles() const {
+    return methods.empty() ? 0 : methods.front().triangles;
+  }
+
+  /// Machine-readable JSON document (schema kRunReportSchemaVersion;
+  /// deterministic key order, golden-tested in run_report_test).
+  std::string ToJson() const;
+
+  /// Aligned human-readable tables (stages + per-method results).
+  void PrintTable(std::ostream& out) const;
+};
+
+}  // namespace trilist

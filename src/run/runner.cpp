@@ -1,0 +1,267 @@
+#include "src/run/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/algo/cost.h"
+#include "src/algo/parallel_engine.h"
+#include "src/algo/registry.h"
+#include "src/degree/degree_sequence.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/gen/configuration_model.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/residual_generator.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/edge_set.h"
+#include "src/graph/io.h"
+#include "src/order/degenerate.h"
+#include "src/order/pipeline.h"
+#include "src/util/metrics.h"
+#include "src/util/parallel_for.h"
+#include "src/util/timer.h"
+
+namespace trilist {
+
+const char* GeneratorKindName(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kResidual: return "residual";
+    case GeneratorKind::kConfiguration: return "configuration";
+    case GeneratorKind::kGnp: return "gnp";
+  }
+  return "?";
+}
+
+int ResolveThreads(int threads) {
+  return threads <= 0 ? HardwareThreads() : threads;
+}
+
+std::vector<int64_t> SampleGraphicDegrees(const GenerateSpec& spec,
+                                          Rng* rng) {
+  const DiscretePareto base(spec.alpha, spec.ResolvedBeta());
+  const int64_t t_n =
+      TruncationPoint(spec.truncation, static_cast<int64_t>(spec.n));
+  const TruncatedDistribution fn(base, t_n);
+  std::vector<int64_t> degrees =
+      DegreeSequence::SampleIid(fn, spec.n, rng).degrees();
+  MakeGraphic(&degrees);
+  return degrees;
+}
+
+Result<Graph> RealizeGraph(const GenerateSpec& spec,
+                           const std::vector<int64_t>& degrees, Rng* rng) {
+  switch (spec.generator) {
+    case GeneratorKind::kResidual: {
+      ResidualGenOptions options;
+      options.strict = spec.strict;
+      return GenerateExactDegree(degrees, rng, nullptr, options);
+    }
+    case GeneratorKind::kConfiguration:
+      return ConfigurationModel(degrees, rng);
+    case GeneratorKind::kGnp: {
+      double p = spec.gnp_p;
+      if (p < 0) {
+        // Match the Pareto family's density: p = mean degree / (n - 1).
+        const DiscretePareto base(spec.alpha, spec.ResolvedBeta());
+        const TruncatedDistribution fn(
+            base,
+            TruncationPoint(spec.truncation, static_cast<int64_t>(spec.n)));
+        p = spec.n > 1
+                ? fn.Mean() / static_cast<double>(spec.n - 1)
+                : 0.0;
+      }
+      return GenerateGnp(spec.n, std::min(1.0, std::max(0.0, p)), rng);
+    }
+  }
+  return Status::InvalidArgument("unknown generator kind");
+}
+
+Result<Graph> GenerateGraph(const GenerateSpec& spec, Rng* rng) {
+  if (spec.generator == GeneratorKind::kGnp) {
+    return RealizeGraph(spec, {}, rng);
+  }
+  const std::vector<int64_t> degrees = SampleGraphicDegrees(spec, rng);
+  return RealizeGraph(spec, degrees, rng);
+}
+
+std::string DescribeSource(const GraphSource& source) {
+  switch (source.kind) {
+    case GraphSourceKind::kGenerate: {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "pareto(n=%zu, alpha=%.3g, %s, %s)",
+                    source.gen.n, source.gen.alpha,
+                    TruncationKindName(source.gen.truncation),
+                    GeneratorKindName(source.gen.generator));
+      return buf;
+    }
+    case GraphSourceKind::kFile:
+      return source.path;
+    case GraphSourceKind::kInMemory:
+      return "in-memory";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Acquired input graph plus the container that may carry cached
+/// orientations (null for non-`.tlg` sources).
+struct AcquiredGraph {
+  Graph graph;
+  std::shared_ptr<TlgFile> tlg;
+};
+
+Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
+  AcquiredGraph acquired;
+  switch (spec.source.kind) {
+    case GraphSourceKind::kGenerate: {
+      Rng rng(spec.seed);
+      Timer timer;
+      Result<Graph> g = GenerateGraph(spec.source.gen, &rng);
+      if (!g.ok()) return g.status();
+      report->stages.Add("generate", timer.ElapsedSeconds());
+      acquired.graph = std::move(g).ValueOrDie();
+      return acquired;
+    }
+    case GraphSourceKind::kFile: {
+      Timer timer;
+      if (LooksLikeTlgFile(spec.source.path)) {
+        Result<TlgFile> t = TlgFile::Open(spec.source.path);
+        if (!t.ok()) return t.status();
+        acquired.tlg =
+            std::make_shared<TlgFile>(std::move(t).ValueOrDie());
+        acquired.graph = acquired.tlg->graph();
+      } else {
+        Result<Graph> g = ReadEdgeListFile(spec.source.path);
+        if (!g.ok()) return g.status();
+        acquired.graph = std::move(g).ValueOrDie();
+      }
+      report->stages.Add("load", timer.ElapsedSeconds());
+      return acquired;
+    }
+    case GraphSourceKind::kInMemory:
+      acquired.graph = spec.source.graph;
+      report->stages.Add("load", 0.0);
+      return acquired;
+  }
+  return Status::InvalidArgument("unknown graph source kind");
+}
+
+}  // namespace
+
+Result<RunReport> RunPipeline(const RunSpec& spec) {
+  RunReport report;
+  CpuGauge gauge;
+  const int threads = std::max(1, spec.exec.threads);
+  const int repeats = std::max(1, spec.repeats);
+  report.source = DescribeSource(spec.source);
+  report.order = PermutationKindName(spec.orient.kind);
+  report.orient_seed = spec.orient.seed;
+  report.threads = threads;
+  report.repeats = repeats;
+
+  // 1. Acquire the graph ("generate" or "load").
+  Result<AcquiredGraph> acquired = AcquireGraph(spec, &report);
+  if (!acquired.ok()) return acquired.status();
+  const Graph& graph = acquired->graph;
+  report.num_nodes = graph.num_nodes();
+  report.num_edges = graph.num_edges();
+
+  // 2-3. Order + orient, reusing a container-cached (O, theta) when one
+  // matches — in which case both stages are already paid for on disk.
+  const OrientedGraph* cached =
+      acquired->tlg != nullptr
+          ? acquired->tlg->FindOrientation(spec.orient)
+          : nullptr;
+  OrientedGraph oriented;
+  if (cached != nullptr) {
+    report.cached_orientation = true;
+    oriented = *cached;  // cheap span-backed copy, pins the mapping
+    report.stages.Add("order", 0.0);
+    report.stages.Add("orient", 0.0);
+  } else {
+    // Split of OrientWithSpec: theta + label map is "order", the CSR
+    // build is "orient". Bit-identical to the fused call: same RNG
+    // construction, same label pipeline.
+    std::vector<NodeId> labels;
+    report.stages.Time("order", [&] {
+      if (spec.orient.kind == PermutationKind::kDegenerate) {
+        labels = DegenerateLabels(graph);
+      } else {
+        Rng orient_rng(spec.orient.seed);
+        labels = LabelsFromPermutation(
+            graph, MakePermutation(spec.orient.kind, graph.num_nodes(),
+                                   &orient_rng));
+      }
+    });
+    oriented = report.stages.Time("orient", [&] {
+      return OrientedGraph::FromLabels(graph, labels, threads);
+    });
+  }
+
+  // 4. Directed-arc set, shared by all vertex-iterator methods.
+  const bool needs_arcs = std::any_of(
+      spec.methods.begin(), spec.methods.end(), [](Method m) {
+        return MethodFamily(m) == Family::kVertexIterator;
+      });
+  std::optional<DirectedEdgeSet> arcs;
+  if (needs_arcs) {
+    report.stages.Time("arcs", [&] { arcs.emplace(oriented); });
+  }
+
+  // 5. List with every requested method.
+  double list_wall = 0;
+  for (Method m : spec.methods) {
+    MethodReport mr;
+    mr.method = m;
+    mr.formula_cost = MethodCostTotal(oriented, m);
+    mr.parallel = threads > 1 && SupportsParallel(m);
+    bool first = true;
+    for (int rep = 0; rep < repeats; ++rep) {
+      CountingSink counting;
+      CollectingSink collecting;
+      TriangleSink* sink =
+          spec.sink == SinkKind::kCollect
+              ? static_cast<TriangleSink*>(&collecting)
+              : &counting;
+      Timer timer;
+      const OpCounts ops =
+          MethodFamily(m) == Family::kVertexIterator
+              ? RunMethod(m, oriented, *arcs, sink, spec.exec)
+              : RunMethod(m, oriented, sink, spec.exec);
+      const double wall = timer.ElapsedSeconds();
+      const uint64_t triangles =
+          spec.sink == SinkKind::kCollect
+              ? collecting.triangles().size()
+              : counting.count();
+      mr.wall_total_s += wall;
+      if (first || wall < mr.wall_s) mr.wall_s = wall;
+      if (first) {
+        mr.triangles = triangles;
+        mr.ops = ops;
+        if (spec.sink == SinkKind::kCollect) {
+          mr.listed = collecting.triangles();
+        }
+      } else if (mr.triangles != triangles) {
+        return Status::Internal(
+            std::string("triangle count diverged across repeats for ") +
+            MethodName(m));
+      }
+      first = false;
+    }
+    list_wall += mr.wall_total_s;
+    report.methods.push_back(std::move(mr));
+  }
+  report.stages.Add("list", list_wall);
+
+  report.peak_rss_bytes = PeakRssBytes();
+  report.cpu_s = gauge.CpuSecondsElapsed();
+  report.utilization =
+      gauge.UtilizationOver(report.TotalWallSeconds(), threads);
+  return report;
+}
+
+}  // namespace trilist

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/run/run_report.h"
+#include "src/run/run_spec.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+/// \file runner.h
+/// The single instrumented executor of the paper pipeline. Every front
+/// end — `trilist_cli`, the benches, the examples, the Section 7
+/// simulation loop — describes its run as a RunSpec and calls
+/// RunPipeline, which:
+///
+///   1. acquires the graph (generate / text edge list / `.tlg`, reusing a
+///      cached orientation embedded in a container when one matches),
+///   2. computes the global order theta and the label map   ["order"],
+///   3. relabels + orients into the CSR                      ["orient"],
+///   4. builds the directed-arc set when a vertex iterator
+///      needs it                                             ["arcs"],
+///   5. runs every requested method through the registry
+///      (serial or parallel engine per ExecPolicy, identical
+///      results either way)                                  ["list"],
+///
+/// and returns a RunReport with per-stage wall clocks, per-method
+/// operation counters and process resource gauges. The graph-acquisition
+/// helpers are exposed separately so callers with bespoke loops (the
+/// simulation harness shares degree sequences across graphs) reuse the
+/// same sampling/realization code path.
+
+namespace trilist {
+
+/// Uniform `--threads` semantics for all front ends: values <= 0 mean
+/// "all hardware threads", anything else is taken literally.
+int ResolveThreads(int threads);
+
+/// Samples an i.i.d. degree sequence from the spec's truncated Pareto and
+/// makes it graphic — the first half of every synthetic-graph experiment.
+/// Consumes `rng` exactly like the historical Section 7 loop, so existing
+/// seeds reproduce bit-identically.
+std::vector<int64_t> SampleGraphicDegrees(const GenerateSpec& spec,
+                                          Rng* rng);
+
+/// Realizes `degrees` as a simple graph with the spec's generator
+/// (kGnp ignores the degrees and draws an Erdos-Renyi control instead).
+Result<Graph> RealizeGraph(const GenerateSpec& spec,
+                           const std::vector<int64_t>& degrees, Rng* rng);
+
+/// Sample + realize in one step (the common case).
+Result<Graph> GenerateGraph(const GenerateSpec& spec, Rng* rng);
+
+/// One-line human-readable description of a source, as used in reports:
+/// "pareto(n=..., alpha=..., root, residual)", a file path, "in-memory".
+std::string DescribeSource(const GraphSource& source);
+
+/// Executes `spec` end to end and reports where the time went. Expected
+/// failures (unreadable file, generation stuck, corrupt container) come
+/// back as a Status error.
+Result<RunReport> RunPipeline(const RunSpec& spec);
+
+}  // namespace trilist

@@ -1,16 +1,13 @@
 #include "src/sim/experiment.h"
 
-#include <map>
-
 #include <limits>
+#include <map>
 
 #include "src/core/discrete_model.h"
 #include "src/core/fast_model.h"
 #include "src/core/limits.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
 #include "src/degree/pareto.h"
-#include "src/gen/residual_generator.h"
+#include "src/run/runner.h"
 #include "src/sim/cost_measurement.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -23,30 +20,43 @@ double CellResult::ErrorPercent() const {
   return RelativeErrorPercent(model, sim.Mean());
 }
 
-double ResolveBeta(const ExperimentConfig& config) {
-  return config.beta > 0.0 ? config.beta : 30.0 * (config.alpha - 1.0);
+GenerateSpec ToGenerateSpec(const ExperimentConfig& config) {
+  GenerateSpec spec;
+  spec.n = config.n;
+  spec.alpha = config.alpha;
+  spec.beta = config.beta;
+  spec.truncation = config.truncation;
+  spec.strict = false;  // tolerate rare one-stub shortfalls
+  return spec;
 }
 
-std::vector<CellResult> RunExperiment(
-    const ExperimentConfig& config,
-    const std::vector<ExperimentCell>& cells) {
-  const double beta = ResolveBeta(config);
-  const DiscretePareto base(config.alpha, beta);
-  const int64_t t_n = TruncationPoint(config.truncation,
-                                      static_cast<int64_t>(config.n));
+double ResolveBeta(const ExperimentConfig& config) {
+  return ToGenerateSpec(config).ResolvedBeta();
+}
+
+std::vector<CellResult> RunExperiment(const ExperimentConfig& config,
+                                      const std::vector<ExperimentCell>& cells,
+                                      StageClock* stages) {
+  StageClock clock;
+  const GenerateSpec gen = ToGenerateSpec(config);
+  const DiscretePareto base(gen.alpha, gen.ResolvedBeta());
+  const int64_t t_n = TruncationPoint(gen.truncation,
+                                      static_cast<int64_t>(gen.n));
   const TruncatedDistribution fn(base, t_n);
 
   std::vector<CellResult> results(cells.size());
   // Models are graph-independent: compute once per cell.
-  for (size_t c = 0; c < cells.size(); ++c) {
-    const XiMap xi = XiMap::FromKind(cells[c].order);
-    results[c].model = ExactDiscreteCost(fn, t_n, cells[c].method, xi,
-                                         config.weight);
-    results[c].limit =
-        IsFiniteAsymptoticCost(cells[c].method, xi, config.alpha)
-            ? AsymptoticCost(base, cells[c].method, xi, config.weight)
-            : std::numeric_limits<double>::infinity();
-  }
+  clock.Time("model", [&] {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const XiMap xi = XiMap::FromKind(cells[c].order);
+      results[c].model = ExactDiscreteCost(fn, t_n, cells[c].method, xi,
+                                           config.weight);
+      results[c].limit =
+          IsFiniteAsymptoticCost(cells[c].method, xi, config.alpha)
+              ? AsymptoticCost(base, cells[c].method, xi, config.weight)
+              : std::numeric_limits<double>::infinity();
+    }
+  });
 
   // Group cells by permutation so each graph is oriented once per order.
   std::map<PermutationKind, std::vector<size_t>> by_order;
@@ -57,30 +67,31 @@ std::vector<CellResult> RunExperiment(
   Rng master(config.seed);
   for (int s = 0; s < config.num_sequences; ++s) {
     Rng seq_rng = master.Fork();
-    DegreeSequence seq =
-        DegreeSequence::SampleIid(fn, config.n, &seq_rng);
-    std::vector<int64_t> degrees = seq.degrees();
-    MakeGraphic(&degrees);
+    std::vector<int64_t> degrees = clock.Time("sample", [&] {
+      return SampleGraphicDegrees(gen, &seq_rng);
+    });
     for (int gi = 0; gi < config.graphs_per_sequence; ++gi) {
       Rng graph_rng = seq_rng.Fork();
-      ResidualGenOptions gen_options;
-      gen_options.strict = false;  // tolerate rare one-stub shortfalls
-      Result<Graph> graph =
-          GenerateExactDegree(degrees, &graph_rng, nullptr, gen_options);
+      Result<Graph> graph = clock.Time("generate", [&] {
+        return RealizeGraph(gen, degrees, &graph_rng);
+      });
       TRILIST_DCHECK(graph.ok());
       if (!graph.ok()) continue;
-      for (const auto& [order, cell_ids] : by_order) {
-        std::vector<Method> methods;
-        methods.reserve(cell_ids.size());
-        for (size_t c : cell_ids) methods.push_back(cells[c].method);
-        const std::vector<double> costs =
-            MeasurePerNodeCosts(*graph, methods, order, &graph_rng);
-        for (size_t k = 0; k < cell_ids.size(); ++k) {
-          results[cell_ids[k]].sim.Add(costs[k]);
+      clock.Time("measure", [&] {
+        for (const auto& [order, cell_ids] : by_order) {
+          std::vector<Method> methods;
+          methods.reserve(cell_ids.size());
+          for (size_t c : cell_ids) methods.push_back(cells[c].method);
+          const std::vector<double> costs =
+              MeasurePerNodeCosts(*graph, methods, order, &graph_rng);
+          for (size_t k = 0; k < cell_ids.size(); ++k) {
+            results[cell_ids[k]].sim.Add(costs[k]);
+          }
         }
-      }
+      });
     }
   }
+  if (stages != nullptr) stages->Merge(clock);
   return results;
 }
 

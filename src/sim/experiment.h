@@ -8,6 +8,8 @@
 #include "src/core/spread.h"
 #include "src/degree/truncated.h"
 #include "src/order/named_orders.h"
+#include "src/run/run_spec.h"
+#include "src/util/metrics.h"
 #include "src/util/stats.h"
 
 /// \file experiment.h
@@ -48,9 +50,19 @@ struct CellResult {
 
 /// Runs the experiment for all cells at a single configuration. Graphs and
 /// orientations are shared across cells where possible (one orientation
-/// per distinct permutation per graph).
-std::vector<CellResult> RunExperiment(
-    const ExperimentConfig& config, const std::vector<ExperimentCell>& cells);
+/// per distinct permutation per graph). When `stages` is non-null, wall
+/// time is accumulated into it per phase — "model" (Eq. (50) + limit),
+/// "sample" (degree sequences), "generate" (graph realization), "measure"
+/// (orientation + cost accounting) — so table harnesses can report where
+/// a row's time went.
+std::vector<CellResult> RunExperiment(const ExperimentConfig& config,
+                                      const std::vector<ExperimentCell>& cells,
+                                      StageClock* stages = nullptr);
+
+/// The run-layer generation spec equivalent to `config` (same Pareto
+/// parameterization, non-strict residual realization); RunExperiment
+/// feeds it to the shared SampleGraphicDegrees/RealizeGraph helpers.
+GenerateSpec ToGenerateSpec(const ExperimentConfig& config);
 
 /// Resolves beta (applying the 30(alpha-1) default).
 double ResolveBeta(const ExperimentConfig& config);

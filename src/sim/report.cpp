@@ -34,11 +34,13 @@ void RunAndPrintPaperTable(const PaperTableSpec& spec, std::ostream& out) {
   TablePrinter table(headers);
 
   std::vector<CellResult> last_results;
+  StageClock stages;
   Timer timer;
   for (size_t n : spec.sizes) {
     ExperimentConfig config = spec.base;
     config.n = n;
-    const std::vector<CellResult> results = RunExperiment(config, spec.cells);
+    const std::vector<CellResult> results =
+        RunExperiment(config, spec.cells, &stages);
     std::vector<std::string> row = {FormatCount(n)};
     for (const CellResult& r : results) {
       if (!spec.error_only) {
@@ -61,7 +63,11 @@ void RunAndPrintPaperTable(const PaperTableSpec& spec, std::ostream& out) {
     table.AddRow(std::move(row));
   }
   table.Print(out);
-  out << "elapsed: " << FormatNumber(timer.ElapsedSeconds(), 2) << "s\n\n";
+  out << "stages:";
+  for (const StageSample& s : stages.stages()) {
+    out << " " << s.name << " " << FormatNumber(s.wall_s, 2) << "s";
+  }
+  out << "\nelapsed: " << FormatNumber(timer.ElapsedSeconds(), 2) << "s\n\n";
 }
 
 }  // namespace trilist

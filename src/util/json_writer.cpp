@@ -1,0 +1,138 @@
+#include "src/util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/status.h"
+
+namespace trilist {
+
+void JsonWriter::Indent() {
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) return;  // top-level value
+  if (scopes_.back() == Scope::kObject) {
+    // Inside an object a Key() must have been emitted; it already wrote
+    // the separator and indentation.
+    TRILIST_DCHECK(key_pending_);
+    key_pending_ = false;
+    return;
+  }
+  if (has_members_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_members_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  has_members_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  TRILIST_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  const bool had_members = has_members_.back();
+  scopes_.pop_back();
+  has_members_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  has_members_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  TRILIST_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool had_members = has_members_.back();
+  scopes_.pop_back();
+  has_members_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view name) {
+  TRILIST_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  TRILIST_DCHECK(!key_pending_);
+  if (has_members_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_members_.back() = true;
+  AppendQuoted(name);
+  out_ += ": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendQuoted(value);
+}
+
+void JsonWriter::AppendQuoted(std::string_view value) {
+  out_ += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value, int digits) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+std::string JsonWriter::Finish() && {
+  TRILIST_DCHECK(scopes_.empty());
+  out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace trilist

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file json_writer.h
+/// Minimal streaming JSON emitter for machine-readable reports (the
+/// RunReport exporter and the BENCH_*.json files). Produces
+/// deterministically formatted, pretty-printed output: two-space
+/// indentation, keys in insertion order, no trailing whitespace — so JSON
+/// artifacts can be diffed and golden-tested byte for byte.
+///
+/// Usage:
+/// \code
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("bench"); w.String("io_formats");
+///   w.Key("results"); w.BeginArray();
+///   ... w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Finish();
+/// \endcode
+///
+/// The writer validates nesting with assertions (a Key must be pending
+/// before any value inside an object); it does not attempt full
+/// serialization of arbitrary structures — callers drive the structure.
+
+namespace trilist {
+
+/// \brief Streaming pretty-printed JSON builder.
+class JsonWriter {
+ public:
+  /// Opens an object scope ("{").
+  void BeginObject();
+  /// Closes the innermost object scope.
+  void EndObject();
+  /// Opens an array scope ("[").
+  void BeginArray();
+  /// Closes the innermost array scope.
+  void EndArray();
+
+  /// Emits the key of the next object member.
+  void Key(std::string_view name);
+
+  /// Emits a JSON string (escaped).
+  void String(std::string_view value);
+  /// Emits an integer value.
+  void Int(int64_t value);
+  /// Emits an unsigned integer value.
+  void Uint(uint64_t value);
+  /// Emits a double with up to `digits` digits after the decimal point
+  /// (fixed notation; non-finite values render as 0 per JSON's limits).
+  void Double(double value, int digits = 6);
+  /// Emits true/false.
+  void Bool(bool value);
+
+  /// Shorthand for Key + value.
+  void Field(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void Field(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void Field(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(std::string_view key, uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void Field(std::string_view key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+  void FieldDouble(std::string_view key, double value, int digits = 6) {
+    Key(key);
+    Double(value, digits);
+  }
+
+  /// Returns the completed document (all scopes must be closed) with a
+  /// trailing newline.
+  std::string Finish() &&;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void Indent();
+  void AppendQuoted(std::string_view value);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_members_;  // parallel to scopes_
+  bool key_pending_ = false;
+};
+
+}  // namespace trilist

@@ -1,0 +1,102 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace trilist {
+
+StageSample* StageClock::Find(std::string_view name) {
+  for (StageSample& s : stages_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void StageClock::Add(std::string_view name, double seconds) {
+  if (StageSample* s = Find(name)) {
+    s->wall_s += seconds;
+    ++s->calls;
+    return;
+  }
+  stages_.push_back({std::string(name), seconds, 1});
+}
+
+double StageClock::WallOf(std::string_view name) const {
+  for (const StageSample& s : stages_) {
+    if (s.name == name) return s.wall_s;
+  }
+  return 0;
+}
+
+double StageClock::Total() const {
+  double total = 0;
+  for (const StageSample& s : stages_) total += s.wall_s;
+  return total;
+}
+
+void StageClock::Merge(const StageClock& other) {
+  for (const StageSample& s : other.stages_) {
+    if (StageSample* mine = Find(s.name)) {
+      mine->wall_s += s.wall_s;
+      mine->calls += s.calls;
+    } else {
+      stages_.push_back(s);
+    }
+  }
+}
+
+void StageClock::MergeMin(const StageClock& other) {
+  for (const StageSample& s : other.stages_) {
+    if (StageSample* mine = Find(s.name)) {
+      mine->wall_s = std::min(mine->wall_s, s.wall_s);
+    } else {
+      stages_.push_back(s);
+    }
+  }
+}
+
+size_t PeakRssBytes() {
+#if defined(__linux__)
+  // VmHWM from /proc/self/status is the high-water mark of the resident
+  // set; ru_maxrss would also work but its unit differs across platforms.
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kib);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#elif defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return 0;
+#endif
+}
+
+double ProcessCpuSeconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace trilist

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/util/timer.h"
+
+/// \file metrics.h
+/// Execution telemetry for the run layer (src/run/): named phase timers,
+/// process resource gauges (peak RSS, CPU seconds) and a derived
+/// thread-utilization figure. The Runner populates these into a RunReport
+/// so every pipeline stage — load, order, orient, list — gets wall-clock
+/// attribution, which is what lets performance work target the stage that
+/// actually dominates (orientation vs. listing, the split both AOT and
+/// the ordering literature report).
+///
+/// Everything here is plain accounting: no threads, no globals, no
+/// overhead when unused. All gauges degrade gracefully (return 0) on
+/// platforms without the underlying counters.
+
+namespace trilist {
+
+/// One accumulated pipeline stage.
+struct StageSample {
+  std::string name;    ///< stage label ("load", "order", "orient", ...).
+  double wall_s = 0;   ///< accumulated wall seconds.
+  int calls = 0;       ///< number of accumulations.
+};
+
+/// \brief Accumulates wall time into named stages, preserving first-touch
+/// order (so reports render stages in pipeline order).
+class StageClock {
+ public:
+  /// Adds `seconds` to stage `name`, creating it on first use.
+  void Add(std::string_view name, double seconds);
+
+  /// Times `body()` and accounts it to `name`; returns body's result.
+  template <typename Body>
+  auto Time(std::string_view name, Body&& body) {
+    Timer timer;
+    if constexpr (std::is_void_v<decltype(body())>) {
+      body();
+      Add(name, timer.ElapsedSeconds());
+    } else {
+      auto result = body();
+      Add(name, timer.ElapsedSeconds());
+      return result;
+    }
+  }
+
+  /// Accumulated wall seconds of `name`, 0 when the stage never ran.
+  double WallOf(std::string_view name) const;
+
+  /// Sum of all stage walls.
+  double Total() const;
+
+  /// Stages in first-touch order.
+  const std::vector<StageSample>& stages() const { return stages_; }
+
+  /// Merges another clock into this one (used by min/aggregate reports).
+  void Merge(const StageClock& other);
+
+  /// Keeps, per stage, the smaller wall of this and `other` (best-of-reps
+  /// reporting in benches). Stages present in only one side are kept.
+  void MergeMin(const StageClock& other);
+
+ private:
+  std::vector<StageSample> stages_;
+  StageSample* Find(std::string_view name);
+};
+
+/// Peak resident set size of this process in bytes (Linux VmHWM), or 0
+/// when the platform does not expose it.
+size_t PeakRssBytes();
+
+/// CPU time (user + system) consumed by the process so far, in seconds
+/// (getrusage), or 0 when unavailable.
+double ProcessCpuSeconds();
+
+/// \brief Samples CPU seconds across a region to gauge how busy the
+/// worker threads actually were.
+///
+/// utilization = (cpu_end - cpu_start) / (wall * threads): 1.0 means every
+/// thread computed for the whole wall time; values well below 1 flag load
+/// imbalance or serialization. Single-threaded regions naturally read ~1.
+class CpuGauge {
+ public:
+  /// Starts sampling at construction.
+  CpuGauge() : start_cpu_(ProcessCpuSeconds()) {}
+
+  /// CPU seconds burned since construction.
+  double CpuSecondsElapsed() const {
+    return ProcessCpuSeconds() - start_cpu_;
+  }
+
+  /// Utilization of `threads` workers over `wall_s` seconds of wall time;
+  /// 0 when the inputs are degenerate.
+  double UtilizationOver(double wall_s, int threads) const {
+    if (wall_s <= 0 || threads <= 0) return 0;
+    return CpuSecondsElapsed() / (wall_s * threads);
+  }
+
+ private:
+  double start_cpu_ = 0;
+};
+
+}  // namespace trilist

@@ -1,0 +1,150 @@
+#include "src/run/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/run/runner.h"
+#include "src/util/json_writer.h"
+
+namespace trilist {
+namespace {
+
+/// A fully populated report with hand-picked values. Every double is a
+/// binary fraction so the fixed-point rendering is exact on any platform,
+/// which is what lets the JSON be golden-tested byte for byte.
+RunReport MakeFixedReport() {
+  RunReport r;
+  r.source = "pareto(n=100, alpha=1.7, root, residual)";
+  r.num_nodes = 100;
+  r.num_edges = 250;
+  r.order = "theta_D";
+  r.orient_seed = 7;
+  r.cached_orientation = false;
+  r.threads = 2;
+  r.repeats = 3;
+  r.stages.Add("generate", 0.015625);
+  r.stages.Add("order", 0.0078125);
+  r.stages.Add("orient", 0.03125);
+  r.stages.Add("arcs", 0.00390625);
+  r.stages.Add("list", 0.125);
+
+  MethodReport m;
+  m.method = Method::kT1;
+  m.triangles = 42;
+  m.ops.candidate_checks = 1000;
+  m.ops.local_scans = 11;
+  m.ops.remote_scans = 22;
+  m.ops.merge_comparisons = 33;
+  m.ops.hash_inserts = 44;
+  m.ops.lookups = 55;
+  m.ops.binary_searches = 66;
+  m.ops.triangles = 42;
+  m.formula_cost = 1000.5;
+  m.wall_s = 0.0625;
+  m.wall_total_s = 0.1875;
+  m.parallel = true;
+  r.methods.push_back(m);
+
+  r.peak_rss_bytes = 1048576;
+  r.cpu_s = 0.25;
+  r.utilization = 0.875;
+  return r;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The exporter's byte-exact contract: key order, indentation and number
+// formatting are all part of the schema consumed by external tooling.
+// If this fails after an intentional schema change, bump
+// kRunReportSchemaVersion and regenerate the golden from the test's
+// failure artifact.
+TEST(RunReportJson, MatchesGoldenFile) {
+  const std::string golden_path =
+      std::string(TRILIST_TESTDATA_DIR) + "/run_report_golden.json";
+  const std::string expected = ReadFile(golden_path);
+  const std::string actual = MakeFixedReport().ToJson();
+  if (expected != actual) {
+    const std::string dump =
+        ::testing::TempDir() + "/run_report_actual.json";
+    std::ofstream(dump, std::ios::binary) << actual;
+    FAIL() << "JSON schema drifted from " << golden_path
+           << "; actual written to " << dump;
+  }
+}
+
+TEST(RunReportJson, SchemaVersionIsStamped) {
+  const std::string json = MakeFixedReport().ToJson();
+  EXPECT_NE(json.find("\"schema\": \"trilist.run_report\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": " +
+                      std::to_string(kRunReportSchemaVersion)),
+            std::string::npos);
+}
+
+// A real pipeline execution must populate every top-level schema section
+// and one stage entry per pipeline phase.
+TEST(RunReportJson, LivePipelineEmitsAllSections) {
+  RunSpec spec;
+  GenerateSpec gen;
+  gen.n = 500;
+  spec.source = GraphSource::FromGenerator(gen);
+  spec.methods = {Method::kT1, Method::kE1};
+  auto report = RunPipeline(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = report->ToJson();
+  for (const char* key :
+       {"\"graph\"", "\"orientation\"", "\"exec\"", "\"stages\"",
+        "\"methods\"", "\"resources\"", "\"paper_cost\"",
+        "\"formula_cost\"", "\"candidate_checks\"", "\"peak_rss_bytes\"",
+        "\"utilization\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  for (const char* stage :
+       {"\"generate\"", "\"order\"", "\"orient\"", "\"arcs\"",
+        "\"list\""}) {
+    EXPECT_NE(json.find(stage), std::string::npos)
+        << "missing stage " << stage;
+  }
+}
+
+TEST(RunReportTable, RendersStagesAndMethods) {
+  std::ostringstream out;
+  MakeFixedReport().PrintTable(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("T1"), std::string::npos);
+  EXPECT_NE(text.find("order"), std::string::npos);
+  EXPECT_NE(text.find("peak RSS"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndNests) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("text", "a\"b\\c\n");
+  w.Key("list");
+  w.BeginArray();
+  w.Int(-1);
+  w.String("x");
+  w.Bool(false);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(),
+            "{\n"
+            "  \"text\": \"a\\\"b\\\\c\\n\",\n"
+            "  \"list\": [\n"
+            "    -1,\n"
+            "    \"x\",\n"
+            "    false\n"
+            "  ]\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace trilist

@@ -1,0 +1,168 @@
+#include "src/run/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/algo/registry.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/io.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+GenerateSpec SmallPareto() {
+  GenerateSpec gen;
+  gen.n = 3000;
+  gen.alpha = 1.7;
+  return gen;
+}
+
+void ExpectSameOps(const OpCounts& a, const OpCounts& b,
+                   const char* context) {
+  EXPECT_EQ(a.candidate_checks, b.candidate_checks) << context;
+  EXPECT_EQ(a.local_scans, b.local_scans) << context;
+  EXPECT_EQ(a.remote_scans, b.remote_scans) << context;
+  EXPECT_EQ(a.merge_comparisons, b.merge_comparisons) << context;
+  EXPECT_EQ(a.hash_inserts, b.hash_inserts) << context;
+  EXPECT_EQ(a.lookups, b.lookups) << context;
+  EXPECT_EQ(a.binary_searches, b.binary_searches) << context;
+  EXPECT_EQ(a.triangles, b.triangles) << context;
+}
+
+TEST(ResolveThreadsTest, ZeroMeansAllHardwareThreads) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-3), 1);
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(5), 5);
+}
+
+// The engine contract the CLI documents: any --threads value produces
+// bit-identical triangles and operation counters for every fundamental
+// method.
+TEST(RunnerTest, SerialAndParallelRunsAgree) {
+  RunSpec spec;
+  spec.source = GraphSource::FromGenerator(SmallPareto());
+  spec.methods = FundamentalMethods();
+  spec.exec.threads = 1;
+  auto serial = RunPipeline(spec);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  spec.exec.threads = 4;
+  auto parallel = RunPipeline(spec);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(parallel->threads, 4);
+  ASSERT_EQ(serial->methods.size(), parallel->methods.size());
+  for (size_t i = 0; i < serial->methods.size(); ++i) {
+    const MethodReport& s = serial->methods[i];
+    const MethodReport& p = parallel->methods[i];
+    EXPECT_FALSE(s.parallel);
+    EXPECT_TRUE(p.parallel) << MethodName(p.method);
+    EXPECT_EQ(s.triangles, p.triangles) << MethodName(s.method);
+    ExpectSameOps(s.ops, p.ops, MethodName(s.method));
+    EXPECT_DOUBLE_EQ(s.formula_cost, p.formula_cost);
+  }
+}
+
+// A `.tlg` container with an embedded orientation must produce the same
+// listing as the text edge list of the same graph, while skipping the
+// order/orient stages entirely.
+TEST(RunnerTest, TextAndCachedTlgSourcesAgree) {
+  Rng rng(99);
+  auto graph = GenerateGraph(SmallPareto(), &rng);
+  ASSERT_TRUE(graph.ok());
+  const std::string text_path = TempPath("runner_parity.txt");
+  const std::string tlg_path = TempPath("runner_parity.tlg");
+  ASSERT_TRUE(WriteEdgeListFile(*graph, text_path).ok());
+  const OrientSpec orient{PermutationKind::kDescending, 0};
+  TlgWriteOptions wopts;
+  wopts.orientations = {orient};
+  ASSERT_TRUE(WriteTlgFile(*graph, tlg_path, wopts).ok());
+
+  RunSpec spec;
+  spec.orient = orient;
+  spec.methods = FundamentalMethods();
+
+  spec.source = GraphSource::FromFile(text_path);
+  auto from_text = RunPipeline(spec);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  EXPECT_FALSE(from_text->cached_orientation);
+
+  spec.source = GraphSource::FromFile(tlg_path);
+  auto from_tlg = RunPipeline(spec);
+  ASSERT_TRUE(from_tlg.ok()) << from_tlg.status().ToString();
+  EXPECT_TRUE(from_tlg->cached_orientation);
+  EXPECT_EQ(from_tlg->stages.WallOf("order"), 0.0);
+  EXPECT_EQ(from_tlg->stages.WallOf("orient"), 0.0);
+
+  EXPECT_EQ(from_text->num_nodes, from_tlg->num_nodes);
+  EXPECT_EQ(from_text->num_edges, from_tlg->num_edges);
+  ASSERT_EQ(from_text->methods.size(), from_tlg->methods.size());
+  for (size_t i = 0; i < from_text->methods.size(); ++i) {
+    const MethodReport& t = from_text->methods[i];
+    const MethodReport& c = from_tlg->methods[i];
+    EXPECT_EQ(t.triangles, c.triangles) << MethodName(t.method);
+    ExpectSameOps(t.ops, c.ops, MethodName(t.method));
+  }
+}
+
+// An in-memory source must match the generate source it came from, and
+// repeats must agree with a single pass.
+TEST(RunnerTest, InMemorySourceAndRepeatsAreConsistent) {
+  Rng rng(1);
+  auto graph = GenerateGraph(SmallPareto(), &rng);
+  ASSERT_TRUE(graph.ok());
+
+  RunSpec generated;
+  generated.source = GraphSource::FromGenerator(SmallPareto());
+  generated.seed = 1;
+  auto from_gen = RunPipeline(generated);
+  ASSERT_TRUE(from_gen.ok());
+
+  RunSpec in_memory;
+  in_memory.source = GraphSource::FromGraph(*graph);
+  in_memory.repeats = 3;
+  auto from_mem = RunPipeline(in_memory);
+  ASSERT_TRUE(from_mem.ok());
+
+  EXPECT_EQ(from_gen->Triangles(), from_mem->Triangles());
+  EXPECT_GE(from_mem->methods[0].wall_total_s,
+            from_mem->methods[0].wall_s);
+}
+
+// Collecting runs return the actual triangles; their count matches the
+// counting sink's.
+TEST(RunnerTest, CollectSinkListsTriangles) {
+  GenerateSpec gen;
+  gen.n = 400;
+  RunSpec spec;
+  spec.source = GraphSource::FromGenerator(gen);
+  spec.sink = SinkKind::kCollect;
+  auto report = RunPipeline(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->methods[0].listed.size(), report->Triangles());
+  EXPECT_GT(report->Triangles(), 0u);
+}
+
+// RunExperiment's shared-helper path: the telemetry clock sees every
+// phase and the run is reproducible for a fixed seed.
+TEST(RunnerTest, GenerateSpecSamplingIsDeterministic) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const std::vector<int64_t> a = SampleGraphicDegrees(SmallPareto(), &rng_a);
+  const std::vector<int64_t> b = SampleGraphicDegrees(SmallPareto(), &rng_b);
+  EXPECT_EQ(a, b);
+  auto g1 = GenerateGraph(SmallPareto(), &rng_a);
+  ASSERT_TRUE(g1.ok());
+  EXPECT_GT(g1->num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace trilist

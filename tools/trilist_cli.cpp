@@ -1,5 +1,14 @@
 /// \file trilist_cli.cpp
-/// Command-line front end covering the library's main workflows:
+/// Command-line front end covering the library's main workflows. Every
+/// graph-touching subcommand executes through the unified RunSpec engine
+/// (src/run/runner.h), which owns the acquire -> order -> orient -> list
+/// pipeline and reports per-stage telemetry.
+///
+/// --threads semantics are uniform across all subcommands that accept the
+/// flag (count, run, convert): N > 1 uses the parallel engine for
+/// orientation and the fundamental methods (T1/T2/E1/E4), N == 0 means
+/// "all hardware threads", and results are bit-identical to the serial
+/// run for any value.
 ///
 ///   trilist_cli generate --n N --alpha A [--trunc root|linear]
 ///                        [--seed S] --out FILE
@@ -10,10 +19,19 @@
 ///                     [--order D|A|RR|CRR|U|degen] [--seed S]
 ///                     [--threads N]
 ///       Relabel + orient an edge-list graph and list its triangles,
-///       reporting the count and the operation metrics. --threads N > 1
-///       runs orientation and the fundamental methods (T1/T2/E1/E4) on
-///       the parallel engine (0 = all hardware threads); results are
-///       bit-identical to the default serial run.
+///       reporting the count, the operation metrics and the per-stage
+///       wall times.
+///
+///   trilist_cli run [--in FILE | --n N --alpha A [--trunc root|linear]
+///                    [--gen residual|config|gnp]]
+///                   [--methods M1,M2,...|all|fundamental] [--order O]
+///                   [--seed S] [--threads N] [--repeats R]
+///                   [--report table|json]
+///       The full RunSpec surface: acquire a graph (file or generated),
+///       orient, run any method set, and dump the structured RunReport —
+///       per-stage wall times (load/generate, order, orient, arcs, list),
+///       per-method triangles + operation counters, peak RSS and thread
+///       utilization — as an aligned table or machine-readable JSON.
 ///
 ///   trilist_cli model --alpha A [--n N] [--trunc root|linear]
 ///                     [--method M] [--order O] [--eps E]
@@ -56,8 +74,6 @@
 #include "src/core/discrete_model.h"
 #include "src/core/fast_model.h"
 #include "src/core/limits.h"
-#include "src/degree/degree_sequence.h"
-#include "src/degree/graphicality.h"
 #include "src/degree/pareto.h"
 #include "src/degree/truncated.h"
 #include "src/gen/residual_generator.h"
@@ -65,7 +81,7 @@
 #include "src/graph/ingest.h"
 #include "src/graph/io.h"
 #include "src/order/pipeline.h"
-#include "src/util/parallel_for.h"
+#include "src/run/runner.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -129,24 +145,26 @@ TruncationKind ParseTrunc(const std::string& name) {
   return name == "linear" ? TruncationKind::kLinear : TruncationKind::kRoot;
 }
 
+/// Uniform --threads parsing: 0 (or any non-positive value) means "all
+/// hardware threads"; see ResolveThreads.
+int ParseThreadsFlag(const Flags& flags) {
+  return ResolveThreads(static_cast<int>(flags.GetUint("threads", 1)));
+}
+
 int CmdGenerate(const Flags& flags) {
-  const auto n = static_cast<size_t>(flags.GetUint("n", 100000));
-  const double alpha = flags.GetDouble("alpha", 1.7);
-  const TruncationKind trunc = ParseTrunc(flags.Get("trunc", "root"));
-  const uint64_t seed = flags.GetUint("seed", 1);
   const std::string out = flags.Get("out");
   if (out.empty()) {
     std::fprintf(stderr, "generate: --out FILE is required\n");
     return 2;
   }
+  GenerateSpec gen;
+  gen.n = static_cast<size_t>(flags.GetUint("n", 100000));
+  gen.alpha = flags.GetDouble("alpha", 1.7);
+  gen.truncation = ParseTrunc(flags.Get("trunc", "root"));
+  const uint64_t seed = flags.GetUint("seed", 1);
   Rng rng(seed);
-  const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
-  const int64_t t_n = TruncationPoint(trunc, static_cast<int64_t>(n));
-  const TruncatedDistribution fn(base, t_n);
-  std::vector<int64_t> degrees =
-      DegreeSequence::SampleIid(fn, n, &rng).degrees();
-  MakeGraphic(&degrees);
   Timer timer;
+  const std::vector<int64_t> degrees = SampleGraphicDegrees(gen, &rng);
   ResidualGenStats stats;
   auto graph = GenerateExactDegree(degrees, &rng, &stats);
   if (!graph.ok()) {
@@ -162,9 +180,10 @@ int CmdGenerate(const Flags& flags) {
   std::printf(
       "wrote %s: n=%zu m=%zu (alpha=%.3f trunc=%s seed=%llu, %.2fs, "
       "unplaced stubs %lld)\n",
-      out.c_str(), graph->num_nodes(), graph->num_edges(), alpha,
-      TruncationKindName(trunc), static_cast<unsigned long long>(seed),
-      timer.ElapsedSeconds(), static_cast<long long>(stats.unplaced_stubs));
+      out.c_str(), graph->num_nodes(), graph->num_edges(), gen.alpha,
+      TruncationKindName(gen.truncation),
+      static_cast<unsigned long long>(seed), timer.ElapsedSeconds(),
+      static_cast<long long>(stats.unplaced_stubs));
   return 0;
 }
 
@@ -187,52 +206,113 @@ int CmdCount(const Flags& flags) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
-  int threads = static_cast<int>(flags.GetUint("threads", 1));
-  if (threads == 0) threads = HardwareThreads();
-  const uint64_t seed = flags.GetUint("seed", 1);
+  RunSpec spec;
+  spec.source = GraphSource::FromFile(in);
+  spec.orient = OrientSpec{order, flags.GetUint("seed", 1)};
+  spec.methods = {method};
+  spec.exec.threads = ParseThreadsFlag(flags);
 
-  // Accept either format: `.tlg` containers are detected by magic and
-  // mmap-loaded zero-copy; anything else parses as a text edge list.
-  Graph graph;
-  std::shared_ptr<TlgFile> tlg;
-  if (LooksLikeTlgFile(in)) {
-    auto t = TlgFile::Open(in);
-    if (!t.ok()) {
-      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
-      return 1;
-    }
-    tlg = std::make_shared<TlgFile>(std::move(t).ValueOrDie());
-    graph = tlg->graph();
-  } else {
-    auto r = ReadEdgeListFile(in);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
-    graph = std::move(r).ValueOrDie();
+  auto report = RunPipeline(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
   }
-
-  Timer timer;
-  const OrientSpec spec{order, seed};
-  const OrientedGraph* cached =
-      tlg != nullptr ? tlg->FindOrientation(spec) : nullptr;
-  const OrientedGraph og =
-      cached != nullptr ? *cached : OrientWithSpec(graph, spec, threads);
-  CountingSink sink;
-  ExecPolicy exec;
-  exec.threads = threads;
-  const OpCounts ops = RunMethod(method, og, &sink, exec);
-  const bool parallel_listing = threads > 1 && SupportsParallel(method);
+  const RunReport& r = *report;
+  const MethodReport& mr = r.methods.front();
+  const StageClock& st = r.stages;
+  const double work = st.Total() - st.WallOf("load");
   std::printf(
       "%s + %s on %s (n=%zu m=%zu, %d thread%s%s%s):\n  triangles %llu\n"
-      "  paper-metric ops %lld\n  wall time %.3fs\n",
+      "  paper-metric ops %lld\n  wall time %.3fs\n"
+      "  stages: load %.3fs, order %.3fs, orient %.3fs, arcs %.3fs, "
+      "list %.3fs\n",
       MethodName(method), PermutationKindName(order), in.c_str(),
-      graph.num_nodes(), graph.num_edges(), threads,
-      threads == 1 ? "" : "s",
-      threads > 1 && !parallel_listing ? ", serial listing fallback" : "",
-      cached != nullptr ? ", cached orientation" : "",
-      static_cast<unsigned long long>(sink.count()),
-      static_cast<long long>(ops.PaperCost()), timer.ElapsedSeconds());
+      r.num_nodes, r.num_edges, r.threads, r.threads == 1 ? "" : "s",
+      r.threads > 1 && !mr.parallel ? ", serial listing fallback" : "",
+      r.cached_orientation ? ", cached orientation" : "",
+      static_cast<unsigned long long>(mr.triangles),
+      static_cast<long long>(mr.ops.PaperCost()), work,
+      st.WallOf("load"), st.WallOf("order"), st.WallOf("orient"),
+      st.WallOf("arcs"), st.WallOf("list"));
+  return 0;
+}
+
+/// Parses a comma-separated method list; "all" and "fundamental" name the
+/// standard sets.
+bool ParseMethodList(const std::string& csv, std::vector<Method>* out) {
+  if (csv.empty() || csv == "fundamental") {
+    *out = FundamentalMethods();
+    return true;
+  }
+  if (csv == "all") {
+    *out = AllMethods();
+    return true;
+  }
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    Method m;
+    if (!ParseMethod(token, &m)) {
+      std::fprintf(stderr, "unknown method '%s' in --methods\n",
+                   token.c_str());
+      return false;
+    }
+    out->push_back(m);
+  }
+  return !out->empty();
+}
+
+int CmdRun(const Flags& flags) {
+  RunSpec spec;
+  const std::string in = flags.Get("in");
+  if (!in.empty()) {
+    spec.source = GraphSource::FromFile(in);
+  } else {
+    GenerateSpec gen;
+    gen.n = static_cast<size_t>(flags.GetUint("n", 100000));
+    gen.alpha = flags.GetDouble("alpha", 1.7);
+    gen.truncation = ParseTrunc(flags.Get("trunc", "root"));
+    const std::string kind = flags.Get("gen", "residual");
+    if (kind == "config") {
+      gen.generator = GeneratorKind::kConfiguration;
+    } else if (kind == "gnp") {
+      gen.generator = GeneratorKind::kGnp;
+    } else if (kind != "residual") {
+      std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
+      return 2;
+    }
+    spec.source = GraphSource::FromGenerator(gen);
+  }
+  PermutationKind order = PermutationKind::kDescending;
+  if (!flags.Get("order").empty() &&
+      !ParseOrder(flags.Get("order"), &order)) {
+    std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
+    return 2;
+  }
+  spec.seed = flags.GetUint("seed", 1);
+  spec.orient = OrientSpec{order, spec.seed};
+  spec.methods.clear();
+  if (!ParseMethodList(flags.Get("methods", "E1"), &spec.methods)) return 2;
+  spec.exec.threads = ParseThreadsFlag(flags);
+  spec.repeats = static_cast<int>(flags.GetUint("repeats", 1));
+
+  auto report = RunPipeline(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const std::string format = flags.Get("report", "table");
+  if (format == "json") {
+    std::fputs(report->ToJson().c_str(), stdout);
+  } else if (format == "table") {
+    std::ostringstream out;
+    report->PrintTable(out);
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    std::fprintf(stderr, "unknown report format '%s'\n", format.c_str());
+    return 2;
+  }
   return 0;
 }
 
@@ -266,8 +346,7 @@ int CmdConvert(const Flags& flags) {
     std::fprintf(stderr, "convert: --in FILE and --out FILE are required\n");
     return 2;
   }
-  int threads = static_cast<int>(flags.GetUint("threads", 1));
-  if (threads == 0) threads = HardwareThreads();
+  const int threads = ParseThreadsFlag(flags);
   const uint64_t seed = flags.GetUint("seed", 1);
 
   Timer timer;
@@ -427,12 +506,17 @@ int CmdAdvise(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trilist_cli <generate|count|model|advise|convert|info> "
+      "usage: trilist_cli <generate|count|run|model|advise|convert|info> "
       "[--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
       "           [--threads N]   (N > 1: parallel engine; 0 = hardware)\n"
       "           (--in accepts text edge lists or .tlg containers)\n"
+      "  run      [--in F | --n N --alpha A [--trunc root|linear]\n"
+      "           [--gen residual|config|gnp]]\n"
+      "           [--methods M1,M2,...|all|fundamental] [--order O]\n"
+      "           [--seed S] [--threads N] [--repeats R]\n"
+      "           [--report table|json]\n"
       "  model    --alpha A [--n N] [--trunc ...] [--method M] [--order O]\n"
       "  advise   --alpha A [--speedup X]\n"
       "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
@@ -449,6 +533,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "count") return CmdCount(flags);
+  if (cmd == "run") return CmdRun(flags);
   if (cmd == "model") return CmdModel(flags);
   if (cmd == "advise") return CmdAdvise(flags);
   if (cmd == "convert") return CmdConvert(flags);

@@ -1,6 +1,7 @@
 #include "src/algo/edge_iterator.h"
 
 #include <span>
+#include <type_traits>
 
 #include "src/algo/sei_common.h"
 
@@ -10,94 +11,137 @@ using sei::MergeIntersect;
 using sei::PrefixBelow;
 using sei::SuffixAbove;
 
-OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink) {
+namespace {
+
+/// Hook-free tag: `if constexpr` removes every attribution statement, so
+/// the default instantiations compile to exactly the pre-hook kernels.
+struct NoHook {};
+
+template <typename Hook>
+constexpr bool kHooked = !std::is_same_v<Hook, NoHook>;
+
+// Attribution (Table 1): the local range is charged to the node whose
+// list it is (always the outer node, accumulated across its arcs); the
+// remote range is charged to the remote endpoint, one Record per arc.
+
+template <typename Hook>
+OpCounts RunE1Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
     const auto z = static_cast<NodeId>(zi);
     const auto out = g.OutNeighbors(z);
+    [[maybe_unused]] int64_t local_total = 0;
     for (size_t idx = 0; idx < out.size(); ++idx) {
       const NodeId y = out[idx];
       const auto local = out.first(idx);  // elements of N+(z) below y
       const auto remote = g.OutNeighbors(y);
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(y, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId x) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(z, local_total);
   }
   return ops;
 }
 
-OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunE2Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
     const auto y = static_cast<NodeId>(yi);
     const auto local = g.OutNeighbors(y);
+    [[maybe_unused]] int64_t local_total = 0;
     for (const NodeId z : g.InNeighbors(y)) {
       const auto remote = PrefixBelow(g.OutNeighbors(z), y);
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(z, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId x) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(y, local_total);
   }
   return ops;
 }
 
-OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunE3Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
     const auto x = static_cast<NodeId>(xi);
     const auto in = g.InNeighbors(x);
+    [[maybe_unused]] int64_t local_total = 0;
     for (size_t idx = 0; idx < in.size(); ++idx) {
       const NodeId y = in[idx];
       const auto local = in.subspan(idx + 1);  // elements of N-(x) above y
       const auto remote = g.InNeighbors(y);
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(y, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId z) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(x, local_total);
   }
   return ops;
 }
 
-OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunE4Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
     const auto z = static_cast<NodeId>(zi);
     const auto out = g.OutNeighbors(z);
+    [[maybe_unused]] int64_t local_total = 0;
     for (size_t idx = 0; idx < out.size(); ++idx) {
       const NodeId x = out[idx];
       const auto local = out.subspan(idx + 1);  // y candidates above x
       const auto remote = PrefixBelow(g.InNeighbors(x), z);
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(x, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId y) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(z, local_total);
   }
   return ops;
 }
 
-OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunE5Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
     const auto y = static_cast<NodeId>(yi);
     const auto local = g.InNeighbors(y);
+    [[maybe_unused]] int64_t local_total = 0;
     for (const NodeId x : g.OutNeighbors(y)) {
       // The start of the remote range is buried mid-list: one binary
       // search per arc (the E5 handicap of Section 2.3).
@@ -105,21 +149,28 @@ OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.binary_searches;
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(x, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId z) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(y, local_total);
   }
   return ops;
 }
 
-OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunE6Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
     const auto x = static_cast<NodeId>(xi);
     const auto in = g.InNeighbors(x);
+    [[maybe_unused]] int64_t local_total = 0;
     for (size_t idx = 0; idx < in.size(); ++idx) {
       const NodeId z = in[idx];
       const auto local = in.first(idx);  // y candidates below z
@@ -127,13 +178,56 @@ OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.binary_searches;
       ops.local_scans += static_cast<int64_t>(local.size());
       ops.remote_scans += static_cast<int64_t>(remote.size());
+      if constexpr (kHooked<Hook>) {
+        local_total += static_cast<int64_t>(local.size());
+        hook->Record(z, static_cast<int64_t>(remote.size()));
+      }
       MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId y) {
         ++ops.triangles;
         sink->Consume(x, y, z);
       });
     }
+    if constexpr (kHooked<Hook>) hook->Record(x, local_total);
   }
   return ops;
+}
+
+}  // namespace
+
+OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE1Impl(g, sink, hook)
+                         : RunE1Impl(g, sink, NoHook{});
+}
+
+OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE2Impl(g, sink, hook)
+                         : RunE2Impl(g, sink, NoHook{});
+}
+
+OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE3Impl(g, sink, hook)
+                         : RunE3Impl(g, sink, NoHook{});
+}
+
+OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE4Impl(g, sink, hook)
+                         : RunE4Impl(g, sink, NoHook{});
+}
+
+OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE5Impl(g, sink, hook)
+                         : RunE5Impl(g, sink, NoHook{});
+}
+
+OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunE6Impl(g, sink, hook)
+                         : RunE6Impl(g, sink, NoHook{});
 }
 
 }  // namespace trilist

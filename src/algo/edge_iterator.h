@@ -1,5 +1,6 @@
 #pragma once
 
+#include "src/algo/op_hook.h"
 #include "src/algo/triangle_sink.h"
 #include "src/algo/vertex_iterator.h"  // OpCounts
 #include "src/graph/oriented_graph.h"
@@ -22,20 +23,33 @@
 /// one binary search per arc to locate the start of the remote suffix,
 /// recorded in binary_searches — the structural disadvantage that removes
 /// them from contention (Section 2.3).
+///
+/// The optional `hook` attributes scanned elements to nodes the way
+/// Table 1 does: the local range to the node whose list it is, the remote
+/// range to the *remote* endpoint (even though the scan executes inside
+/// another node's outer iteration), so per-node sums reproduce the
+/// local-class + remote-class cost of each node exactly. nullptr — the
+/// default — selects a hook-free instantiation with zero overhead.
 
 namespace trilist {
 
 /// E1: visit z; for y in N+(z), intersect N+(z) below y with N+(y).
-OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 /// E2: visit y; for z in N-(y), intersect N+(y) with N+(z) below y.
-OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 /// E3: visit x; for y in N-(x), intersect N-(x) above y with N-(y).
-OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 /// E4: visit z; for x in N+(z), intersect N+(z) above x with N-(x) below z.
-OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 /// E5: visit y; for x in N+(y), intersect N-(y) with N-(x) above y.
-OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 /// E6: visit x; for z in N-(x), intersect N-(x) below z with N+(z) above x.
-OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink);
+OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook = nullptr);
 
 }  // namespace trilist

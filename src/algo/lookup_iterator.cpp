@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace trilist {
@@ -29,9 +30,18 @@ std::span<const NodeId> SuffixAbove(std::span<const NodeId> list,
   return list.subspan(static_cast<size_t>(it - list.begin()));
 }
 
-}  // namespace
+/// Hook-free tag: `if constexpr` removes every attribution statement, so
+/// the default instantiations compile to exactly the pre-hook kernels.
+struct NoHook {};
 
-OpCounts RunL1(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+constexpr bool kHooked = !std::is_same_v<Hook, NoHook>;
+
+// Attribution (Table 2): every probe is charged to the node whose list is
+// scanned remotely; hash inserts are excluded from the lookup class.
+
+template <typename Hook>
+OpCounts RunL1Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -44,7 +54,11 @@ OpCounts RunL1(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.hash_inserts;
     }
     for (const NodeId y : out) {
-      for (const NodeId x : g.OutNeighbors(y)) {
+      const auto remote = g.OutNeighbors(y);
+      if constexpr (kHooked<Hook>) {
+        hook->Record(y, static_cast<int64_t>(remote.size()));
+      }
+      for (const NodeId x : remote) {
         ++ops.lookups;
         if (local.Contains(x)) {
           ++ops.triangles;
@@ -56,7 +70,8 @@ OpCounts RunL1(const OrientedGraph& g, TriangleSink* sink) {
   return ops;
 }
 
-OpCounts RunL2(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunL2Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -68,20 +83,24 @@ OpCounts RunL2(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.hash_inserts;
     }
     for (const NodeId z : g.InNeighbors(y)) {
+      [[maybe_unused]] int64_t probes = 0;
       for (const NodeId x : g.OutNeighbors(z)) {
         if (x >= y) break;  // sorted: prefix below y only
         ++ops.lookups;
+        if constexpr (kHooked<Hook>) ++probes;
         if (local.Contains(x)) {
           ++ops.triangles;
           sink->Consume(x, y, z);
         }
       }
+      if constexpr (kHooked<Hook>) hook->Record(z, probes);
     }
   }
   return ops;
 }
 
-OpCounts RunL3(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunL3Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -94,7 +113,11 @@ OpCounts RunL3(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.hash_inserts;
     }
     for (const NodeId y : in) {
-      for (const NodeId z : g.InNeighbors(y)) {
+      const auto remote = g.InNeighbors(y);
+      if constexpr (kHooked<Hook>) {
+        hook->Record(y, static_cast<int64_t>(remote.size()));
+      }
+      for (const NodeId z : remote) {
         ++ops.lookups;
         if (local.Contains(z)) {
           ++ops.triangles;
@@ -106,7 +129,8 @@ OpCounts RunL3(const OrientedGraph& g, TriangleSink* sink) {
   return ops;
 }
 
-OpCounts RunL4(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunL4Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -119,20 +143,24 @@ OpCounts RunL4(const OrientedGraph& g, TriangleSink* sink) {
       ++ops.hash_inserts;
     }
     for (const NodeId x : out) {
+      [[maybe_unused]] int64_t probes = 0;
       for (const NodeId y : g.InNeighbors(x)) {
         if (y >= z) break;  // sorted: prefix below z only
         ++ops.lookups;
+        if constexpr (kHooked<Hook>) ++probes;
         if (local.Contains(y)) {
           ++ops.triangles;
           sink->Consume(x, y, z);
         }
       }
+      if constexpr (kHooked<Hook>) hook->Record(x, probes);
     }
   }
   return ops;
 }
 
-OpCounts RunL5(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunL5Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -145,7 +173,11 @@ OpCounts RunL5(const OrientedGraph& g, TriangleSink* sink) {
     }
     for (const NodeId x : g.OutNeighbors(y)) {
       ++ops.binary_searches;
-      for (const NodeId z : SuffixAbove(g.InNeighbors(x), y)) {
+      const auto remote = SuffixAbove(g.InNeighbors(x), y);
+      if constexpr (kHooked<Hook>) {
+        hook->Record(x, static_cast<int64_t>(remote.size()));
+      }
+      for (const NodeId z : remote) {
         ++ops.lookups;
         if (local.Contains(z)) {
           ++ops.triangles;
@@ -157,7 +189,8 @@ OpCounts RunL5(const OrientedGraph& g, TriangleSink* sink) {
   return ops;
 }
 
-OpCounts RunL6(const OrientedGraph& g, TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunL6Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   MarkerSet local(n);
@@ -171,7 +204,11 @@ OpCounts RunL6(const OrientedGraph& g, TriangleSink* sink) {
     }
     for (const NodeId z : in) {
       ++ops.binary_searches;
-      for (const NodeId y : SuffixAbove(g.OutNeighbors(z), x)) {
+      const auto remote = SuffixAbove(g.OutNeighbors(z), x);
+      if constexpr (kHooked<Hook>) {
+        hook->Record(z, static_cast<int64_t>(remote.size()));
+      }
+      for (const NodeId y : remote) {
         ++ops.lookups;
         if (local.Contains(y)) {
           ++ops.triangles;
@@ -181,6 +218,44 @@ OpCounts RunL6(const OrientedGraph& g, TriangleSink* sink) {
     }
   }
   return ops;
+}
+
+}  // namespace
+
+OpCounts RunL1(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL1Impl(g, sink, hook)
+                         : RunL1Impl(g, sink, NoHook{});
+}
+
+OpCounts RunL2(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL2Impl(g, sink, hook)
+                         : RunL2Impl(g, sink, NoHook{});
+}
+
+OpCounts RunL3(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL3Impl(g, sink, hook)
+                         : RunL3Impl(g, sink, NoHook{});
+}
+
+OpCounts RunL4(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL4Impl(g, sink, hook)
+                         : RunL4Impl(g, sink, NoHook{});
+}
+
+OpCounts RunL5(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL5Impl(g, sink, hook)
+                         : RunL5Impl(g, sink, NoHook{});
+}
+
+OpCounts RunL6(const OrientedGraph& g, TriangleSink* sink,
+               NodeOpsHook* hook) {
+  return hook != nullptr ? RunL6Impl(g, sink, hook)
+                         : RunL6Impl(g, sink, NoHook{});
 }
 
 }  // namespace trilist

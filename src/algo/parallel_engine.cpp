@@ -6,6 +6,7 @@
 
 #include "src/algo/registry.h"
 #include "src/algo/sei_common.h"
+#include "src/obs/trace.h"
 #include "src/util/parallel_for.h"
 #include "src/util/status.h"
 
@@ -240,7 +241,12 @@ OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
   std::vector<ChunkResult> results(num_chunks);
   ThreadPool pool(threads);
   pool.ParallelFor(num_chunks, [&](size_t c) {
+    obs::TraceSpan span("chunk");
+    span.Arg("method", MethodName(m));
+    span.Arg("shard", static_cast<int64_t>(c));
+    span.Arg("v_begin", static_cast<int64_t>(cuts[c].node));
     RunChunk(m, g, arcs, cuts[c], cuts[c + 1], &results[c]);
+    span.Arg("ops", results[c].ops.PaperCost());
   });
   // Deterministic merge: chunk order is serial order.
   OpCounts total;

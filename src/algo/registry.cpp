@@ -40,6 +40,32 @@ OpCounts RunMethod(Method m, const OrientedGraph& g,
   return OpCounts{};
 }
 
+OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           NodeOpsHook* hook) {
+  switch (m) {
+    case Method::kT1: return RunT1(g, arcs, sink, hook);
+    case Method::kT2: return RunT2(g, arcs, sink, hook);
+    case Method::kT3: return RunT3(g, arcs, sink, hook);
+    case Method::kT4: return RunT4(g, arcs, sink, hook);
+    case Method::kT5: return RunT5(g, arcs, sink, hook);
+    case Method::kT6: return RunT6(g, arcs, sink, hook);
+    case Method::kE1: return RunE1(g, sink, hook);
+    case Method::kE2: return RunE2(g, sink, hook);
+    case Method::kE3: return RunE3(g, sink, hook);
+    case Method::kE4: return RunE4(g, sink, hook);
+    case Method::kE5: return RunE5(g, sink, hook);
+    case Method::kE6: return RunE6(g, sink, hook);
+    case Method::kL1: return RunL1(g, sink, hook);
+    case Method::kL2: return RunL2(g, sink, hook);
+    case Method::kL3: return RunL3(g, sink, hook);
+    case Method::kL4: return RunL4(g, sink, hook);
+    case Method::kL5: return RunL5(g, sink, hook);
+    case Method::kL6: return RunL6(g, sink, hook);
+  }
+  return OpCounts{};
+}
+
 OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink,
                    const ExecPolicy& exec) {
   if (exec.threads > 1) return RunMethodParallel(m, g, sink, exec);

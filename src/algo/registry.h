@@ -34,4 +34,13 @@ OpCounts RunMethod(Method m, const OrientedGraph& g,
                    const DirectedEdgeSet& arcs, TriangleSink* sink,
                    const ExecPolicy& exec);
 
+/// Runs `m` serially with a per-node op hook attached, so callers can
+/// attribute measured work to individual nodes (see op_hook.h for the
+/// attribution rules). The hook path always runs serial: attribution is
+/// a profiling pass, and a serial pass keeps Record() free of
+/// synchronization. `hook` must be non-null.
+OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           NodeOpsHook* hook);
+
 }  // namespace trilist

@@ -1,14 +1,27 @@
 #include "src/algo/vertex_iterator.h"
 
+#include <type_traits>
+
 namespace trilist {
 
-OpCounts RunT1(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+namespace {
+
+/// Hook-free tag: `if constexpr` removes every attribution statement, so
+/// the default instantiations compile to exactly the pre-hook kernels.
+struct NoHook {};
+
+template <typename Hook>
+constexpr bool kHooked = !std::is_same_v<Hook, NoHook>;
+
+template <typename Hook>
+OpCounts RunT1Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
     const auto z = static_cast<NodeId>(zi);
     const auto out = g.OutNeighbors(z);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     // Pairs x < y; lists are sorted, so index order is label order.
     for (size_t b = 1; b < out.size(); ++b) {
       const NodeId y = out[b];
@@ -21,18 +34,23 @@ OpCounts RunT1(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(z, ops.candidate_checks - before);
+    }
   }
   return ops;
 }
 
-OpCounts RunT2(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunT2Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
     const auto y = static_cast<NodeId>(yi);
     const auto in = g.InNeighbors(y);
     const auto out = g.OutNeighbors(y);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     for (const NodeId z : in) {
       for (const NodeId x : out) {
         ++ops.candidate_checks;
@@ -42,17 +60,22 @@ OpCounts RunT2(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(y, ops.candidate_checks - before);
+    }
   }
   return ops;
 }
 
-OpCounts RunT3(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunT3Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
     const auto x = static_cast<NodeId>(xi);
     const auto in = g.InNeighbors(x);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     for (size_t a = 0; a + 1 < in.size(); ++a) {
       const NodeId y = in[a];
       for (size_t b = a + 1; b < in.size(); ++b) {
@@ -64,17 +87,22 @@ OpCounts RunT3(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(x, ops.candidate_checks - before);
+    }
   }
   return ops;
 }
 
-OpCounts RunT4(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunT4Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
     const auto z = static_cast<NodeId>(zi);
     const auto out = g.OutNeighbors(z);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     // Same pair set as T1, visited x-first.
     for (size_t a = 0; a + 1 < out.size(); ++a) {
       const NodeId x = out[a];
@@ -87,18 +115,23 @@ OpCounts RunT4(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(z, ops.candidate_checks - before);
+    }
   }
   return ops;
 }
 
-OpCounts RunT5(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunT5Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
     const auto y = static_cast<NodeId>(yi);
     const auto in = g.InNeighbors(y);
     const auto out = g.OutNeighbors(y);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     for (const NodeId x : out) {
       for (const NodeId z : in) {
         ++ops.candidate_checks;
@@ -108,17 +141,22 @@ OpCounts RunT5(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(y, ops.candidate_checks - before);
+    }
   }
   return ops;
 }
 
-OpCounts RunT6(const OrientedGraph& g, const DirectedEdgeSet& arcs,
-               TriangleSink* sink) {
+template <typename Hook>
+OpCounts RunT6Impl(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+                   TriangleSink* sink, Hook hook) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
     const auto x = static_cast<NodeId>(xi);
     const auto in = g.InNeighbors(x);
+    [[maybe_unused]] const int64_t before = ops.candidate_checks;
     for (size_t b = 1; b < in.size(); ++b) {
       const NodeId z = in[b];
       for (size_t a = 0; a < b; ++a) {
@@ -130,8 +168,49 @@ OpCounts RunT6(const OrientedGraph& g, const DirectedEdgeSet& arcs,
         }
       }
     }
+    if constexpr (kHooked<Hook>) {
+      hook->Record(x, ops.candidate_checks - before);
+    }
   }
   return ops;
+}
+
+}  // namespace
+
+OpCounts RunT1(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT1Impl(g, arcs, sink, hook)
+                         : RunT1Impl(g, arcs, sink, NoHook{});
+}
+
+OpCounts RunT2(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT2Impl(g, arcs, sink, hook)
+                         : RunT2Impl(g, arcs, sink, NoHook{});
+}
+
+OpCounts RunT3(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT3Impl(g, arcs, sink, hook)
+                         : RunT3Impl(g, arcs, sink, NoHook{});
+}
+
+OpCounts RunT4(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT4Impl(g, arcs, sink, hook)
+                         : RunT4Impl(g, arcs, sink, NoHook{});
+}
+
+OpCounts RunT5(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT5Impl(g, arcs, sink, hook)
+                         : RunT5Impl(g, arcs, sink, NoHook{});
+}
+
+OpCounts RunT6(const OrientedGraph& g, const DirectedEdgeSet& arcs,
+               TriangleSink* sink, NodeOpsHook* hook) {
+  return hook != nullptr ? RunT6Impl(g, arcs, sink, hook)
+                         : RunT6Impl(g, arcs, sink, NoHook{});
 }
 
 }  // namespace trilist

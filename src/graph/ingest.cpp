@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/graph/mmap_file.h"
+#include "src/obs/trace.h"
 #include "src/util/parallel_for.h"
 
 namespace trilist {
@@ -138,7 +139,11 @@ Result<IngestedGraph> IngestEdgeList(std::string_view text,
 
   std::vector<ChunkResult> chunks(num_chunks);
   ParallelFor(threads, num_chunks, [&](size_t c) {
+    obs::TraceSpan span("ingest_chunk");
+    span.Arg("chunk", static_cast<int64_t>(c));
+    span.Arg("bytes", static_cast<int64_t>(bounds[c + 1] - bounds[c]));
     ParseChunk(base + bounds[c], base + bounds[c + 1], &chunks[c]);
+    span.Arg("edges", static_cast<int64_t>(chunks[c].records.size()));
   });
 
   // Surface the earliest malformed line with its global line number

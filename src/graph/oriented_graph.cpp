@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "src/obs/trace.h"
 #include "src/util/parallel_for.h"
 #include "src/util/status.h"
 
@@ -147,9 +148,14 @@ OrientedGraph OrientedGraph::FromLabels(const Graph& g,
         owned->original_of[labels[v]] = static_cast<NodeId>(v);
       }
     });
-    BuildAdjacencyParallel(g, labels, threads, &owned->out_offsets,
-                           &owned->out_neighbors, &owned->in_offsets,
-                           &owned->in_neighbors);
+    {
+      obs::TraceSpan span("orient_build");
+      span.Arg("threads", static_cast<int64_t>(threads));
+      span.Arg("nodes", static_cast<int64_t>(n));
+      BuildAdjacencyParallel(g, labels, threads, &owned->out_offsets,
+                             &owned->out_neighbors, &owned->in_offsets,
+                             &owned->in_neighbors);
+    }
     OrientedGraph out;
     out.out_offsets_ = owned->out_offsets;
     out.out_neighbors_ = owned->out_neighbors;

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/run/run_report.h"
+
+/// \file prom.h
+/// Prometheus text-exposition (version 0.0.4) writer, plus the canned
+/// RunReport exporter behind `trilist_cli run --metrics out.prom`.
+///
+/// The writer emits the standard layout:
+///
+///   # HELP trilist_method_wall_seconds Best listing wall time per method
+///   # TYPE trilist_method_wall_seconds gauge
+///   trilist_method_wall_seconds{method="T1"} 0.123
+///
+/// Output is deterministic (metrics in declaration order, labels in the
+/// order given), so .prom artifacts can be golden-tested like the JSON
+/// reports. Label values are escaped per the exposition format (backslash,
+/// double-quote, newline).
+
+namespace trilist::obs {
+
+/// One metric label, name="value" (value escaped on render).
+using PromLabel = std::pair<std::string, std::string>;
+
+/// \brief Streaming Prometheus text-format builder.
+class PromWriter {
+ public:
+  /// Declares a gauge metric: emits its # HELP and # TYPE header lines.
+  /// Must precede the metric's Sample calls.
+  void Gauge(std::string_view name, std::string_view help);
+
+  /// Declares a counter metric (monotone totals, *_total convention).
+  void Counter(std::string_view name, std::string_view help);
+
+  /// Emits one sample line for the most recently declared metric family
+  /// or any previously declared one (callers keep samples grouped under
+  /// their declaration for canonical output).
+  void Sample(std::string_view name, const std::vector<PromLabel>& labels,
+              double value);
+
+  /// Unlabeled convenience.
+  void Sample(std::string_view name, double value) {
+    Sample(name, {}, value);
+  }
+
+  /// Returns the completed exposition text (trailing newline included).
+  std::string Finish() &&;
+
+ private:
+  void Declare(std::string_view name, std::string_view help,
+               std::string_view type);
+  std::string out_;
+};
+
+/// Renders a RunReport (including any attached degree profiles) as
+/// Prometheus exposition text. Build provenance is exported through the
+/// conventional `trilist_build_info{...} 1` gauge.
+std::string RunReportToPrometheus(const RunReport& report);
+
+}  // namespace trilist::obs

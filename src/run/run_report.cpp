@@ -13,6 +13,14 @@ std::string RunReport::ToJson() const {
   w.Field("schema", "trilist.run_report");
   w.Field("schema_version", kRunReportSchemaVersion);
 
+  w.Key("build");
+  w.BeginObject();
+  w.Field("version", build_version);
+  w.Field("git_hash", build_git_hash);
+  w.Field("compiler", build_compiler);
+  w.Field("build_type", build_type);
+  w.EndObject();
+
   w.Key("graph");
   w.BeginObject();
   w.Field("source", source);
@@ -30,6 +38,7 @@ std::string RunReport::ToJson() const {
   w.Key("exec");
   w.BeginObject();
   w.Field("threads", threads);
+  w.Field("requested_threads", requested_threads);
   w.Field("repeats", repeats);
   w.EndObject();
 
@@ -66,6 +75,13 @@ std::string RunReport::ToJson() const {
     w.FieldDouble("wall_total_s", m.wall_total_s);
     w.Field("parallel", m.parallel);
     w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("degree_profiles");
+  w.BeginArray();
+  for (const obs::DegreeProfile& p : degree_profiles) {
+    obs::AppendDegreeProfileJson(p, &w);
   }
   w.EndArray();
 
@@ -107,6 +123,10 @@ void RunReport::PrintTable(std::ostream& out) const {
            m.parallel ? "parallel" : "serial"});
     }
     method_table.Print(out);
+  }
+
+  for (const obs::DegreeProfile& p : degree_profiles) {
+    out << obs::DegreeProfileTable(p);
   }
 
   out << "peak RSS " << FormatBytes(static_cast<double>(peak_rss_bytes))

@@ -8,6 +8,7 @@
 #include "src/algo/cost.h"
 #include "src/algo/triangle_sink.h"
 #include "src/algo/vertex_iterator.h"
+#include "src/obs/degree_profile.h"
 #include "src/util/metrics.h"
 
 /// \file run_report.h
@@ -22,7 +23,10 @@ namespace trilist {
 
 /// Version of the JSON schema emitted by RunReport::ToJson. Bump when
 /// fields are renamed or removed (additions are compatible).
-inline constexpr int kRunReportSchemaVersion = 1;
+///
+/// v2 (additive): "build" provenance object, "exec.requested_threads",
+/// and the "degree_profiles" array (empty unless RunSpec::degree_profile).
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// \brief Result of one method's listing pass (best of RunSpec::repeats).
 struct MethodReport {
@@ -53,8 +57,12 @@ struct RunReport {
   uint64_t orient_seed = 0;        ///< OrientSpec seed (kUniform only).
   bool cached_orientation = false; ///< reused a `.tlg`-embedded (O, theta).
 
-  /// Execution configuration.
+  /// Execution configuration. `threads` is the *resolved* worker count
+  /// the run actually used (a request of 0 = "auto" resolves to the
+  /// hardware width before any dispatch or utilization math);
+  /// `requested_threads` preserves what the spec asked for.
   int threads = 1;
+  int requested_threads = 1;
   int repeats = 1;
 
   /// Per-stage wall clocks, in pipeline order: "load" or "generate",
@@ -64,6 +72,17 @@ struct RunReport {
 
   /// Per-method results, in RunSpec::methods order.
   std::vector<MethodReport> methods;
+
+  /// Degree-bucketed model-residual histograms, one per method, in
+  /// RunSpec::methods order; filled only when RunSpec::degree_profile.
+  std::vector<obs::DegreeProfile> degree_profiles;
+
+  /// Build provenance of the binary that produced the report (from
+  /// GetBuildInfo(); tests substitute fixed values for goldens).
+  std::string build_version;
+  std::string build_git_hash;
+  std::string build_compiler;
+  std::string build_type;
 
   /// Process resource gauges, sampled across the whole run.
   size_t peak_rss_bytes = 0;

@@ -118,6 +118,11 @@ struct RunSpec {
   SinkKind sink = SinkKind::kCount;
   /// Seed of the generator RNG (kGenerate sources).
   uint64_t seed = 1;
+  /// Run an extra serial profiling pass per method with the per-node op
+  /// hook attached and attach degree-bucketed model-residual histograms
+  /// (see src/obs/degree_profile.h) to the report. The timed listing
+  /// passes above stay hook-free.
+  bool degree_profile = false;
 };
 
 }  // namespace trilist

@@ -18,8 +18,11 @@
 #include "src/graph/binfmt.h"
 #include "src/graph/edge_set.h"
 #include "src/graph/io.h"
+#include "src/obs/degree_profile.h"
+#include "src/obs/trace.h"
 #include "src/order/degenerate.h"
 #include "src/order/pipeline.h"
+#include "src/util/build_info.h"
 #include "src/util/metrics.h"
 #include "src/util/parallel_for.h"
 #include "src/util/timer.h"
@@ -118,15 +121,19 @@ Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
   AcquiredGraph acquired;
   switch (spec.source.kind) {
     case GraphSourceKind::kGenerate: {
+      obs::TraceSpan span("generate");
+      span.Arg("n", static_cast<int64_t>(spec.source.gen.n));
       Rng rng(spec.seed);
       Timer timer;
       Result<Graph> g = GenerateGraph(spec.source.gen, &rng);
       if (!g.ok()) return g.status();
       report->stages.Add("generate", timer.ElapsedSeconds());
       acquired.graph = std::move(g).ValueOrDie();
+      span.Arg("edges", static_cast<int64_t>(acquired.graph.num_edges()));
       return acquired;
     }
     case GraphSourceKind::kFile: {
+      obs::TraceSpan span("load");
       Timer timer;
       if (LooksLikeTlgFile(spec.source.path)) {
         Result<TlgFile> t = TlgFile::Open(spec.source.path);
@@ -140,6 +147,7 @@ Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
         acquired.graph = std::move(g).ValueOrDie();
       }
       report->stages.Add("load", timer.ElapsedSeconds());
+      span.Arg("edges", static_cast<int64_t>(acquired.graph.num_edges()));
       return acquired;
     }
     case GraphSourceKind::kInMemory:
@@ -155,13 +163,23 @@ Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
 Result<RunReport> RunPipeline(const RunSpec& spec) {
   RunReport report;
   CpuGauge gauge;
-  const int threads = std::max(1, spec.exec.threads);
+  // Resolve "auto" (<= 0) to the hardware width once, up front: dispatch,
+  // the utilization denominator and the report all see the same count.
+  const int threads = ResolveThreads(spec.exec.threads);
+  ExecPolicy exec = spec.exec;
+  exec.threads = threads;
   const int repeats = std::max(1, spec.repeats);
   report.source = DescribeSource(spec.source);
   report.order = PermutationKindName(spec.orient.kind);
   report.orient_seed = spec.orient.seed;
   report.threads = threads;
+  report.requested_threads = spec.exec.threads;
   report.repeats = repeats;
+  const BuildInfo& build = GetBuildInfo();
+  report.build_version = build.version;
+  report.build_git_hash = build.git_hash;
+  report.build_compiler = build.compiler;
+  report.build_type = build.build_type;
 
   // 1. Acquire the graph ("generate" or "load").
   Result<AcquiredGraph> acquired = AcquireGraph(spec, &report);
@@ -188,6 +206,7 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
     // construction, same label pipeline.
     std::vector<NodeId> labels;
     report.stages.Time("order", [&] {
+      TRILIST_TRACE_SPAN("order");
       if (spec.orient.kind == PermutationKind::kDegenerate) {
         labels = DegenerateLabels(graph);
       } else {
@@ -198,6 +217,8 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
       }
     });
     oriented = report.stages.Time("orient", [&] {
+      obs::TraceSpan span("orient");
+      span.Arg("threads", static_cast<int64_t>(threads));
       return OrientedGraph::FromLabels(graph, labels, threads);
     });
   }
@@ -209,7 +230,10 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
       });
   std::optional<DirectedEdgeSet> arcs;
   if (needs_arcs) {
-    report.stages.Time("arcs", [&] { arcs.emplace(oriented); });
+    report.stages.Time("arcs", [&] {
+      TRILIST_TRACE_SPAN("arcs");
+      arcs.emplace(oriented);
+    });
   }
 
   // 5. List with every requested method.
@@ -227,12 +251,20 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
           spec.sink == SinkKind::kCollect
               ? static_cast<TriangleSink*>(&collecting)
               : &counting;
+      obs::TraceSpan span(MethodName(m));
+      span.Arg("stage", "list");
+      span.Arg("repeat", static_cast<int64_t>(rep));
       Timer timer;
       const OpCounts ops =
           MethodFamily(m) == Family::kVertexIterator
-              ? RunMethod(m, oriented, *arcs, sink, spec.exec)
-              : RunMethod(m, oriented, sink, spec.exec);
+              ? RunMethod(m, oriented, *arcs, sink, exec)
+              : RunMethod(m, oriented, sink, exec);
       const double wall = timer.ElapsedSeconds();
+      span.Arg("ops", ops.PaperCost());
+      span.Arg("triangles", static_cast<int64_t>(
+                                spec.sink == SinkKind::kCollect
+                                    ? collecting.triangles().size()
+                                    : counting.count()));
       const uint64_t triangles =
           spec.sink == SinkKind::kCollect
               ? collecting.triangles().size()
@@ -256,6 +288,28 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
     report.methods.push_back(std::move(mr));
   }
   report.stages.Add("list", list_wall);
+
+  // 6. Optional model-residual pass: re-run each method serially with the
+  // per-node op hook attached and bucket measured work against the
+  // closed-form g(d)h(q). Separate pass so the timed listing above stays
+  // on the hook-free instantiations.
+  if (spec.degree_profile) {
+    const DirectedEdgeSet empty_arcs{OrientedGraph()};
+    report.stages.Time("profile", [&] {
+      for (Method m : spec.methods) {
+        obs::TraceSpan span(MethodName(m));
+        span.Arg("stage", "profile");
+        obs::NodeOpsRecorder recorder(oriented.num_nodes());
+        CountingSink counting;
+        RunMethodProfiled(m, oriented,
+                          arcs.has_value() ? *arcs : empty_arcs, &counting,
+                          &recorder);
+        span.Arg("ops", recorder.Total());
+        report.degree_profiles.push_back(
+            obs::BuildDegreeProfile(m, oriented, recorder.ops()));
+      }
+    });
+  }
 
   report.peak_rss_bytes = PeakRssBytes();
   report.cpu_s = gauge.CpuSecondsElapsed();

@@ -35,21 +35,34 @@ struct StageSample {
 /// order (so reports render stages in pipeline order).
 class StageClock {
  public:
+  /// \brief RAII scope that accounts its lifetime to one stage.
+  ///
+  /// Attribution happens in the destructor, so a stage body that throws
+  /// still gets its elapsed time recorded — an exception escaping "list"
+  /// must not silently vanish from the stage table.
+  class Scope {
+   public:
+    Scope(StageClock* clock, std::string_view name)
+        : clock_(clock), name_(name) {}
+    ~Scope() { clock_->Add(name_, timer_.ElapsedSeconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageClock* clock_;
+    std::string name_;  // owned: the scope may outlive the caller's view
+    Timer timer_;
+  };
+
   /// Adds `seconds` to stage `name`, creating it on first use.
   void Add(std::string_view name, double seconds);
 
   /// Times `body()` and accounts it to `name`; returns body's result.
+  /// Exception-safe: the elapsed time is attributed even if body throws.
   template <typename Body>
   auto Time(std::string_view name, Body&& body) {
-    Timer timer;
-    if constexpr (std::is_void_v<decltype(body())>) {
-      body();
-      Add(name, timer.ElapsedSeconds());
-    } else {
-      auto result = body();
-      Add(name, timer.ElapsedSeconds());
-      return result;
-    }
+    const Scope scope(this, name);
+    return body();
   }
 
   /// Accumulated wall seconds of `name`, 0 when the stage never ran.

@@ -99,5 +99,68 @@ if(NOT tlg_hash STREQUAL tlg2_hash)
   message(FATAL_ERROR ".tlg conversion is not deterministic")
 endif()
 
+# --- Observability surface --------------------------------------------------
+# `run` with --trace/--metrics/--degree-profile must produce a loadable
+# Chrome trace, a Prometheus exposition and a v2 JSON report with the
+# degree-residual histogram filled in.
+set(trace_file "${WORKDIR}/cli_test_trace.json")
+set(metrics_file "${WORKDIR}/cli_test_metrics.prom")
+set(report_file "${WORKDIR}/cli_test_report.json")
+
+execute_process(
+  COMMAND "${CLI}" run --in "${graph_file}" --methods T1,E1 --order D
+          --degree-profile --report json --trace "${trace_file}"
+          --metrics "${metrics_file}"
+  RESULT_VARIABLE run_result OUTPUT_VARIABLE run_out)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "run with observability flags failed: ${run_out}")
+endif()
+file(WRITE "${report_file}" "${run_out}")
+
+string(FIND "${run_out}" "\"schema_version\": 2" has_schema)
+string(FIND "${run_out}" "\"degree_profiles\": [" has_profiles)
+string(FIND "${run_out}" "\"total_measured_ops\"" has_measured)
+string(FIND "${run_out}" "\"build\"" has_build)
+if(has_schema EQUAL -1 OR has_profiles EQUAL -1 OR has_measured EQUAL -1
+   OR has_build EQUAL -1)
+  message(FATAL_ERROR "run report is missing v2 sections: ${run_out}")
+endif()
+
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "--trace did not write ${trace_file}")
+endif()
+file(READ "${trace_file}" trace_content)
+string(FIND "${trace_content}" "\"traceEvents\"" has_events)
+string(FIND "${trace_content}" "\"name\": \"orient\"" has_orient_span)
+string(FIND "${trace_content}" "\"git_hash\"" has_provenance)
+if(has_events EQUAL -1 OR has_orient_span EQUAL -1 OR has_provenance EQUAL -1)
+  message(FATAL_ERROR "trace file is not a valid span trace")
+endif()
+
+if(NOT EXISTS "${metrics_file}")
+  message(FATAL_ERROR "--metrics did not write ${metrics_file}")
+endif()
+file(READ "${metrics_file}" metrics_content)
+string(FIND "${metrics_content}" "# TYPE trilist_build_info gauge" has_info)
+string(FIND "${metrics_content}" "trilist_method_paper_cost_ops_total" has_cost)
+string(FIND "${metrics_content}" "trilist_degree_bucket_residual" has_residual)
+if(has_info EQUAL -1 OR has_cost EQUAL -1 OR has_residual EQUAL -1)
+  message(FATAL_ERROR "metrics file is not a valid exposition")
+endif()
+
+# `version` reports build provenance.
+execute_process(
+  COMMAND "${CLI}" version
+  RESULT_VARIABLE ver_result OUTPUT_VARIABLE ver_out)
+if(NOT ver_result EQUAL 0)
+  message(FATAL_ERROR "version failed: ${ver_out}")
+endif()
+string(FIND "${ver_out}" "trilist" has_name)
+string(FIND "${ver_out}" "flags:" has_flags)
+if(has_name EQUAL -1 OR has_flags EQUAL -1)
+  message(FATAL_ERROR "version output lacks provenance: ${ver_out}")
+endif()
+
 file(REMOVE "${graph_file}" "${tlg_file}" "${tlg_file2}"
-     "${roundtrip_file}")
+     "${roundtrip_file}" "${trace_file}" "${metrics_file}"
+     "${report_file}")

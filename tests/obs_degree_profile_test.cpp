@@ -1,0 +1,247 @@
+#include "src/obs/degree_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algo/registry.h"
+#include "src/algo/triangle_sink.h"
+#include "src/core/h_function.h"
+#include "src/degree/graphicality.h"
+#include "src/degree/pareto.h"
+#include "src/degree/truncated.h"
+#include "src/gen/residual_generator.h"
+#include "src/graph/builder.h"
+#include "src/graph/edge_set.h"
+#include "src/order/pipeline.h"
+#include "src/util/json_writer.h"
+#include "src/util/rng.h"
+
+namespace trilist::obs {
+namespace {
+
+Graph HeavyTailedGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const DiscretePareto base(1.5, 6.0);
+  const TruncatedDistribution fn(base, 25);
+  std::vector<int64_t> degrees(n);
+  for (auto& d : degrees) d = fn.Sample(&rng);
+  MakeGraphic(&degrees);
+  ResidualGenOptions options;
+  options.strict = false;
+  return GenerateExactDegree(degrees, &rng, nullptr, options).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Bucket geometry.
+// ---------------------------------------------------------------------------
+
+TEST(DegreeBucketTest, IndexBoundaries) {
+  EXPECT_EQ(DegreeBucketIndex(-5), 0);
+  EXPECT_EQ(DegreeBucketIndex(0), 0);
+  EXPECT_EQ(DegreeBucketIndex(1), 1);
+  EXPECT_EQ(DegreeBucketIndex(2), 2);
+  EXPECT_EQ(DegreeBucketIndex(3), 2);
+  EXPECT_EQ(DegreeBucketIndex(4), 3);
+  EXPECT_EQ(DegreeBucketIndex(7), 3);
+  EXPECT_EQ(DegreeBucketIndex(8), 4);
+  EXPECT_EQ(DegreeBucketIndex((int64_t{1} << 40) - 1), 40);
+  EXPECT_EQ(DegreeBucketIndex(int64_t{1} << 40), 41);
+}
+
+TEST(DegreeBucketTest, RangesRoundTripThroughIndex) {
+  EXPECT_EQ(BucketMinDegree(0), 0);
+  EXPECT_EQ(BucketMaxDegree(0), 0);
+  for (int k = 1; k <= 40; ++k) {
+    // A bucket's own endpoints land back in the bucket, and the
+    // neighbors just outside land in the adjacent buckets.
+    EXPECT_EQ(DegreeBucketIndex(BucketMinDegree(k)), k);
+    EXPECT_EQ(DegreeBucketIndex(BucketMaxDegree(k)), k);
+    EXPECT_EQ(DegreeBucketIndex(BucketMinDegree(k) - 1), k - 1);
+    EXPECT_EQ(BucketMaxDegree(k) + 1, BucketMinDegree(k + 1));
+  }
+}
+
+TEST(DegreeBucketTest, ResidualDegenerateGuards) {
+  DegreeBucket b;
+  EXPECT_EQ(b.Residual(), 0.0);  // 0 measured / 0 predicted
+  b.measured_ops = 5;
+  EXPECT_EQ(b.Residual(), 5.0);  // measured with vanished prediction
+  b.predicted_ops = 10.0;
+  EXPECT_DOUBLE_EQ(b.Residual(), -0.5);
+  DegreeProfile p;
+  EXPECT_EQ(p.TotalResidual(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder.
+// ---------------------------------------------------------------------------
+
+TEST(NodeOpsRecorderTest, AccumulatesPerNode) {
+  NodeOpsRecorder recorder(4);
+  recorder.Record(1, 10);
+  recorder.Record(1, 5);
+  recorder.Record(3, 7);
+  EXPECT_EQ(recorder.ops()[0], 0);
+  EXPECT_EQ(recorder.ops()[1], 15);
+  EXPECT_EQ(recorder.ops()[3], 7);
+  EXPECT_EQ(recorder.Total(), 22);
+}
+
+// ---------------------------------------------------------------------------
+// Profile construction.
+// ---------------------------------------------------------------------------
+
+TEST(BuildDegreeProfileTest, GroupsNodesAndPairsPrediction) {
+  // Star with 8 leaves: hub degree 8 (bucket 4), leaves degree 1
+  // (bucket 1). Ascending degree order gives the hub the highest label,
+  // so every arc points hub -> leaf: X_hub = 8, X_leaf = 0.
+  const Graph g = MakeStar(9);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kAscending);
+  std::vector<int64_t> node_ops(og.num_nodes(), 3);
+
+  const DegreeProfile profile =
+      BuildDegreeProfile(Method::kT1, og, node_ops);
+  EXPECT_EQ(profile.method, Method::kT1);
+  ASSERT_EQ(profile.buckets.size(), 5u);  // dense up to bucket 4
+
+  const DegreeBucket& leaves = profile.buckets[1];
+  EXPECT_EQ(leaves.nodes, 8);
+  EXPECT_EQ(leaves.measured_ops, 8 * 3);
+  // d = 1 nodes carry no prediction: g(1) = 0 and q is ill-defined.
+  EXPECT_EQ(leaves.predicted_ops, 0.0);
+
+  const DegreeBucket& hub = profile.buckets[4];
+  EXPECT_EQ(hub.nodes, 1);
+  EXPECT_EQ(hub.d_min, 8);
+  EXPECT_EQ(hub.d_max, 15);
+  EXPECT_EQ(hub.measured_ops, 3);
+  // Hand check: g(8) h_T1(8/8) = 56 * h_T1(1).
+  EXPECT_DOUBLE_EQ(hub.predicted_ops, 56.0 * EvalH(Method::kT1, 1.0));
+
+  EXPECT_EQ(profile.total_measured, 9 * 3);
+  EXPECT_DOUBLE_EQ(profile.total_predicted, hub.predicted_ops);
+  EXPECT_EQ(profile.buckets[2].nodes, 0);  // empty middle buckets exist
+  EXPECT_EQ(profile.buckets[3].nodes, 0);
+}
+
+TEST(BuildDegreeProfileTest, MatchesPerNodeFormulaOnRandomGraph) {
+  const Graph g = HeavyTailedGraph(400, 99);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kDescending);
+  std::vector<int64_t> node_ops(og.num_nodes());
+  for (size_t i = 0; i < node_ops.size(); ++i) {
+    node_ops[i] = static_cast<int64_t>(i % 11);
+  }
+  const DegreeProfile profile =
+      BuildDegreeProfile(Method::kL1, og, node_ops);
+
+  // Recompute the same aggregation with a plain per-node loop.
+  int64_t measured = 0;
+  double predicted = 0;
+  for (size_t i = 0; i < node_ops.size(); ++i) {
+    const auto v = static_cast<NodeId>(i);
+    measured += node_ops[i];
+    const int64_t d = og.TotalDegree(v);
+    if (d >= 2) {
+      const double q =
+          static_cast<double>(og.OutDegree(v)) / static_cast<double>(d);
+      predicted +=
+          GFunction(static_cast<double>(d)) * EvalH(Method::kL1, q);
+    }
+  }
+  EXPECT_EQ(profile.total_measured, measured);
+  EXPECT_DOUBLE_EQ(profile.total_predicted, predicted);
+
+  int64_t bucket_nodes = 0;
+  for (const DegreeBucket& b : profile.buckets) {
+    EXPECT_EQ(b.d_min, BucketMinDegree(b.bucket));
+    EXPECT_EQ(b.d_max, BucketMaxDegree(b.bucket));
+    bucket_nodes += b.nodes;
+  }
+  EXPECT_EQ(bucket_nodes, static_cast<int64_t>(og.num_nodes()));
+}
+
+// The core attribution invariant: for every method, the per-node hook
+// records exactly the operations the kernel counts toward the paper cost,
+// so the profile's measured total reproduces OpCounts::PaperCost().
+TEST(BuildDegreeProfileTest, HookTotalMatchesPaperCostForAllMethods) {
+  const Graph g = HeavyTailedGraph(600, 7);
+  const OrientedGraph og = OrientNamed(g, PermutationKind::kDescending);
+  const DirectedEdgeSet arcs(og);
+  for (Method m : AllMethods()) {
+    CountingSink baseline_sink;
+    const OpCounts baseline = RunMethod(m, og, arcs, &baseline_sink);
+
+    NodeOpsRecorder recorder(og.num_nodes());
+    CountingSink sink;
+    const OpCounts profiled =
+        RunMethodProfiled(m, og, arcs, &sink, &recorder);
+
+    EXPECT_EQ(profiled.triangles, baseline.triangles) << MethodName(m);
+    EXPECT_EQ(profiled.PaperCost(), baseline.PaperCost()) << MethodName(m);
+    EXPECT_EQ(recorder.Total(), profiled.PaperCost()) << MethodName(m);
+
+    const DegreeProfile profile =
+        BuildDegreeProfile(m, og, recorder.ops());
+    EXPECT_EQ(profile.total_measured, profiled.PaperCost())
+        << MethodName(m);
+    EXPECT_GT(profile.total_predicted, 0.0) << MethodName(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+TEST(DegreeProfileRenderTest, JsonLayout) {
+  DegreeProfile profile;
+  profile.method = Method::kE1;
+  DegreeBucket b;
+  b.bucket = 2;
+  b.d_min = 2;
+  b.d_max = 3;
+  b.nodes = 5;
+  b.measured_ops = 768;
+  b.predicted_ops = 512.0;
+  profile.buckets.push_back(b);
+  profile.total_measured = 768;
+  profile.total_predicted = 512.0;
+
+  JsonWriter w;
+  AppendDegreeProfileJson(profile, &w);
+  const std::string json = std::move(w).Finish();
+  EXPECT_NE(json.find("\"method\": \"E1\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_measured_ops\": 768"), std::string::npos);
+  EXPECT_NE(json.find("\"total_predicted_ops\": 512.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_residual\": 0.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"d_min\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"residual\": 0.500000"), std::string::npos);
+}
+
+TEST(DegreeProfileRenderTest, TableMentionsBucketsAndTotal) {
+  DegreeProfile profile;
+  profile.method = Method::kL3;
+  DegreeBucket b;
+  b.bucket = 1;
+  b.d_min = 1;
+  b.d_max = 1;
+  b.nodes = 2;
+  b.measured_ops = 10;
+  b.predicted_ops = 8.0;
+  profile.buckets.push_back(b);
+  profile.total_measured = 10;
+  profile.total_predicted = 8.0;
+
+  const std::string table = DegreeProfileTable(profile);
+  EXPECT_NE(table.find("L3"), std::string::npos);
+  EXPECT_NE(table.find("bucket"), std::string::npos);
+  EXPECT_NE(table.find("residual"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trilist::obs

@@ -1,0 +1,143 @@
+#include "src/obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/degree_profile.h"
+#include "src/run/run_report.h"
+
+namespace trilist::obs {
+namespace {
+
+TEST(PromWriterTest, GoldenExposition) {
+  PromWriter w;
+  w.Gauge("demo_gauge", "A demo gauge");
+  w.Sample("demo_gauge", 0.5);
+  w.Counter("demo_total", "A demo counter");
+  w.Sample("demo_total", {{"kind", "a"}}, 3.0);
+  w.Sample("demo_total", {{"kind", "b"}, {"shard", "1"}}, 4.0);
+  EXPECT_EQ(std::move(w).Finish(),
+            "# HELP demo_gauge A demo gauge\n"
+            "# TYPE demo_gauge gauge\n"
+            "demo_gauge 0.5\n"
+            "# HELP demo_total A demo counter\n"
+            "# TYPE demo_total counter\n"
+            "demo_total{kind=\"a\"} 3\n"
+            "demo_total{kind=\"b\",shard=\"1\"} 4\n");
+}
+
+TEST(PromWriterTest, EscapesLabelValues) {
+  PromWriter w;
+  w.Gauge("g", "h");
+  w.Sample("g", {{"path", "a\\b\"c\nd"}}, 1.0);
+  const std::string out = std::move(w).Finish();
+  EXPECT_NE(out.find("g{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PromWriterTest, ValueFormatting) {
+  PromWriter w;
+  w.Gauge("g", "h");
+  w.Sample("g", 1048576.0);                   // integral, no fraction
+  w.Sample("g", 0.123456789012);              // 9 significant digits
+  w.Sample("g", -3.0);
+  const std::string out = std::move(w).Finish();
+  EXPECT_NE(out.find("g 1048576\n"), std::string::npos);
+  EXPECT_NE(out.find("g 0.123456789\n"), std::string::npos);
+  EXPECT_NE(out.find("g -3\n"), std::string::npos);
+}
+
+RunReport SmallReport() {
+  RunReport r;
+  r.source = "in-memory";
+  r.num_nodes = 100;
+  r.num_edges = 250;
+  r.order = "theta_D";
+  r.threads = 2;
+  r.requested_threads = 0;
+  r.repeats = 1;
+  r.build_version = "1.0.0";
+  r.build_git_hash = "abcdef123456";
+  r.build_compiler = "TestCompiler 0.0";
+  r.build_type = "TestBuild";
+  r.stages.Add("generate", 0.25);
+  r.stages.Add("list", 0.5);
+  MethodReport m;
+  m.method = Method::kE1;
+  m.triangles = 42;
+  m.ops.local_scans = 100;
+  m.ops.remote_scans = 200;
+  m.formula_cost = 310.5;
+  m.wall_s = 0.125;
+  r.methods.push_back(m);
+  r.peak_rss_bytes = 1048576;
+  r.cpu_s = 0.75;
+  r.utilization = 0.5;
+  return r;
+}
+
+TEST(RunReportToPrometheusTest, ExportsCoreSeries) {
+  const std::string out = RunReportToPrometheus(SmallReport());
+  EXPECT_NE(out.find("# TYPE trilist_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("trilist_build_info{version=\"1.0.0\","
+               "git_hash=\"abcdef123456\",compiler=\"TestCompiler 0.0\","
+               "build_type=\"TestBuild\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("trilist_graph_nodes 100\n"), std::string::npos);
+  EXPECT_NE(out.find("trilist_graph_edges 250\n"), std::string::npos);
+  EXPECT_NE(out.find("trilist_run_threads 2\n"), std::string::npos);
+  EXPECT_NE(out.find("trilist_stage_wall_seconds{stage=\"list\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("trilist_method_triangles_total{method=\"E1\"} 42\n"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("trilist_method_paper_cost_ops_total{method=\"E1\"} 300\n"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("trilist_method_formula_cost_ops{method=\"E1\"} 310.5\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("trilist_peak_rss_bytes 1048576\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trilist_cpu_seconds_total 0.75\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trilist_utilization_ratio 0.5\n"),
+            std::string::npos);
+  // No degree profiles attached -> the bucket series are absent.
+  EXPECT_EQ(out.find("trilist_degree_bucket_measured_ops"),
+            std::string::npos);
+}
+
+TEST(RunReportToPrometheusTest, ExportsDegreeBuckets) {
+  RunReport r = SmallReport();
+  DegreeProfile p;
+  p.method = Method::kE1;
+  DegreeBucket b;
+  b.bucket = 2;
+  b.d_min = 2;
+  b.d_max = 3;
+  b.nodes = 7;
+  b.measured_ops = 768;
+  b.predicted_ops = 512.0;
+  p.buckets.push_back(b);
+  p.total_measured = 768;
+  p.total_predicted = 512.0;
+  r.degree_profiles.push_back(p);
+
+  const std::string out = RunReportToPrometheus(r);
+  EXPECT_NE(out.find("trilist_degree_bucket_measured_ops"
+                     "{method=\"E1\",bucket=\"2\"} 768\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trilist_degree_bucket_predicted_ops"
+                     "{method=\"E1\",bucket=\"2\"} 512\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trilist_degree_bucket_residual"
+                     "{method=\"E1\",bucket=\"2\"} 0.5\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace trilist::obs

@@ -24,7 +24,12 @@ RunReport MakeFixedReport() {
   r.orient_seed = 7;
   r.cached_orientation = false;
   r.threads = 2;
+  r.requested_threads = 0;  // "auto" request resolved to 2
   r.repeats = 3;
+  r.build_version = "1.0.0";
+  r.build_git_hash = "abcdef123456";
+  r.build_compiler = "TestCompiler 0.0";
+  r.build_type = "TestBuild";
   r.stages.Add("generate", 0.015625);
   r.stages.Add("order", 0.0078125);
   r.stages.Add("orient", 0.03125);
@@ -47,6 +52,29 @@ RunReport MakeFixedReport() {
   m.wall_total_s = 0.1875;
   m.parallel = true;
   r.methods.push_back(m);
+
+  obs::DegreeProfile profile;
+  profile.method = Method::kT1;
+  obs::DegreeBucket b0;
+  b0.bucket = 0;
+  profile.buckets.push_back(b0);
+  obs::DegreeBucket b1;
+  b1.bucket = 1;
+  b1.d_min = 1;
+  b1.d_max = 1;
+  b1.nodes = 30;
+  profile.buckets.push_back(b1);
+  obs::DegreeBucket b2;
+  b2.bucket = 2;
+  b2.d_min = 2;
+  b2.d_max = 3;
+  b2.nodes = 70;
+  b2.measured_ops = 768;
+  b2.predicted_ops = 512.0;  // residual renders exactly 0.500000
+  profile.buckets.push_back(b2);
+  profile.total_measured = 768;
+  profile.total_predicted = 512.0;
+  r.degree_profiles.push_back(profile);
 
   r.peak_rss_bytes = 1048576;
   r.cpu_s = 0.25;
@@ -101,8 +129,9 @@ TEST(RunReportJson, LivePipelineEmitsAllSections) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   const std::string json = report->ToJson();
   for (const char* key :
-       {"\"graph\"", "\"orientation\"", "\"exec\"", "\"stages\"",
-        "\"methods\"", "\"resources\"", "\"paper_cost\"",
+       {"\"build\"", "\"git_hash\"", "\"graph\"", "\"orientation\"",
+        "\"exec\"", "\"requested_threads\"", "\"stages\"", "\"methods\"",
+        "\"degree_profiles\"", "\"resources\"", "\"paper_cost\"",
         "\"formula_cost\"", "\"candidate_checks\"", "\"peak_rss_bytes\"",
         "\"utilization\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
@@ -121,6 +150,7 @@ TEST(RunReportTable, RendersStagesAndMethods) {
   const std::string text = out.str();
   EXPECT_NE(text.find("T1"), std::string::npos);
   EXPECT_NE(text.find("order"), std::string::npos);
+  EXPECT_NE(text.find("residual"), std::string::npos);
   EXPECT_NE(text.find("peak RSS"), std::string::npos);
 }
 

@@ -71,6 +71,66 @@ TEST(RunnerTest, SerialAndParallelRunsAgree) {
   }
 }
 
+// --threads 0 means "auto": the report must show the resolved hardware
+// width (and compute utilization over it), while preserving the request,
+// and the listing must be bit-identical to an explicit request of the
+// same width.
+TEST(RunnerTest, ThreadsZeroResolvesToHardwareWidth) {
+  RunSpec spec;
+  spec.source = GraphSource::FromGenerator(SmallPareto());
+  spec.methods = {Method::kT1, Method::kE1};
+  spec.exec.threads = 0;
+  auto auto_run = RunPipeline(spec);
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
+
+  const int resolved = ResolveThreads(0);
+  EXPECT_EQ(auto_run->threads, resolved);
+  EXPECT_EQ(auto_run->requested_threads, 0);
+  EXPECT_NE(auto_run->ToJson().find("\"requested_threads\": 0"),
+            std::string::npos);
+
+  spec.exec.threads = resolved;
+  auto explicit_run = RunPipeline(spec);
+  ASSERT_TRUE(explicit_run.ok()) << explicit_run.status().ToString();
+  EXPECT_EQ(explicit_run->threads, resolved);
+  EXPECT_EQ(explicit_run->requested_threads, resolved);
+  ASSERT_EQ(auto_run->methods.size(), explicit_run->methods.size());
+  for (size_t i = 0; i < auto_run->methods.size(); ++i) {
+    const MethodReport& a = auto_run->methods[i];
+    const MethodReport& e = explicit_run->methods[i];
+    EXPECT_EQ(a.parallel, e.parallel) << MethodName(a.method);
+    EXPECT_EQ(a.triangles, e.triangles) << MethodName(a.method);
+    ExpectSameOps(a.ops, e.ops, MethodName(a.method));
+  }
+}
+
+// The profiling pass fills one degree profile per method whose measured
+// total reproduces the method's paper-metric cost.
+TEST(RunnerTest, DegreeProfilePassMatchesPaperCost) {
+  RunSpec spec;
+  spec.source = GraphSource::FromGenerator(SmallPareto());
+  spec.methods = {Method::kT1, Method::kE1, Method::kL1};
+  spec.degree_profile = true;
+  auto report = RunPipeline(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->degree_profiles.size(), spec.methods.size());
+  EXPECT_GT(report->stages.WallOf("profile"), 0.0);
+  for (size_t i = 0; i < spec.methods.size(); ++i) {
+    const obs::DegreeProfile& p = report->degree_profiles[i];
+    EXPECT_EQ(p.method, spec.methods[i]);
+    EXPECT_EQ(p.total_measured, report->methods[i].ops.PaperCost())
+        << MethodName(p.method);
+    EXPECT_GT(p.total_predicted, 0.0) << MethodName(p.method);
+  }
+  // Off by default: no profile pass, no "profile" stage.
+  spec.degree_profile = false;
+  auto plain = RunPipeline(spec);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->degree_profiles.empty());
+  EXPECT_EQ(plain->stages.WallOf("profile"), 0.0);
+}
+
 // A `.tlg` container with an embedded orientation must produce the same
 // listing as the text edge list of the same graph, while skipping the
 // order/orient stages entirely.

@@ -1,0 +1,130 @@
+#include "src/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace trilist {
+namespace {
+
+TEST(StageClockTest, AddAccumulatesAndPreservesFirstTouchOrder) {
+  StageClock clock;
+  clock.Add("order", 0.25);
+  clock.Add("orient", 0.5);
+  clock.Add("order", 0.25);
+  EXPECT_DOUBLE_EQ(clock.WallOf("order"), 0.5);
+  EXPECT_DOUBLE_EQ(clock.WallOf("orient"), 0.5);
+  EXPECT_DOUBLE_EQ(clock.WallOf("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(clock.Total(), 1.0);
+  ASSERT_EQ(clock.stages().size(), 2u);
+  EXPECT_EQ(clock.stages()[0].name, "order");
+  EXPECT_EQ(clock.stages()[0].calls, 2);
+  EXPECT_EQ(clock.stages()[1].name, "orient");
+}
+
+TEST(StageClockTest, TimeReturnsBodyResult) {
+  StageClock clock;
+  const int v = clock.Time("stage", [] { return 7; });
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(clock.stages().size(), 1u);
+  EXPECT_GE(clock.WallOf("stage"), 0.0);
+  // void bodies compile and account too.
+  clock.Time("stage", [] {});
+  EXPECT_EQ(clock.stages()[0].calls, 2);
+}
+
+// A stage body that throws must still get its elapsed time attributed:
+// an exception escaping "list" cannot silently vanish from the table.
+TEST(StageClockTest, TimeAttributesOnThrow) {
+  StageClock clock;
+  EXPECT_THROW(clock.Time("explodes",
+                          []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  ASSERT_EQ(clock.stages().size(), 1u);
+  EXPECT_EQ(clock.stages()[0].name, "explodes");
+  EXPECT_EQ(clock.stages()[0].calls, 1);
+  EXPECT_GE(clock.stages()[0].wall_s, 0.0);
+}
+
+TEST(StageClockTest, ScopeOutlivesCallersNameView) {
+  StageClock clock;
+  {
+    std::string name = "transient";
+    StageClock::Scope scope(&clock, name);
+    // The scope owns a copy; mutating or destroying the caller's string
+    // must not corrupt the attribution in ~Scope.
+    name = "overwritten";
+  }
+  EXPECT_EQ(clock.stages().size(), 1u);
+  EXPECT_EQ(clock.stages()[0].name, "transient");
+}
+
+TEST(StageClockTest, MergeAndMergeMin) {
+  StageClock a;
+  a.Add("x", 1.0);
+  a.Add("y", 2.0);
+  StageClock b;
+  b.Add("y", 0.5);
+  b.Add("z", 4.0);
+
+  StageClock merged = a;
+  merged.Merge(b);
+  EXPECT_DOUBLE_EQ(merged.WallOf("x"), 1.0);
+  EXPECT_DOUBLE_EQ(merged.WallOf("y"), 2.5);
+  EXPECT_DOUBLE_EQ(merged.WallOf("z"), 4.0);
+
+  StageClock best = a;
+  best.MergeMin(b);
+  EXPECT_DOUBLE_EQ(best.WallOf("x"), 1.0);
+  EXPECT_DOUBLE_EQ(best.WallOf("y"), 0.5);
+  EXPECT_DOUBLE_EQ(best.WallOf("z"), 4.0);
+}
+
+TEST(ResourceGaugeTest, PeakRssReportsOrDegrades) {
+  const size_t rss = PeakRssBytes();
+#ifdef __linux__
+  // VmHWM exists on any Linux this project targets; a running test binary
+  // has touched at least a page.
+  EXPECT_GT(rss, 0u);
+#else
+  EXPECT_GE(rss, 0u);
+#endif
+}
+
+TEST(ResourceGaugeTest, ProcessCpuSecondsIsMonotone) {
+  const double before = ProcessCpuSeconds();
+  EXPECT_GE(before, 0.0);
+  // Burn a little CPU; the counter must not go backwards.
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    sink = sink + static_cast<double>(i) * 0.5;
+  }
+  const double after = ProcessCpuSeconds();
+  EXPECT_GE(after, before);
+}
+
+TEST(CpuGaugeTest, UtilizationDegenerateInputsAreZero) {
+  const CpuGauge gauge;
+  EXPECT_EQ(gauge.UtilizationOver(0.0, 4), 0.0);
+  EXPECT_EQ(gauge.UtilizationOver(-1.0, 4), 0.0);
+  EXPECT_EQ(gauge.UtilizationOver(1.0, 0), 0.0);
+  EXPECT_EQ(gauge.UtilizationOver(1.0, -2), 0.0);
+}
+
+TEST(CpuGaugeTest, UtilizationScalesWithThreadDivisor) {
+  CpuGauge gauge;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + static_cast<double>(i) * 0.5;
+  }
+  // CPU elapsed only grows between the two samples, so spreading the
+  // earlier sample over 4x the thread-seconds bounds the later one.
+  const double u4 = gauge.UtilizationOver(1.0, 4);
+  const double u1 = gauge.UtilizationOver(1.0, 1);
+  EXPECT_GE(u4, 0.0);
+  EXPECT_GE(u1, 4.0 * u4);
+}
+
+}  // namespace
+}  // namespace trilist

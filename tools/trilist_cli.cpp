@@ -26,12 +26,23 @@
 ///                    [--gen residual|config|gnp]]
 ///                   [--methods M1,M2,...|all|fundamental] [--order O]
 ///                   [--seed S] [--threads N] [--repeats R]
-///                   [--report table|json]
+///                   [--report table|json] [--trace FILE.json]
+///                   [--metrics FILE.prom] [--degree-profile]
 ///       The full RunSpec surface: acquire a graph (file or generated),
 ///       orient, run any method set, and dump the structured RunReport —
 ///       per-stage wall times (load/generate, order, orient, arcs, list),
 ///       per-method triangles + operation counters, peak RSS and thread
 ///       utilization — as an aligned table or machine-readable JSON.
+///       The observability layer (src/obs/) hangs off this subcommand:
+///       --trace records every pipeline span (stages, methods, parallel
+///       chunks) into a Chrome trace-event file loadable in Perfetto,
+///       --metrics exports the report in Prometheus text format, and
+///       --degree-profile re-runs each method with per-node op hooks and
+///       reports measured work vs the model's g(d)h(q) per log2-degree
+///       bucket with relative residuals.
+///
+///   trilist_cli version
+///       Build provenance: version, git hash, compiler, flags, build type.
 ///
 ///   trilist_cli model --alpha A [--n N] [--trunc root|linear]
 ///                     [--method M] [--order O] [--eps E]
@@ -80,8 +91,11 @@
 #include "src/graph/binfmt.h"
 #include "src/graph/ingest.h"
 #include "src/graph/io.h"
+#include "src/obs/prom.h"
+#include "src/obs/trace.h"
 #include "src/order/pipeline.h"
 #include "src/run/runner.h"
+#include "src/util/build_info.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -89,15 +103,29 @@ namespace {
 
 using namespace trilist;
 
-/// Minimal --flag value parser: flags() returns "" for missing keys.
+/// Minimal --flag parser: `--key value` pairs plus bare boolean switches
+/// (`--degree-profile`). A flag followed by another `--flag` (or nothing)
+/// is a switch; Get() returns "" for missing keys.
 class Flags {
  public:
   Flags(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
+    for (int i = 2; i < argc;) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        ++i;
+        continue;
+      }
+      const char* key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[i + 1];
+        i += 2;
+      } else {
+        values_[key] = "";
+        i += 1;
       }
     }
+  }
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
   std::string Get(const std::string& key, const std::string& def = "") const {
     const auto it = values_.find(key);
@@ -145,10 +173,24 @@ TruncationKind ParseTrunc(const std::string& name) {
   return name == "linear" ? TruncationKind::kLinear : TruncationKind::kRoot;
 }
 
-/// Uniform --threads parsing: 0 (or any non-positive value) means "all
-/// hardware threads"; see ResolveThreads.
+/// Raw --threads value; 0 means "all hardware threads". The runner
+/// resolves it (so reports record both the request and the resolved
+/// count); local consumers call ResolveThreads themselves.
 int ParseThreadsFlag(const Flags& flags) {
-  return ResolveThreads(static_cast<int>(flags.GetUint("threads", 1)));
+  return static_cast<int>(flags.GetUint("threads", 1));
+}
+
+/// Writes `content` to `path`, reporting failures on stderr.
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -296,12 +338,35 @@ int CmdRun(const Flags& flags) {
   if (!ParseMethodList(flags.Get("methods", "E1"), &spec.methods)) return 2;
   spec.exec.threads = ParseThreadsFlag(flags);
   spec.repeats = static_cast<int>(flags.GetUint("repeats", 1));
+  spec.degree_profile = flags.Has("degree-profile");
+
+  const std::string trace_path = flags.Get("trace");
+  if (!trace_path.empty()) {
+    obs::Tracer::Clear();
+    obs::Tracer::Enable();
+  }
 
   auto report = RunPipeline(spec);
+
+  if (!trace_path.empty()) {
+    obs::Tracer::Disable();
+    const Status st = obs::Tracer::WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
+
+  const std::string metrics_path = flags.Get("metrics");
+  if (!metrics_path.empty() &&
+      !WriteFileOrWarn(metrics_path, obs::RunReportToPrometheus(*report))) {
+    return 1;
+  }
+
   const std::string format = flags.Get("report", "table");
   if (format == "json") {
     std::fputs(report->ToJson().c_str(), stdout);
@@ -346,7 +411,7 @@ int CmdConvert(const Flags& flags) {
     std::fprintf(stderr, "convert: --in FILE and --out FILE are required\n");
     return 2;
   }
-  const int threads = ParseThreadsFlag(flags);
+  const int threads = ResolveThreads(ParseThreadsFlag(flags));
   const uint64_t seed = flags.GetUint("seed", 1);
 
   Timer timer;
@@ -503,10 +568,18 @@ int CmdAdvise(const Flags& flags) {
   return 0;
 }
 
+int CmdVersion() {
+  const BuildInfo& info = GetBuildInfo();
+  std::printf("%s\n", BuildInfoSummary());
+  std::printf("  flags: %s\n", info.flags);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trilist_cli <generate|count|run|model|advise|convert|info> "
+      "usage: trilist_cli "
+      "<generate|count|run|model|advise|convert|info|version> "
       "[--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
@@ -516,12 +589,18 @@ int Usage() {
       "           [--gen residual|config|gnp]]\n"
       "           [--methods M1,M2,...|all|fundamental] [--order O]\n"
       "           [--seed S] [--threads N] [--repeats R]\n"
-      "           [--report table|json]\n"
+      "           [--report table|json] [--trace F.json] [--metrics F.prom]\n"
+      "           [--degree-profile]\n"
+      "           (--trace: Chrome/Perfetto span trace of the pipeline;\n"
+      "            --metrics: Prometheus text exposition of the report;\n"
+      "            --degree-profile: per-log2-degree-bucket measured ops\n"
+      "            vs the model's g(d)h(q) with relative residuals)\n"
       "  model    --alpha A [--n N] [--trunc ...] [--method M] [--order O]\n"
       "  advise   --alpha A [--speedup X]\n"
       "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
       "           [--threads N]   (--out *.tlg = binary, else text)\n"
-      "  info     --in F.tlg\n");
+      "  info     --in F.tlg\n"
+      "  version  (build provenance: version, git hash, compiler, flags)\n");
   return 2;
 }
 
@@ -538,5 +617,6 @@ int main(int argc, char** argv) {
   if (cmd == "advise") return CmdAdvise(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "version" || cmd == "--version") return CmdVersion();
   return Usage();
 }

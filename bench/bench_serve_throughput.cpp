@@ -1,0 +1,263 @@
+/// \file bench_serve_throughput.cpp
+/// Closed-loop load generator against an in-process trilistd
+/// (src/serve/server.h): N client threads, each with its own connection,
+/// fire queries back-to-back for a fixed duration against a warm
+/// catalog. Reports end-to-end latency percentiles (p50/p95/p99), mean
+/// queue wait and requests/second per client count, plus a backpressure
+/// probe (tiny queue, many clients) showing overload rejections instead
+/// of latency collapse.
+///
+/// The served graph is a `.tlg` container with an embedded descending
+/// orientation, so the steady-state request cost is exactly the listing
+/// loop — the serving overhead (framing, scheduling, catalog lookups) is
+/// what this bench isolates.
+///
+/// Writes BENCH_serve_throughput.json (TRILIST_BENCH_JSON overrides).
+/// Scale knobs: TRILIST_PAPER_SCALE=1 grows the graph and the measured
+/// window; TRILIST_SERVE_BENCH_SECONDS overrides the per-point window.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/io.h"
+#include "src/run/runner.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/util/json_writer.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace trilist;
+using namespace trilist::serve;
+
+struct LoadPoint {
+  int clients = 0;
+  uint64_t requests = 0;
+  uint64_t rejected = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double mean_queue_wait_ms = 0;
+};
+
+double PercentileMs(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(latencies->size() - 1) + 0.5);
+  return (*latencies)[std::min(index, latencies->size() - 1)] * 1e3;
+}
+
+/// Runs `clients` closed-loop connections for `seconds` against a warm
+/// server; every thread records per-request latency and queue wait.
+LoadPoint RunLoad(const TriangleServer& server, const QueryRequest& request,
+                  int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<double> queue_waits(clients, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  Timer window;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ServeClient::ConnectUnix(server.unix_path());
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Timer t;
+        auto response = client.ValueOrDie().Query(request);
+        if (response.ok()) {
+          latencies[c].push_back(t.ElapsedSeconds());
+          queue_waits[c] += response->queue_wait_s;
+        } else if (client.ValueOrDie().last_failure_was_reply()) {
+          ++rejected;  // explicit backpressure, keep hammering
+        } else {
+          return;  // transport error: stop this client
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = window.ElapsedSeconds();
+
+  LoadPoint point;
+  point.clients = clients;
+  point.seconds = elapsed;
+  point.rejected = rejected.load();
+  std::vector<double> all;
+  double wait_sum = 0;
+  for (int c = 0; c < clients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    wait_sum += queue_waits[c];
+  }
+  point.requests = all.size();
+  point.rps = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0;
+  point.p50_ms = PercentileMs(&all, 0.50);
+  point.p95_ms = PercentileMs(&all, 0.95);
+  point.p99_ms = PercentileMs(&all, 0.99);
+  point.mean_queue_wait_ms =
+      all.empty() ? 0 : wait_sum / static_cast<double>(all.size()) * 1e3;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = trilist_bench::ScaledN(200000, 20000);
+  const double window_s = [] {
+    if (const char* v = std::getenv("TRILIST_SERVE_BENCH_SECONDS")) {
+      return std::strtod(v, nullptr);
+    }
+    return trilist_bench::PaperScale() ? 5.0 : 1.0;
+  }();
+
+  // Build the served graph: truncated Pareto, written as a `.tlg` with
+  // an embedded descending orientation (the daemon's warm steady state).
+  Rng rng(trilist_bench::Seed());
+  const Graph graph = trilist_bench::MakeBenchGraph(
+      trilist_bench::ParetoSpec(n, 1.7, TruncationKind::kRoot), &rng);
+  const std::string tlg_path = "serve_bench_graph.tlg";
+  TlgWriteOptions write_options;
+  write_options.orientations = {
+      OrientSpec{PermutationKind::kDescending, trilist_bench::Seed()}};
+  const Status wrote = WriteTlgFile(graph, tlg_path, write_options);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions options;
+  options.unix_path = "serve_bench.sock";
+  ::remove(options.unix_path.c_str());
+  options.named_graphs = {{"bench", tlg_path}};
+  options.workers = 0;  // all hardware threads
+  options.max_queue = 256;
+  auto server = TriangleServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryRequest request;
+  request.graph = "bench";
+  request.orient =
+      OrientSpec{PermutationKind::kDescending, trilist_bench::Seed()};
+  request.methods = {Method::kE1};
+
+  // Warm the catalog so every measured request is a pure serving+listing
+  // round trip, and keep the reference triangle count for validation.
+  uint64_t expected_triangles = 0;
+  {
+    auto warm = ServeClient::ConnectUnix((*server)->unix_path());
+    if (!warm.ok()) {
+      std::fprintf(stderr, "%s\n", warm.status().ToString().c_str());
+      return 1;
+    }
+    auto response = warm.ValueOrDie().Query(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    expected_triangles = response->methods[0].triangles;
+  }
+
+  std::printf("# serve throughput: n=%zu m=%zu, window %.1fs, "
+              "triangles=%llu\n",
+              graph.num_nodes(), graph.num_edges(), window_s,
+              static_cast<unsigned long long>(expected_triangles));
+  std::printf("%8s %10s %10s %9s %9s %9s %9s %10s\n", "clients", "reqs",
+              "rps", "p50_ms", "p95_ms", "p99_ms", "qwait_ms", "rejected");
+
+  std::vector<LoadPoint> points;
+  for (const int clients : {1, 2, 4, 8}) {
+    const LoadPoint point = RunLoad(**server, request, clients, window_s);
+    points.push_back(point);
+    std::printf("%8d %10llu %10.1f %9.3f %9.3f %9.3f %9.3f %10llu\n",
+                point.clients,
+                static_cast<unsigned long long>(point.requests), point.rps,
+                point.p50_ms, point.p95_ms, point.p99_ms,
+                point.mean_queue_wait_ms,
+                static_cast<unsigned long long>(point.rejected));
+  }
+
+  // Backpressure probe: a deliberately tiny queue under many clients
+  // must shed load via explicit rejections, not latency collapse.
+  (*server)->BeginDrain();
+  (*server)->Wait();
+  ServerOptions tight = options;
+  tight.unix_path = "serve_bench_tight.sock";
+  ::remove(tight.unix_path.c_str());
+  tight.workers = 1;
+  tight.max_queue = 2;
+  auto tight_server = TriangleServer::Start(tight);
+  if (!tight_server.ok()) {
+    std::fprintf(stderr, "%s\n", tight_server.status().ToString().c_str());
+    return 1;
+  }
+  const LoadPoint pressured =
+      RunLoad(**tight_server, request, 8, window_s * 0.5);
+  std::printf("# backpressure probe (1 worker, queue 2, 8 clients): "
+              "%llu served, %llu rejected\n",
+              static_cast<unsigned long long>(pressured.requests),
+              static_cast<unsigned long long>(pressured.rejected));
+  const ServerStats tight_stats = (*tight_server)->StatsSnapshot();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "serve_throughput");
+  w.Field("n", static_cast<uint64_t>(graph.num_nodes()));
+  w.Field("m", static_cast<uint64_t>(graph.num_edges()));
+  w.Field("triangles", expected_triangles);
+  w.FieldDouble("window_s", window_s, 3);
+  w.Key("points");
+  w.BeginArray();
+  for (const LoadPoint& point : points) {
+    w.BeginObject();
+    w.Field("clients", point.clients);
+    w.Field("requests", point.requests);
+    w.Field("rejected", point.rejected);
+    w.FieldDouble("rps", point.rps, 2);
+    w.FieldDouble("p50_ms", point.p50_ms, 4);
+    w.FieldDouble("p95_ms", point.p95_ms, 4);
+    w.FieldDouble("p99_ms", point.p99_ms, 4);
+    w.FieldDouble("mean_queue_wait_ms", point.mean_queue_wait_ms, 4);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("backpressure");
+  w.BeginObject();
+  w.Field("clients", pressured.clients);
+  w.Field("served", pressured.requests);
+  w.Field("rejected", pressured.rejected);
+  w.Field("rejected_overload_stat", tight_stats.rejected_overload);
+  w.FieldDouble("p99_ms", pressured.p99_ms, 4);
+  w.EndObject();
+  w.EndObject();
+
+  const std::string json_path =
+      trilist_bench::JsonPath("BENCH_serve_throughput.json");
+  std::FILE* f = std::fopen(json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  const std::string json = std::move(w).Finish();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", json_path.c_str());
+
+  ::remove(tlg_path.c_str());
+  return 0;
+}

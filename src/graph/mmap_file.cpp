@@ -57,6 +57,16 @@ Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing) {
     void* base =
         ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (base != MAP_FAILED) {
+      // Loading a `.tlg` touches every section once, front to back
+      // (CRC + validation), so tell the kernel to read ahead
+      // aggressively and start faulting pages in now. Advice only —
+      // failure changes nothing, and platforms without madvise skip it.
+#if defined(MADV_WILLNEED)
+      (void)::madvise(base, out.size_, MADV_WILLNEED);
+#endif
+#if defined(MADV_SEQUENTIAL)
+      (void)::madvise(base, out.size_, MADV_SEQUENTIAL);
+#endif
       out.data_ = static_cast<const std::byte*>(base);
       out.mapped_ = true;
       ::close(fd);  // the mapping outlives the descriptor

@@ -61,6 +61,10 @@ void PromWriter::Counter(std::string_view name, std::string_view help) {
   Declare(name, help, "counter");
 }
 
+void PromWriter::Histogram(std::string_view name, std::string_view help) {
+  Declare(name, help, "histogram");
+}
+
 void PromWriter::Sample(std::string_view name,
                         const std::vector<PromLabel>& labels, double value) {
   out_ += name;

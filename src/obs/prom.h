@@ -37,6 +37,10 @@ class PromWriter {
   /// Declares a counter metric (monotone totals, *_total convention).
   void Counter(std::string_view name, std::string_view help);
 
+  /// Declares a histogram metric. The caller emits the conventional
+  /// `_bucket{le="..."}` (cumulative), `_sum` and `_count` samples.
+  void Histogram(std::string_view name, std::string_view help);
+
   /// Emits one sample line for the most recently declared metric family
   /// or any previously declared one (callers keep samples grouped under
   /// their declaration for canonical output).

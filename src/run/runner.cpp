@@ -160,6 +160,100 @@ Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
 
 }  // namespace
 
+OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
+                           int threads, StageClock* stages) {
+  StageClock local;
+  StageClock* clock = stages != nullptr ? stages : &local;
+  // Split of OrientWithSpec: theta + label map is "order", the CSR
+  // build is "orient". Bit-identical to the fused call: same RNG
+  // construction, same label pipeline.
+  std::vector<NodeId> labels;
+  clock->Time("order", [&] {
+    TRILIST_TRACE_SPAN("order");
+    if (orient.kind == PermutationKind::kDegenerate) {
+      labels = DegenerateLabels(graph);
+    } else {
+      Rng orient_rng(orient.seed);
+      labels = LabelsFromPermutation(
+          graph,
+          MakePermutation(orient.kind, graph.num_nodes(), &orient_rng));
+    }
+  });
+  return clock->Time("orient", [&] {
+    obs::TraceSpan span("orient");
+    span.Arg("threads", static_cast<int64_t>(threads));
+    return OrientedGraph::FromLabels(graph, labels, threads);
+  });
+}
+
+Status ListOnOriented(const OrientedGraph& oriented,
+                      const std::vector<Method>& methods,
+                      const ExecPolicy& exec, int repeats, SinkKind sink,
+                      RunReport* report) {
+  // Directed-arc set, shared by all vertex-iterator methods.
+  const bool needs_arcs =
+      std::any_of(methods.begin(), methods.end(), [](Method m) {
+        return MethodFamily(m) == Family::kVertexIterator;
+      });
+  std::optional<DirectedEdgeSet> arcs;
+  if (needs_arcs) {
+    report->stages.Time("arcs", [&] {
+      TRILIST_TRACE_SPAN("arcs");
+      arcs.emplace(oriented);
+    });
+  }
+
+  double list_wall = 0;
+  for (Method m : methods) {
+    MethodReport mr;
+    mr.method = m;
+    mr.formula_cost = MethodCostTotal(oriented, m);
+    mr.parallel = exec.threads > 1 && SupportsParallel(m);
+    bool first = true;
+    for (int rep = 0; rep < repeats; ++rep) {
+      CountingSink counting;
+      CollectingSink collecting;
+      TriangleSink* triangle_sink =
+          sink == SinkKind::kCollect
+              ? static_cast<TriangleSink*>(&collecting)
+              : &counting;
+      obs::TraceSpan span(MethodName(m));
+      span.Arg("stage", "list");
+      span.Arg("repeat", static_cast<int64_t>(rep));
+      Timer timer;
+      const OpCounts ops =
+          MethodFamily(m) == Family::kVertexIterator
+              ? RunMethod(m, oriented, *arcs, triangle_sink, exec)
+              : RunMethod(m, oriented, triangle_sink, exec);
+      const double wall = timer.ElapsedSeconds();
+      span.Arg("ops", ops.PaperCost());
+      const uint64_t triangles =
+          sink == SinkKind::kCollect
+              ? collecting.triangles().size()
+              : counting.count();
+      span.Arg("triangles", static_cast<int64_t>(triangles));
+      mr.wall_total_s += wall;
+      if (first || wall < mr.wall_s) mr.wall_s = wall;
+      if (first) {
+        mr.triangles = triangles;
+        mr.ops = ops;
+        if (sink == SinkKind::kCollect) {
+          mr.listed = collecting.triangles();
+        }
+      } else if (mr.triangles != triangles) {
+        return Status::Internal(
+            std::string("triangle count diverged across repeats for ") +
+            MethodName(m));
+      }
+      first = false;
+    }
+    list_wall += mr.wall_total_s;
+    report->methods.push_back(std::move(mr));
+  }
+  report->stages.Add("list", list_wall);
+  return Status::OK();
+}
+
 Result<RunReport> RunPipeline(const RunSpec& spec) {
   RunReport report;
   CpuGauge gauge;
@@ -201,101 +295,29 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
     report.stages.Add("order", 0.0);
     report.stages.Add("orient", 0.0);
   } else {
-    // Split of OrientWithSpec: theta + label map is "order", the CSR
-    // build is "orient". Bit-identical to the fused call: same RNG
-    // construction, same label pipeline.
-    std::vector<NodeId> labels;
-    report.stages.Time("order", [&] {
-      TRILIST_TRACE_SPAN("order");
-      if (spec.orient.kind == PermutationKind::kDegenerate) {
-        labels = DegenerateLabels(graph);
-      } else {
-        Rng orient_rng(spec.orient.seed);
-        labels = LabelsFromPermutation(
-            graph, MakePermutation(spec.orient.kind, graph.num_nodes(),
-                                   &orient_rng));
-      }
-    });
-    oriented = report.stages.Time("orient", [&] {
-      obs::TraceSpan span("orient");
-      span.Arg("threads", static_cast<int64_t>(threads));
-      return OrientedGraph::FromLabels(graph, labels, threads);
-    });
+    oriented = OrientStages(graph, spec.orient, threads, &report.stages);
   }
 
-  // 4. Directed-arc set, shared by all vertex-iterator methods.
-  const bool needs_arcs = std::any_of(
-      spec.methods.begin(), spec.methods.end(), [](Method m) {
-        return MethodFamily(m) == Family::kVertexIterator;
-      });
-  std::optional<DirectedEdgeSet> arcs;
-  if (needs_arcs) {
-    report.stages.Time("arcs", [&] {
-      TRILIST_TRACE_SPAN("arcs");
-      arcs.emplace(oriented);
-    });
-  }
-
-  // 5. List with every requested method.
-  double list_wall = 0;
-  for (Method m : spec.methods) {
-    MethodReport mr;
-    mr.method = m;
-    mr.formula_cost = MethodCostTotal(oriented, m);
-    mr.parallel = threads > 1 && SupportsParallel(m);
-    bool first = true;
-    for (int rep = 0; rep < repeats; ++rep) {
-      CountingSink counting;
-      CollectingSink collecting;
-      TriangleSink* sink =
-          spec.sink == SinkKind::kCollect
-              ? static_cast<TriangleSink*>(&collecting)
-              : &counting;
-      obs::TraceSpan span(MethodName(m));
-      span.Arg("stage", "list");
-      span.Arg("repeat", static_cast<int64_t>(rep));
-      Timer timer;
-      const OpCounts ops =
-          MethodFamily(m) == Family::kVertexIterator
-              ? RunMethod(m, oriented, *arcs, sink, exec)
-              : RunMethod(m, oriented, sink, exec);
-      const double wall = timer.ElapsedSeconds();
-      span.Arg("ops", ops.PaperCost());
-      span.Arg("triangles", static_cast<int64_t>(
-                                spec.sink == SinkKind::kCollect
-                                    ? collecting.triangles().size()
-                                    : counting.count()));
-      const uint64_t triangles =
-          spec.sink == SinkKind::kCollect
-              ? collecting.triangles().size()
-              : counting.count();
-      mr.wall_total_s += wall;
-      if (first || wall < mr.wall_s) mr.wall_s = wall;
-      if (first) {
-        mr.triangles = triangles;
-        mr.ops = ops;
-        if (spec.sink == SinkKind::kCollect) {
-          mr.listed = collecting.triangles();
-        }
-      } else if (mr.triangles != triangles) {
-        return Status::Internal(
-            std::string("triangle count diverged across repeats for ") +
-            MethodName(m));
-      }
-      first = false;
-    }
-    list_wall += mr.wall_total_s;
-    report.methods.push_back(std::move(mr));
-  }
-  report.stages.Add("list", list_wall);
+  // 4-5. Arc-set build + listing with every requested method.
+  const Status listed = ListOnOriented(oriented, spec.methods, exec,
+                                       repeats, spec.sink, &report);
+  if (!listed.ok()) return listed;
 
   // 6. Optional model-residual pass: re-run each method serially with the
   // per-node op hook attached and bucket measured work against the
   // closed-form g(d)h(q). Separate pass so the timed listing above stays
   // on the hook-free instantiations.
   if (spec.degree_profile) {
+    // The profile pass owns its arc set (the listing one lives inside
+    // ListOnOriented); its build time is accounted to "profile".
+    const bool needs_arcs = std::any_of(
+        spec.methods.begin(), spec.methods.end(), [](Method m) {
+          return MethodFamily(m) == Family::kVertexIterator;
+        });
+    std::optional<DirectedEdgeSet> arcs;
     const DirectedEdgeSet empty_arcs{OrientedGraph()};
     report.stages.Time("profile", [&] {
+      if (needs_arcs) arcs.emplace(oriented);
       for (Method m : spec.methods) {
         obs::TraceSpan span(MethodName(m));
         span.Arg("stage", "profile");

@@ -56,6 +56,28 @@ Result<Graph> GenerateGraph(const GenerateSpec& spec, Rng* rng);
 /// "pareto(n=..., alpha=..., root, residual)", a file path, "in-memory".
 std::string DescribeSource(const GraphSource& source);
 
+/// Steps 2-3 of the pipeline: computes the global order theta and builds
+/// the oriented CSR, accounting the two phases to the "order" and
+/// "orient" stages of `stages` (which may be null). Bit-identical to the
+/// fused OrientWithSpec call — same RNG construction, same label
+/// pipeline — and shared by RunPipeline and the serving catalog
+/// (src/serve/catalog.h), so a cached orientation can stand in for this
+/// call byte for byte.
+OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
+                           int threads, StageClock* stages);
+
+/// Steps 4-5 of the pipeline: builds the directed-arc set when a vertex
+/// iterator needs it ("arcs" stage) and runs every requested method
+/// ("list" stage), appending one MethodReport per method to `report`.
+/// `exec.threads` must already be resolved (see ResolveThreads). This is
+/// the single listing loop behind both RunPipeline and the serve worker
+/// pool, which is what makes served triangle counts bit-identical to
+/// `trilist_cli run` on the same spec.
+Status ListOnOriented(const OrientedGraph& oriented,
+                      const std::vector<Method>& methods,
+                      const ExecPolicy& exec, int repeats, SinkKind sink,
+                      RunReport* report);
+
 /// Executes `spec` end to end and reports where the time went. Expected
 /// failures (unreadable file, generation stuck, corrupt container) come
 /// back as a Status error.

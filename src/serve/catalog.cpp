@@ -1,0 +1,232 @@
+#include "src/serve/catalog.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/core/out_degree_model.h"
+#include "src/graph/io.h"
+#include "src/run/runner.h"
+#include "src/util/metrics.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace trilist::serve {
+
+namespace {
+
+/// A catalog name is an opaque identifier, never a path: no separators,
+/// no dot-dot, no hidden-file prefix. This is what lets the daemon serve
+/// a directory without exposing the rest of the filesystem.
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 255) return false;
+  if (name.front() == '.') return false;
+  for (const char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return name.find("..") == std::string::npos;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+double CatalogEntry::PredictedCost(const OrientSpec& orient,
+                                   const std::vector<Method>& methods) {
+  const size_t n = graph_.num_nodes();
+  if (n == 0) return 0;
+  std::lock_guard<std::mutex> lock(orient_mu_);
+  double total = 0;
+  for (const Method m : methods) {
+    // The degenerate order is graph-dependent with no positional model;
+    // the descending permutation is the standard conservative proxy.
+    const PermutationKind kind =
+        orient.kind == PermutationKind::kDegenerate
+            ? PermutationKind::kDescending
+            : orient.kind;
+    const uint64_t seed_key =
+        kind == PermutationKind::kUniform ? orient.seed : 0;
+    const auto key = std::make_tuple(static_cast<int>(kind), seed_key,
+                                     static_cast<int>(m));
+    auto it = predicted_.find(key);
+    if (it == predicted_.end()) {
+      Rng rng(orient.seed);
+      const Permutation theta = MakePermutation(kind, n, &rng);
+      const double per_node =
+          SequenceConditionalCost(ascending_degrees_, theta, m);
+      it = predicted_
+               .emplace(key, per_node * static_cast<double>(n))
+               .first;
+    }
+    total += it->second;
+  }
+  return total;
+}
+
+Status GraphCatalog::ResolvePath(const std::string& name,
+                                 std::string* path) const {
+  const auto it = options_.named.find(name);
+  if (it != options_.named.end()) {
+    *path = it->second;
+    return Status::OK();
+  }
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid graph name: '" + name + "'");
+  }
+  if (options_.root.empty()) {
+    return Status::InvalidArgument("unknown graph: '" + name + "'");
+  }
+  for (const char* suffix : {"", ".tlg", ".txt"}) {
+    const std::string candidate = options_.root + "/" + name + suffix;
+    if (FileExists(candidate)) {
+      *path = candidate;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown graph: '" + name +
+                                 "' (not in " + options_.root + ")");
+}
+
+Status GraphCatalog::LoadEntry(CatalogEntry* entry,
+                               const std::string& path) const {
+  if (LooksLikeTlgFile(path)) {
+    Result<TlgFile> t = TlgFile::Open(path);
+    if (!t.ok()) return t.status();
+    entry->tlg_ = std::make_shared<TlgFile>(std::move(t).ValueOrDie());
+    entry->graph_ = entry->tlg_->graph();
+  } else {
+    Result<Graph> g = ReadEdgeListFile(path);
+    if (!g.ok()) return g.status();
+    entry->graph_ = std::move(g).ValueOrDie();
+  }
+  entry->ascending_degrees_ = entry->graph_.Degrees();
+  std::sort(entry->ascending_degrees_.begin(),
+            entry->ascending_degrees_.end());
+  return Status::OK();
+}
+
+void GraphCatalog::EvictIfOverCapacity() {
+  const size_t capacity = std::max<size_t>(1, options_.capacity);
+  while (entries_.size() > capacity) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second->last_used_tick_ < victim->second->last_used_tick_) {
+        victim = it;
+      }
+    }
+    // Dropping the map's reference is all eviction does; an in-flight
+    // run's shared_ptr keeps the entry (and its mmap) alive.
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  stats_.resident = entries_.size();
+}
+
+Result<GraphCatalog::Acquired> GraphCatalog::Acquire(
+    const std::string& name, ErrorCode* error_code) {
+  *error_code = ErrorCode::kInternal;
+  std::shared_ptr<CatalogEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      entry = it->second;
+      entry->last_used_tick_ = ++tick_;
+    } else {
+      std::string path;
+      const Status st = ResolvePath(name, &path);
+      if (!st.ok()) {
+        ++stats_.load_failures;
+        *error_code = ErrorCode::kNotFound;
+        return st;
+      }
+      entry = std::make_shared<CatalogEntry>();
+      entry->name_ = name;
+      entry->path_ = path;
+      entry->last_used_tick_ = ++tick_;
+      entries_[name] = entry;
+      EvictIfOverCapacity();
+    }
+  }
+
+  // Load outside the registry lock: different graphs load concurrently;
+  // concurrent first-acquires of the same graph serialize on the latch.
+  bool loaded_here = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->load_mu_);
+    if (!entry->loaded_) {
+      Timer timer;
+      entry->load_status_ = LoadEntry(entry.get(), entry->path_);
+      entry->load_wall_s_ = timer.ElapsedSeconds();
+      entry->loaded_ = true;
+      loaded_here = true;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->load_status_.ok()) {
+    ++stats_.load_failures;
+    const auto it = entries_.find(name);
+    if (it != entries_.end() && it->second == entry) {
+      entries_.erase(it);
+      stats_.resident = entries_.size();
+    }
+    return entry->load_status_;
+  }
+  if (loaded_here) {
+    ++stats_.loads;
+  } else {
+    ++stats_.hits;
+  }
+  Acquired out;
+  out.entry = std::move(entry);
+  out.hit = !loaded_here;
+  out.load_wall_s = loaded_here ? out.entry->load_wall_s_ : 0;
+  return out;
+}
+
+GraphCatalog::Oriented GraphCatalog::Orient(
+    const std::shared_ptr<CatalogEntry>& entry, const OrientSpec& spec,
+    int threads) {
+  Oriented out;
+  if (entry->tlg_ != nullptr) {
+    const OrientedGraph* embedded = entry->tlg_->FindOrientation(spec);
+    if (embedded != nullptr) {
+      out.oriented = *embedded;  // span-backed copy, pins the mapping
+      out.cached = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.orientation_hits;
+      return out;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->orient_mu_);
+    for (const auto& [cached_spec, oriented] : entry->built_) {
+      if (cached_spec == spec) {
+        out.oriented = oriented;
+        out.cached = true;
+        std::lock_guard<std::mutex> stats_lock(mu_);
+        ++stats_.orientation_hits;
+        return out;
+      }
+    }
+    StageClock clock;
+    out.oriented = OrientStages(entry->graph_, spec, threads, &clock);
+    out.order_wall_s = clock.WallOf("order");
+    out.orient_wall_s = clock.WallOf("orient");
+    entry->built_.emplace_back(spec, out.oriented);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.orientations_built;
+  return out;
+}
+
+CatalogStats GraphCatalog::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace trilist::serve

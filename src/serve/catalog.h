@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/graph/binfmt.h"
+#include "src/graph/graph.h"
+#include "src/order/pipeline.h"
+#include "src/serve/protocol.h"
+#include "src/util/status.h"
+
+/// \file catalog.h
+/// The serving daemon's graph catalog: an LRU-bounded registry of
+/// resident graphs (mmapped `.tlg` containers or parsed text edge lists)
+/// and their cached orientations keyed by OrientSpec.
+///
+/// Residency and eviction are refcount-safe by construction: Acquire
+/// hands out `shared_ptr<CatalogEntry>`, and eviction merely drops the
+/// catalog's own reference — a worker mid-run keeps the entry (and the
+/// mmap pinned underneath it) alive until its last reference dies, so an
+/// eviction can never unmap memory an in-flight listing is reading.
+///
+/// Each entry also memoizes the Section-3 a-priori cost estimate
+/// (1/n)·Σ g(d_i)h(q_i) per (OrientSpec, method), which is what the
+/// admission controller consults before a request is ever queued: the
+/// degree sequence is known the moment the graph is resident, so the
+/// expected CPU cost of any (order, method) pair is computable without
+/// running anything (Proposition 4 / the Berry et al. observation that
+/// degree sequences predict triangle work).
+
+namespace trilist::serve {
+
+/// Configuration of a GraphCatalog.
+struct CatalogOptions {
+  /// Maximum resident graphs; the least-recently-acquired entry beyond
+  /// this is evicted (its memory lives on until in-flight users finish).
+  size_t capacity = 8;
+  /// Directory against which bare graph names resolve: "web" tries
+  /// `<root>/web`, `<root>/web.tlg`, `<root>/web.txt` in that order.
+  /// Names may not contain path separators or dot-dot segments.
+  std::string root;
+  /// Explicit name -> path registrations (checked before `root`).
+  std::map<std::string, std::string> named;
+};
+
+/// Monotone counters + gauges of catalog behavior, for /metrics.
+struct CatalogStats {
+  uint64_t hits = 0;            ///< Acquire found the graph resident.
+  uint64_t loads = 0;           ///< cold loads performed.
+  uint64_t load_failures = 0;   ///< resolution or load errors.
+  uint64_t evictions = 0;       ///< entries dropped by the LRU bound.
+  uint64_t orientation_hits = 0;    ///< (O, theta) served from cache.
+  uint64_t orientations_built = 0;  ///< (O, theta) built on demand.
+  size_t resident = 0;          ///< entries currently in the registry.
+};
+
+/// \brief One resident graph: the Graph view, its container (when
+/// `.tlg`-backed), the ascending degree sequence for the cost model, and
+/// every orientation built so far.
+class CatalogEntry {
+ public:
+  const std::string& name() const { return name_; }
+  const Graph& graph() const { return graph_; }
+  /// True when the entry is backed by an mmapped `.tlg` container.
+  bool tlg_backed() const { return tlg_ != nullptr; }
+  /// Degree sequence sorted ascending (the paper's A_n vector).
+  const std::vector<int64_t>& ascending_degrees() const {
+    return ascending_degrees_;
+  }
+
+  /// Section-3 predicted total CPU cost (paper-metric operations) of
+  /// running `methods` under `orient` on this graph: n times the
+  /// sequence-conditional per-node cost, summed over methods. Memoized
+  /// per (spec, method). The degenerate order has no positional model;
+  /// it is estimated with the descending permutation as a proxy.
+  double PredictedCost(const OrientSpec& orient,
+                       const std::vector<Method>& methods);
+
+ private:
+  friend class GraphCatalog;
+
+  std::string name_;
+  std::string path_;  ///< resolved source path (for error messages).
+  std::shared_ptr<TlgFile> tlg_;  ///< null for text-backed entries.
+  Graph graph_;
+  std::vector<int64_t> ascending_degrees_;
+
+  /// Lazy-load latch (set by GraphCatalog under load_mu_).
+  std::mutex load_mu_;
+  bool loaded_ = false;
+  Status load_status_ = Status::OK();
+  double load_wall_s_ = 0;
+
+  /// Orientations built at serve time (beyond any embedded in the
+  /// container), plus the memoized cost model.
+  std::mutex orient_mu_;
+  std::vector<std::pair<OrientSpec, OrientedGraph>> built_;
+  std::map<std::tuple<int, uint64_t, int>, double> predicted_;
+
+  uint64_t last_used_tick_ = 0;  ///< guarded by the catalog mutex.
+};
+
+/// \brief Thread-safe LRU registry of resident graphs.
+class GraphCatalog {
+ public:
+  explicit GraphCatalog(CatalogOptions options)
+      : options_(std::move(options)) {}
+
+  /// Result of one Acquire: the (loaded) entry, whether it was already
+  /// resident, and the load wall the *triggering* request should report
+  /// (0 on a hit — the observable "warm catalog skips the load stage").
+  struct Acquired {
+    std::shared_ptr<CatalogEntry> entry;
+    bool hit = false;
+    double load_wall_s = 0;
+  };
+
+  /// Resolves `name`, loading it on first use (concurrent first
+  /// acquires of the same graph serialize on the entry latch; different
+  /// graphs load concurrently). On failure `*error_code` distinguishes
+  /// an unresolvable name (kNotFound) from a broken file (kInternal).
+  Result<Acquired> Acquire(const std::string& name, ErrorCode* error_code);
+
+  /// Result of one orientation lookup/build against an entry.
+  struct Oriented {
+    OrientedGraph oriented;  ///< span-backed copy, safe past eviction.
+    bool cached = false;     ///< reused (embedded or previously built).
+    double order_wall_s = 0;
+    double orient_wall_s = 0;
+  };
+
+  /// Returns the entry's orientation under `spec`, building and caching
+  /// it on first use (stats-counted). `threads` is the build concurrency;
+  /// the result is identical for any value.
+  Oriented Orient(const std::shared_ptr<CatalogEntry>& entry,
+                  const OrientSpec& spec, int threads);
+
+  /// Point-in-time stats snapshot.
+  CatalogStats StatsSnapshot() const;
+
+ private:
+  Status ResolvePath(const std::string& name, std::string* path) const;
+  Status LoadEntry(CatalogEntry* entry, const std::string& path) const;
+  void EvictIfOverCapacity();
+
+  CatalogOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<CatalogEntry>> entries_;
+  uint64_t tick_ = 0;
+  CatalogStats stats_;
+};
+
+}  // namespace trilist::serve

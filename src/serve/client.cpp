@@ -1,0 +1,93 @@
+#include "src/serve/client.h"
+
+#include <utility>
+
+#include "src/serve/net.h"
+
+namespace trilist::serve {
+
+Result<ServeClient> ServeClient::ConnectTcp(const std::string& host,
+                                            uint16_t port) {
+  Result<int> fd = trilist::serve::ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return ServeClient(*fd);
+}
+
+Result<ServeClient> ServeClient::ConnectUnix(const std::string& path) {
+  Result<int> fd = trilist::serve::ConnectUnix(path);
+  if (!fd.ok()) return fd.status();
+  return ServeClient(*fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      last_error_(std::move(other.last_error_)),
+      last_failure_was_reply_(other.last_failure_was_reply_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    CloseFd(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    last_error_ = std::move(other.last_error_);
+    last_failure_was_reply_ = other.last_failure_was_reply_;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { CloseFd(fd_); }
+
+Status ServeClient::RoundTrip(const std::string& payload, MsgType expected,
+                              std::string* response_body) {
+  last_failure_was_reply_ = false;
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  Status st = SendFrame(fd_, payload);
+  if (!st.ok()) return st;
+
+  std::string response;
+  bool eof = false;
+  st = RecvFrame(fd_, &response, &eof);
+  if (!st.ok()) return st;
+  if (eof) return Status::Internal("server closed the connection");
+
+  MsgType type;
+  st = DecodeHeader(response, &type, response_body);
+  if (!st.ok()) return st;
+  if (type == MsgType::kError) {
+    st = DecodeError(*response_body, &last_error_);
+    if (!st.ok()) return st;
+    last_failure_was_reply_ = true;
+    return Status::Internal(std::string(ErrorCodeName(last_error_.code)) +
+                            ": " + last_error_.message);
+  }
+  if (type != expected) {
+    return Status::Internal("unexpected response message type");
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> ServeClient::Query(const QueryRequest& request) {
+  std::string body;
+  Status st = RoundTrip(EncodeQueryRequest(request), MsgType::kQueryOk, &body);
+  if (!st.ok()) return st;
+  QueryResponse response;
+  st = DecodeQueryResponse(body, &response);
+  if (!st.ok()) return st;
+  return response;
+}
+
+Result<std::string> ServeClient::Stats() {
+  std::string body;
+  Status st = RoundTrip(EncodeEmpty(MsgType::kStats), MsgType::kStatsOk, &body);
+  if (!st.ok()) return st;
+  StatsReply stats;
+  st = DecodeStatsReply(body, &stats);
+  if (!st.ok()) return st;
+  return stats.prometheus_text;
+}
+
+Status ServeClient::Ping() {
+  std::string body;
+  return RoundTrip(EncodeEmpty(MsgType::kPing), MsgType::kPong, &body);
+}
+
+}  // namespace trilist::serve

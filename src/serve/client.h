@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/serve/protocol.h"
+#include "src/util/status.h"
+
+/// \file client.h
+/// Synchronous client for the `trilistd` protocol, shared by
+/// `trilist_cli query`, the serve tests and `bench_serve_throughput`.
+/// One connection, one outstanding request at a time (the protocol
+/// allows pipelining; this client does not need it).
+
+namespace trilist::serve {
+
+/// \brief One connection to a triangle server.
+class ServeClient {
+ public:
+  /// Connects over TCP.
+  static Result<ServeClient> ConnectTcp(const std::string& host,
+                                        uint16_t port);
+  /// Connects over a Unix-domain socket.
+  static Result<ServeClient> ConnectUnix(const std::string& path);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Runs one query. A kError reply surfaces as a non-OK Status whose
+  /// message carries the server's text; the structured reply (code
+  /// included) is kept in last_error() for callers that branch on it
+  /// (backpressure handling in the load generator).
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Fetches the server's Prometheus stats text.
+  Result<std::string> Stats();
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  /// The last kError reply received by Query/Stats/Ping (valid after a
+  /// non-OK return whose failure was a server-side error reply).
+  const ErrorReply& last_error() const { return last_error_; }
+  /// True when the last non-OK Query/Stats/Ping failure was a server
+  /// error reply (as opposed to a transport error).
+  bool last_failure_was_reply() const { return last_failure_was_reply_; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  /// Sends `payload` and reads one response frame, expecting `expected`;
+  /// decodes kError replies into last_error_.
+  Status RoundTrip(const std::string& payload, MsgType expected,
+                   std::string* response_body);
+
+  int fd_ = -1;
+  ErrorReply last_error_;
+  bool last_failure_was_reply_ = false;
+};
+
+}  // namespace trilist::serve

@@ -1,0 +1,43 @@
+#include "src/serve/latency_histogram.h"
+
+namespace trilist::serve {
+
+double LatencyHistogram::UpperBound(size_t i) {
+  double bound = 1e-4;
+  for (size_t k = 0; k < i; ++k) bound *= 2;
+  return bound;
+}
+
+void LatencyHistogram::Observe(double seconds) {
+  if (seconds < 0) seconds = 0;
+  size_t bucket = 0;
+  double bound = 1e-4;
+  while (bucket < kNumFiniteBuckets && seconds > bound) {
+    bound *= 2;
+    ++bucket;
+  }
+  ++counts_[bucket];
+  ++total_;
+  sum_ += seconds;
+}
+
+uint64_t LatencyHistogram::CumulativeCount(size_t i) const {
+  uint64_t sum = 0;
+  for (size_t k = 0; k <= i && k < counts_.size(); ++k) sum += counts_[k];
+  return sum;
+}
+
+double LatencyHistogram::QuantileUpperBound(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(total_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) return UpperBound(i);
+  }
+  return UpperBound(kNumFiniteBuckets - 1);
+}
+
+}  // namespace trilist::serve

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+/// \file latency_histogram.h
+/// Fixed-bucket exponential latency histogram for the serving stats
+/// (Prometheus histogram convention: cumulative buckets, _sum, _count).
+/// Buckets double from 100 microseconds to ~105 seconds, which covers
+/// everything from a warm cache hit to a cold multi-gigabyte load; the
+/// last bucket is +Inf. Not internally synchronized — the server updates
+/// it under its stats mutex.
+
+namespace trilist::serve {
+
+/// \brief Exponential (base-2) histogram of durations in seconds.
+class LatencyHistogram {
+ public:
+  /// Finite bucket upper bounds: 1e-4 * 2^k seconds, k = 0..19.
+  static constexpr size_t kNumFiniteBuckets = 20;
+
+  /// Upper bound of finite bucket `i` in seconds.
+  static double UpperBound(size_t i);
+
+  /// Records one observation (negative durations clamp to 0).
+  void Observe(double seconds);
+
+  /// Count of observations <= UpperBound(i) — cumulative, the
+  /// Prometheus `le` convention. i == kNumFiniteBuckets is +Inf (total).
+  uint64_t CumulativeCount(size_t i) const;
+
+  uint64_t TotalCount() const { return total_; }
+  double Sum() const { return sum_; }
+
+  /// Smallest finite upper bound with cumulative count >= q * total
+  /// (a conservative quantile estimate; +Inf observations return the
+  /// largest finite bound). Returns 0 when empty.
+  double QuantileUpperBound(double q) const;
+
+ private:
+  std::array<uint64_t, kNumFiniteBuckets + 1> counts_{};  // last = +Inf
+  uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace trilist::serve

@@ -1,0 +1,163 @@
+#include "src/serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace trilist::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+int NewSocket(int domain) {
+  return ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+Result<Listener> ListenTcp(const std::string& host, uint16_t port) {
+  const int fd = NewSocket(AF_INET);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Errno("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  Listener out;
+  out.fd = fd;
+  // Report the resolved port (the kernel's pick when port 0 was asked).
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    out.port = ntohs(bound.sin_port);
+  }
+  return out;
+}
+
+Result<Listener> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = NewSocket(AF_UNIX);
+  if (fd < 0) return Errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Errno("bind " + path);
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st = Errno("listen " + path);
+    CloseFd(fd);
+    return st;
+  }
+  Listener out;
+  out.fd = fd;
+  return out;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = NewSocket(AF_INET);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st =
+        Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = NewSocket(AF_UNIX);
+  if (fd < 0) return Errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Errno("connect " + path);
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t sent = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    done += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t size, bool* clean_eof) {
+  *clean_eof = false;
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::recv(fd, p + done, size - done, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) {
+      if (done == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace trilist::serve

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+/// \file net.h
+/// Thin POSIX socket helpers shared by the server and the client: TCP and
+/// Unix-domain listeners/connectors plus EINTR-safe whole-buffer send and
+/// receive. No framing lives here (see protocol.h); these functions move
+/// raw bytes and translate errno into Status.
+
+namespace trilist::serve {
+
+/// \brief A bound, listening socket.
+struct Listener {
+  int fd = -1;
+  /// Resolved TCP port (meaningful for ListenTcp; requesting port 0
+  /// binds an ephemeral port and reports the kernel's choice here so
+  /// parallel test runs never collide).
+  uint16_t port = 0;
+};
+
+/// Binds and listens on `host:port` (IPv4 dotted quad or "0.0.0.0").
+/// Port 0 picks an ephemeral port, reported in Listener::port.
+Result<Listener> ListenTcp(const std::string& host, uint16_t port);
+
+/// Binds and listens on a Unix-domain socket at `path`. The path must
+/// not exist (stale files from a previous run should be unlinked by the
+/// caller; per-test tmpdir paths make that automatic).
+Result<Listener> ListenUnix(const std::string& path);
+
+/// Connects to a TCP endpoint.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Connects to a Unix-domain socket.
+Result<int> ConnectUnix(const std::string& path);
+
+/// Writes exactly `size` bytes, retrying on EINTR and short writes.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes. A clean EOF before the first byte sets
+/// `*clean_eof` and returns OK with nothing read; EOF mid-buffer is an
+/// error (truncated stream).
+Status RecvAll(int fd, void* data, size_t size, bool* clean_eof);
+
+/// close(), EINTR-tolerant, no-op on negative fds.
+void CloseFd(int fd);
+
+}  // namespace trilist::serve

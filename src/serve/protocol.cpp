@@ -1,0 +1,288 @@
+#include "src/serve/protocol.h"
+
+#include "src/serve/net.h"
+#include "src/serve/wire.h"
+
+namespace trilist::serve {
+
+namespace {
+
+/// List-size caps: a response echoes one stage per pipeline phase and a
+/// request carries at most every method once per sweep repetition;
+/// anything larger is malformed, not ambitious.
+constexpr uint32_t kMaxMethods = 64;
+constexpr uint32_t kMaxStages = 32;
+
+void AppendHeader(WireWriter* w, MsgType type) {
+  w->U32(kFrameMagic);
+  w->U16(kProtocolVersion);
+  w->U16(static_cast<uint16_t>(type));
+}
+
+Status DecodeMethod(uint8_t code, Method* out) {
+  if (code >= AllMethods().size()) {
+    return Status::InvalidArgument("unknown method code " +
+                                   std::to_string(code));
+  }
+  *out = AllMethods()[code];
+  return Status::OK();
+}
+
+Status DecodeOrder(uint8_t code, PermutationKind* out) {
+  if (code > static_cast<uint8_t>(PermutationKind::kDegenerate)) {
+    return Status::InvalidArgument("unknown permutation code " +
+                                   std::to_string(code));
+  }
+  *out = static_cast<PermutationKind>(code);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string EncodeEmpty(MsgType type) {
+  WireWriter w;
+  AppendHeader(&w, type);
+  return std::move(w).Take();
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kQuery);
+  w.Str(request.graph);
+  w.U8(static_cast<uint8_t>(request.orient.kind));
+  w.U64(request.orient.seed);
+  w.U32(static_cast<uint32_t>(request.methods.size()));
+  for (Method m : request.methods) w.U8(static_cast<uint8_t>(m));
+  w.I64(request.threads);
+  w.I64(request.repeats);
+  return std::move(w).Take();
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kQueryOk);
+  w.U64(response.num_nodes);
+  w.U64(response.num_edges);
+  w.U8(response.catalog_hit ? 1 : 0);
+  w.U8(response.orientation_cached ? 1 : 0);
+  w.F64(response.predicted_cost);
+  w.F64(response.queue_wait_s);
+  w.U32(static_cast<uint32_t>(response.stages.size()));
+  for (const StageWall& s : response.stages) {
+    w.Str(s.name);
+    w.F64(s.wall_s);
+  }
+  w.U32(static_cast<uint32_t>(response.methods.size()));
+  for (const MethodResult& m : response.methods) {
+    w.U8(static_cast<uint8_t>(m.method));
+    w.U64(m.triangles);
+    w.F64(m.paper_ops);
+    w.F64(m.formula_cost);
+    w.F64(m.wall_s);
+    w.U8(m.parallel ? 1 : 0);
+  }
+  w.Str(response.report_json);
+  return std::move(w).Take();
+}
+
+std::string EncodeError(const ErrorReply& error) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kError);
+  w.U16(static_cast<uint16_t>(error.code));
+  w.Str(error.message);
+  return std::move(w).Take();
+}
+
+std::string EncodeStatsReply(const StatsReply& stats) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kStatsOk);
+  w.Str(stats.prometheus_text);
+  return std::move(w).Take();
+}
+
+Status DecodeHeader(const std::string& payload, MsgType* type,
+                    std::string* body) {
+  WireReader r(payload);
+  uint32_t magic;
+  uint16_t version;
+  uint16_t raw_type;
+  Status st = r.U32(&magic);
+  if (st.ok()) st = r.U16(&version);
+  if (st.ok()) st = r.U16(&raw_type);
+  if (!st.ok()) return st;
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: peer speaks v" +
+        std::to_string(version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion));
+  }
+  if (raw_type < static_cast<uint16_t>(MsgType::kQuery) ||
+      raw_type > static_cast<uint16_t>(MsgType::kPong)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(raw_type));
+  }
+  *type = static_cast<MsgType>(raw_type);
+  body->assign(payload, 8, payload.size() - 8);
+  return Status::OK();
+}
+
+Status DecodeQueryRequest(const std::string& body, QueryRequest* request) {
+  WireReader r(body);
+  Status st = r.Str(&request->graph);
+  uint8_t order_code = 0;
+  if (st.ok()) st = r.U8(&order_code);
+  if (st.ok()) st = DecodeOrder(order_code, &request->orient.kind);
+  if (st.ok()) st = r.U64(&request->orient.seed);
+  uint32_t method_count = 0;
+  if (st.ok()) st = r.U32(&method_count);
+  if (!st.ok()) return st;
+  if (method_count == 0 || method_count > kMaxMethods) {
+    return Status::InvalidArgument("method count " +
+                                   std::to_string(method_count) +
+                                   " out of range [1, " +
+                                   std::to_string(kMaxMethods) + "]");
+  }
+  request->methods.clear();
+  for (uint32_t i = 0; i < method_count; ++i) {
+    uint8_t code;
+    st = r.U8(&code);
+    Method m;
+    if (st.ok()) st = DecodeMethod(code, &m);
+    if (!st.ok()) return st;
+    request->methods.push_back(m);
+  }
+  int64_t threads = 0, repeats = 0;
+  st = r.I64(&threads);
+  if (st.ok()) st = r.I64(&repeats);
+  if (!st.ok()) return st;
+  request->threads = static_cast<int32_t>(threads);
+  request->repeats = static_cast<int32_t>(repeats);
+  return r.ExpectEnd();
+}
+
+Status DecodeQueryResponse(const std::string& body,
+                           QueryResponse* response) {
+  WireReader r(body);
+  Status st = r.U64(&response->num_nodes);
+  if (st.ok()) st = r.U64(&response->num_edges);
+  uint8_t hit = 0, cached = 0;
+  if (st.ok()) st = r.U8(&hit);
+  if (st.ok()) st = r.U8(&cached);
+  if (st.ok()) st = r.F64(&response->predicted_cost);
+  if (st.ok()) st = r.F64(&response->queue_wait_s);
+  uint32_t stage_count = 0;
+  if (st.ok()) st = r.U32(&stage_count);
+  if (!st.ok()) return st;
+  response->catalog_hit = hit != 0;
+  response->orientation_cached = cached != 0;
+  if (stage_count > kMaxStages) {
+    return Status::InvalidArgument("stage count out of range");
+  }
+  response->stages.clear();
+  for (uint32_t i = 0; i < stage_count; ++i) {
+    StageWall s;
+    st = r.Str(&s.name);
+    if (st.ok()) st = r.F64(&s.wall_s);
+    if (!st.ok()) return st;
+    response->stages.push_back(std::move(s));
+  }
+  uint32_t method_count = 0;
+  st = r.U32(&method_count);
+  if (!st.ok()) return st;
+  if (method_count > kMaxMethods) {
+    return Status::InvalidArgument("method count out of range");
+  }
+  response->methods.clear();
+  for (uint32_t i = 0; i < method_count; ++i) {
+    MethodResult m;
+    uint8_t code = 0, parallel = 0;
+    st = r.U8(&code);
+    if (st.ok()) st = DecodeMethod(code, &m.method);
+    if (st.ok()) st = r.U64(&m.triangles);
+    if (st.ok()) st = r.F64(&m.paper_ops);
+    if (st.ok()) st = r.F64(&m.formula_cost);
+    if (st.ok()) st = r.F64(&m.wall_s);
+    if (st.ok()) st = r.U8(&parallel);
+    if (!st.ok()) return st;
+    m.parallel = parallel != 0;
+    response->methods.push_back(m);
+  }
+  st = r.Str(&response->report_json);
+  if (!st.ok()) return st;
+  return r.ExpectEnd();
+}
+
+Status DecodeError(const std::string& body, ErrorReply* error) {
+  WireReader r(body);
+  uint16_t code = 0;
+  Status st = r.U16(&code);
+  if (st.ok()) st = r.Str(&error->message);
+  if (!st.ok()) return st;
+  if (code < static_cast<uint16_t>(ErrorCode::kBadRequest) ||
+      code > static_cast<uint16_t>(ErrorCode::kInternal)) {
+    return Status::InvalidArgument("unknown error code " +
+                                   std::to_string(code));
+  }
+  error->code = static_cast<ErrorCode>(code);
+  return r.ExpectEnd();
+}
+
+Status DecodeStatsReply(const std::string& body, StatsReply* stats) {
+  WireReader r(body);
+  const Status st = r.Str(&stats->prometheus_text);
+  if (!st.ok()) return st;
+  return r.ExpectEnd();
+}
+
+Status SendFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds cap");
+  }
+  unsigned char header[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<unsigned char>((len >> (8 * i)) & 0xff);
+  }
+  const Status st = SendAll(fd, header, sizeof header);
+  if (!st.ok()) return st;
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Status RecvFrame(int fd, std::string* payload, bool* clean_eof) {
+  unsigned char header[4];
+  Status st = RecvAll(fd, header, sizeof header, clean_eof);
+  if (!st.ok() || *clean_eof) return st;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame length " + std::to_string(len) +
+                                   " exceeds cap");
+  }
+  payload->resize(len);
+  if (len == 0) return Status::OK();
+  bool mid_eof = false;
+  st = RecvAll(fd, payload->data(), len, &mid_eof);
+  if (!st.ok()) return st;
+  if (mid_eof) {
+    return Status::InvalidArgument("connection closed mid-frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace trilist::serve

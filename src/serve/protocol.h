@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/order/pipeline.h"
+#include "src/util/status.h"
+
+/// \file protocol.h
+/// The `trilistd` wire protocol: version-stamped, length-prefixed binary
+/// frames over a byte stream (TCP or Unix-domain socket).
+///
+/// Frame layout on the wire:
+///
+///   u32  payload length L (little-endian, <= kMaxFramePayload)
+///   L bytes of payload:
+///     u32  magic  "TLQ1" (0x31514c54 LE) — stateless resync guard
+///     u16  protocol version (kProtocolVersion)
+///     u16  message type (MsgType)
+///     ...  message body (see the per-message structs below)
+///
+/// Every request frame gets exactly one response frame. Responses are
+/// written in execution-completion order, which under a multi-worker or
+/// shortest-job-first server may differ from request order — a client
+/// keeps at most one request outstanding per connection (as ServeClient
+/// does) or must tolerate reordering. Malformed frames produce a
+/// kError response when the header parses, and a dropped connection when
+/// it does not — a peer speaking a different protocol version is told so
+/// before the socket closes.
+///
+/// The body codec is src/serve/wire.h: little-endian integers, IEEE-754
+/// doubles, u32-length-prefixed strings, all bounds-checked on decode.
+
+namespace trilist::serve {
+
+inline constexpr uint32_t kFrameMagic = 0x31514c54;  // "TLQ1" LE
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Payload cap: a forged length header may not force a large allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024 * 1024;
+
+/// Message types. Requests are odd-ball grouped: kQuery/kStats/kPing come
+/// from clients; kQueryOk/kStatsOk/kPong/kError come from the server.
+enum class MsgType : uint16_t {
+  kQuery = 1,
+  kQueryOk = 2,
+  kError = 3,
+  kStats = 4,
+  kStatsOk = 5,
+  kPing = 6,
+  kPong = 7,
+};
+
+/// Error classes a server can reply with (ErrorReply::code).
+enum class ErrorCode : uint16_t {
+  kBadRequest = 1,  ///< malformed body, unknown method/order, bad name.
+  kNotFound = 2,    ///< graph name not resolvable by the catalog.
+  kOverloaded = 3,  ///< admission queue full — explicit backpressure.
+  kDraining = 4,    ///< server is shutting down, no new work accepted.
+  kInternal = 5,    ///< execution failed (corrupt file, engine error).
+};
+
+/// Human-readable error-code name ("overloaded", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+/// \brief One triangle-listing request against a cataloged graph.
+struct QueryRequest {
+  std::string graph;   ///< catalog name (resolved by the server).
+  OrientSpec orient{PermutationKind::kDescending, 0};
+  std::vector<Method> methods{Method::kE1};
+  int32_t threads = 1;  ///< per-query workers; server caps and resolves.
+  int32_t repeats = 1;
+};
+
+/// \brief Per-stage wall clock echoed in a response ("load", "order",
+/// "orient", "arcs", "list"). Zero wall on "load"/"order"/"orient" is
+/// the observable proof that the catalog served a warm entry.
+struct StageWall {
+  std::string name;
+  double wall_s = 0;
+};
+
+/// \brief One method's result inside a QueryResponse.
+struct MethodResult {
+  Method method = Method::kE1;
+  uint64_t triangles = 0;
+  double paper_ops = 0;     ///< measured paper-metric operation count.
+  double formula_cost = 0;  ///< closed-form cost on the realized orientation.
+  double wall_s = 0;        ///< best listing wall across repeats.
+  bool parallel = false;
+};
+
+/// \brief Successful query result: the RunReport's serving surface.
+struct QueryResponse {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  bool catalog_hit = false;         ///< graph was already resident.
+  bool orientation_cached = false;  ///< (O, theta) reused, not rebuilt.
+  double predicted_cost = 0;  ///< Section-3 admission estimate (ops).
+  double queue_wait_s = 0;    ///< time spent queued before a worker.
+  std::vector<StageWall> stages;
+  std::vector<MethodResult> methods;
+  std::string report_json;  ///< full RunReport JSON document.
+};
+
+/// \brief Error response body.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// \brief Stats response body: Prometheus text exposition of the server's
+/// counters, gauges and latency histograms (see server.h).
+struct StatsReply {
+  std::string prometheus_text;
+};
+
+/// Builds a complete frame payload (header + body) for a bodyless
+/// message (kStats, kPing, kPong).
+std::string EncodeEmpty(MsgType type);
+/// Frame payloads for each message kind.
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeQueryResponse(const QueryResponse& response);
+std::string EncodeError(const ErrorReply& error);
+std::string EncodeStatsReply(const StatsReply& stats);
+
+/// Parses a payload's frame header, verifying magic and version, and
+/// leaves `*body` holding the body bytes that follow the header.
+Status DecodeHeader(const std::string& payload, MsgType* type,
+                    std::string* body);
+/// Body decoders (input: the `body` from DecodeHeader). Each rejects
+/// truncation, trailing bytes, out-of-range enums and oversized lists.
+Status DecodeQueryRequest(const std::string& body, QueryRequest* request);
+Status DecodeQueryResponse(const std::string& body, QueryResponse* response);
+Status DecodeError(const std::string& body, ErrorReply* error);
+Status DecodeStatsReply(const std::string& body, StatsReply* stats);
+
+/// Writes one frame (u32 length + payload) to `fd`.
+Status SendFrame(int fd, const std::string& payload);
+/// Reads one frame from `fd`. A clean EOF at a frame boundary sets
+/// `*clean_eof` and returns OK with an empty payload.
+Status RecvFrame(int fd, std::string* payload, bool* clean_eof);
+
+}  // namespace trilist::serve

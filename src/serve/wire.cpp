@@ -1,0 +1,100 @@
+#include "src/serve/wire.h"
+
+namespace trilist::serve {
+
+Status WireReader::Take(size_t count, const char** out) {
+  if (count > Remaining()) {
+    return Status::InvalidArgument("truncated frame: need " +
+                                   std::to_string(count) + " bytes, have " +
+                                   std::to_string(Remaining()));
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += count;
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+T LoadLe(const char* p) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WireReader::U8(uint8_t* v) {
+  const char* p;
+  const Status st = Take(1, &p);
+  if (!st.ok()) return st;
+  *v = static_cast<uint8_t>(static_cast<unsigned char>(*p));
+  return Status::OK();
+}
+
+Status WireReader::U16(uint16_t* v) {
+  const char* p;
+  const Status st = Take(2, &p);
+  if (!st.ok()) return st;
+  *v = LoadLe<uint16_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  const char* p;
+  const Status st = Take(4, &p);
+  if (!st.ok()) return st;
+  *v = LoadLe<uint32_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  const char* p;
+  const Status st = Take(8, &p);
+  if (!st.ok()) return st;
+  *v = LoadLe<uint64_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::I64(int64_t* v) {
+  uint64_t u;
+  const Status st = U64(&u);
+  if (!st.ok()) return st;
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits;
+  const Status st = U64(&bits);
+  if (!st.ok()) return st;
+  std::memcpy(v, &bits, sizeof bits);
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* v) {
+  uint32_t len;
+  Status st = U32(&len);
+  if (!st.ok()) return st;
+  if (len > kMaxWireString) {
+    return Status::InvalidArgument("string length " + std::to_string(len) +
+                                   " exceeds wire cap");
+  }
+  const char* p;
+  st = Take(len, &p);
+  if (!st.ok()) return st;
+  v->assign(p, len);
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (Remaining() != 0) {
+    return Status::InvalidArgument(std::to_string(Remaining()) +
+                                   " trailing bytes in frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace trilist::serve

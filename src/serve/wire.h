@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+/// \file wire.h
+/// Byte-level codec of the serve protocol (src/serve/protocol.h): a
+/// little-endian append-only writer and a bounds-checked reader. Every
+/// multi-byte integer is encoded little-endian regardless of host order;
+/// doubles travel as their IEEE-754 bit pattern. Strings are a u32 length
+/// prefix followed by raw bytes (no terminator), capped at
+/// kMaxWireString so a hostile peer cannot make the reader allocate
+/// unbounded memory from a 4-byte header.
+///
+/// The reader never trusts the input: every Read* checks the remaining
+/// byte count and returns a Status error on truncation, so a corrupt or
+/// malicious frame yields a clean protocol error, never UB — the same
+/// discipline as the `.tlg` loader (src/graph/binfmt.h).
+
+namespace trilist::serve {
+
+/// Upper bound on an encoded string (graph names, error messages, JSON
+/// report bodies all fit comfortably; anything larger is malformed).
+inline constexpr uint32_t kMaxWireString = 8u * 1024 * 1024;
+
+/// \brief Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    AppendLe(bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void Str(std::string_view v) {
+    U32(static_cast<uint32_t>(v.size()));
+    out_.append(v.data(), v.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string out_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a borrowed buffer.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  /// Reads a length-prefixed string; rejects lengths beyond the buffer
+  /// or kMaxWireString.
+  Status Str(std::string* v);
+
+  /// Bytes not yet consumed.
+  size_t Remaining() const { return bytes_.size() - pos_; }
+  /// OK exactly when the whole buffer was consumed (trailing garbage in
+  /// a frame is a protocol error, not padding).
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(size_t count, const char** out);
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace trilist::serve

@@ -36,6 +36,43 @@ TEST(PromWriterTest, EscapesLabelValues) {
             std::string::npos);
 }
 
+TEST(PromWriterTest, EscapesAdversarialLabelValues) {
+  PromWriter w;
+  w.Gauge("g", "h");
+  // A value that is nothing but escapable characters.
+  w.Sample("g", {{"v", "\\\"\n\\"}}, 1.0);
+  // Backslash sequences that already look escaped must be re-escaped,
+  // not passed through (the scrape parser would otherwise unescape them
+  // into different bytes than the original value).
+  w.Sample("g", {{"v", "\\n"}}, 2.0);
+  w.Sample("g", {{"v", "\\\\"}}, 3.0);
+  // Non-ASCII UTF-8 passes through untouched (the exposition format is
+  // UTF-8; only backslash, quote and newline are escaped).
+  w.Sample("g", {{"v", "gr\xc3\xa4ph\xe2\x88\x86"}}, 4.0);
+  // Several labels with hostile values keep their comma/quote framing.
+  w.Sample("g", {{"a", "x\"y"}, {"b", "p,q"}}, 5.0);
+  const std::string out = std::move(w).Finish();
+  EXPECT_NE(out.find("g{v=\"\\\\\\\"\\n\\\\\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("g{v=\"\\\\n\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("g{v=\"\\\\\\\\\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("g{v=\"gr\xc3\xa4ph\xe2\x88\x86\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("g{a=\"x\\\"y\",b=\"p,q\"} 5\n"), std::string::npos);
+}
+
+TEST(PromWriterTest, HistogramDeclaration) {
+  PromWriter w;
+  w.Histogram("lat_seconds", "Latency");
+  w.Sample("lat_seconds_bucket", {{"le", "+Inf"}}, 2.0);
+  w.Sample("lat_seconds_sum", 0.25);
+  w.Sample("lat_seconds_count", 2.0);
+  const std::string out = std::move(w).Finish();
+  EXPECT_NE(out.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_count 2\n"), std::string::npos);
+}
+
 TEST(PromWriterTest, ValueFormatting) {
   PromWriter w;
   w.Gauge("g", "h");

@@ -1,0 +1,97 @@
+#include "src/util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace trilist {
+namespace {
+
+/// Renders a single string value as a JSON document body (sans the
+/// trailing newline Finish appends).
+std::string Render(std::string_view value) {
+  JsonWriter w;
+  w.String(value);
+  std::string out = std::move(w).Finish();
+  EXPECT_EQ(out.back(), '\n');
+  out.pop_back();
+  return out;
+}
+
+TEST(JsonWriterTest, BasicDocumentShape) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "x");
+  w.Field("count", int64_t{3});
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(),
+            "{\n"
+            "  \"name\": \"x\",\n"
+            "  \"count\": 3,\n"
+            "  \"items\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(Render("he said \"hi\""), "\"he said \\\"hi\\\"\"");
+  EXPECT_EQ(Render("C:\\tmp\\x"), "\"C:\\\\tmp\\\\x\"");
+  // A value that is nothing but escapes.
+  EXPECT_EQ(Render("\\\"\\"), "\"\\\\\\\"\\\\\"");
+}
+
+TEST(JsonWriterTest, EscapesWhitespaceControls) {
+  EXPECT_EQ(Render("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+}
+
+TEST(JsonWriterTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(Render(std::string_view("\x01\x1f\x00", 3)),
+            "\"\\u0001\\u001f\\u0000\"");
+  // 0x7f (DEL) is not below 0x20: JSON permits it raw.
+  EXPECT_EQ(Render("\x7f"), "\"\x7f\"");
+}
+
+TEST(JsonWriterTest, PassesNonAsciiBytesThrough) {
+  // UTF-8 payloads (file paths, graph names) travel byte-for-byte; JSON
+  // strings are Unicode and need no escaping above 0x1f.
+  EXPECT_EQ(Render("gr\xc3\xa4ph/\xe2\x88\x86"),
+            "\"gr\xc3\xa4ph/\xe2\x88\x86\"");
+}
+
+TEST(JsonWriterTest, EscapesKeysLikeValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("a\"b\\c", "v");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(),
+            "{\n"
+            "  \"a\\\"b\\\\c\": \"v\"\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsZero) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(1.0 / 0.0);
+  w.Double(-1.0 / 0.0);
+  w.Double(0.0 / 0.0);
+  w.Double(0.5, 2);
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(),
+            "[\n"
+            "  0,\n"
+            "  0,\n"
+            "  0,\n"
+            "  0.50\n"
+            "]\n");
+}
+
+}  // namespace
+}  // namespace trilist

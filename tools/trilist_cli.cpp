@@ -66,10 +66,32 @@
 ///       Print the container's header, section table and cached
 ///       orientations (validates every CRC on the way).
 ///
+///   trilist_cli serve [--tcp PORT] [--host H] [--unix PATH]
+///                     [--graphs DIR] [--graph name=path[,name=path...]]
+///                     [--workers N] [--queue N] [--catalog N] [--sjf]
+///                     [--max-threads N]
+///       Run trilistd: the long-running triangle-query daemon
+///       (src/serve/server.h). Serves the versioned binary protocol over
+///       TCP and/or a Unix-domain socket, keeps an LRU catalog of
+///       mmapped graphs with cached orientations, admits requests into a
+///       bounded queue (explicit backpressure when full, optionally
+///       shortest-predicted-job-first by the Section-3 formula cost) and
+///       executes them on a worker pool through the same listing loop as
+///       `run`. SIGTERM/SIGINT drain gracefully: in-flight and queued
+///       requests finish, then the process exits 0.
+///
+///   trilist_cli query (--connect HOST:PORT | --unix PATH) --graph NAME
+///                     [--methods ...] [--order O] [--seed S]
+///                     [--threads N] [--repeats R] [--report] [--stats]
+///       One round trip against a running daemon: print the served
+///       triangle counts, stage walls and catalog provenance (warm hit
+///       vs cold load), or --stats for the server's Prometheus text.
+///
 /// `count` accepts either format transparently: `.tlg` inputs are
 /// detected by magic, mmap-loaded zero-copy, and reuse a cached
 /// orientation when one matches the requested --order/--seed.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +100,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/algo/parallel_engine.h"
 #include "src/algo/registry.h"
@@ -95,6 +119,8 @@
 #include "src/obs/trace.h"
 #include "src/order/pipeline.h"
 #include "src/run/runner.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
 #include "src/util/build_info.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -568,6 +594,192 @@ int CmdAdvise(const Flags& flags) {
   return 0;
 }
 
+/// Drain pipe fd of the running daemon; written (one byte, async-signal-
+/// safe) by the SIGTERM/SIGINT handler to trigger a graceful drain.
+int g_serve_drain_fd = -1;
+
+void HandleServeSignal(int /*signum*/) {
+  if (g_serve_drain_fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(g_serve_drain_fd, &byte, 1);
+  }
+}
+
+/// Parses `--graph name=path[,name=path...]` registrations.
+bool ParseNamedGraphs(const std::string& csv,
+                      std::map<std::string, std::string>* out) {
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      std::fprintf(stderr, "--graph expects name=path, got '%s'\n",
+                   token.c_str());
+      return false;
+    }
+    (*out)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return true;
+}
+
+int CmdServe(const Flags& flags) {
+  serve::ServerOptions options;
+  if (flags.Has("tcp")) {
+    options.tcp = true;
+    options.port = static_cast<uint16_t>(flags.GetUint("tcp", 0));
+  }
+  options.host = flags.Get("host", "127.0.0.1");
+  options.unix_path = flags.Get("unix");
+  if (!options.tcp && options.unix_path.empty()) {
+    std::fprintf(stderr, "serve: --tcp PORT and/or --unix PATH required\n");
+    return 2;
+  }
+  options.graph_root = flags.Get("graphs");
+  if (!ParseNamedGraphs(flags.Get("graph"), &options.named_graphs)) return 2;
+  if (options.graph_root.empty() && options.named_graphs.empty()) {
+    std::fprintf(stderr,
+                 "serve: --graphs DIR and/or --graph name=path required\n");
+    return 2;
+  }
+  options.workers = static_cast<int>(flags.GetUint("workers", 1));
+  options.max_queue = flags.GetUint("queue", 64);
+  options.catalog_capacity = flags.GetUint("catalog", 8);
+  options.shortest_job_first = flags.Has("sjf");
+  options.max_query_threads =
+      static_cast<int>(flags.GetUint("max-threads", 0));
+  // Test hook: lets the drain shell test hold a request in flight long
+  // enough to race SIGTERM against it deterministically.
+  if (const char* delay = std::getenv("TRILIST_SERVE_EXEC_DELAY_S")) {
+    options.debug_exec_delay_s = std::strtod(delay, nullptr);
+  }
+
+  auto server = serve::TriangleServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  g_serve_drain_fd = (*server)->DrainNotifyFd();
+  struct sigaction action = {};
+  action.sa_handler = HandleServeSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  if (options.tcp) {
+    std::printf("trilistd listening on %s:%u\n", options.host.c_str(),
+                (*server)->tcp_port());
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("trilistd listening on unix:%s\n",
+                options.unix_path.c_str());
+  }
+  std::fflush(stdout);  // readiness signal for scripted clients
+
+  (*server)->Wait();
+  const serve::ServerStats stats = (*server)->StatsSnapshot();
+  std::printf("trilistd drained: %llu ok, %llu rejected "
+              "(%llu overload, %llu draining), %llu errors\n",
+              static_cast<unsigned long long>(stats.responses_ok),
+              static_cast<unsigned long long>(stats.rejected_overload +
+                                              stats.rejected_draining),
+              static_cast<unsigned long long>(stats.rejected_overload),
+              static_cast<unsigned long long>(stats.rejected_draining),
+              static_cast<unsigned long long>(stats.errors));
+  return 0;
+}
+
+/// Connects per the --connect/--unix flags shared by query.
+Result<serve::ServeClient> ConnectFromFlags(const Flags& flags) {
+  const std::string unix_path = flags.Get("unix");
+  if (!unix_path.empty()) return serve::ServeClient::ConnectUnix(unix_path);
+  const std::string connect = flags.Get("connect");
+  const size_t colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "query: --connect HOST:PORT or --unix PATH required");
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port = static_cast<uint16_t>(
+      std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+  return serve::ServeClient::ConnectTcp(host, port);
+}
+
+int CmdQuery(const Flags& flags) {
+  auto connected = ConnectFromFlags(flags);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return connected.status().code() == StatusCode::kInvalidArgument ? 2 : 1;
+  }
+  serve::ServeClient client = std::move(connected).ValueOrDie();
+
+  if (flags.Has("stats")) {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(stats->c_str(), stdout);
+    return 0;
+  }
+
+  serve::QueryRequest request;
+  request.graph = flags.Get("graph");
+  if (request.graph.empty()) {
+    std::fprintf(stderr, "query: --graph NAME is required\n");
+    return 2;
+  }
+  PermutationKind order = PermutationKind::kDescending;
+  if (!flags.Get("order").empty() &&
+      !ParseOrder(flags.Get("order"), &order)) {
+    std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
+    return 2;
+  }
+  request.orient = OrientSpec{order, flags.GetUint("seed", 1)};
+  request.methods.clear();
+  if (!ParseMethodList(flags.Get("methods", "E1"), &request.methods)) {
+    return 2;
+  }
+  request.threads = static_cast<int32_t>(flags.GetUint("threads", 1));
+  request.repeats = static_cast<int32_t>(flags.GetUint("repeats", 1));
+
+  auto response = client.Query(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 response.status().message().c_str());
+    // Backpressure is an expected, retryable outcome; give scripts a
+    // distinct exit code for it.
+    if (client.last_failure_was_reply() &&
+        (client.last_error().code == serve::ErrorCode::kOverloaded ||
+         client.last_error().code == serve::ErrorCode::kDraining)) {
+      return 3;
+    }
+    return 1;
+  }
+
+  std::printf("%s (n=%llu m=%llu): %s graph, %s orientation, "
+              "predicted cost %.3g, queue wait %.3fs\n",
+              request.graph.c_str(),
+              static_cast<unsigned long long>(response->num_nodes),
+              static_cast<unsigned long long>(response->num_edges),
+              response->catalog_hit ? "warm" : "cold-loaded",
+              response->orientation_cached ? "cached" : "built",
+              response->predicted_cost, response->queue_wait_s);
+  std::printf("  stages:");
+  for (const serve::StageWall& stage : response->stages) {
+    std::printf(" %s %.3fs", stage.name.c_str(), stage.wall_s);
+  }
+  std::printf("\n");
+  for (const serve::MethodResult& m : response->methods) {
+    std::printf("  %-4s triangles %llu, paper-metric ops %.0f, "
+                "wall %.3fs%s\n",
+                MethodName(m.method),
+                static_cast<unsigned long long>(m.triangles), m.paper_ops,
+                m.wall_s, m.parallel ? " (parallel)" : "");
+  }
+  if (flags.Has("report")) std::fputs(response->report_json.c_str(), stdout);
+  return 0;
+}
+
 int CmdVersion() {
   const BuildInfo& info = GetBuildInfo();
   std::printf("%s\n", BuildInfoSummary());
@@ -579,7 +791,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: trilist_cli "
-      "<generate|count|run|model|advise|convert|info|version> "
+      "<generate|count|run|model|advise|convert|info|serve|query|version> "
       "[--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
@@ -600,6 +812,14 @@ int Usage() {
       "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
       "           [--threads N]   (--out *.tlg = binary, else text)\n"
       "  info     --in F.tlg\n"
+      "  serve    [--tcp PORT] [--host H] [--unix PATH] [--graphs DIR]\n"
+      "           [--graph name=path[,...]] [--workers N] [--queue N]\n"
+      "           [--catalog N] [--sjf] [--max-threads N]\n"
+      "           (trilistd: the triangle-query daemon; --tcp 0 binds an\n"
+      "            ephemeral port; SIGTERM drains gracefully)\n"
+      "  query    (--connect HOST:PORT | --unix PATH) --graph NAME\n"
+      "           [--methods ...] [--order O] [--seed S] [--threads N]\n"
+      "           [--repeats R] [--report] [--stats]\n"
       "  version  (build provenance: version, git hash, compiler, flags)\n");
   return 2;
 }
@@ -617,6 +837,8 @@ int main(int argc, char** argv) {
   if (cmd == "advise") return CmdAdvise(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "query") return CmdQuery(flags);
   if (cmd == "version" || cmd == "--version") return CmdVersion();
   return Usage();
 }

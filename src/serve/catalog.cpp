@@ -50,17 +50,21 @@ double CatalogEntry::PredictedCost(const OrientSpec& orient,
         kind == PermutationKind::kUniform ? orient.seed : 0;
     const auto key = std::make_tuple(static_cast<int>(kind), seed_key,
                                      static_cast<int>(m));
-    auto it = predicted_.find(key);
-    if (it == predicted_.end()) {
-      Rng rng(orient.seed);
-      const Permutation theta = MakePermutation(kind, n, &rng);
-      const double per_node =
-          SequenceConditionalCost(ascending_degrees_, theta, m);
-      it = predicted_
-               .emplace(key, per_node * static_cast<double>(n))
-               .first;
+    const auto it = predicted_.find(key);
+    if (it != predicted_.end()) {
+      total += it->second;
+      continue;
     }
-    total += it->second;
+    Rng rng(orient.seed);
+    const Permutation theta = MakePermutation(kind, n, &rng);
+    const double per_node =
+        SequenceConditionalCost(ascending_degrees_, theta, m);
+    const double cost = per_node * static_cast<double>(n);
+    // The uniform seed is part of the key, so a seed-sweeping client
+    // could grow this memo without bound — past the cap, estimates are
+    // recomputed instead of cached.
+    if (predicted_.size() < kMaxCostMemo) predicted_.emplace(key, cost);
+    total += cost;
   }
   return total;
 }
@@ -204,10 +208,13 @@ GraphCatalog::Oriented GraphCatalog::Orient(
   }
   {
     std::lock_guard<std::mutex> lock(entry->orient_mu_);
-    for (const auto& [cached_spec, oriented] : entry->built_) {
-      if (cached_spec == spec) {
-        out.oriented = oriented;
+    auto& built = entry->built_;
+    for (auto it = built.begin(); it != built.end(); ++it) {
+      if (it->first == spec) {
+        out.oriented = it->second;
         out.cached = true;
+        // LRU order: a hit moves to the back (warmest position).
+        std::rotate(it, it + 1, built.end());
         std::lock_guard<std::mutex> stats_lock(mu_);
         ++stats_.orientation_hits;
         return out;
@@ -217,7 +224,12 @@ GraphCatalog::Oriented GraphCatalog::Orient(
     out.oriented = OrientStages(entry->graph_, spec, threads, &clock);
     out.order_wall_s = clock.WallOf("order");
     out.orient_wall_s = clock.WallOf("orient");
-    entry->built_.emplace_back(spec, out.oriented);
+    // Each cached orientation is O(n + m); evict the coldest beyond the
+    // cap so a seed-sweeping client cannot inflate resident memory.
+    if (built.size() >= CatalogEntry::kMaxCachedOrientations) {
+      built.erase(built.begin());
+    }
+    built.emplace_back(spec, out.oriented);
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.orientations_built;

@@ -66,6 +66,16 @@ struct CatalogStats {
 /// every orientation built so far.
 class CatalogEntry {
  public:
+  /// Serve-time orientations cached per entry (LRU beyond this). Each
+  /// one is O(n + m) memory, so the cache must be bounded: a client
+  /// sweeping uniform seeds (every seed is a distinct OrientSpec) would
+  /// otherwise grow resident memory without limit.
+  static constexpr size_t kMaxCachedOrientations = 8;
+  /// Memoized Section-3 cost estimates per entry. Each is a few bytes,
+  /// but the key space includes the uniform seed, so it is bounded too;
+  /// past the cap estimates are computed without being cached.
+  static constexpr size_t kMaxCostMemo = 256;
+
   const std::string& name() const { return name_; }
   const Graph& graph() const { return graph_; }
   /// True when the entry is backed by an mmapped `.tlg` container.
@@ -99,7 +109,9 @@ class CatalogEntry {
   double load_wall_s_ = 0;
 
   /// Orientations built at serve time (beyond any embedded in the
-  /// container), plus the memoized cost model.
+  /// container), plus the memoized cost model. `built_` is kept in LRU
+  /// order (front = coldest) and capped at kMaxCachedOrientations;
+  /// `predicted_` is capped at kMaxCostMemo.
   std::mutex orient_mu_;
   std::vector<std::pair<OrientSpec, OrientedGraph>> built_;
   std::map<std::tuple<int, uint64_t, int>, double> predicted_;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -63,10 +64,30 @@ Result<Listener> ListenUnix(const std::string& path) {
   if (path.size() >= sizeof addr.sun_path) {
     return Status::InvalidArgument("unix socket path too long: " + path);
   }
-  const int fd = NewSocket(AF_UNIX);
-  if (fd < 0) return Errno("socket");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  // A socket file surviving a crash/SIGKILL would make every restart
+  // fail with EADDRINUSE. Probe it: if nothing accepts (ECONNREFUSED)
+  // the file is stale and safe to unlink; a live listener is left alone
+  // so two daemons can never fight over one path.
+  if (::access(path.c_str(), F_OK) == 0) {
+    const int probe = NewSocket(AF_UNIX);
+    if (probe >= 0) {
+      const int rc =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+      const bool stale = rc != 0 && errno == ECONNREFUSED;
+      CloseFd(probe);
+      if (rc == 0) {
+        return Status::InvalidArgument(
+            "unix socket in use by a live server: " + path);
+      }
+      if (stale) ::unlink(path.c_str());
+    }
+  }
+
+  const int fd = NewSocket(AF_UNIX);
+  if (fd < 0) return Errno("socket");
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const Status st = Errno("bind " + path);
     CloseFd(fd);
@@ -127,11 +148,26 @@ Status SendAll(int fd, const void* data, size_t size) {
     const ssize_t sent = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer is not draining its socket.
+        return Status::Internal("send timed out (peer not reading)");
+      }
       return Errno("send");
     }
     done += static_cast<size_t>(sent);
   }
   return Status::OK();
+}
+
+void SetSendTimeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 Status RecvAll(int fd, void* data, size_t size, bool* clean_eof) {

@@ -26,9 +26,10 @@ struct Listener {
 /// Port 0 picks an ephemeral port, reported in Listener::port.
 Result<Listener> ListenTcp(const std::string& host, uint16_t port);
 
-/// Binds and listens on a Unix-domain socket at `path`. The path must
-/// not exist (stale files from a previous run should be unlinked by the
-/// caller; per-test tmpdir paths make that automatic).
+/// Binds and listens on a Unix-domain socket at `path`. A stale socket
+/// file left by a crashed previous instance (one nothing is listening
+/// on — probed with connect()) is unlinked and rebound; a path with a
+/// live listener fails with EADDRINUSE as before.
 Result<Listener> ListenUnix(const std::string& path);
 
 /// Connects to a TCP endpoint.
@@ -38,7 +39,15 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port);
 Result<int> ConnectUnix(const std::string& path);
 
 /// Writes exactly `size` bytes, retrying on EINTR and short writes.
+/// If the socket has SO_SNDTIMEO set (see SetSendTimeout) and the peer
+/// stops draining, the blocked send fails with a timeout Status instead
+/// of blocking forever.
 Status SendAll(int fd, const void* data, size_t size);
+
+/// Applies SO_SNDTIMEO to `fd` so a send to a peer that never reads
+/// fails after `seconds` instead of blocking indefinitely. No-op when
+/// `seconds` <= 0. Best-effort: a failing setsockopt is ignored.
+void SetSendTimeout(int fd, double seconds);
 
 /// Reads exactly `size` bytes. A clean EOF before the first byte sets
 /// `*clean_eof` and returns OK with nothing read; EOF mid-buffer is an

@@ -118,13 +118,30 @@ void TriangleServer::Wait() {
     if (w.joinable()) w.join();
   }
   CloseAllConnections();
-  for (std::thread& r : readers_) {
+  // Readers still blocked in recv were unblocked by the shutdown above;
+  // extract the live set under the lock, join outside it (each reader's
+  // epilogue also takes mu_ to prune itself from the registry).
+  std::vector<std::thread> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, thread] : readers_) live.push_back(std::move(thread));
+    readers_.clear();
+  }
+  for (std::thread& r : live) {
     if (r.joinable()) r.join();
   }
-  for (const std::shared_ptr<Connection>& conn : connections_) {
-    CloseFd(conn->fd);
+  ReapFinishedReaders();
+  // Every reader has exited and every worker is joined, so each fd was
+  // reclaimed by MaybeCloseConnection; this sweep is belt-and-braces.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : connections_) {
+      std::lock_guard<std::mutex> conn_lock(conn->write_mu);
+      CloseFd(conn->fd);
+      conn->fd = -1;
+    }
+    connections_.clear();
   }
-  connections_.clear();
   if (!options_.unix_path.empty()) {
     ::unlink(options_.unix_path.c_str());
   }
@@ -155,14 +172,29 @@ void TriangleServer::AcceptLoop() {
     for (const int index : {tcp_index, unix_index}) {
       if (index < 0 || (fds[index].revents & POLLIN) == 0) continue;
       const int fd = ::accept(fds[index].fd, nullptr, nullptr);
-      if (fd < 0) continue;
+      if (fd < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED) {
+          continue;
+        }
+        // Persistent failures (EMFILE/ENFILE/ENOMEM) leave the listener
+        // readable, so an immediate re-poll would spin at 100% CPU.
+        // Back off briefly — on the drain pipe, so SIGTERM still wakes
+        // us instantly.
+        pollfd backoff = {drain_pipe_[0], POLLIN, 0};
+        ::poll(&backoff, 1, 100);
+        continue;
+      }
+      SetSendTimeout(fd, options_.send_timeout_s);
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       std::lock_guard<std::mutex> lock(mu_);
+      conn->id = next_conn_id_++;
       ++stats_.accepted_connections;
-      connections_.push_back(conn);
-      readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+      connections_[conn->id] = conn;
+      readers_[conn->id] = std::thread([this, conn] { ReaderLoop(conn); });
     }
+    ReapFinishedReaders();
   }
   BeginDrain();  // idempotent: covers poll-error exits
   CloseFd(listen_tcp_fd_);
@@ -202,7 +234,41 @@ void TriangleServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         break;
     }
   }
-  conn->dead.store(true);
+  // Reclaim: close the fd unless a worker still owes this connection a
+  // response (then the worker that sends the last one closes), and
+  // prune the registry so churn never accumulates dead entries. The
+  // thread handle moves to finished_readers_ for the accept loop (or
+  // Wait) to join — a thread cannot join itself.
+  conn->reader_done.store(true);
+  MaybeCloseConnection(conn);
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.erase(conn->id);
+  const auto it = readers_.find(conn->id);
+  if (it != readers_.end()) {
+    finished_readers_.push_back(std::move(it->second));
+    readers_.erase(it);
+  }
+}
+
+void TriangleServer::MaybeCloseConnection(
+    const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->fd >= 0 && conn->reader_done.load() &&
+      conn->in_flight.load() == 0) {
+    CloseFd(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void TriangleServer::ReapFinishedReaders() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& r : finished) {
+    if (r.joinable()) r.join();
+  }
 }
 
 void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
@@ -267,6 +333,10 @@ void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
       pending.seq = next_seq_++;
       pending.admitted.Start();
       ++stats_.requests_total;
+      // Pin the fd open for the worker that will send this response;
+      // the reader increments (it is the only thread that can), the
+      // replying worker decrements.
+      conn->in_flight.fetch_add(1);
       queue_.push_back(std::move(pending));
       stats_.queue_depth = queue_.size();
     }
@@ -306,7 +376,10 @@ void TriangleServer::WorkerLoop() {
       ++stats_.in_flight;
       pending.queue_wait_s = pending.admitted.ElapsedSeconds();
     }
+    const std::shared_ptr<Connection> conn = pending.conn;
     Execute(std::move(pending));
+    conn->in_flight.fetch_sub(1);
+    MaybeCloseConnection(conn);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --stats_.in_flight;
@@ -405,9 +478,15 @@ QueryResponse TriangleServer::BuildResponse(const Pending& pending,
 void TriangleServer::Reply(const std::shared_ptr<Connection>& conn,
                            const std::string& payload) {
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (conn->dead.load()) return;
+  if (conn->dead.load() || conn->fd < 0) return;
   const Status st = SendFrame(conn->fd, payload);
-  if (!st.ok()) conn->dead.store(true);
+  if (!st.ok()) {
+    // Broken pipe or SO_SNDTIMEO expiry (peer not reading). Mark the
+    // connection dead and kick its reader out of recv so the fd is
+    // reclaimed instead of lingering until shutdown.
+    conn->dead.store(true);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
 }
 
 void TriangleServer::ReplyError(const std::shared_ptr<Connection>& conn,
@@ -427,11 +506,16 @@ void TriangleServer::CloseAllConnections() {
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    conns = connections_;
+    conns.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) conns.push_back(conn);
   }
   for (const std::shared_ptr<Connection>& conn : conns) {
     conn->dead.store(true);
-    ::shutdown(conn->fd, SHUT_RDWR);
+    // Under write_mu: a reader may be reclaiming (closing) this fd
+    // concurrently, and shutdown on a reused descriptor would hit an
+    // unrelated connection.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   }
 }
 
@@ -440,6 +524,7 @@ ServerStats TriangleServer::StatsSnapshot() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
+    out.open_connections = connections_.size();
   }
   out.catalog = catalog_->StatsSnapshot();
   return out;
@@ -463,6 +548,10 @@ std::string TriangleServer::StatsPrometheus() const {
   w.Counter("trilist_serve_connections_total", "Accepted connections");
   w.Sample("trilist_serve_connections_total",
            static_cast<double>(stats.accepted_connections));
+  w.Gauge("trilist_serve_connections_open",
+          "Connections accepted and not yet reclaimed");
+  w.Sample("trilist_serve_connections_open",
+           static_cast<double>(stats.open_connections));
   w.Counter("trilist_serve_requests_total",
             "Query requests admitted to the queue");
   w.Sample("trilist_serve_requests_total",

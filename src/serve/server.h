@@ -80,6 +80,10 @@ struct ServerOptions {
   /// Cap on per-query `repeats` (a hostile client must not buy
   /// unbounded CPU with one cheap frame).
   int max_repeats = 1000;
+  /// SO_SNDTIMEO applied to accepted sockets: a client that sends
+  /// queries but never drains its responses fails the send after this
+  /// long instead of wedging a worker forever (<= 0 disables).
+  double send_timeout_s = 30;
 
   /// Graph registry (see CatalogOptions).
   size_t catalog_capacity = 8;
@@ -102,6 +106,7 @@ struct ServerStats {
   uint64_t errors = 0;           ///< non-backpressure error replies.
   size_t queue_depth = 0;
   size_t in_flight = 0;          ///< requests currently executing.
+  size_t open_connections = 0;   ///< connections not yet reclaimed.
   CatalogStats catalog;
 };
 
@@ -145,10 +150,19 @@ class TriangleServer {
  private:
   /// One accepted connection; readers and workers share it by
   /// shared_ptr so a response can outlive the reader.
+  ///
+  /// Reclamation protocol: the fd is closed by whoever observes the
+  /// connection quiescent — the reader when it exits with no queries in
+  /// flight, or the worker that sends the last in-flight response after
+  /// the reader has exited. The close itself runs under `write_mu`, so a
+  /// worker mid-SendFrame can never race a close onto a reused fd.
   struct Connection {
-    int fd = -1;
+    uint64_t id = 0;      ///< registry key in connections_ / readers_.
+    int fd = -1;          ///< -1 once reclaimed; guarded by write_mu.
     std::mutex write_mu;  ///< responses from workers may interleave.
     std::atomic<bool> dead{false};
+    std::atomic<int> in_flight{0};  ///< admitted queries not yet replied.
+    std::atomic<bool> reader_done{false};
   };
 
   /// One admitted query waiting for (or holding) a worker.
@@ -179,6 +193,12 @@ class TriangleServer {
   void ReplyError(const std::shared_ptr<Connection>& conn, ErrorCode code,
                   const std::string& message);
   void CloseAllConnections();
+  /// Closes conn->fd iff the reader has exited and no query is in
+  /// flight; safe to call from any thread, any number of times.
+  void MaybeCloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Joins reader threads that have already finished (cheap; called from
+  /// the accept loop so churn never accumulates unjoined threads).
+  void ReapFinishedReaders();
 
   ServerOptions options_;
   std::unique_ptr<GraphCatalog> catalog_;
@@ -204,8 +224,13 @@ class TriangleServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::vector<std::thread> readers_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  /// Live connection registry, pruned by each reader on exit so a
+  /// long-running daemon under connection churn holds only live entries
+  /// (all guarded by mu_).
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+  std::map<uint64_t, std::thread> readers_;
+  std::vector<std::thread> finished_readers_;  ///< awaiting a join.
+  uint64_t next_conn_id_ = 0;
   bool joined_ = false;
 };
 

@@ -1,7 +1,11 @@
+#include <dirent.h>
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -14,6 +18,7 @@
 #include "src/serve/catalog.h"
 #include "src/serve/client.h"
 #include "src/serve/latency_histogram.h"
+#include "src/serve/net.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/serve/wire.h"
@@ -489,6 +494,142 @@ TEST(ServerTest, LruEvictionKeepsCapacityAndInFlightSafety) {
   EXPECT_EQ(stats.catalog.evictions, 3u);
 }
 
+/// Open descriptors of this process (0 when /proc is unavailable).
+size_t CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+/// Polls the stats snapshot until `predicate` holds (or ~2 s elapse).
+template <typename Predicate>
+bool WaitForStats(const TriangleServer& server, Predicate predicate) {
+  for (int i = 0; i < 400; ++i) {
+    if (predicate(server.StatsSnapshot())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// Regression: a long-running daemon under connection churn must reclaim
+// each connection's fd, registry entry and reader thread when the client
+// disconnects — not hold them until shutdown (which exhausts
+// RLIMIT_NOFILE under e.g. a per-scrape monitoring poller).
+TEST(ServerTest, ConnectionChurnReclaimsFdsAndRegistryEntries) {
+  const std::string path = WriteK4File("churn_k4.txt");
+  auto server = StartUnixServer("churn", {{"k4", path}}, ServerOptions{});
+
+  QueryRequest request;
+  request.graph = "k4";
+  {
+    // Warm the catalog so churn below measures connection cost only.
+    ServeClient warmup = MustConnect(*server);
+    ASSERT_TRUE(warmup.Query(request).ok());
+  }
+  ASSERT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.open_connections == 0;
+  }));
+
+  const size_t fds_before = CountOpenFds();
+  constexpr int kChurn = 32;
+  for (int i = 0; i < kChurn; ++i) {
+    ServeClient client = MustConnect(*server);
+    EXPECT_TRUE(client.Ping().ok());
+    // Every fourth connection also runs a query, so reclamation is
+    // exercised on the worker reply path, not just the reader path.
+    if (i % 4 == 0) {
+      EXPECT_TRUE(client.Query(request).ok());
+    }
+    // ~ServeClient closes the socket: the server sees EOF and reclaims.
+  }
+  EXPECT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.open_connections == 0;
+  }));
+  EXPECT_EQ(server->StatsSnapshot().accepted_connections,
+            static_cast<uint64_t>(kChurn) + 1);
+  if (fds_before != 0) {
+    // No fd growth proportional to churn (slack for transient state).
+    EXPECT_LE(CountOpenFds(), fds_before + 2);
+  }
+}
+
+// Regression: a client that sends queries but never reads its responses
+// must not wedge the replying thread forever — SO_SNDTIMEO fails the
+// blocked send, the connection is reclaimed, and drain still completes.
+TEST(ServerTest, SlowReaderTimesOutAndIsReclaimed) {
+  const std::string path = WriteK4File("slow_k4.txt");
+  ServerOptions options;
+  options.send_timeout_s = 0.2;
+  auto server = StartUnixServer("slow", {{"k4", path}}, options);
+
+  Result<int> fd = ConnectUnix(server->unix_path());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ::fcntl(*fd, F_SETFL, O_NONBLOCK);
+
+  // One raw ping frame: u32 little-endian length prefix + payload.
+  const std::string payload = EncodeEmpty(MsgType::kPing);
+  std::string frame;
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  frame += payload;
+
+  // Spam pings while reading nothing: pong replies back up until the
+  // server's send blocks past the timeout, after which it marks the
+  // connection dead and shuts it down — observed here as a send failure
+  // (EPIPE/ECONNRESET) on our side.
+  bool server_gave_up = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t sent =
+        ::send(*fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    if (sent >= 0) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    server_gave_up = true;
+    break;
+  }
+  EXPECT_TRUE(server_gave_up);
+  EXPECT_TRUE(WaitForStats(*server, [](const ServerStats& s) {
+    return s.open_connections == 0;
+  }));
+  CloseFd(*fd);
+
+  // The old blocking send held Wait() hostage forever here.
+  server->BeginDrain();
+  server->Wait();
+}
+
+// Regression: a socket file left behind by a crashed/SIGKILLed daemon
+// must not make the next start fail with EADDRINUSE; a live listener's
+// path must still be protected.
+TEST(NetTest, StaleUnixSocketIsRecoveredButLiveOneIsProtected) {
+  const std::string path = ::testing::TempDir() + "trilist_stale_" +
+                           std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+
+  // Crash simulation: bind, then drop the listener without unlinking.
+  Result<Listener> first = ListenUnix(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  CloseFd(first->fd);
+
+  Result<Listener> second = ListenUnix(path);
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+
+  Result<Listener> third = ListenUnix(path);
+  EXPECT_FALSE(third.ok());
+
+  if (second.ok()) CloseFd(second->fd);
+  ::unlink(path.c_str());
+}
+
 TEST(ServerTest, UnknownGraphIsNotFound) {
   const std::string path = WriteK4File("nf_k4.txt");
   auto server = StartUnixServer("notfound", {{"k4", path}}, ServerOptions{});
@@ -622,6 +763,40 @@ TEST(CatalogTest, PredictedCostGrowsWithGraphAndMethodSet) {
   EXPECT_GT(two_methods, small_cost);
   // Memoized: asking again returns the identical value.
   EXPECT_EQ(small_cost, small->entry->PredictedCost(spec, {Method::kE1}));
+}
+
+// Regression: serve-time orientations are O(n + m) each and keyed by
+// OrientSpec (every uniform seed distinct), so the per-entry cache must
+// be a bounded LRU — a seed-sweeping client must not grow resident
+// memory without limit.
+TEST(CatalogTest, OrientationCacheIsBoundedLru) {
+  const std::string k4 = WriteK4File("lrucap_k4.txt");
+  CatalogOptions options;
+  options.named = {{"k4", k4}};
+  GraphCatalog catalog(options);
+
+  ErrorCode code;
+  auto acquired = catalog.Acquire("k4", &code);
+  ASSERT_TRUE(acquired.ok());
+  const auto orient = [&](uint64_t seed) {
+    return catalog.Orient(acquired->entry,
+                          OrientSpec{PermutationKind::kUniform, seed}, 1);
+  };
+
+  const uint64_t cap = CatalogEntry::kMaxCachedOrientations;
+  for (uint64_t seed = 1; seed <= cap; ++seed) {
+    EXPECT_FALSE(orient(seed).cached);
+  }
+  EXPECT_EQ(catalog.StatsSnapshot().orientations_built, cap);
+
+  EXPECT_TRUE(orient(cap).cached);       // still resident
+  EXPECT_FALSE(orient(cap + 1).cached);  // evicts the coldest (seed 1)
+  EXPECT_TRUE(orient(cap).cached);       // the hit above kept it warm
+  EXPECT_FALSE(orient(1).cached);        // seed 1 was evicted, rebuilds
+
+  const CatalogStats stats = catalog.StatsSnapshot();
+  EXPECT_EQ(stats.orientations_built, cap + 2);
+  EXPECT_EQ(stats.orientation_hits, 2u);
 }
 
 TEST(CatalogTest, EvictedEntryStaysUsableThroughHeldReference) {

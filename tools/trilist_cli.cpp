@@ -69,7 +69,7 @@
 ///   trilist_cli serve [--tcp PORT] [--host H] [--unix PATH]
 ///                     [--graphs DIR] [--graph name=path[,name=path...]]
 ///                     [--workers N] [--queue N] [--catalog N] [--sjf]
-///                     [--max-threads N]
+///                     [--max-threads N] [--send-timeout SEC]
 ///       Run trilistd: the long-running triangle-query daemon
 ///       (src/serve/server.h). Serves the versioned binary protocol over
 ///       TCP and/or a Unix-domain socket, keeps an LRU catalog of
@@ -648,6 +648,7 @@ int CmdServe(const Flags& flags) {
   options.shortest_job_first = flags.Has("sjf");
   options.max_query_threads =
       static_cast<int>(flags.GetUint("max-threads", 0));
+  options.send_timeout_s = flags.GetDouble("send-timeout", 30);
   // Test hook: lets the drain shell test hold a request in flight long
   // enough to race SIGTERM against it deterministically.
   if (const char* delay = std::getenv("TRILIST_SERVE_EXEC_DELAY_S")) {
@@ -814,7 +815,7 @@ int Usage() {
       "  info     --in F.tlg\n"
       "  serve    [--tcp PORT] [--host H] [--unix PATH] [--graphs DIR]\n"
       "           [--graph name=path[,...]] [--workers N] [--queue N]\n"
-      "           [--catalog N] [--sjf] [--max-threads N]\n"
+      "           [--catalog N] [--sjf] [--max-threads N] [--send-timeout SEC]\n"
       "           (trilistd: the triangle-query daemon; --tcp 0 binds an\n"
       "            ephemeral port; SIGTERM drains gracefully)\n"
       "  query    (--connect HOST:PORT | --unix PATH) --graph NAME\n"

@@ -4,10 +4,10 @@
 #include <type_traits>
 
 #include "src/algo/sei_common.h"
+#include "src/algo/simd/intersect_engine.h"
 
 namespace trilist {
 
-using sei::MergeIntersect;
 using sei::PrefixBelow;
 using sei::SuffixAbove;
 
@@ -20,12 +20,41 @@ struct NoHook {};
 template <typename Hook>
 constexpr bool kHooked = !std::is_same_v<Hook, NoHook>;
 
+/// Default intersection policy: the shared scalar merge, with the hub and
+/// window arguments compiled away — the zero-overhead path every caller
+/// without an engine gets (bit-identical to the pre-backend kernels).
+struct DirectMerge {
+  template <typename Emit>
+  void operator()(std::span<const NodeId> a, simd::SpanOwner,
+                  std::span<const NodeId> b, simd::SpanOwner, NodeId,
+                  NodeId, int64_t* comparisons, Emit&& emit) const {
+    sei::MergeIntersect(a, b, comparisons, emit);
+  }
+};
+
+/// Engine-backed policy: routes every intersection, with its row owners
+/// and value window, through the selected backend.
+struct EngineIsect {
+  simd::IntersectEngine* engine;
+  template <typename Emit>
+  void operator()(std::span<const NodeId> a, simd::SpanOwner oa,
+                  std::span<const NodeId> b, simd::SpanOwner ob, NodeId lo,
+                  NodeId hi, int64_t* comparisons, Emit&& emit) const {
+    engine->Intersect(a, oa, b, ob, lo, hi, comparisons, emit);
+  }
+};
+
 // Attribution (Table 1): the local range is charged to the node whose
 // list it is (always the outer node, accumulated across its arcs); the
 // remote range is charged to the remote endpoint, one Record per arc.
+//
+// Window arguments (see intersect_engine.h): each kernel's two operand
+// spans are row restrictions to one label interval — [0, y) for E1/E2,
+// (y, n) for E3/E5, (x, z) for E4/E6.
 
-template <typename Hook>
-OpCounts RunE1Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE1Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
@@ -42,18 +71,20 @@ OpCounts RunE1Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(y, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId x) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {z, true}, remote, {y, true}, 0, y,
+            &ops.merge_comparisons, [&](NodeId x) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(z, local_total);
   }
   return ops;
 }
 
-template <typename Hook>
-OpCounts RunE2Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE2Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
@@ -68,18 +99,20 @@ OpCounts RunE2Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(z, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId x) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {y, true}, remote, {z, true}, 0, y,
+            &ops.merge_comparisons, [&](NodeId x) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(y, local_total);
   }
   return ops;
 }
 
-template <typename Hook>
-OpCounts RunE3Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE3Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
@@ -96,18 +129,20 @@ OpCounts RunE3Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(y, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId z) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {x, false}, remote, {y, false}, y + 1,
+            static_cast<NodeId>(n), &ops.merge_comparisons, [&](NodeId z) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(x, local_total);
   }
   return ops;
 }
 
-template <typename Hook>
-OpCounts RunE4Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE4Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t zi = 0; zi < n; ++zi) {
@@ -124,18 +159,20 @@ OpCounts RunE4Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(x, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId y) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {z, true}, remote, {x, false}, x + 1, z,
+            &ops.merge_comparisons, [&](NodeId y) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(z, local_total);
   }
   return ops;
 }
 
-template <typename Hook>
-OpCounts RunE5Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE5Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t yi = 0; yi < n; ++yi) {
@@ -153,18 +190,20 @@ OpCounts RunE5Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(x, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId z) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {y, false}, remote, {x, false}, y + 1,
+            static_cast<NodeId>(n), &ops.merge_comparisons, [&](NodeId z) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(y, local_total);
   }
   return ops;
 }
 
-template <typename Hook>
-OpCounts RunE6Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
+template <typename Hook, typename Isect>
+OpCounts RunE6Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook,
+                   Isect isect) {
   OpCounts ops;
   const size_t n = g.num_nodes();
   for (size_t xi = 0; xi < n; ++xi) {
@@ -182,52 +221,52 @@ OpCounts RunE6Impl(const OrientedGraph& g, TriangleSink* sink, Hook hook) {
         local_total += static_cast<int64_t>(local.size());
         hook->Record(z, static_cast<int64_t>(remote.size()));
       }
-      MergeIntersect(local, remote, &ops.merge_comparisons, [&](NodeId y) {
-        ++ops.triangles;
-        sink->Consume(x, y, z);
-      });
+      isect(local, {x, false}, remote, {z, true}, x + 1, z,
+            &ops.merge_comparisons, [&](NodeId y) {
+              ++ops.triangles;
+              sink->Consume(x, y, z);
+            });
     }
     if constexpr (kHooked<Hook>) hook->Record(x, local_total);
   }
   return ops;
 }
 
+/// Four-way dispatch shared by the six public pairs: hooked or not,
+/// engine-backed or the direct merge path.
+template <typename Impl>
+OpCounts Dispatch(Impl impl, NodeOpsHook* hook,
+                  simd::IntersectEngine* engine) {
+  if (engine != nullptr &&
+      engine->backend() != IntersectBackend::kMerge) {
+    return hook != nullptr ? impl(hook, EngineIsect{engine})
+                           : impl(NoHook{}, EngineIsect{engine});
+  }
+  return hook != nullptr ? impl(hook, DirectMerge{})
+                         : impl(NoHook{}, DirectMerge{});
+}
+
 }  // namespace
 
-OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE1Impl(g, sink, hook)
-                         : RunE1Impl(g, sink, NoHook{});
-}
+#define TRILIST_DEFINE_SEI(NAME)                                         \
+  OpCounts NAME(const OrientedGraph& g, TriangleSink* sink,              \
+                NodeOpsHook* hook) {                                     \
+    return NAME(g, sink, nullptr, hook);                                 \
+  }                                                                      \
+  OpCounts NAME(const OrientedGraph& g, TriangleSink* sink,              \
+                simd::IntersectEngine* engine, NodeOpsHook* hook) {      \
+    return Dispatch(                                                     \
+        [&](auto h, auto isect) { return NAME##Impl(g, sink, h, isect); }, \
+        hook, engine);                                                   \
+  }
 
-OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE2Impl(g, sink, hook)
-                         : RunE2Impl(g, sink, NoHook{});
-}
+TRILIST_DEFINE_SEI(RunE1)
+TRILIST_DEFINE_SEI(RunE2)
+TRILIST_DEFINE_SEI(RunE3)
+TRILIST_DEFINE_SEI(RunE4)
+TRILIST_DEFINE_SEI(RunE5)
+TRILIST_DEFINE_SEI(RunE6)
 
-OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE3Impl(g, sink, hook)
-                         : RunE3Impl(g, sink, NoHook{});
-}
-
-OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE4Impl(g, sink, hook)
-                         : RunE4Impl(g, sink, NoHook{});
-}
-
-OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE5Impl(g, sink, hook)
-                         : RunE5Impl(g, sink, NoHook{});
-}
-
-OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink,
-               NodeOpsHook* hook) {
-  return hook != nullptr ? RunE6Impl(g, sink, hook)
-                         : RunE6Impl(g, sink, NoHook{});
-}
+#undef TRILIST_DEFINE_SEI
 
 }  // namespace trilist

@@ -30,26 +30,49 @@
 /// another node's outer iteration), so per-node sums reproduce the
 /// local-class + remote-class cost of each node exactly. nullptr — the
 /// default — selects a hook-free instantiation with zero overhead.
+///
+/// Each method has a second overload taking a simd::IntersectEngine,
+/// which routes every intersection through the engine's selected backend
+/// (vectorized merge, hub bitmaps, galloping — see intersect_engine.h).
+/// A null engine, or one configured for the default merge backend,
+/// selects the exact same direct-merge instantiation as the two-argument
+/// form. Triangles and emission order are identical for every backend.
 
 namespace trilist {
+
+namespace simd {
+class IntersectEngine;
+}  // namespace simd
 
 /// E1: visit z; for y in N+(z), intersect N+(z) below y with N+(y).
 OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE1(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 /// E2: visit y; for z in N-(y), intersect N+(y) with N+(z) below y.
 OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE2(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 /// E3: visit x; for y in N-(x), intersect N-(x) above y with N-(y).
 OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE3(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 /// E4: visit z; for x in N+(z), intersect N+(z) above x with N-(x) below z.
 OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE4(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 /// E5: visit y; for x in N+(y), intersect N-(y) with N-(x) above y.
 OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE5(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 /// E6: visit x; for z in N-(x), intersect N-(x) below z with N+(z) above x.
 OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink,
                NodeOpsHook* hook = nullptr);
+OpCounts RunE6(const OrientedGraph& g, TriangleSink* sink,
+               simd::IntersectEngine* engine, NodeOpsHook* hook);
 
 }  // namespace trilist

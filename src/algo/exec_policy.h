@@ -1,17 +1,46 @@
 #pragma once
 
+#include <memory>
+
 /// \file exec_policy.h
-/// Execution policy for listing runs: how many threads to use and how
-/// finely to over-decompose the work. Lives in its own header so the
+/// Execution policy for listing runs: how many threads to use, how finely
+/// to over-decompose the work, and which intersection backend the
+/// scanning edge iterators run on. Lives in its own header so the
 /// registry can accept a policy without depending on the engine.
 
 namespace trilist {
 
-/// \brief Concurrency knobs for RunMethod / RunMethodParallel.
+namespace simd {
+class BitmapIndex;
+}  // namespace simd
+
+/// \brief Sorted-span intersection backend of the SEI kernels (E1..E6,
+/// serial and parallel). Every backend emits the same triangles in the
+/// same order; kMerge, kSimd and kBitmap additionally report bit-identical
+/// merge_comparisons (the SIMD and bitmap kernels account the
+/// scalar-equivalent count), while kGallop and kAuto report the probe
+/// counts their own algorithms actually execute.
+enum class IntersectBackend {
+  kMerge = 0,  ///< scalar two-pointer merge (the reference; the default).
+  kGallop,     ///< galloping search, best under extreme length asymmetry.
+  kAuto,       ///< ratio-adaptive merge/gallop pick.
+  kSimd,       ///< vectorized block merge (AVX2/AVX-512, CPUID-dispatched).
+  kBitmap,     ///< degree-partitioned: hub bitmaps word-AND / bit-probe,
+               ///< low-degree rows on the vectorized merge.
+};
+
+/// Name of a backend ("merge", "gallop", "auto", "simd", "bitmap").
+const char* IntersectBackendName(IntersectBackend backend);
+
+/// Parses a backend name; returns false (leaving *out untouched) on an
+/// unknown name.
+bool ParseIntersectBackend(const char* name, IntersectBackend* out);
+
+/// \brief Concurrency + kernel knobs for RunMethod / RunMethodParallel.
 ///
-/// The default policy (threads = 1) is exactly the serial engine: same
-/// code path, same counters, same emission order, so existing callers and
-/// all paper tables are unaffected.
+/// The default policy (threads = 1, intersect = kMerge) is exactly the
+/// serial reference engine: same code path, same counters, same emission
+/// order, so existing callers and all paper tables are unaffected.
 struct ExecPolicy {
   /// Total worker threads (the calling thread included). Values <= 1 run
   /// serial; 0 is treated as 1, not as "auto" — ask HardwareThreads()
@@ -22,6 +51,19 @@ struct ExecPolicy {
   /// space into `threads * chunks_per_thread` equal-cost chunks so a
   /// straggler chunk cannot idle the rest of the pool. Clamped to >= 1.
   int chunks_per_thread = 8;
+
+  /// Intersection backend of the scanning edge iterators.
+  IntersectBackend intersect = IntersectBackend::kMerge;
+
+  /// kBitmap only: degree threshold above which a row gets a packed
+  /// bitmap; <= 0 picks the auto threshold max(64, n/64) (see
+  /// simd::BitmapIndex::Options).
+  int bitmap_min_degree = 0;
+
+  /// kBitmap only: a prebuilt index to reuse across methods and repeats
+  /// (the Runner builds one per oriented graph under the "bitmap" stage).
+  /// Null = the dispatch layer builds a transient index per run.
+  std::shared_ptr<const simd::BitmapIndex> bitmap_index;
 };
 
 }  // namespace trilist

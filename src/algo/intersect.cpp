@@ -2,38 +2,19 @@
 
 #include <algorithm>
 
+#include "src/algo/simd/intersect_simd.h"
+
 namespace trilist {
 
-int64_t IntersectMerge(std::span<const NodeId> a, std::span<const NodeId> b,
-                       void (*emit)(NodeId, void*), void* ctx) {
+namespace intersect_internal {
+
+int64_t GallopLowerBound(std::span<const NodeId> list, size_t lo, NodeId key,
+                         size_t* found) {
   int64_t comparisons = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    ++comparisons;
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      if (emit != nullptr) emit(a[i], ctx);
-      ++i;
-      ++j;
-    }
-  }
-  return comparisons;
-}
-
-namespace {
-
-/// Gallops for `key` in list[lo..): returns the first index with
-/// list[idx] >= key; adds probe count to *comparisons.
-size_t GallopLowerBound(std::span<const NodeId> list, size_t lo, NodeId key,
-                        int64_t* comparisons) {
   size_t step = 1;
   size_t hi = lo;
   while (hi < list.size() && list[hi] < key) {
-    ++*comparisons;
+    ++comparisons;
     lo = hi + 1;
     hi += step;
     step *= 2;
@@ -41,7 +22,7 @@ size_t GallopLowerBound(std::span<const NodeId> list, size_t lo, NodeId key,
   hi = std::min(hi, list.size());
   // Binary search in (lo-1, hi].
   while (lo < hi) {
-    ++*comparisons;
+    ++comparisons;
     const size_t mid = lo + (hi - lo) / 2;
     if (list[mid] < key) {
       lo = mid + 1;
@@ -49,71 +30,84 @@ size_t GallopLowerBound(std::span<const NodeId> list, size_t lo, NodeId key,
       hi = mid;
     }
   }
-  return lo;
+  *found = lo;
+  return comparisons;
 }
 
+}  // namespace intersect_internal
+
+namespace {
+
+/// Adapts a nullable C callback to the templated kernels' emit concept.
+struct CallbackEmit {
+  void (*emit)(NodeId, void*);
+  void* ctx;
+  void operator()(NodeId x) const {
+    if (emit != nullptr) emit(x, ctx);
+  }
+};
+
 }  // namespace
+
+int64_t IntersectMerge(std::span<const NodeId> a, std::span<const NodeId> b,
+                       void (*emit)(NodeId, void*), void* ctx) {
+  return IntersectMergeT(a, b, CallbackEmit{emit, ctx});
+}
 
 int64_t IntersectGallop(std::span<const NodeId> a,
                         std::span<const NodeId> b,
                         void (*emit)(NodeId, void*), void* ctx) {
-  // Keep `a` as the shorter list.
-  if (a.size() > b.size()) std::swap(a, b);
-  int64_t comparisons = 0;
-  size_t cursor = 0;
-  for (const NodeId key : a) {
-    cursor = GallopLowerBound(b, cursor, key, &comparisons);
-    if (cursor >= b.size()) break;
-    ++comparisons;
-    if (b[cursor] == key) {
-      if (emit != nullptr) emit(key, ctx);
-      ++cursor;
-    }
-  }
-  return comparisons;
+  return IntersectGallopT(a, b, CallbackEmit{emit, ctx});
 }
 
 int64_t IntersectAuto(std::span<const NodeId> a, std::span<const NodeId> b,
                       void (*emit)(NodeId, void*), void* ctx) {
-  // Empty input: nothing to intersect, zero comparisons, and no kernel
-  // dispatch (the ratio below would divide by zero).
-  if (a.empty() || b.empty()) return 0;
-  const size_t small = std::min(a.size(), b.size());
-  const size_t large = std::max(a.size(), b.size());
-  // Gallop strictly above the 32x ratio. Compare multiplicatively:
-  // `large / small > 32` truncates, wrongly sending e.g. 65-vs-2 (32.5x)
-  // to the merge kernel.
-  if (large > 32 * small) return IntersectGallop(a, b, emit, ctx);
-  return IntersectMerge(a, b, emit, ctx);
+  return IntersectAutoT(a, b, CallbackEmit{emit, ctx});
+}
+
+int64_t IntersectSimd(std::span<const NodeId> a, std::span<const NodeId> b,
+                      void (*emit)(NodeId, void*), void* ctx) {
+  return simd::IntersectSimdT(a, b, CallbackEmit{emit, ctx});
 }
 
 namespace {
-void CountEmit(NodeId, void* ctx) {
-  ++*static_cast<int64_t*>(ctx);
-}
 
-template <int64_t (*Kernel)(std::span<const NodeId>, std::span<const NodeId>,
-                            void (*)(NodeId, void*), void*)>
-int64_t CountWith(std::span<const NodeId> a, std::span<const NodeId> b) {
+template <typename Kernel>
+int64_t CountWith(Kernel kernel, std::span<const NodeId> a,
+                  std::span<const NodeId> b) {
   int64_t matches = 0;
-  Kernel(a, b, &CountEmit, &matches);
+  kernel(a, b, [&matches](NodeId) { ++matches; });
   return matches;
 }
+
 }  // namespace
 
 int64_t CountIntersectMerge(std::span<const NodeId> a,
                             std::span<const NodeId> b) {
-  return CountWith<IntersectMerge>(a, b);
+  return CountWith(
+      [](auto x, auto y, auto&& e) { return IntersectMergeT(x, y, e); }, a,
+      b);
 }
 
 int64_t CountIntersectGallop(std::span<const NodeId> a,
                              std::span<const NodeId> b) {
-  return CountWith<IntersectGallop>(a, b);
+  return CountWith(
+      [](auto x, auto y, auto&& e) { return IntersectGallopT(x, y, e); }, a,
+      b);
 }
 
 int64_t CountIntersectAuto(std::span<const NodeId> a,
                            std::span<const NodeId> b) {
-  return CountWith<IntersectAuto>(a, b);
+  return CountWith(
+      [](auto x, auto y, auto&& e) { return IntersectAutoT(x, y, e); }, a,
+      b);
+}
+
+int64_t CountIntersectSimd(std::span<const NodeId> a,
+                           std::span<const NodeId> b) {
+  return CountWith(
+      [](auto x, auto y, auto&& e) { return simd::IntersectSimdT(x, y, e); },
+      a, b);
 }
 
 }  // namespace trilist

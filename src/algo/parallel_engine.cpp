@@ -6,6 +6,7 @@
 
 #include "src/algo/registry.h"
 #include "src/algo/sei_common.h"
+#include "src/algo/simd/intersect_engine.h"
 #include "src/obs/trace.h"
 #include "src/util/parallel_for.h"
 #include "src/util/status.h"
@@ -134,8 +135,24 @@ void RunSliceT2(const OrientedGraph& g, const DirectedEdgeSet& arcs,
   }
 }
 
+/// One backend-routed intersection of a slice; a null engine is the
+/// direct scalar merge (the default path, bit-identical to the serial
+/// kernels — which route through the very same seam).
+template <typename Emit>
+void SliceIntersect(simd::IntersectEngine* engine,
+                    std::span<const NodeId> a, simd::SpanOwner oa,
+                    std::span<const NodeId> b, simd::SpanOwner ob,
+                    NodeId lo, NodeId hi, int64_t* comparisons,
+                    Emit&& emit) {
+  if (engine != nullptr) {
+    engine->Intersect(a, oa, b, ob, lo, hi, comparisons, emit);
+  } else {
+    sei::MergeIntersect(a, b, comparisons, emit);
+  }
+}
+
 void RunSliceE1(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
-                ChunkResult* out) {
+                ChunkResult* out, simd::IntersectEngine* engine) {
   const auto outs = g.OutNeighbors(z);
   for (size_t idx = p0; idx < p1; ++idx) {
     const NodeId y = outs[idx];
@@ -143,16 +160,16 @@ void RunSliceE1(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
     const auto remote = g.OutNeighbors(y);
     out->ops.local_scans += static_cast<int64_t>(local.size());
     out->ops.remote_scans += static_cast<int64_t>(remote.size());
-    sei::MergeIntersect(local, remote, &out->ops.merge_comparisons,
-                        [&](NodeId x) {
-                          ++out->ops.triangles;
-                          out->triangles.push_back({x, y, z});
-                        });
+    SliceIntersect(engine, local, {z, true}, remote, {y, true}, 0, y,
+                   &out->ops.merge_comparisons, [&](NodeId x) {
+                     ++out->ops.triangles;
+                     out->triangles.push_back({x, y, z});
+                   });
   }
 }
 
 void RunSliceE4(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
-                ChunkResult* out) {
+                ChunkResult* out, simd::IntersectEngine* engine) {
   const auto outs = g.OutNeighbors(z);
   for (size_t idx = p0; idx < p1; ++idx) {
     const NodeId x = outs[idx];
@@ -160,22 +177,23 @@ void RunSliceE4(const OrientedGraph& g, NodeId z, size_t p0, size_t p1,
     const auto remote = sei::PrefixBelow(g.InNeighbors(x), z);
     out->ops.local_scans += static_cast<int64_t>(local.size());
     out->ops.remote_scans += static_cast<int64_t>(remote.size());
-    sei::MergeIntersect(local, remote, &out->ops.merge_comparisons,
-                        [&](NodeId y) {
-                          ++out->ops.triangles;
-                          out->triangles.push_back({x, y, z});
-                        });
+    SliceIntersect(engine, local, {z, true}, remote, {x, false},
+                   x + 1, z, &out->ops.merge_comparisons, [&](NodeId y) {
+                     ++out->ops.triangles;
+                     out->triangles.push_back({x, y, z});
+                   });
   }
 }
 
 void RunSlice(Method m, const OrientedGraph& g, const DirectedEdgeSet& arcs,
-              NodeId v, size_t p0, size_t p1, ChunkResult* out) {
+              NodeId v, size_t p0, size_t p1, ChunkResult* out,
+              simd::IntersectEngine* engine) {
   if (p0 >= p1) return;
   switch (m) {
     case Method::kT1: RunSliceT1(g, arcs, v, p0, p1, out); break;
     case Method::kT2: RunSliceT2(g, arcs, v, p0, p1, out); break;
-    case Method::kE1: RunSliceE1(g, v, p0, p1, out); break;
-    case Method::kE4: RunSliceE4(g, v, p0, p1, out); break;
+    case Method::kE1: RunSliceE1(g, v, p0, p1, out, engine); break;
+    case Method::kE4: RunSliceE4(g, v, p0, p1, out, engine); break;
     default: TRILIST_DCHECK(false);
   }
 }
@@ -183,17 +201,18 @@ void RunSlice(Method m, const OrientedGraph& g, const DirectedEdgeSet& arcs,
 /// Runs the slices covering [lo, hi): full node ranges in the middle,
 /// partial ranges where a cut split a node.
 void RunChunk(Method m, const OrientedGraph& g, const DirectedEdgeSet& arcs,
-              Cut lo, Cut hi, ChunkResult* out) {
+              Cut lo, Cut hi, ChunkResult* out,
+              simd::IntersectEngine* engine) {
   const size_t n = g.num_nodes();
   NodeId v = lo.node;
   size_t start = lo.pos;
   while (v < n && v < hi.node) {
-    RunSlice(m, g, arcs, v, start, OuterLen(m, g, v), out);
+    RunSlice(m, g, arcs, v, start, OuterLen(m, g, v), out, engine);
     ++v;
     start = 0;
   }
   if (v < n && v == hi.node && start < hi.pos) {
-    RunSlice(m, g, arcs, v, start, hi.pos, out);
+    RunSlice(m, g, arcs, v, start, hi.pos, out, engine);
   }
 }
 
@@ -232,20 +251,29 @@ OpCounts RunMethodParallel(Method m, const OrientedGraph& g,
                            const ExecPolicy& policy) {
   const int threads = std::max(1, policy.threads);
   if (threads == 1 || !SupportsParallel(m) || g.num_nodes() == 0) {
-    return RunMethod(m, g, arcs, sink);
+    ExecPolicy serial = policy;
+    serial.threads = 1;
+    return RunMethod(m, g, arcs, sink, serial);
   }
   const size_t num_chunks = static_cast<size_t>(threads) *
                             static_cast<size_t>(
                                 std::max(1, policy.chunks_per_thread));
   const std::vector<Cut> cuts = PlanCuts(m, g, num_chunks);
   std::vector<ChunkResult> results(num_chunks);
+  // One immutable bitmap index shared by every worker; each chunk gets
+  // its own engine (the engine's scratch buffer is not thread-safe).
+  const std::shared_ptr<const simd::BitmapIndex> index =
+      simd::EnsureBitmapIndex(policy, g);
+  const bool routed = policy.intersect != IntersectBackend::kMerge;
   ThreadPool pool(threads);
   pool.ParallelFor(num_chunks, [&](size_t c) {
     obs::TraceSpan span("chunk");
     span.Arg("method", MethodName(m));
     span.Arg("shard", static_cast<int64_t>(c));
     span.Arg("v_begin", static_cast<int64_t>(cuts[c].node));
-    RunChunk(m, g, arcs, cuts[c], cuts[c + 1], &results[c]);
+    simd::IntersectEngine engine(policy.intersect, index.get());
+    RunChunk(m, g, arcs, cuts[c], cuts[c + 1], &results[c],
+             routed ? &engine : nullptr);
     span.Arg("ops", results[c].ops.PaperCost());
   });
   // Deterministic merge: chunk order is serial order.

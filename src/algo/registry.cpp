@@ -3,8 +3,35 @@
 #include "src/algo/edge_iterator.h"
 #include "src/algo/lookup_iterator.h"
 #include "src/algo/parallel_engine.h"
+#include "src/algo/simd/intersect_engine.h"
+#include "src/util/status.h"
 
 namespace trilist {
+
+namespace {
+
+/// Serial SEI dispatch under a non-default intersection backend: one
+/// engine (and, for kBitmap, one index) per run, shared by every arc.
+OpCounts RunSeiWithPolicy(Method m, const OrientedGraph& g,
+                          TriangleSink* sink, const ExecPolicy& exec,
+                          NodeOpsHook* hook) {
+  const std::shared_ptr<const simd::BitmapIndex> index =
+      simd::EnsureBitmapIndex(exec, g);
+  simd::IntersectEngine engine(exec.intersect, index.get());
+  switch (m) {
+    case Method::kE1: return RunE1(g, sink, &engine, hook);
+    case Method::kE2: return RunE2(g, sink, &engine, hook);
+    case Method::kE3: return RunE3(g, sink, &engine, hook);
+    case Method::kE4: return RunE4(g, sink, &engine, hook);
+    case Method::kE5: return RunE5(g, sink, &engine, hook);
+    case Method::kE6: return RunE6(g, sink, &engine, hook);
+    default: break;
+  }
+  TRILIST_DCHECK(false);
+  return OpCounts{};
+}
+
+}  // namespace
 
 OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink) {
   if (MethodFamily(m) == Family::kVertexIterator) {
@@ -69,6 +96,10 @@ OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
 OpCounts RunMethod(Method m, const OrientedGraph& g, TriangleSink* sink,
                    const ExecPolicy& exec) {
   if (exec.threads > 1) return RunMethodParallel(m, g, sink, exec);
+  if (MethodFamily(m) == Family::kScanningEdgeIterator &&
+      exec.intersect != IntersectBackend::kMerge) {
+    return RunSeiWithPolicy(m, g, sink, exec, nullptr);
+  }
   return RunMethod(m, g, sink);
 }
 
@@ -76,7 +107,21 @@ OpCounts RunMethod(Method m, const OrientedGraph& g,
                    const DirectedEdgeSet& arcs, TriangleSink* sink,
                    const ExecPolicy& exec) {
   if (exec.threads > 1) return RunMethodParallel(m, g, arcs, sink, exec);
+  if (MethodFamily(m) == Family::kScanningEdgeIterator &&
+      exec.intersect != IntersectBackend::kMerge) {
+    return RunSeiWithPolicy(m, g, sink, exec, nullptr);
+  }
   return RunMethod(m, g, arcs, sink);
+}
+
+OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           NodeOpsHook* hook, const ExecPolicy& exec) {
+  if (MethodFamily(m) == Family::kScanningEdgeIterator &&
+      exec.intersect != IntersectBackend::kMerge) {
+    return RunSeiWithPolicy(m, g, sink, exec, hook);
+  }
+  return RunMethodProfiled(m, g, arcs, sink, hook);
 }
 
 }  // namespace trilist

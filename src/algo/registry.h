@@ -43,4 +43,13 @@ OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
                            const DirectedEdgeSet& arcs, TriangleSink* sink,
                            NodeOpsHook* hook);
 
+/// Profiled run honoring the policy's intersection backend for the
+/// scanning edge iterators (still serial; exec.threads is ignored). The
+/// attribution invariant — per-node sums equal PaperCost — holds for
+/// every backend, because attribution records span lengths, which no
+/// intersection algorithm changes.
+OpCounts RunMethodProfiled(Method m, const OrientedGraph& g,
+                           const DirectedEdgeSet& arcs, TriangleSink* sink,
+                           NodeOpsHook* hook, const ExecPolicy& exec);
+
 }  // namespace trilist

@@ -1,0 +1,71 @@
+#include "src/algo/simd/bitmap_index.h"
+
+#include <algorithm>
+
+namespace trilist {
+namespace simd {
+namespace {
+
+/// Auto threshold: max(64, n/64) — see Options::min_degree.
+int64_t ResolveThreshold(int64_t requested, size_t n) {
+  if (requested > 0) return requested;
+  return std::max<int64_t>(64, static_cast<int64_t>(n / 64));
+}
+
+}  // namespace
+
+BitmapIndex BitmapIndex::Build(const OrientedGraph& g, Options opts) {
+  BitmapIndex index;
+  const size_t n = g.num_nodes();
+  index.threshold_ = ResolveThreshold(opts.min_degree, n);
+  index.out_slot_.assign(n, -1);
+  index.in_slot_.assign(n, -1);
+  const auto end_word = static_cast<uint32_t>((n + 63) / 64);
+
+  // Size the pool first so hub word spans never reallocate mid-build.
+  size_t total_words = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    if (g.OutDegree(node) >= index.threshold_) {
+      total_words += (v + 63) / 64;  // out-list spans labels [0, v)
+    }
+    if (g.InDegree(node) >= index.threshold_) {
+      total_words += end_word - static_cast<uint32_t>((v + 1) / 64);
+    }
+  }
+  index.words_.assign(total_words, 0);
+
+  size_t offset = 0;
+  const auto add_hub = [&](std::span<const NodeId> row, uint32_t base_word,
+                           uint32_t num_words, std::vector<int32_t>* slot,
+                           size_t v) {
+    Hub hub;
+    hub.offset = offset;
+    hub.base_word = base_word;
+    hub.num_words = num_words;
+    uint64_t* words = index.words_.data() + offset;
+    for (const NodeId id : row) {
+      words[id / 64 - base_word] |= uint64_t{1} << (id % 64);
+    }
+    (*slot)[v] = static_cast<int32_t>(index.hubs_.size());
+    index.hubs_.push_back(hub);
+    offset += num_words;
+  };
+
+  for (size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<NodeId>(v);
+    if (g.OutDegree(node) >= index.threshold_) {
+      add_hub(g.OutNeighbors(node), 0,
+              static_cast<uint32_t>((v + 63) / 64), &index.out_slot_, v);
+    }
+    if (g.InDegree(node) >= index.threshold_) {
+      const auto base = static_cast<uint32_t>((v + 1) / 64);
+      add_hub(g.InNeighbors(node), base, end_word - base, &index.in_slot_,
+              v);
+    }
+  }
+  return index;
+}
+
+}  // namespace simd
+}  // namespace trilist

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/oriented_graph.h"
+
+/// \file bitmap_index.h
+/// Degree-partitioned packed-bitmap representation of hub adjacency rows.
+///
+/// Oriented vertices whose out- (or in-) degree reaches a threshold get
+/// their neighbor list mirrored into a packed uint64 bitmap indexed by
+/// node label; intersection against a hub then becomes word-AND +
+/// popcount (both sides hubs) or single-bit probes (one side a hub),
+/// while the abundant low-degree rows stay on sorted-array merge. This is
+/// the classic dense/sparse degree split of the triangle-listing
+/// literature, applied per *oriented* list: after orientation the
+/// out-list of label v only holds labels < v and the in-list labels > v,
+/// so an out-bitmap spans words [0, ceil(v/64)) and an in-bitmap starts
+/// at word (v+1)/64 — hubs near either end of the order cost almost
+/// nothing.
+///
+/// The index is immutable after Build and safe to share across threads.
+
+namespace trilist {
+namespace simd {
+
+/// \brief Packed hub bitmaps for one oriented graph.
+class BitmapIndex {
+ public:
+  struct Options {
+    /// Rows with at least this many neighbors get a bitmap. <= 0 picks
+    /// the auto threshold max(64, n/64): below 64 neighbors a row fits a
+    /// cache line and merge wins; n/64 keeps a hub's word count within
+    /// its own list length, bounding the index at O(m) words total.
+    int64_t min_degree = 0;
+  };
+
+  /// View of one hub's bitmap: words[w - base_word] holds labels
+  /// [64w, 64w + 64). Invalid (words == nullptr) when the row is not a
+  /// hub.
+  struct HubRef {
+    const uint64_t* words = nullptr;
+    uint32_t base_word = 0;
+    uint32_t num_words = 0;
+
+    explicit operator bool() const { return words != nullptr; }
+
+    /// Membership probe (false outside the stored word range).
+    bool Test(NodeId id) const {
+      const uint32_t w = id / 64;
+      if (w < base_word || w >= base_word + num_words) return false;
+      return (words[w - base_word] >> (id % 64)) & 1u;
+    }
+  };
+
+  BitmapIndex() = default;
+
+  /// Builds bitmaps for every row of `g` meeting the degree threshold.
+  static BitmapIndex Build(const OrientedGraph& g, Options opts);
+  static BitmapIndex Build(const OrientedGraph& g) {
+    return Build(g, Options{});
+  }
+
+  /// Bitmap of N+(v) (labels < v), or an invalid ref.
+  HubRef OutHub(NodeId v) const {
+    return v < out_slot_.size() ? Ref(out_slot_[v]) : HubRef{};
+  }
+  /// Bitmap of N-(v) (labels > v), or an invalid ref.
+  HubRef InHub(NodeId v) const {
+    return v < in_slot_.size() ? Ref(in_slot_[v]) : HubRef{};
+  }
+
+  /// The degree threshold the build actually used (auto resolved).
+  int64_t threshold() const { return threshold_; }
+  /// Number of hub rows indexed (out-rows + in-rows).
+  size_t num_hubs() const { return hubs_.size(); }
+  /// Heap footprint of the index.
+  size_t bytes() const {
+    return words_.size() * sizeof(uint64_t) + hubs_.size() * sizeof(Hub) +
+           (out_slot_.size() + in_slot_.size()) * sizeof(int32_t);
+  }
+
+ private:
+  struct Hub {
+    size_t offset = 0;       // into words_
+    uint32_t base_word = 0;
+    uint32_t num_words = 0;
+  };
+
+  HubRef Ref(int32_t slot) const {
+    if (slot < 0) return HubRef{};
+    const Hub& h = hubs_[static_cast<size_t>(slot)];
+    return HubRef{words_.data() + h.offset, h.base_word, h.num_words};
+  }
+
+  std::vector<uint64_t> words_;   // pooled storage of every hub bitmap
+  std::vector<Hub> hubs_;
+  std::vector<int32_t> out_slot_; // per node: index into hubs_, -1 = none
+  std::vector<int32_t> in_slot_;
+  int64_t threshold_ = 0;
+};
+
+}  // namespace simd
+}  // namespace trilist

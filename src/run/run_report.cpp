@@ -40,6 +40,8 @@ std::string RunReport::ToJson() const {
   w.Field("threads", threads);
   w.Field("requested_threads", requested_threads);
   w.Field("repeats", repeats);
+  w.Field("intersect", intersect_backend);
+  w.Field("simd_level", simd_level);
   w.EndObject();
 
   w.Key("stages");
@@ -74,6 +76,7 @@ std::string RunReport::ToJson() const {
     w.FieldDouble("wall_s", m.wall_s);
     w.FieldDouble("wall_total_s", m.wall_total_s);
     w.Field("parallel", m.parallel);
+    w.Field("intersect_backend", m.intersect_backend);
     w.EndObject();
   }
   w.EndArray();
@@ -114,13 +117,14 @@ void RunReport::PrintTable(std::ostream& out) const {
 
   if (!methods.empty()) {
     TablePrinter method_table(
-        {"method", "triangles", "paper-metric ops", "wall", "engine"});
+        {"method", "triangles", "paper-metric ops", "wall", "engine",
+         "intersect"});
     for (const MethodReport& m : methods) {
       method_table.AddRow(
           {MethodName(m.method), FormatCount(m.triangles),
            FormatCount(static_cast<uint64_t>(m.ops.PaperCost())),
            FormatNumber(m.wall_s, 3) + "s",
-           m.parallel ? "parallel" : "serial"});
+           m.parallel ? "parallel" : "serial", m.intersect_backend});
     }
     method_table.Print(out);
   }

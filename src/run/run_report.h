@@ -32,6 +32,9 @@ inline constexpr int kRunReportSchemaVersion = 2;
 struct MethodReport {
   Method method = Method::kE1;
   uint64_t triangles = 0;    ///< triangles listed (identical across repeats).
+  /// Intersection backend the method's kernels dispatched to ("merge",
+  /// "simd", ...); "none" for families that never intersect (T*, L*).
+  std::string intersect_backend = "none";
   OpCounts ops;              ///< operation counters of one pass.
   /// Closed-form cost of this method on the realized orientation (Tables
   /// 1-2 evaluated on the oriented degrees) — the prediction the measured
@@ -64,6 +67,12 @@ struct RunReport {
   int threads = 1;
   int requested_threads = 1;
   int repeats = 1;
+  /// Requested intersection backend of the run (ExecPolicy::intersect).
+  std::string intersect_backend = "merge";
+  /// SIMD level the process dispatches to (cpu_features.h; reflects the
+  /// TRILIST_FORCE_SCALAR / TRILIST_SIMD overrides), regardless of
+  /// whether the chosen backend vectorizes.
+  std::string simd_level = "scalar";
 
   /// Per-stage wall clocks, in pipeline order: "load" or "generate",
   /// "order", "orient", plus "arcs" (directed-arc set build, vertex

@@ -9,6 +9,7 @@
 #include "src/algo/cost.h"
 #include "src/algo/parallel_engine.h"
 #include "src/algo/registry.h"
+#include "src/algo/simd/intersect_engine.h"
 #include "src/degree/degree_sequence.h"
 #include "src/degree/graphicality.h"
 #include "src/degree/pareto.h"
@@ -23,6 +24,7 @@
 #include "src/order/degenerate.h"
 #include "src/order/pipeline.h"
 #include "src/util/build_info.h"
+#include "src/util/cpu_features.h"
 #include "src/util/metrics.h"
 #include "src/util/parallel_for.h"
 #include "src/util/timer.h"
@@ -188,7 +190,7 @@ OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
 
 Status ListOnOriented(const OrientedGraph& oriented,
                       const std::vector<Method>& methods,
-                      const ExecPolicy& exec, int repeats, SinkKind sink,
+                      const ExecPolicy& exec_in, int repeats, SinkKind sink,
                       RunReport* report) {
   // Directed-arc set, shared by all vertex-iterator methods.
   const bool needs_arcs =
@@ -203,12 +205,31 @@ Status ListOnOriented(const OrientedGraph& oriented,
     });
   }
 
+  // Bitmap backend: build the hub index once up front (its own stage,
+  // like "arcs") and share it across every SEI method and repeat.
+  ExecPolicy exec = exec_in;
+  const bool needs_bitmap =
+      exec.intersect == IntersectBackend::kBitmap &&
+      exec.bitmap_index == nullptr &&
+      std::any_of(methods.begin(), methods.end(), [](Method m) {
+        return MethodFamily(m) == Family::kScanningEdgeIterator;
+      });
+  if (needs_bitmap) {
+    report->stages.Time("bitmap", [&] {
+      TRILIST_TRACE_SPAN("bitmap");
+      exec.bitmap_index = simd::EnsureBitmapIndex(exec, oriented);
+    });
+  }
+
   double list_wall = 0;
   for (Method m : methods) {
     MethodReport mr;
     mr.method = m;
     mr.formula_cost = MethodCostTotal(oriented, m);
     mr.parallel = exec.threads > 1 && SupportsParallel(m);
+    if (MethodFamily(m) == Family::kScanningEdgeIterator) {
+      mr.intersect_backend = IntersectBackendName(exec.intersect);
+    }
     bool first = true;
     for (int rep = 0; rep < repeats; ++rep) {
       CountingSink counting;
@@ -269,6 +290,8 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
   report.threads = threads;
   report.requested_threads = spec.exec.threads;
   report.repeats = repeats;
+  report.intersect_backend = IntersectBackendName(exec.intersect);
+  report.simd_level = SimdLevelName(ActiveSimdLevel());
   const BuildInfo& build = GetBuildInfo();
   report.build_version = build.version;
   report.build_git_hash = build.git_hash;
@@ -325,7 +348,7 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
         CountingSink counting;
         RunMethodProfiled(m, oriented,
                           arcs.has_value() ? *arcs : empty_arcs, &counting,
-                          &recorder);
+                          &recorder, exec);
         span.Arg("ops", recorder.Total());
         report.degree_profiles.push_back(
             obs::BuildDegreeProfile(m, oriented, recorder.ops()));

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "src/algo/simd/intersect_simd.h"
+#include "src/util/cpu_features.h"
 #include "src/util/rng.h"
 
 namespace trilist {
@@ -151,6 +153,246 @@ TEST(IntersectTest, GallopMonotoneCursorHandlesDuplicateFreeRuns) {
     b[i] = i;
   }
   EXPECT_EQ(CountIntersectGallop(a, b), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Devirtualized templates vs the C-style shims (the shims must be pure
+// forwarders: same comparisons, same emissions).
+
+TEST(IntersectTest, ShimsMatchTemplates) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<NodeId> sa;
+    std::set<NodeId> sb;
+    while (sa.size() < rng.NextBounded(120)) {
+      sa.insert(static_cast<NodeId>(rng.NextBounded(400)));
+    }
+    while (sb.size() < rng.NextBounded(120)) {
+      sb.insert(static_cast<NodeId>(rng.NextBounded(400)));
+    }
+    const std::vector<NodeId> a(sa.begin(), sa.end());
+    const std::vector<NodeId> b(sb.begin(), sb.end());
+    std::vector<NodeId> shim_out;
+    auto emit = [](NodeId v, void* ctx) {
+      static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+    };
+    std::vector<NodeId> tmpl_out;
+    auto collect = [&tmpl_out](NodeId v) { tmpl_out.push_back(v); };
+
+    ASSERT_EQ(IntersectMerge(a, b, emit, &shim_out),
+              IntersectMergeT(a, b, collect));
+    ASSERT_EQ(shim_out, tmpl_out);
+    shim_out.clear();
+    tmpl_out.clear();
+    ASSERT_EQ(IntersectGallop(a, b, emit, &shim_out),
+              IntersectGallopT(a, b, collect));
+    ASSERT_EQ(shim_out, tmpl_out);
+    shim_out.clear();
+    tmpl_out.clear();
+    ASSERT_EQ(IntersectAuto(a, b, emit, &shim_out),
+              IntersectAutoT(a, b, collect));
+    ASSERT_EQ(shim_out, tmpl_out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD block merge.
+
+std::vector<NodeId> MergeEmitted(const std::vector<NodeId>& a,
+                                 const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  IntersectMergeT(a, b, [&out](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<NodeId> SimdEmitted(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  auto emit = [](NodeId v, void* ctx) {
+    static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+  };
+  IntersectSimd(a, b, emit, &out);
+  return out;
+}
+
+/// Strictly increasing list of `len` values with the given stride pattern.
+std::vector<NodeId> Strided(size_t len, NodeId start, unsigned seed) {
+  Rng rng(seed);
+  std::vector<NodeId> v(len);
+  NodeId cur = start;
+  for (auto& x : v) {
+    cur += 1 + static_cast<NodeId>(rng.NextBounded(3));
+    x = cur;
+  }
+  return v;
+}
+
+TEST(SimdIntersectTest, AdversarialSpans) {
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> one = {5};
+  const std::vector<NodeId> ident = Strided(100, 0, 3);
+  const std::vector<NodeId> disjoint_lo = Iota(40);
+  std::vector<NodeId> disjoint_hi(40);
+  for (size_t i = 0; i < 40; ++i) {
+    disjoint_hi[i] = static_cast<NodeId>(1000 + i);
+  }
+  // Values straddling 64-aligned label boundaries (the bitmap word size;
+  // also exercises unaligned vector loads).
+  std::vector<NodeId> word_edges;
+  for (NodeId w = 0; w < 40; ++w) {
+    word_edges.push_back(w * 64 - (w % 2));
+    word_edges.push_back(w * 64 + 1);
+  }
+  std::sort(word_edges.begin(), word_edges.end());
+  word_edges.erase(std::unique(word_edges.begin(), word_edges.end()),
+                   word_edges.end());
+  // 32x-ratio boundary shapes (Auto's threshold; also block-vs-tail).
+  const std::vector<NodeId> small2 = {64, 640};
+  const std::vector<NodeId> big64 = Iota(64 * small2.size());
+
+  const std::vector<const std::vector<NodeId>*> cases = {
+      &empty, &one,         &ident, &disjoint_lo,
+      &disjoint_hi, &word_edges,  &small2, &big64};
+  for (const auto* pa : cases) {
+    for (const auto* pb : cases) {
+      const auto expected = MergeEmitted(*pa, *pb);
+      EXPECT_EQ(SimdEmitted(*pa, *pb), expected);
+      EXPECT_EQ(CountIntersectSimd(*pa, *pb),
+                static_cast<int64_t>(expected.size()));
+    }
+  }
+}
+
+TEST(SimdIntersectTest, DuplicatesFallBackToScalarSemantics) {
+  // Adjacent duplicates: the block kernels require strict sortedness, so
+  // the public kernel must take the scalar path and match Merge exactly —
+  // including the comparison count, which only the scalar loop produces
+  // for non-strict inputs.
+  const std::vector<NodeId> a = {1, 2, 2, 3, 5, 5, 5, 9};
+  const std::vector<NodeId> b = {2, 2, 4, 5, 9, 9};
+  std::vector<NodeId> merge_out;
+  const int64_t merge_cmp =
+      IntersectMergeT(a, b, [&merge_out](NodeId v) { merge_out.push_back(v); });
+  std::vector<NodeId> simd_out;
+  auto emit = [](NodeId v, void* ctx) {
+    static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+  };
+  EXPECT_EQ(IntersectSimd(a, b, emit, &simd_out), merge_cmp);
+  EXPECT_EQ(simd_out, merge_out);
+}
+
+TEST(SimdIntersectTest, RandomizedDifferentialAllKernels) {
+  Rng rng(29);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::set<NodeId> sa;
+    std::set<NodeId> sb;
+    const size_t la = rng.NextBounded(trial % 3 == 0 ? 40 : 600);
+    const size_t lb = rng.NextBounded(600);
+    while (sa.size() < la) {
+      sa.insert(static_cast<NodeId>(rng.NextBounded(2000)));
+    }
+    while (sb.size() < lb) {
+      sb.insert(static_cast<NodeId>(rng.NextBounded(2000)));
+    }
+    const std::vector<NodeId> a(sa.begin(), sa.end());
+    const std::vector<NodeId> b(sb.begin(), sb.end());
+    const auto expected = MergeEmitted(a, b);
+    const auto n = static_cast<int64_t>(expected.size());
+    ASSERT_EQ(SimdEmitted(a, b), expected) << trial;
+    ASSERT_EQ(CountIntersectSimd(a, b), n) << trial;
+    ASSERT_EQ(CountIntersectGallop(a, b), n) << trial;
+    ASSERT_EQ(CountIntersectAuto(a, b), n) << trial;
+    // simd reports the scalar-equivalent comparison count.
+    std::vector<NodeId> out;
+    auto emit = [](NodeId v, void* ctx) {
+      static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+    };
+    const int64_t merge_cmp = IntersectMerge(a, b, nullptr, nullptr);
+    ASSERT_EQ(IntersectSimd(a, b, emit, &out), merge_cmp) << trial;
+  }
+}
+
+TEST(SimdIntersectTest, ScalarMergeComparisonsClosedForm) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<NodeId> sa;
+    std::set<NodeId> sb;
+    while (sa.size() < rng.NextBounded(200)) {
+      sa.insert(static_cast<NodeId>(rng.NextBounded(500)));
+    }
+    while (sb.size() < rng.NextBounded(200)) {
+      sb.insert(static_cast<NodeId>(rng.NextBounded(500)));
+    }
+    const std::vector<NodeId> a(sa.begin(), sa.end());
+    const std::vector<NodeId> b(sb.begin(), sb.end());
+    int64_t matches = 0;
+    const int64_t cmp = IntersectMergeT(a, b, [&matches](NodeId) { ++matches; });
+    ASSERT_EQ(simd::ScalarMergeComparisons(a, b,
+                                           static_cast<size_t>(matches)),
+              cmp)
+        << trial;
+    ASSERT_EQ(simd::ScalarMergeComparisons(b, a,
+                                           static_cast<size_t>(matches)),
+              cmp)
+        << trial;
+  }
+}
+
+TEST(SimdIntersectTest, EveryBlockKernelLevelAgrees) {
+  // Cross-check all ISA levels the host supports against the scalar
+  // block merge; levels above the detected one clamp down (no SIGILL).
+  Rng rng(37);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto a = Strided(16 + rng.NextBounded(400), 0,
+                           1000 + static_cast<unsigned>(trial));
+    const auto b = Strided(16 + rng.NextBounded(400), rng.NextBounded(20),
+                           2000 + static_cast<unsigned>(trial));
+    std::vector<NodeId> ref(std::min(a.size(), b.size()));
+    const size_t m0 = simd::BlockMergeIntersectAt(SimdLevel::kScalar, a, b,
+                                                  ref.data());
+    for (SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+      std::vector<NodeId> out(ref.size());
+      const size_t m = simd::BlockMergeIntersectAt(level, a, b, out.data());
+      ASSERT_EQ(m, m0) << trial;
+      ASSERT_TRUE(std::equal(ref.begin(), ref.begin() + m0, out.begin()))
+          << trial;
+    }
+  }
+}
+
+TEST(SimdIntersectTest, ForcedScalarLevelStillCorrect) {
+  SetActiveSimdLevelForTest(SimdLevel::kScalar);
+  const auto a = Strided(300, 0, 41);
+  const auto b = Strided(300, 5, 43);
+  EXPECT_EQ(SimdEmitted(a, b), MergeEmitted(a, b));
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  // Restore runtime dispatch for other tests in this process.
+  SetActiveSimdLevelForTest(DetectedSimdLevel());
+}
+
+TEST(CpuFeaturesTest, ResolveSimdLevelRules) {
+  // Force-scalar wins over everything; any non-empty value except "0".
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, "1", nullptr),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, "yes", "avx512"),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, "0", nullptr),
+            SimdLevel::kAvx512);
+  // TRILIST_SIMD caps the level but can never raise it past detection.
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, nullptr, "avx2"),
+            SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx2, nullptr, "avx512"),
+            SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kScalar, nullptr, "avx2"),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx2, nullptr, "scalar"),
+            SimdLevel::kScalar);
+  // Unrecognized request: keep the detected level.
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx2, nullptr, "bogus"),
+            SimdLevel::kAvx2);
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "avx512");
 }
 
 }  // namespace

@@ -26,6 +26,8 @@ RunReport MakeFixedReport() {
   r.threads = 2;
   r.requested_threads = 0;  // "auto" request resolved to 2
   r.repeats = 3;
+  r.intersect_backend = "bitmap";
+  r.simd_level = "avx2";
   r.build_version = "1.0.0";
   r.build_git_hash = "abcdef123456";
   r.build_compiler = "TestCompiler 0.0";
@@ -51,6 +53,7 @@ RunReport MakeFixedReport() {
   m.wall_s = 0.0625;
   m.wall_total_s = 0.1875;
   m.parallel = true;
+  m.intersect_backend = "none";
   r.methods.push_back(m);
 
   obs::DegreeProfile profile;
@@ -130,7 +133,8 @@ TEST(RunReportJson, LivePipelineEmitsAllSections) {
   const std::string json = report->ToJson();
   for (const char* key :
        {"\"build\"", "\"git_hash\"", "\"graph\"", "\"orientation\"",
-        "\"exec\"", "\"requested_threads\"", "\"stages\"", "\"methods\"",
+        "\"exec\"", "\"requested_threads\"", "\"intersect\"",
+        "\"simd_level\"", "\"stages\"", "\"methods\"",
         "\"degree_profiles\"", "\"resources\"", "\"paper_cost\"",
         "\"formula_cost\"", "\"candidate_checks\"", "\"peak_rss_bytes\"",
         "\"utilization\""}) {

@@ -122,6 +122,7 @@
 #include "src/serve/client.h"
 #include "src/serve/server.h"
 #include "src/util/build_info.h"
+#include "src/util/cpu_features.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -206,6 +207,23 @@ int ParseThreadsFlag(const Flags& flags) {
   return static_cast<int>(flags.GetUint("threads", 1));
 }
 
+/// --intersect backend for the SEI kernels; returns false (after
+/// reporting) on an unknown name.
+bool ParseIntersectFlag(const Flags& flags, ExecPolicy* exec) {
+  const std::string name = flags.Get("intersect");
+  if (name.empty()) return true;
+  if (!ParseIntersectBackend(name.c_str(), &exec->intersect)) {
+    std::fprintf(stderr,
+                 "unknown intersect backend '%s' "
+                 "(merge|gallop|auto|simd|bitmap)\n",
+                 name.c_str());
+    return false;
+  }
+  exec->bitmap_min_degree =
+      static_cast<int>(flags.GetUint("bitmap-min-degree", 0));
+  return true;
+}
+
 /// Writes `content` to `path`, reporting failures on stderr.
 bool WriteFileOrWarn(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -279,6 +297,7 @@ int CmdCount(const Flags& flags) {
   spec.orient = OrientSpec{order, flags.GetUint("seed", 1)};
   spec.methods = {method};
   spec.exec.threads = ParseThreadsFlag(flags);
+  if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
 
   auto report = RunPipeline(spec);
   if (!report.ok()) {
@@ -363,6 +382,7 @@ int CmdRun(const Flags& flags) {
   spec.methods.clear();
   if (!ParseMethodList(flags.Get("methods", "E1"), &spec.methods)) return 2;
   spec.exec.threads = ParseThreadsFlag(flags);
+  if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
   spec.repeats = static_cast<int>(flags.GetUint("repeats", 1));
   spec.degree_profile = flags.Has("degree-profile");
 
@@ -785,6 +805,10 @@ int CmdVersion() {
   const BuildInfo& info = GetBuildInfo();
   std::printf("%s\n", BuildInfoSummary());
   std::printf("  flags: %s\n", info.flags);
+  std::printf("  simd: %s (detected %s; active level after "
+              "TRILIST_FORCE_SCALAR/TRILIST_SIMD overrides)\n",
+              SimdLevelName(ActiveSimdLevel()),
+              SimdLevelName(DetectedSimdLevel()));
   return 0;
 }
 
@@ -797,11 +821,14 @@ int Usage() {
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
       "           [--threads N]   (N > 1: parallel engine; 0 = hardware)\n"
+      "           [--intersect merge|gallop|auto|simd|bitmap]\n"
       "           (--in accepts text edge lists or .tlg containers)\n"
       "  run      [--in F | --n N --alpha A [--trunc root|linear]\n"
       "           [--gen residual|config|gnp]]\n"
       "           [--methods M1,M2,...|all|fundamental] [--order O]\n"
       "           [--seed S] [--threads N] [--repeats R]\n"
+      "           [--intersect merge|gallop|auto|simd|bitmap]\n"
+      "           [--bitmap-min-degree D]   (0 = auto max(64, n/64))\n"
       "           [--report table|json] [--trace F.json] [--metrics F.prom]\n"
       "           [--degree-profile]\n"
       "           (--trace: Chrome/Perfetto span trace of the pipeline;\n"

@@ -6,9 +6,14 @@
 #include <fstream>
 #include <limits>
 
+#include "src/graph/binfmt_layout.h"
 #include "src/util/crc32.h"
 
 namespace trilist {
+
+// The on-disk structs and constants live in binfmt_layout.h, shared with
+// the streaming writer (binfmt_stream.cpp) so both emit the same bytes.
+using namespace tlg;  // NOLINT(build/namespaces)
 
 namespace {
 
@@ -16,77 +21,6 @@ namespace {
 // in place as size_t; both hold on every platform this library targets.
 static_assert(sizeof(size_t) == sizeof(uint64_t),
               ".tlg zero-copy loading requires 64-bit size_t");
-
-constexpr char kMagic[8] = {'T', 'L', 'G', '1', '\r', '\n', '\x1a', '\n'};
-constexpr uint32_t kVersion = 1;
-
-// Section types.
-constexpr uint32_t kSecCsrOffsets = 1;
-constexpr uint32_t kSecCsrNeighbors = 2;
-constexpr uint32_t kSecDegrees = 3;
-constexpr uint32_t kSecOrientation = 4;
-
-/// 40-byte file header. Field types are chosen so the struct has no
-/// padding; the static_asserts pin the on-disk ABI.
-struct FileHeader {
-  char magic[8];
-  uint32_t version;
-  uint32_t section_count;
-  uint64_t num_nodes;
-  uint64_t num_edges;
-  uint32_t table_crc;  ///< CRC-32 of the section-table bytes.
-  uint32_t reserved;
-};
-static_assert(sizeof(FileHeader) == 40, ".tlg header ABI");
-
-/// 32-byte section directory entry.
-struct SectionEntry {
-  uint32_t type;
-  uint32_t aux;      ///< Orientation slot index; 0 elsewhere.
-  uint64_t offset;   ///< Absolute, 8-byte aligned.
-  uint64_t length;   ///< Payload bytes (excludes alignment padding).
-  uint32_t crc32;    ///< CRC-32 of the payload.
-  uint32_t reserved;
-};
-static_assert(sizeof(SectionEntry) == 32, ".tlg section entry ABI");
-
-/// 24-byte sub-header of an orientation section.
-struct OrientHeader {
-  uint32_t perm_code;  ///< Stable on-disk code, see PermKindToCode.
-  uint32_t reserved;
-  uint64_t seed;       ///< Meaningful for the uniform order only.
-  uint64_t num_arcs;
-};
-static_assert(sizeof(OrientHeader) == 24, ".tlg orientation header ABI");
-
-/// Stable on-disk permutation codes — deliberately decoupled from the
-/// PermutationKind enum values so reordering the enum cannot silently
-/// change the format.
-uint32_t PermKindToCode(PermutationKind kind) {
-  switch (kind) {
-    case PermutationKind::kAscending: return 1;
-    case PermutationKind::kDescending: return 2;
-    case PermutationKind::kRoundRobin: return 3;
-    case PermutationKind::kComplementaryRoundRobin: return 4;
-    case PermutationKind::kUniform: return 5;
-    case PermutationKind::kDegenerate: return 6;
-  }
-  return 0;
-}
-
-bool PermKindFromCode(uint32_t code, PermutationKind* out) {
-  switch (code) {
-    case 1: *out = PermutationKind::kAscending; return true;
-    case 2: *out = PermutationKind::kDescending; return true;
-    case 3: *out = PermutationKind::kRoundRobin; return true;
-    case 4: *out = PermutationKind::kComplementaryRoundRobin; return true;
-    case 5: *out = PermutationKind::kUniform; return true;
-    case 6: *out = PermutationKind::kDegenerate; return true;
-    default: return false;
-  }
-}
-
-size_t AlignUp8(size_t x) { return (x + 7u) & ~size_t{7}; }
 
 /// Appends raw bytes to the stream and folds them into a running CRC.
 void WritePiece(std::ofstream* out, uint32_t* crc, const void* data,
@@ -299,9 +233,17 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
     return Status::NotImplemented(".tlg loading requires a little-endian "
                                   "host");
   }
-  auto file = MmapFile::Open(path, options.backing);
+  // Paged opens demand-page: no readahead hint, and the payload checks
+  // below are skipped (they would touch every byte of the file).
+  const bool paged = options.paged;
+  const bool verify_crc = options.verify_crc && !paged;
+  const bool validate = options.validate && !paged;
+  auto file = MmapFile::Open(path, options.backing,
+                             paged ? MmapFile::Advice::kPaged
+                                   : MmapFile::Advice::kEager);
   if (!file.ok()) return file.status();
   TlgFile out;
+  out.paged_ = paged;
   out.file_ = std::make_shared<MmapFile>(std::move(file).ValueOrDie());
   const std::span<const std::byte> bytes = out.file_->bytes();
 
@@ -333,6 +275,8 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
   std::vector<SectionEntry> table(header.section_count);
   std::memcpy(table.data(), bytes.data() + sizeof(FileHeader),
               table_bytes);
+  // The directory CRC is always cheap (32 B per section), so paged opens
+  // keep it; only the payload passes below are gated.
   if (options.verify_crc) {
     const uint32_t got = Crc32Update(0, table.data(), table_bytes);
     if (got != header.table_crc) {
@@ -349,7 +293,7 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
       return CorruptError(path, "section extends past end of file");
     }
   }
-  if (options.verify_crc) {
+  if (verify_crc) {
     for (const SectionEntry& e : table) {
       const uint32_t got =
           Crc32Update(0, bytes.data() + e.offset, e.length);
@@ -399,7 +343,7 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
       TypedView<size_t>(bytes, sec_offsets->offset, n + 1);
   const auto neighbors =
       TypedView<NodeId>(bytes, sec_neighbors->offset, 2 * m);
-  if (options.validate) {
+  if (validate) {
     TRILIST_RETURN_NOT_OK(
         ValidateCsr(offsets, neighbors, n, path, "graph"));
   }
@@ -412,7 +356,7 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
         return CorruptError(path, "degrees length disagrees with header");
       }
       out.degrees_ = TypedView<int64_t>(bytes, e.offset, n);
-      if (options.validate) {
+      if (validate) {
         for (uint64_t v = 0; v < n; ++v) {
           if (out.degrees_[v] !=
               static_cast<int64_t>(offsets[v + 1] - offsets[v])) {
@@ -452,7 +396,7 @@ Result<TlgFile> TlgFile::Open(const std::string& path,
       const auto in_neighbors = TypedView<NodeId>(bytes, at, m);
       at += m * sizeof(NodeId);
       const auto original_of = TypedView<NodeId>(bytes, at, n);
-      if (options.validate) {
+      if (validate) {
         TRILIST_RETURN_NOT_OK(ValidateCsr(out_offsets, out_neighbors, n,
                                           path, "orientation out"));
         TRILIST_RETURN_NOT_OK(ValidateCsr(in_offsets, in_neighbors, n,

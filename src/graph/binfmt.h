@@ -68,6 +68,15 @@ struct TlgLoadOptions {
   bool verify_crc = true;  ///< Check every section CRC (one linear pass).
   bool validate = true;    ///< Structural validation of offsets and IDs.
   MmapFile::Backing backing = MmapFile::Backing::kAuto;
+  /// Lazily-paging open: map with MADV_RANDOM instead of eager
+  /// readahead, verify only the header and section table (payload CRCs
+  /// and deep CSR validation would fault every page of the file, which
+  /// is exactly what this mode exists to avoid), and hand out views that
+  /// demand-page. Overrides verify_crc/validate for the payloads; the
+  /// header, directory bounds and table CRC are always checked. Use for
+  /// graphs much larger than RAM (src/ooc) or low-latency catalog
+  /// serving; the payload integrity check is deferred to first access.
+  bool paged = false;
 };
 
 /// \brief A loaded `.tlg` container: the graph, its degree sequence, and
@@ -113,9 +122,15 @@ class TlgFile {
   bool mmap_backed() const { return file_ != nullptr && file_->is_mapped(); }
   /// Total container size in bytes.
   size_t file_size() const { return file_ != nullptr ? file_->size() : 0; }
+  /// True when opened with TlgLoadOptions::paged.
+  bool paged() const { return paged_; }
+  /// The backing view (for advice introspection and page eviction);
+  /// never null after a successful Open.
+  const MmapFile* backing() const { return file_.get(); }
 
  private:
   std::shared_ptr<MmapFile> file_;
+  bool paged_ = false;
   Graph graph_;
   std::span<const int64_t> degrees_;
   std::vector<OrientSpec> orientation_specs_;

@@ -1,0 +1,86 @@
+#include "src/graph/edge_text.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace trilist {
+
+namespace {
+
+bool IsSep(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Parses one unsigned field at `p` (within [p, end)), returns the
+/// position past the field or nullptr on failure. Requires the field to
+/// be terminated by whitespace or end-of-line so "12abc" is malformed.
+const char* ParseField(const char* p, const char* end, uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(p, end, *out);
+  if (ec != std::errc() || ptr == p) return nullptr;
+  if (ptr != end && !IsSep(*ptr)) return nullptr;
+  return ptr;
+}
+
+}  // namespace
+
+void ParseEdgeTextChunk(const char* begin, const char* end,
+                        EdgeTextChunk* r) {
+  const char* p = begin;
+  while (p < end) {
+    const char* nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = nl != nullptr ? nl : end;
+    ++r->lines;
+    const char* s = p;
+    while (s < line_end && IsSep(*s)) ++s;
+    if (s == line_end) {
+      ++r->blank_lines;
+    } else if (*s == '#' || *s == '%') {
+      ++r->comment_lines;
+      // Recognize the "nodes N" header our own writer emits.
+      ++s;
+      while (s < line_end && IsSep(*s)) ++s;
+      static constexpr char kWord[] = "nodes";
+      if (line_end - s > 5 && std::memcmp(s, kWord, 5) == 0 &&
+          IsSep(s[5])) {
+        s += 5;
+        while (s < line_end && IsSep(*s)) ++s;
+        uint64_t n = 0;
+        if (ParseField(s, line_end, &n) != nullptr) {
+          r->has_header = true;
+          r->header_nodes = n;
+        }
+      }
+    } else {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      const char* after_u = ParseField(s, line_end, &u);
+      const char* q = after_u;
+      if (q != nullptr) {
+        while (q < line_end && IsSep(*q)) ++q;
+        q = ParseField(q, line_end, &v);
+      }
+      if (q == nullptr) {
+        r->has_error = true;
+        r->error_line = r->lines;
+        r->error_text.assign(p, line_end);
+        return;
+      }
+      // Anything after the second field (weights, timestamps) is ignored.
+      ++r->edges_in;
+      r->max_id = std::max({r->max_id, u, v});
+      if (u == v) {
+        ++r->self_loops;
+        // The record is dropped but its endpoint still names a node, so
+        // a vertex whose only incident records are self-loops survives
+        // as an isolated node instead of vanishing.
+        r->loop_ids.push_back(u);
+      } else {
+        r->records.emplace_back(u, v);
+      }
+    }
+    if (nl == nullptr) break;
+    p = nl + 1;
+  }
+}
+
+}  // namespace trilist

@@ -5,13 +5,30 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 namespace trilist {
 
 namespace {
+
+/// Logs the first madvise failure of the process (subsequent ones are
+/// silent — the advice is a hint and the mapping still works, but a
+/// systematic failure is worth one line of diagnostics instead of the
+/// silence it used to get).
+void LogMadviseFailureOnce(const char* what, int err) {
+  static std::atomic<bool> logged{false};
+  if (!logged.exchange(true)) {
+    std::fprintf(stderr,
+                 "trilist: madvise(%s) failed: %s "
+                 "(continuing without the hint; logged once)\n",
+                 what, std::strerror(err));
+  }
+}
 
 /// Reads exactly `size` bytes from `fd` into `dst`, retrying on EINTR and
 /// short reads. Returns false on I/O error or premature EOF.
@@ -31,7 +48,8 @@ bool ReadAll(int fd, std::byte* dst, size_t size) {
 
 }  // namespace
 
-Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing) {
+Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing,
+                                Advice advice) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::InvalidArgument("cannot open " + path + ": " +
@@ -57,16 +75,50 @@ Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing) {
     void* base =
         ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (base != MAP_FAILED) {
-      // Loading a `.tlg` touches every section once, front to back
-      // (CRC + validation), so tell the kernel to read ahead
-      // aggressively and start faulting pages in now. Advice only —
-      // failure changes nothing, and platforms without madvise skip it.
+      // kEager: loading a `.tlg` touches every section once, front to
+      // back (CRC + validation), so tell the kernel to read ahead
+      // aggressively and start faulting pages in now. kPaged: the
+      // opposite — a lazily-paging view wants no readahead at all, so
+      // touching one adjacency row faults one page, not a window.
+      // Advice only — a failure is logged once and changes nothing.
+      switch (advice) {
+        case Advice::kEager: {
+          bool ok = true;
 #if defined(MADV_WILLNEED)
-      (void)::madvise(base, out.size_, MADV_WILLNEED);
+          if (::madvise(base, out.size_, MADV_WILLNEED) != 0) {
+            LogMadviseFailureOnce("WILLNEED", errno);
+            ok = false;
+          }
 #endif
 #if defined(MADV_SEQUENTIAL)
-      (void)::madvise(base, out.size_, MADV_SEQUENTIAL);
+          if (::madvise(base, out.size_, MADV_SEQUENTIAL) != 0) {
+            LogMadviseFailureOnce("SEQUENTIAL", errno);
+            ok = false;
+          }
 #endif
+#if defined(MADV_WILLNEED) && defined(MADV_SEQUENTIAL)
+          out.applied_advice_ = ok ? "willneed+sequential" : "failed";
+#else
+          out.applied_advice_ = "none";
+#endif
+          break;
+        }
+        case Advice::kPaged: {
+#if defined(MADV_RANDOM)
+          if (::madvise(base, out.size_, MADV_RANDOM) != 0) {
+            LogMadviseFailureOnce("RANDOM", errno);
+            out.applied_advice_ = "failed";
+          } else {
+            out.applied_advice_ = "random";
+          }
+#else
+          out.applied_advice_ = "none";
+#endif
+          break;
+        }
+        case Advice::kNone:
+          break;
+      }
       out.data_ = static_cast<const std::byte*>(base);
       out.mapped_ = true;
       ::close(fd);  // the mapping outlives the descriptor
@@ -90,6 +142,28 @@ Result<MmapFile> MmapFile::Open(const std::string& path, Backing backing) {
   return out;
 }
 
+void MmapFile::Evict(size_t offset, size_t length) const {
+  if (!mapped_ || data_ == nullptr || length == 0 || offset >= size_) {
+    return;
+  }
+#if defined(MADV_DONTNEED)
+  length = std::min(length, size_ - offset);
+  // Shrink to whole pages: DONTNEED on a partial page would also drop
+  // bytes outside the requested range.
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t begin = (offset + page - 1) & ~(page - 1);
+  const size_t end = (offset + length) & ~(page - 1);
+  if (begin >= end) return;
+  if (::madvise(const_cast<std::byte*>(data_) + begin, end - begin,
+                MADV_DONTNEED) != 0) {
+    LogMadviseFailureOnce("DONTNEED", errno);
+  }
+#else
+  (void)offset;
+  (void)length;
+#endif
+}
+
 MmapFile::~MmapFile() {
   if (mapped_ && data_ != nullptr) {
     ::munmap(const_cast<std::byte*>(data_), size_);
@@ -100,6 +174,7 @@ MmapFile::MmapFile(MmapFile&& other) noexcept
     : data_(std::exchange(other.data_, nullptr)),
       size_(std::exchange(other.size_, 0)),
       mapped_(std::exchange(other.mapped_, false)),
+      applied_advice_(std::exchange(other.applied_advice_, "none")),
       heap_(std::move(other.heap_)) {}
 
 MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
@@ -110,6 +185,7 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
     data_ = std::exchange(other.data_, nullptr);
     size_ = std::exchange(other.size_, 0);
     mapped_ = std::exchange(other.mapped_, false);
+    applied_advice_ = std::exchange(other.applied_advice_, "none");
     heap_ = std::move(other.heap_);
   }
   return *this;

@@ -29,10 +29,23 @@ class MmapFile {
     kRead,  ///< Plain read() into a heap buffer (fallback path, testable).
   };
 
+  /// Access-pattern hint applied to a fresh mapping (madvise).
+  enum class Advice {
+    kEager,   ///< MADV_WILLNEED + MADV_SEQUENTIAL: fault everything now
+              ///< (the eager `.tlg` load touches every section once).
+    kPaged,   ///< MADV_RANDOM: demand-page, no readahead — lazily paging
+              ///< catalog entries and out-of-core counting.
+    kNone,    ///< No hint.
+  };
+
   /// Opens `path` and materializes its contents. Rejects directories and
   /// other non-regular files; an empty file yields an empty span.
+  /// `advice` applies to mmap-backed views only; if the kernel rejects
+  /// the hint the failure is logged once per process (the view still
+  /// works, just without the hint) and `applied_advice()` says so.
   static Result<MmapFile> Open(const std::string& path,
-                               Backing backing = Backing::kAuto);
+                               Backing backing = Backing::kAuto,
+                               Advice advice = Advice::kEager);
 
   MmapFile() = default;
   ~MmapFile();
@@ -49,10 +62,25 @@ class MmapFile {
   /// True when the view is an actual memory mapping (zero-copy).
   bool is_mapped() const { return mapped_; }
 
+  /// The madvise hints actually in effect on this view, for
+  /// introspection (`trilist_cli info`): "willneed+sequential", "random",
+  /// "none" (no hint requested, heap-backed, or platform lacks madvise),
+  /// or "failed" when the kernel rejected the requested hint.
+  const char* applied_advice() const { return applied_advice_; }
+
+  /// Drops the resident pages of `[offset, offset + length)` from this
+  /// view (MADV_DONTNEED on the containing whole pages; partial pages at
+  /// the edges stay). File-backed read-only pages refault from the page
+  /// cache or disk on next access, so this is purely an RSS release —
+  /// the out-of-core counter calls it behind its streaming cursor to
+  /// stay under its memory budget. No-op for heap-backed views.
+  void Evict(size_t offset, size_t length) const;
+
  private:
   const std::byte* data_ = nullptr;
   size_t size_ = 0;
   bool mapped_ = false;
+  const char* applied_advice_ = "none";
   std::unique_ptr<std::byte[]> heap_;  ///< Owns the read() fallback buffer.
 };
 

@@ -1,0 +1,234 @@
+#include "src/ooc/chunk_reader.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trilist::ooc {
+
+namespace {
+
+constexpr size_t kDirectAlign = 4096;
+
+size_t AlignUp(size_t x, size_t a) { return (x + a - 1) / a * a; }
+
+/// Buffered positional read of exactly `want` bytes (EINTR/short-read
+/// safe). Returns bytes read (< want only at EOF) or -1 on error.
+ssize_t PreadFull(int fd, char* dst, size_t want, uint64_t offset) {
+  size_t done = 0;
+  while (done < want) {
+    const ssize_t got = ::pread(fd, dst + done, want - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (got == 0) break;
+    done += static_cast<size_t>(got);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+struct ChunkReader::Impl {
+  struct Slot {
+    char* buf = nullptr;  // aligned for O_DIRECT
+    size_t len = 0;
+    uint64_t owner = 0;   // chunk index this slot currently serves
+    enum State { kFree, kReady } state = kFree;
+    Status status = Status::OK();
+  };
+
+  int direct_fd = -1;    // -1 when O_DIRECT unavailable or disabled
+  int buffered_fd = -1;  // always open; the correctness path
+  size_t file_size = 0;
+  size_t chunk_bytes = 0;
+  uint64_t num_chunks = 0;
+  std::string path;
+
+  std::vector<Slot> slots;
+  std::mutex mu;
+  std::condition_variable worker_cv;
+  std::condition_variable consumer_cv;
+  uint64_t next_claim = 0;    // next chunk a worker picks up
+  uint64_t next_consume = 0;  // next chunk Next() returns
+  bool consumer_holds = false;  // Next() handed out next_consume - 1
+  bool shutdown = false;
+  int64_t bytes_read = 0;
+  std::vector<std::thread> threads;
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    worker_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+    for (Slot& s : slots) std::free(s.buf);
+    if (direct_fd >= 0) ::close(direct_fd);
+    if (buffered_fd >= 0) ::close(buffered_fd);
+  }
+
+  /// Reads chunk `c` into `slot->buf`, preferring O_DIRECT.
+  Status ReadChunk(uint64_t c, Slot* slot) {
+    const uint64_t offset = c * chunk_bytes;
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(chunk_bytes, file_size - offset));
+    if (direct_fd >= 0) {
+      // O_DIRECT wants an aligned length; over-reading past EOF is fine
+      // (the kernel stops at the file size).
+      const ssize_t got = PreadFull(direct_fd, slot->buf,
+                                    AlignUp(want, kDirectAlign), offset);
+      if (got >= 0 && static_cast<size_t>(got) >= want) {
+        slot->len = want;
+        return Status::OK();
+      }
+      // Fall through to the buffered descriptor on any direct failure —
+      // filesystems disagree about O_DIRECT edge cases and the buffered
+      // path is always correct.
+    }
+    const ssize_t got = PreadFull(buffered_fd, slot->buf, want, offset);
+    if (got < 0) {
+      return Status::Internal("read failed: " + path + ": " +
+                              std::strerror(errno));
+    }
+    if (static_cast<size_t>(got) < want) {
+      return Status::Internal("short read (file shrank?): " + path);
+    }
+    slot->len = want;
+    return Status::OK();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      uint64_t c;
+      Slot* slot;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        worker_cv.wait(lock, [&] {
+          if (shutdown) return true;
+          if (next_claim >= num_chunks) return false;
+          return slots[next_claim % slots.size()].state ==
+                     Slot::kFree &&
+                 slots[next_claim % slots.size()].owner == next_claim;
+        });
+        if (shutdown) return;
+        c = next_claim++;
+        slot = &slots[c % slots.size()];
+        // Mark in-progress by bumping owner past its free state; state
+        // stays kFree until the payload is resident.
+      }
+      const Status status = ReadChunk(c, slot);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        slot->status = status;
+        slot->state = Slot::kReady;
+        if (status.ok()) bytes_read += static_cast<int64_t>(slot->len);
+      }
+      consumer_cv.notify_one();
+      worker_cv.notify_all();
+    }
+  }
+};
+
+Result<ChunkReader> ChunkReader::Open(const std::string& path,
+                                      const ChunkReaderOptions& options) {
+  ChunkReader out;
+  Impl& im = *out.impl_;
+  im.path = path;
+  im.buffered_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (im.buffered_fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(im.buffered_fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  im.file_size = static_cast<size_t>(st.st_size);
+  im.chunk_bytes =
+      AlignUp(std::max<size_t>(options.chunk_bytes, kDirectAlign),
+              kDirectAlign);
+  im.num_chunks =
+      (im.file_size + im.chunk_bytes - 1) / im.chunk_bytes;
+  if (options.direct_io) {
+#if defined(O_DIRECT)
+    im.direct_fd =
+        ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_DIRECT);
+#endif
+  }
+  const int depth = std::max(1, options.queue_depth);
+  im.slots.resize(static_cast<size_t>(depth));
+  for (size_t i = 0; i < im.slots.size(); ++i) {
+    void* buf = nullptr;
+    if (posix_memalign(&buf, kDirectAlign, im.chunk_bytes) != 0) {
+      return Status::Internal("chunk buffer allocation failed");
+    }
+    im.slots[i].buf = static_cast<char*>(buf);
+    im.slots[i].owner = i;  // first chunk each slot serves
+  }
+  const int workers =
+      std::max(1, std::min(options.workers, depth));
+  im.threads.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    im.threads.emplace_back([impl = out.impl_.get()] {
+      impl->WorkerLoop();
+    });
+  }
+  return out;
+}
+
+Result<std::span<const char>> ChunkReader::Next() {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lock(im.mu);
+  // Recycle the chunk handed out by the previous call.
+  if (im.consumer_holds) {
+    Impl::Slot& prev =
+        im.slots[(im.next_consume - 1) % im.slots.size()];
+    prev.state = Impl::Slot::kFree;
+    prev.owner += im.slots.size();  // now serves chunk c + depth
+    im.consumer_holds = false;
+    im.worker_cv.notify_all();
+  }
+  if (im.next_consume >= im.num_chunks) {
+    return std::span<const char>{};
+  }
+  Impl::Slot& slot = im.slots[im.next_consume % im.slots.size()];
+  im.consumer_cv.wait(lock, [&] {
+    return slot.state == Impl::Slot::kReady &&
+           slot.owner == im.next_consume;
+  });
+  if (!slot.status.ok()) return slot.status;
+  ++im.next_consume;
+  im.consumer_holds = true;
+  return std::span<const char>(slot.buf, slot.len);
+}
+
+size_t ChunkReader::file_size() const { return impl_->file_size; }
+
+ChunkReaderStats ChunkReader::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ChunkReaderStats s;
+  s.bytes_read = impl_->bytes_read;
+  s.chunks = static_cast<int64_t>(impl_->next_consume);
+  s.direct_io = impl_->direct_fd >= 0;
+  return s;
+}
+
+ChunkReader::ChunkReader() : impl_(std::make_unique<Impl>()) {}
+ChunkReader::~ChunkReader() = default;
+ChunkReader::ChunkReader(ChunkReader&& other) noexcept = default;
+ChunkReader& ChunkReader::operator=(ChunkReader&& other) noexcept =
+    default;
+
+}  // namespace trilist::ooc

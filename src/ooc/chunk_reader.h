@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/util/status.h"
+
+/// \file chunk_reader.h
+/// Sequential chunked file reader with a small asynchronous I/O queue:
+/// a pool of pread workers keeps `queue_depth` fixed-size chunks in
+/// flight ahead of the consumer, so parsing and disk latency overlap
+/// without mmap (whose page cache residency is exactly what the
+/// out-of-core pipeline must avoid). Opens with O_DIRECT when possible —
+/// reads bypass the page cache entirely, leaving RSS untouched — and
+/// falls back to buffered reads transparently (tmpfs and some
+/// filesystems reject O_DIRECT).
+///
+/// Chunks are delivered strictly in file order; the consumer sees a
+/// plain `span<const char>` per chunk and owns nothing. Alignment
+/// obligations of O_DIRECT (4 KiB buffer, offset and length) are handled
+/// internally; consumers never see them.
+
+namespace trilist::ooc {
+
+/// Reader knobs.
+struct ChunkReaderOptions {
+  /// Chunk payload size; rounded up to a 4 KiB multiple internally.
+  size_t chunk_bytes = 1 << 20;
+  /// Buffers in flight (reader-ahead depth). Memory = depth * chunk.
+  int queue_depth = 4;
+  /// pread worker threads filling the queue.
+  int workers = 2;
+  /// Try O_DIRECT first; transparently falls back when the filesystem
+  /// refuses it.
+  bool direct_io = true;
+};
+
+/// Counters of one reader's lifetime.
+struct ChunkReaderStats {
+  int64_t bytes_read = 0;
+  int64_t chunks = 0;
+  bool direct_io = false;  ///< O_DIRECT was actually in effect.
+};
+
+/// \brief Ordered chunk stream over one file, prefetched by a worker
+/// pool.
+class ChunkReader {
+ public:
+  static Result<ChunkReader> Open(const std::string& path,
+                                  const ChunkReaderOptions& options = {});
+
+  ChunkReader();
+  ~ChunkReader();
+  ChunkReader(ChunkReader&& other) noexcept;
+  ChunkReader& operator=(ChunkReader&& other) noexcept;
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  /// Blocks until the next chunk (in file order) is resident and returns
+  /// it; an empty span signals end of file. The span stays valid until
+  /// the next call (the slot is recycled).
+  Result<std::span<const char>> Next();
+
+  /// Total size of the underlying file.
+  size_t file_size() const;
+
+  /// Point-in-time counters.
+  ChunkReaderStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trilist::ooc

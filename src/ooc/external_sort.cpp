@@ -1,0 +1,232 @@
+#include "src/ooc/external_sort.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <queue>
+#include <utility>
+
+namespace trilist::ooc {
+
+namespace {
+
+constexpr size_t kMinBufferBytes = 64 << 10;
+
+/// EINTR-safe full positional write.
+Status PwriteFull(int fd, const void* data, size_t len, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t put = ::pwrite(fd, p + done, len - done,
+                                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill write failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+/// EINTR-safe full positional read (spill files never shrink).
+Status PreadFullStrict(int fd, void* data, size_t len, uint64_t offset) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::pread(fd, p + done, len - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill read failed: ") +
+                              std::strerror(errno));
+    }
+    if (got == 0) return Status::Internal("spill file truncated");
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+/// One spilled run being merged: a small read buffer sliding over the
+/// run's [offset, offset + count) record range in the spill file.
+struct RunCursor {
+  int fd = -1;
+  uint64_t next = 0;       // next record index within the run
+  uint64_t count = 0;      // records in the run
+  uint64_t base = 0;       // run start offset in the file, in records
+  std::vector<uint64_t> buf;
+  size_t pos = 0;          // read position within buf
+
+  bool Exhausted() const { return next >= count && pos >= buf.size(); }
+
+  Status Refill(size_t per_run_records) {
+    const uint64_t remain = count - next;
+    const size_t take = static_cast<size_t>(
+        std::min<uint64_t>(per_run_records, remain));
+    buf.resize(take);
+    pos = 0;
+    if (take == 0) return Status::OK();
+    TRILIST_RETURN_NOT_OK(PreadFullStrict(
+        fd, buf.data(), take * sizeof(uint64_t),
+        (base + next) * sizeof(uint64_t)));
+    next += take;
+    return Status::OK();
+  }
+
+  /// Current head record; only valid when !Exhausted() after a Refill.
+  uint64_t Head() const { return buf[pos]; }
+
+  Status Pop(size_t per_run_records) {
+    ++pos;
+    if (pos >= buf.size() && next < count) {
+      return Refill(per_run_records);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+ExternalU64Sorter::ExternalU64Sorter(std::string tmpdir,
+                                     size_t sort_buffer_bytes,
+                                     size_t merge_buffer_bytes)
+    : tmpdir_(std::move(tmpdir)),
+      capacity_(std::max(sort_buffer_bytes, kMinBufferBytes) /
+                sizeof(uint64_t)),
+      merge_buffer_bytes_(
+          std::max(merge_buffer_bytes, kMinBufferBytes)) {
+  buffer_.reserve(capacity_);
+}
+
+ExternalU64Sorter::~ExternalU64Sorter() {
+  if (spill_fd_ >= 0) ::close(spill_fd_);
+}
+
+Status ExternalU64Sorter::Add(uint64_t record) {
+  if (drained_) {
+    return Status::InvalidArgument("ExternalU64Sorter: Add after Drain");
+  }
+  if (buffer_.size() >= capacity_) {
+    TRILIST_RETURN_NOT_OK(SpillRun());
+  }
+  buffer_.push_back(record);
+  ++stats_.records_in;
+  return Status::OK();
+}
+
+Status ExternalU64Sorter::AddBatch(std::span<const uint64_t> records) {
+  for (const uint64_t r : records) {
+    TRILIST_RETURN_NOT_OK(Add(r));
+  }
+  return Status::OK();
+}
+
+Status ExternalU64Sorter::SpillRun() {
+  if (buffer_.empty()) return Status::OK();
+  if (spill_fd_ < 0) {
+    // One unlinked temp file holds every run back to back; the kernel
+    // reclaims the space when the fd closes, so no crash leaves debris.
+    std::string tmpl = tmpdir_ + "/trilist-spill-XXXXXX";
+    spill_fd_ = ::mkstemp(tmpl.data());
+    if (spill_fd_ < 0) {
+      return Status::InvalidArgument("cannot create spill file in " +
+                                     tmpdir_ + ": " +
+                                     std::strerror(errno));
+    }
+    ::unlink(tmpl.c_str());
+  }
+  std::sort(buffer_.begin(), buffer_.end());
+  buffer_.erase(std::unique(buffer_.begin(), buffer_.end()),
+                buffer_.end());
+  const size_t bytes = buffer_.size() * sizeof(uint64_t);
+  TRILIST_RETURN_NOT_OK(
+      PwriteFull(spill_fd_, buffer_.data(), bytes,
+                 spill_end_ * sizeof(uint64_t)));
+  runs_.emplace_back(spill_end_, buffer_.size());
+  spill_end_ += buffer_.size();
+  ++stats_.runs;
+  stats_.spilled_bytes += static_cast<int64_t>(bytes);
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ExternalU64Sorter::Drain(
+    const std::function<Status(std::span<const uint64_t>)>& emit) {
+  if (drained_) {
+    return Status::InvalidArgument(
+        "ExternalU64Sorter: Drain called twice");
+  }
+  drained_ = true;
+
+  if (runs_.empty()) {
+    // Everything fit in RAM: one sort, no I/O at all.
+    std::sort(buffer_.begin(), buffer_.end());
+    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()),
+                  buffer_.end());
+    stats_.merged_records = static_cast<int64_t>(buffer_.size());
+    if (buffer_.empty()) return Status::OK();
+    Status st = emit(std::span<const uint64_t>(buffer_));
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    return st;
+  }
+
+  // Spill the final partial run so the merge sees a uniform run list and
+  // the big sort buffer can be released before merge buffers allocate.
+  TRILIST_RETURN_NOT_OK(SpillRun());
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+
+  const size_t per_run_records =
+      std::max<size_t>(512, merge_buffer_bytes_ / sizeof(uint64_t) /
+                                runs_.size());
+  std::vector<RunCursor> cursors(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    cursors[i].fd = spill_fd_;
+    cursors[i].base = runs_[i].first;
+    cursors[i].count = runs_[i].second;
+    TRILIST_RETURN_NOT_OK(cursors[i].Refill(per_run_records));
+  }
+
+  // Min-heap of (head record, run index). Runs are internally deduped,
+  // so cross-run duplicates are adjacent in the merged stream and one
+  // last-emitted check removes them.
+  using Entry = std::pair<uint64_t, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+      heap;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].Exhausted()) heap.emplace(cursors[i].Head(), i);
+  }
+
+  std::vector<uint64_t> out;
+  out.reserve(64 << 10);
+  uint64_t last = 0;
+  bool have_last = false;
+  while (!heap.empty()) {
+    const auto [value, run] = heap.top();
+    heap.pop();
+    TRILIST_RETURN_NOT_OK(cursors[run].Pop(per_run_records));
+    if (!cursors[run].Exhausted()) {
+      heap.emplace(cursors[run].Head(), run);
+    }
+    if (have_last && value == last) continue;
+    last = value;
+    have_last = true;
+    out.push_back(value);
+    ++stats_.merged_records;
+    if (out.size() == out.capacity()) {
+      TRILIST_RETURN_NOT_OK(emit(std::span<const uint64_t>(out)));
+      out.clear();
+    }
+  }
+  if (!out.empty()) {
+    TRILIST_RETURN_NOT_OK(emit(std::span<const uint64_t>(out)));
+  }
+  return Status::OK();
+}
+
+}  // namespace trilist::ooc

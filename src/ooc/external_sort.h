@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+/// \file external_sort.h
+/// Chunked external merge sort of fixed-size u64 records — the workhorse
+/// of the out-of-core conversion pipeline (src/ooc/convert.h), which
+/// packs a directed arc (src, dst) into one u64 as (src << 32) | dst so
+/// ascending u64 order IS (src, dst) lexicographic order, i.e. CSR
+/// order.
+///
+/// Records accumulate in a RAM buffer of `sort_buffer_bytes`; when it
+/// fills, the run is sorted, deduplicated and appended to one unlinked
+/// spill file in `tmpdir` (crash-safe: the kernel reclaims it when the
+/// fd dies). Drain() k-way-merges all runs through per-run read buffers
+/// and emits the globally sorted, deduplicated stream in batches —
+/// duplicates collapse across runs, which is exactly the both-direction
+/// edge dedupe when every input edge contributes both of its arcs. An
+/// input that never overflows the buffer sorts purely in RAM and spills
+/// nothing.
+
+namespace trilist::ooc {
+
+/// Ledger of one sorter's lifetime.
+struct SpillStats {
+  int64_t records_in = 0;      ///< records pushed (pre-dedupe)
+  int64_t runs = 0;            ///< sorted runs spilled to disk
+  int64_t spilled_bytes = 0;   ///< bytes written to the spill file
+  int64_t merged_records = 0;  ///< records emitted by Drain (deduped)
+};
+
+/// \brief External sorter of u64 records with fused dedupe.
+class ExternalU64Sorter {
+ public:
+  /// \param tmpdir directory for the (unlinked) spill file; created
+  ///        lazily on first overflow.
+  /// \param sort_buffer_bytes RAM run size (floor 64 KiB).
+  /// \param merge_buffer_bytes total RAM for merge-side read buffers,
+  ///        split across runs at Drain time (floor 64 KiB).
+  ExternalU64Sorter(std::string tmpdir, size_t sort_buffer_bytes,
+                    size_t merge_buffer_bytes);
+  ~ExternalU64Sorter();
+  ExternalU64Sorter(const ExternalU64Sorter&) = delete;
+  ExternalU64Sorter& operator=(const ExternalU64Sorter&) = delete;
+
+  /// Adds one record (spilling the current run if the buffer is full).
+  Status Add(uint64_t record);
+
+  /// Bulk variant of Add.
+  Status AddBatch(std::span<const uint64_t> records);
+
+  /// Sorts/merges everything added so far and emits the ascending,
+  /// deduplicated stream in batches through `emit`. Consumes the
+  /// sorter; Add after Drain is an error.
+  Status Drain(
+      const std::function<Status(std::span<const uint64_t>)>& emit);
+
+  const SpillStats& stats() const { return stats_; }
+
+ private:
+  Status SpillRun();
+
+  std::string tmpdir_;
+  size_t capacity_;            // records per RAM run
+  size_t merge_buffer_bytes_;
+  std::vector<uint64_t> buffer_;
+  int spill_fd_ = -1;
+  std::vector<std::pair<uint64_t, uint64_t>> runs_;  // (offset, count)
+  uint64_t spill_end_ = 0;  // append cursor into the spill file
+  bool drained_ = false;
+  SpillStats stats_;
+};
+
+}  // namespace trilist::ooc

@@ -44,6 +44,17 @@ std::string RunReport::ToJson() const {
   w.Field("simd_level", simd_level);
   w.EndObject();
 
+  w.Key("io");
+  w.BeginObject();
+  w.Field("partitioned", partitioned);
+  w.Field("mem_budget_bytes", mem_budget_bytes);
+  w.Field("partitions", io_partitions);
+  w.Field("passes", io.passes);
+  w.Field("bytes_loaded", io.bytes_loaded);
+  w.Field("bytes_streamed", io.bytes_streamed);
+  w.Field("total_bytes", io.TotalBytes());
+  w.EndObject();
+
   w.Key("stages");
   w.BeginArray();
   for (const StageSample& s : stages.stages()) {
@@ -133,6 +144,16 @@ void RunReport::PrintTable(std::ostream& out) const {
     out << obs::DegreeProfileTable(p);
   }
 
+  if (partitioned) {
+    out << "out-of-core: budget "
+        << FormatBytes(static_cast<double>(mem_budget_bytes)) << ", "
+        << io_partitions << (io_partitions == 1 ? " partition, "
+                                                : " partitions, ")
+        << FormatBytes(static_cast<double>(io.bytes_loaded))
+        << " loaded + "
+        << FormatBytes(static_cast<double>(io.bytes_streamed))
+        << " streamed\n";
+  }
   out << "peak RSS " << FormatBytes(static_cast<double>(peak_rss_bytes))
       << ", CPU " << FormatNumber(cpu_s, 2) << "s, utilization "
       << FormatNumber(utilization * 100.0, 0) << "%\n";

@@ -10,6 +10,7 @@
 #include "src/algo/vertex_iterator.h"
 #include "src/obs/degree_profile.h"
 #include "src/util/metrics.h"
+#include "src/xm/partitioned.h"  // IoStats
 
 /// \file run_report.h
 /// Structured result of one Runner execution: where the time went (per
@@ -26,7 +27,12 @@ namespace trilist {
 ///
 /// v2 (additive): "build" provenance object, "exec.requested_threads",
 /// and the "degree_profiles" array (empty unless RunSpec::degree_profile).
-inline constexpr int kRunReportSchemaVersion = 2;
+///
+/// v3 (additive): the "io" object — the out-of-core ledger of a
+/// memory-budgeted run (RunSpec::mem_budget_bytes > 0): partition count
+/// and the src/xm IoStats bytes. All-zero with "partitioned": false on
+/// in-memory runs.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// \brief Result of one method's listing pass (best of RunSpec::repeats).
 struct MethodReport {
@@ -92,6 +98,14 @@ struct RunReport {
   std::string build_git_hash;
   std::string build_compiler;
   std::string build_type;
+
+  /// Out-of-core execution (RunSpec::mem_budget_bytes > 0): the budget
+  /// the listing stage was held to, the partition count of the label
+  /// space, and the I/O ledger summed across methods.
+  bool partitioned = false;
+  int64_t mem_budget_bytes = 0;
+  int64_t io_partitions = 0;
+  IoStats io;
 
   /// Process resource gauges, sampled across the whole run.
   size_t peak_rss_bytes = 0;

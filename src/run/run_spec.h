@@ -123,6 +123,12 @@ struct RunSpec {
   /// (see src/obs/degree_profile.h) to the report. The timed listing
   /// passes above stay hook-free.
   bool degree_profile = false;
+  /// Memory budget for the listing stage, in bytes; 0 (default) runs
+  /// fully in memory. When positive, `.tlg` file sources are opened
+  /// demand-paged and E1/E2 execute through the partitioned out-of-core
+  /// executors (src/xm) under this budget — other methods are rejected —
+  /// and the report carries the realized I/O ledger.
+  int64_t mem_budget_bytes = 0;
 };
 
 }  // namespace trilist

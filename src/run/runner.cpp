@@ -28,6 +28,7 @@
 #include "src/util/metrics.h"
 #include "src/util/parallel_for.h"
 #include "src/util/timer.h"
+#include "src/xm/partitioned.h"
 
 namespace trilist {
 
@@ -138,7 +139,11 @@ Result<AcquiredGraph> AcquireGraph(const RunSpec& spec, RunReport* report) {
       obs::TraceSpan span("load");
       Timer timer;
       if (LooksLikeTlgFile(spec.source.path)) {
-        Result<TlgFile> t = TlgFile::Open(spec.source.path);
+        // A budgeted run must not fault the whole container in at load
+        // time — open demand-paged and let listing drive page residency.
+        TlgLoadOptions lopts;
+        lopts.paged = spec.mem_budget_bytes > 0;
+        Result<TlgFile> t = TlgFile::Open(spec.source.path, lopts);
         if (!t.ok()) return t.status();
         acquired.tlg =
             std::make_shared<TlgFile>(std::move(t).ValueOrDie());
@@ -191,7 +196,27 @@ OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
 Status ListOnOriented(const OrientedGraph& oriented,
                       const std::vector<Method>& methods,
                       const ExecPolicy& exec_in, int repeats, SinkKind sink,
-                      RunReport* report) {
+                      RunReport* report, int64_t mem_budget_bytes) {
+  // Out-of-core mode: only the scanning edge iterators with partitioned
+  // realizations run under a budget.
+  std::optional<Partitioning> parts;
+  if (mem_budget_bytes > 0) {
+    for (Method m : methods) {
+      if (m != Method::kE1 && m != Method::kE2) {
+        return Status::InvalidArgument(
+            std::string("partitioned execution supports E1/E2 only, "
+                        "got ") +
+            MethodName(m));
+      }
+    }
+    parts.emplace(
+        Partitioning::ForMemoryBudget(oriented, mem_budget_bytes));
+    report->partitioned = true;
+    report->mem_budget_bytes = mem_budget_bytes;
+    report->io_partitions =
+        static_cast<int64_t>(parts->num_partitions());
+  }
+
   // Directed-arc set, shared by all vertex-iterator methods.
   const bool needs_arcs =
       std::any_of(methods.begin(), methods.end(), [](Method m) {
@@ -230,6 +255,11 @@ Status ListOnOriented(const OrientedGraph& oriented,
     if (MethodFamily(m) == Family::kScanningEdgeIterator) {
       mr.intersect_backend = IntersectBackendName(exec.intersect);
     }
+    if (parts.has_value()) {
+      // The partitioned executors are serial and always merge-intersect.
+      mr.parallel = false;
+      mr.intersect_backend = "merge";
+    }
     bool first = true;
     for (int rep = 0; rep < repeats; ++rep) {
       CountingSink counting;
@@ -242,10 +272,22 @@ Status ListOnOriented(const OrientedGraph& oriented,
       span.Arg("stage", "list");
       span.Arg("repeat", static_cast<int64_t>(rep));
       Timer timer;
-      const OpCounts ops =
-          MethodFamily(m) == Family::kVertexIterator
-              ? RunMethod(m, oriented, *arcs, triangle_sink, exec)
-              : RunMethod(m, oriented, triangle_sink, exec);
+      OpCounts ops;
+      if (parts.has_value()) {
+        IoStats io;
+        ops = m == Method::kE1
+                  ? RunPartitionedE1(oriented, *parts, triangle_sink, &io)
+                  : RunPartitionedE2(oriented, *parts, triangle_sink, &io);
+        if (rep == 0) {
+          report->io.passes += io.passes;
+          report->io.bytes_loaded += io.bytes_loaded;
+          report->io.bytes_streamed += io.bytes_streamed;
+        }
+      } else {
+        ops = MethodFamily(m) == Family::kVertexIterator
+                  ? RunMethod(m, oriented, *arcs, triangle_sink, exec)
+                  : RunMethod(m, oriented, triangle_sink, exec);
+      }
       const double wall = timer.ElapsedSeconds();
       span.Arg("ops", ops.PaperCost());
       const uint64_t triangles =
@@ -322,8 +364,9 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
   }
 
   // 4-5. Arc-set build + listing with every requested method.
-  const Status listed = ListOnOriented(oriented, spec.methods, exec,
-                                       repeats, spec.sink, &report);
+  const Status listed =
+      ListOnOriented(oriented, spec.methods, exec, repeats, spec.sink,
+                     &report, spec.mem_budget_bytes);
   if (!listed.ok()) return listed;
 
   // 6. Optional model-residual pass: re-run each method serially with the

@@ -73,10 +73,15 @@ OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
 /// the single listing loop behind both RunPipeline and the serve worker
 /// pool, which is what makes served triangle counts bit-identical to
 /// `trilist_cli run` on the same spec.
+///
+/// A positive `mem_budget_bytes` switches E1/E2 to the partitioned
+/// out-of-core executors (src/xm) under that budget — counts and CPU
+/// counters are identical; the report additionally carries the I/O
+/// ledger — and rejects any other method with InvalidArgument.
 Status ListOnOriented(const OrientedGraph& oriented,
                       const std::vector<Method>& methods,
                       const ExecPolicy& exec, int repeats, SinkKind sink,
-                      RunReport* report);
+                      RunReport* report, int64_t mem_budget_bytes = 0);
 
 /// Executes `spec` end to end and reports where the time went. Expected
 /// failures (unreadable file, generation stuck, corrupt container) come

@@ -96,7 +96,9 @@ Status GraphCatalog::ResolvePath(const std::string& name,
 Status GraphCatalog::LoadEntry(CatalogEntry* entry,
                                const std::string& path) const {
   if (LooksLikeTlgFile(path)) {
-    Result<TlgFile> t = TlgFile::Open(path);
+    TlgLoadOptions lopts;
+    lopts.paged = options_.paged;
+    Result<TlgFile> t = TlgFile::Open(path, lopts);
     if (!t.ok()) return t.status();
     entry->tlg_ = std::make_shared<TlgFile>(std::move(t).ValueOrDie());
     entry->graph_ = entry->tlg_->graph();

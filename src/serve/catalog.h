@@ -48,6 +48,11 @@ struct CatalogOptions {
   std::string root;
   /// Explicit name -> path registrations (checked before `root`).
   std::map<std::string, std::string> named;
+  /// Open `.tlg` containers demand-paged (TlgLoadOptions::paged): pages
+  /// fault in as queries touch them instead of being prefaulted and
+  /// checksummed up front. Serving a catalog much larger than RAM trades
+  /// the one-time CRC sweep for lazy residency.
+  bool paged = false;
 };
 
 /// Monotone counters + gauges of catalog behavior, for /metrics.

@@ -51,6 +51,7 @@ TriangleServer::TriangleServer(const ServerOptions& options)
   catalog_options.capacity = options.catalog_capacity;
   catalog_options.root = options.graph_root;
   catalog_options.named = options.named_graphs;
+  catalog_options.paged = options.paged_catalog;
   catalog_ = std::make_unique<GraphCatalog>(std::move(catalog_options));
   resolved_workers_ = ResolveThreads(options.workers);
   max_query_threads_ = ResolveThreads(options.max_query_threads);

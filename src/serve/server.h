@@ -89,6 +89,8 @@ struct ServerOptions {
   size_t catalog_capacity = 8;
   std::string graph_root;
   std::map<std::string, std::string> named_graphs;
+  /// Open `.tlg` graphs demand-paged (CatalogOptions::paged).
+  bool paged_catalog = false;
 
   /// Test-only: every worker sleeps this long before executing a
   /// request, making queue states reproducible in the backpressure and

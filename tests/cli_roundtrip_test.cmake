@@ -101,7 +101,7 @@ endif()
 
 # --- Observability surface --------------------------------------------------
 # `run` with --trace/--metrics/--degree-profile must produce a loadable
-# Chrome trace, a Prometheus exposition and a v2 JSON report with the
+# Chrome trace, a Prometheus exposition and a v3 JSON report with the
 # degree-residual histogram filled in.
 set(trace_file "${WORKDIR}/cli_test_trace.json")
 set(metrics_file "${WORKDIR}/cli_test_metrics.prom")
@@ -117,13 +117,14 @@ if(NOT run_result EQUAL 0)
 endif()
 file(WRITE "${report_file}" "${run_out}")
 
-string(FIND "${run_out}" "\"schema_version\": 2" has_schema)
+string(FIND "${run_out}" "\"schema_version\": 3" has_schema)
 string(FIND "${run_out}" "\"degree_profiles\": [" has_profiles)
 string(FIND "${run_out}" "\"total_measured_ops\"" has_measured)
 string(FIND "${run_out}" "\"build\"" has_build)
+string(FIND "${run_out}" "\"io\"" has_io)
 if(has_schema EQUAL -1 OR has_profiles EQUAL -1 OR has_measured EQUAL -1
-   OR has_build EQUAL -1)
-  message(FATAL_ERROR "run report is missing v2 sections: ${run_out}")
+   OR has_build EQUAL -1 OR has_io EQUAL -1)
+  message(FATAL_ERROR "run report is missing v3 sections: ${run_out}")
 endif()
 
 if(NOT EXISTS "${trace_file}")

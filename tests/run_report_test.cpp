@@ -79,6 +79,13 @@ RunReport MakeFixedReport() {
   profile.total_predicted = 512.0;
   r.degree_profiles.push_back(profile);
 
+  r.partitioned = true;
+  r.mem_budget_bytes = 4194304;
+  r.io_partitions = 2;
+  r.io.passes = 2;
+  r.io.bytes_loaded = 2048;
+  r.io.bytes_streamed = 4096;
+
   r.peak_rss_bytes = 1048576;
   r.cpu_s = 0.25;
   r.utilization = 0.875;
@@ -134,7 +141,9 @@ TEST(RunReportJson, LivePipelineEmitsAllSections) {
   for (const char* key :
        {"\"build\"", "\"git_hash\"", "\"graph\"", "\"orientation\"",
         "\"exec\"", "\"requested_threads\"", "\"intersect\"",
-        "\"simd_level\"", "\"stages\"", "\"methods\"",
+        "\"simd_level\"", "\"io\"", "\"partitioned\"",
+        "\"mem_budget_bytes\"", "\"bytes_loaded\"", "\"bytes_streamed\"",
+        "\"stages\"", "\"methods\"",
         "\"degree_profiles\"", "\"resources\"", "\"paper_cost\"",
         "\"formula_cost\"", "\"candidate_checks\"", "\"peak_rss_bytes\"",
         "\"utilization\""}) {
@@ -156,6 +165,7 @@ TEST(RunReportTable, RendersStagesAndMethods) {
   EXPECT_NE(text.find("order"), std::string::npos);
   EXPECT_NE(text.find("residual"), std::string::npos);
   EXPECT_NE(text.find("peak RSS"), std::string::npos);
+  EXPECT_NE(text.find("out-of-core"), std::string::npos);
 }
 
 TEST(JsonWriter, EscapesAndNests) {

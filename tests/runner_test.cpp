@@ -211,6 +211,50 @@ TEST(RunnerTest, CollectSinkListsTriangles) {
   EXPECT_GT(report->Triangles(), 0u);
 }
 
+// A memory budget switches E1/E2 to the partitioned executors: the
+// counts and CPU counters are bit-identical to the in-memory run and
+// the report carries a populated I/O ledger.
+TEST(RunnerTest, MemoryBudgetedRunMatchesInMemory) {
+  RunSpec spec;
+  spec.source = GraphSource::FromGenerator(SmallPareto());
+  spec.methods = {Method::kE1, Method::kE2};
+  auto in_memory = RunPipeline(spec);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+  EXPECT_FALSE(in_memory->partitioned);
+
+  spec.mem_budget_bytes = 16 << 10;  // tiny: forces several partitions
+  auto budgeted = RunPipeline(spec);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  EXPECT_TRUE(budgeted->partitioned);
+  EXPECT_GT(budgeted->io_partitions, 1);
+  EXPECT_GT(budgeted->io.passes, 0);
+  EXPECT_GT(budgeted->io.bytes_loaded, 0);
+  EXPECT_GT(budgeted->io.bytes_streamed, 0);
+  ASSERT_EQ(budgeted->methods.size(), in_memory->methods.size());
+  for (size_t i = 0; i < budgeted->methods.size(); ++i) {
+    EXPECT_EQ(budgeted->methods[i].triangles,
+              in_memory->methods[i].triangles);
+    ExpectSameOps(budgeted->methods[i].ops, in_memory->methods[i].ops,
+                  MethodName(budgeted->methods[i].method));
+  }
+  EXPECT_NE(budgeted->ToJson().find("\"partitioned\": true"),
+            std::string::npos);
+}
+
+// Only E1/E2 have partitioned executors; anything else under a budget
+// is an explicit error, not a silent in-memory fallback.
+TEST(RunnerTest, MemoryBudgetRejectsUnsupportedMethods) {
+  RunSpec spec;
+  GenerateSpec gen;
+  gen.n = 400;
+  spec.source = GraphSource::FromGenerator(gen);
+  spec.methods = {Method::kT1};
+  spec.mem_budget_bytes = 1 << 20;
+  auto report = RunPipeline(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
 // RunExperiment's shared-helper path: the telemetry clock sees every
 // phase and the run is reproducible for a fixed seed.
 TEST(RunnerTest, GenerateSpecSamplingIsDeterministic) {

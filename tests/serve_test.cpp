@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/graph/binfmt.h"
+#include "src/graph/io.h"
 #include "src/run/run_spec.h"
 #include "src/run/runner.h"
 #include "src/serve/catalog.h"
@@ -341,6 +343,35 @@ TEST(ServerTest, WarmCatalogSkipsLoadAndOrientWithIdenticalCounts) {
     EXPECT_EQ(warm->methods[i].triangles, cold->methods[i].triangles);
   }
   EXPECT_EQ(warm->methods[0].triangles, 4u);  // K4 has exactly 4 triangles
+}
+
+// A paged catalog (ServerOptions::paged_catalog) serves `.tlg` graphs
+// demand-paged with counts identical to the eagerly-loaded path.
+TEST(ServerTest, PagedCatalogServesIdenticalCounts) {
+  const std::string text = WriteK4File("paged_k4.txt");
+  auto graph = ReadEdgeListFile(text);
+  ASSERT_TRUE(graph.ok());
+  const std::string tlg = ::testing::TempDir() + "/paged_k4.tlg";
+  TlgWriteOptions wopts;
+  wopts.orientations = {OrientSpec{PermutationKind::kDescending, 1}};
+  ASSERT_TRUE(WriteTlgFile(*graph, tlg, wopts).ok());
+
+  ServerOptions options;
+  options.paged_catalog = true;
+  auto server = StartUnixServer("paged", {{"k4", tlg}}, options);
+
+  QueryRequest request;
+  request.graph = "k4";
+  request.orient = OrientSpec{PermutationKind::kDescending, 1};
+  request.methods = {Method::kT1, Method::kE1};
+
+  ServeClient client = MustConnect(*server);
+  auto response = client.Query(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->orientation_cached);
+  ASSERT_EQ(response->methods.size(), 2u);
+  EXPECT_EQ(response->methods[0].triangles, 4u);
+  EXPECT_EQ(response->methods[1].triangles, 4u);
 }
 
 // Acceptance (b): a full admission queue produces an explicit

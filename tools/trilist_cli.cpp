@@ -54,7 +54,14 @@
 ///
 ///   trilist_cli convert --in FILE --out FILE [--orders D,RR,...]
 ///                       [--seed S] [--threads N]
+///                       [--mem-budget SIZE [--tmpdir DIR] [--io-workers N]
+///                        [--no-direct-io] [--report json]]
 ///       Convert between text edge lists and the `.tlg` binary container.
+///       With --mem-budget, a text -> .tlg conversion runs out-of-core
+///       (src/ooc/convert.h): chunked O_DIRECT reads, external edge sort
+///       with spill files in --tmpdir, and a streamed container writer,
+///       so peak memory stays under the budget for any graph size while
+///       producing byte-identical output for compact inputs.
 ///       Text input goes through the tolerant ingester (duplicates,
 ///       self-loops and sparse IDs are normalized, with a report);
 ///       --orders embeds precomputed orientations so later runs skip
@@ -117,6 +124,8 @@
 #include "src/graph/io.h"
 #include "src/obs/prom.h"
 #include "src/obs/trace.h"
+#include "src/ooc/convert.h"
+#include "src/ooc/paged_count.h"
 #include "src/order/pipeline.h"
 #include "src/run/runner.h"
 #include "src/serve/client.h"
@@ -207,6 +216,28 @@ int ParseThreadsFlag(const Flags& flags) {
   return static_cast<int>(flags.GetUint("threads", 1));
 }
 
+/// Byte-size flag with optional K/M/G (or KiB/MiB/GiB) suffix:
+/// "--mem-budget 64M" = 64 MiB. Bare numbers are bytes. Returns `def`
+/// when the flag is absent; 0 on a malformed value (callers treat a
+/// present-but-zero budget as an error).
+uint64_t ParseSizeFlag(const Flags& flags, const std::string& key,
+                       uint64_t def) {
+  const std::string v = flags.Get(key);
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const unsigned long long base = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str()) return 0;
+  uint64_t scale = 1;
+  switch (*end) {
+    case 'k': case 'K': scale = 1ull << 10; break;
+    case 'm': case 'M': scale = 1ull << 20; break;
+    case 'g': case 'G': scale = 1ull << 30; break;
+    case '\0': break;
+    default: return 0;
+  }
+  return base * scale;
+}
+
 /// --intersect backend for the SEI kernels; returns false (after
 /// reporting) on an unknown name.
 bool ParseIntersectFlag(const Flags& flags, ExecPolicy* exec) {
@@ -292,11 +323,54 @@ int CmdCount(const Flags& flags) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
+  const uint64_t mem_budget = ParseSizeFlag(flags, "mem-budget", 0);
+  if (flags.Has("mem-budget") && mem_budget == 0) {
+    std::fprintf(stderr, "count: bad --mem-budget '%s' (want e.g. 64M)\n",
+                 flags.Get("mem-budget").c_str());
+    return 2;
+  }
+
+  // A budgeted count over a .tlg container takes the true out-of-core
+  // path: demand-paged mmap, partitioned E1/E2 passes, and eviction
+  // chasing the stream cursor (src/ooc/paged_count.h). Text inputs (and
+  // .tlg files lacking the orientation) fall through to the runner's
+  // partitioned executors below.
+  if (mem_budget > 0 && LooksLikeTlgFile(in) &&
+      (method == Method::kE1 || method == Method::kE2)) {
+    ooc::OocCountOptions copts;
+    copts.mem_budget_bytes = static_cast<int64_t>(mem_budget);
+    copts.spec = OrientSpec{order, flags.GetUint("seed", 1)};
+    copts.use_e2 = method == Method::kE2;
+    Timer timer;
+    auto counted = ooc::OocCountTlg(in, copts);
+    if (counted.ok()) {
+      std::printf(
+          "%s + %s on %s (paged, budget %llu bytes):\n"
+          "  triangles %llu\n  paper-metric ops %lld\n  wall time %.3fs\n"
+          "  io: %d partitions, %lld passes, %lld loaded + %lld streamed "
+          "bytes, %lld evictions%s\n",
+          MethodName(method), PermutationKindName(order), in.c_str(),
+          static_cast<unsigned long long>(mem_budget),
+          static_cast<unsigned long long>(counted->ops.triangles),
+          static_cast<long long>(counted->ops.PaperCost()),
+          timer.ElapsedSeconds(), static_cast<int>(counted->partitions),
+          static_cast<long long>(counted->io.passes),
+          static_cast<long long>(counted->io.bytes_loaded),
+          static_cast<long long>(counted->io.bytes_streamed),
+          static_cast<long long>(counted->evictions),
+          counted->mmap_backed ? "" : " (no mmap: eviction inert)");
+      return 0;
+    }
+    std::fprintf(stderr, "%s\n", counted.status().ToString().c_str());
+    return 1;
+  }
+
   RunSpec spec;
   spec.source = GraphSource::FromFile(in);
   spec.orient = OrientSpec{order, flags.GetUint("seed", 1)};
   spec.methods = {method};
   spec.exec.threads = ParseThreadsFlag(flags);
+  spec.mem_budget_bytes = static_cast<int64_t>(mem_budget);
   if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
 
   auto report = RunPipeline(spec);
@@ -385,6 +459,13 @@ int CmdRun(const Flags& flags) {
   if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
   spec.repeats = static_cast<int>(flags.GetUint("repeats", 1));
   spec.degree_profile = flags.Has("degree-profile");
+  spec.mem_budget_bytes =
+      static_cast<int64_t>(ParseSizeFlag(flags, "mem-budget", 0));
+  if (flags.Has("mem-budget") && spec.mem_budget_bytes == 0) {
+    std::fprintf(stderr, "run: bad --mem-budget '%s' (want e.g. 64M)\n",
+                 flags.Get("mem-budget").c_str());
+    return 2;
+  }
 
   const std::string trace_path = flags.Get("trace");
   if (!trace_path.empty()) {
@@ -460,6 +541,65 @@ int CmdConvert(const Flags& flags) {
   const int threads = ResolveThreads(ParseThreadsFlag(flags));
   const uint64_t seed = flags.GetUint("seed", 1);
 
+  // --mem-budget routes text -> .tlg conversion through the out-of-core
+  // pipeline (src/ooc/convert.h): external edge sort with spill files in
+  // --tmpdir, streamed container writer, peak memory held to the budget
+  // regardless of graph size. Byte-identical output to the in-memory
+  // path for compact inputs.
+  if (flags.Has("mem-budget")) {
+    const uint64_t budget = ParseSizeFlag(flags, "mem-budget", 0);
+    if (budget == 0) {
+      std::fprintf(stderr, "convert: bad --mem-budget '%s' (want e.g. 64M)\n",
+                   flags.Get("mem-budget").c_str());
+      return 2;
+    }
+    if (LooksLikeTlgFile(in) || !EndsWith(out, ".tlg")) {
+      std::fprintf(stderr,
+                   "convert: --mem-budget requires a text edge-list --in "
+                   "and a .tlg --out\n");
+      return 2;
+    }
+    ooc::OocConvertOptions oopts;
+    oopts.mem_budget_bytes = budget;
+    oopts.tmpdir = flags.Get("tmpdir", "/tmp");
+    oopts.io_workers = static_cast<int>(flags.GetUint("io-workers", 2));
+    oopts.direct_io = !flags.Has("no-direct-io");
+    if (!flags.Get("orders").empty() &&
+        !ParseOrderList(flags.Get("orders"), seed, &oopts.orientations)) {
+      return 2;
+    }
+    auto report = ooc::OocConvertFile(in, out, oopts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (flags.Get("report") == "json") {
+      std::fputs(report->ToJson().c_str(), stdout);
+      std::fputs("\n", stdout);
+    } else {
+      std::printf(
+          "wrote %s out-of-core: %s\n"
+          "  budget %llu bytes (%s), %zu cached orientation%s\n"
+          "  spill: %lld runs, %lld bytes; csr temp %lld bytes; "
+          "output %lld bytes\n"
+          "  stages: parse %.2fs, merge %.2fs, write %.2fs, orient %.2fs "
+          "(total %.2fs)\n",
+          out.c_str(), report->ingest.Summary().c_str(),
+          static_cast<unsigned long long>(budget),
+          report->direct_io ? "O_DIRECT" : "buffered",
+          oopts.orientations.size(),
+          oopts.orientations.size() == 1 ? "" : "s",
+          static_cast<long long>(report->spill_runs),
+          static_cast<long long>(report->spill_bytes),
+          static_cast<long long>(report->csr_temp_bytes),
+          static_cast<long long>(report->output_bytes),
+          report->parse_seconds, report->merge_seconds,
+          report->write_seconds, report->orient_seconds,
+          report->total_seconds);
+    }
+    return 0;
+  }
+
   Timer timer;
   Graph graph;
   if (LooksLikeTlgFile(in)) {
@@ -532,9 +672,10 @@ int CmdInfo(const Flags& flags) {
     return 1;
   }
   const Graph& g = t->graph();
-  std::printf("%s: .tlg version %u, %zu bytes (%s)\n", in.c_str(),
-              t->version(), t->file_size(),
-              t->mmap_backed() ? "mmap" : "read fallback");
+  std::printf("%s: .tlg version %u, %zu bytes (%s, madvise %s)\n",
+              in.c_str(), t->version(), t->file_size(),
+              t->mmap_backed() ? "mmap" : "read fallback",
+              t->backing()->applied_advice());
   std::printf("  nodes %zu, edges %zu, max degree %lld\n",
               g.num_nodes(), g.num_edges(),
               static_cast<long long>(g.MaxDegree()));
@@ -669,6 +810,7 @@ int CmdServe(const Flags& flags) {
   options.max_query_threads =
       static_cast<int>(flags.GetUint("max-threads", 0));
   options.send_timeout_s = flags.GetDouble("send-timeout", 30);
+  options.paged_catalog = flags.Has("paged");
   // Test hook: lets the drain shell test hold a request in flight long
   // enough to race SIGTERM against it deterministically.
   if (const char* delay = std::getenv("TRILIST_SERVE_EXEC_DELAY_S")) {
@@ -822,6 +964,8 @@ int Usage() {
       "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
       "           [--threads N]   (N > 1: parallel engine; 0 = hardware)\n"
       "           [--intersect merge|gallop|auto|simd|bitmap]\n"
+      "           [--mem-budget SIZE]   (e.g. 64M; E1/E2 run partitioned\n"
+      "            under the budget; .tlg inputs demand-page + evict)\n"
       "           (--in accepts text edge lists or .tlg containers)\n"
       "  run      [--in F | --n N --alpha A [--trunc root|linear]\n"
       "           [--gen residual|config|gnp]]\n"
@@ -830,7 +974,7 @@ int Usage() {
       "           [--intersect merge|gallop|auto|simd|bitmap]\n"
       "           [--bitmap-min-degree D]   (0 = auto max(64, n/64))\n"
       "           [--report table|json] [--trace F.json] [--metrics F.prom]\n"
-      "           [--degree-profile]\n"
+      "           [--degree-profile] [--mem-budget SIZE]\n"
       "           (--trace: Chrome/Perfetto span trace of the pipeline;\n"
       "            --metrics: Prometheus text exposition of the report;\n"
       "            --degree-profile: per-log2-degree-bucket measured ops\n"
@@ -839,10 +983,17 @@ int Usage() {
       "  advise   --alpha A [--speedup X]\n"
       "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
       "           [--threads N]   (--out *.tlg = binary, else text)\n"
+      "           [--mem-budget SIZE [--tmpdir DIR] [--io-workers N]\n"
+      "            [--no-direct-io] [--report json]]\n"
+      "           (--mem-budget: out-of-core text -> .tlg conversion;\n"
+      "            external edge sort spills to --tmpdir, peak memory\n"
+      "            stays under the budget for any graph size)\n"
       "  info     --in F.tlg\n"
       "  serve    [--tcp PORT] [--host H] [--unix PATH] [--graphs DIR]\n"
       "           [--graph name=path[,...]] [--workers N] [--queue N]\n"
       "           [--catalog N] [--sjf] [--max-threads N] [--send-timeout SEC]\n"
+      "           [--paged]   (demand-page .tlg graphs instead of eager\n"
+      "            load + CRC sweep; for catalogs larger than RAM)\n"
       "           (trilistd: the triangle-query daemon; --tcp 0 binds an\n"
       "            ephemeral port; SIGTERM drains gracefully)\n"
       "  query    (--connect HOST:PORT | --unix PATH) --graph NAME\n"

@@ -1,0 +1,263 @@
+/// \file bench_ordering_planner.cpp
+/// The ordering shootout + planner audit behind DESIGN.md §14: on two
+/// truncated-Pareto families (alpha = 1.3 heavy tail, alpha = 2.5 light
+/// tail) and one structurally different real-graph stand-in (preferential
+/// attachment, degree-degree correlated), run every registered ordering
+/// against every fundamental method and record
+///
+///   - wall time of the listing under that ordering,
+///   - the Section-3 predicted ops/cost (theta_D proxy for degen/AOT),
+///   - the measured ops weighted into the same cost currency.
+///
+/// Then let the planner resolve `--method auto --order auto --intersect
+/// auto` from the degree sequence alone and score its *regret*: the
+/// measured weighted cost of the plan it chose divided by the measured
+/// cost of the best candidate in hindsight (the oracle). The bench fails
+/// if regret exceeds 10% on any graph — the acceptance gate that keeps
+/// the cost model honest enough to schedule with.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/algo/cost.h"
+#include "src/algo/registry.h"
+#include "src/algo/triangle_sink.h"
+#include "src/cost/cost_model.h"
+#include "src/degree/degree_stats.h"
+#include "src/gen/preferential_attachment.h"
+#include "src/order/registry.h"
+#include "src/run/planner.h"
+#include "src/util/json_writer.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace trilist;
+
+struct Sample {
+  std::string order;   ///< ordering key (OrientSpec::Key()).
+  std::string method;
+  double wall_s = 0;
+  double predicted_ops = 0;
+  double predicted_cost = 0;   ///< merge-backend currency.
+  double measured_ops = 0;
+  double measured_cost = 0;    ///< merge-backend currency.
+  uint64_t triangles = 0;
+};
+
+struct GraphResult {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  std::vector<Sample> samples;
+  // Planner audit.
+  std::string plan_order;
+  std::string plan_method;
+  std::string plan_intersect;
+  double plan_predicted_cost = 0;
+  double plan_measured_cost = 0;
+  double oracle_measured_cost = 0;
+  std::string oracle_order;
+  std::string oracle_method;
+  double regret = 0;  ///< plan_measured / oracle_measured - 1.
+};
+
+/// Measured weighted cost of (order, method) from the shootout table.
+double MeasuredCostOf(const std::vector<Sample>& samples,
+                      const std::string& order, const std::string& method) {
+  for (const Sample& s : samples) {
+    if (s.order == order && s.method == method) return s.measured_cost;
+  }
+  std::fprintf(stderr, "no sample for %s/%s\n", order.c_str(),
+               method.c_str());
+  std::exit(1);
+}
+
+GraphResult RunShootout(const std::string& name, const Graph& graph,
+                        int reps) {
+  GraphResult result;
+  result.name = name;
+  result.nodes = graph.num_nodes();
+  result.edges = graph.num_edges();
+
+  const cost::CostModel model(AscendingDegrees(graph));
+  std::printf("=== %s (n=%zu, m=%zu) ===\n", name.c_str(), result.nodes,
+              result.edges);
+  TablePrinter table(
+      {"order", "method", "wall_ms", "pred_ops", "meas_ops", "pred_cost",
+       "meas_cost"});
+
+  for (const OrderingProvider* provider : OrderingRegistry::Instance().all()) {
+    const OrientSpec spec{provider->kind(), /*seed=*/1};
+    const OrientedGraph og = OrientWithSpec(graph, spec);
+    for (const Method m : FundamentalMethods()) {
+      OpCounts ops;
+      const double wall = trilist_bench::BestWall(reps, [&] {
+        CountingSink sink;
+        ops = RunMethod(m, og, &sink);
+      });
+      Sample s;
+      s.order = spec.Key();
+      s.method = MethodName(m);
+      s.wall_s = wall;
+      s.predicted_ops = model.PredictedOps(spec, m);
+      s.predicted_cost =
+          model.PredictedCost(spec, m, IntersectBackend::kMerge);
+      s.measured_ops = static_cast<double>(ops.PaperCost());
+      s.measured_cost =
+          model.WeightedCost(s.measured_ops, m, IntersectBackend::kMerge);
+      s.triangles = static_cast<uint64_t>(ops.triangles);
+      char wall_ms[32], pred[32], meas[32], predc[32], measc[32];
+      std::snprintf(wall_ms, sizeof(wall_ms), "%.2f", wall * 1e3);
+      std::snprintf(pred, sizeof(pred), "%.3g", s.predicted_ops);
+      std::snprintf(meas, sizeof(meas), "%.3g", s.measured_ops);
+      std::snprintf(predc, sizeof(predc), "%.3g", s.predicted_cost);
+      std::snprintf(measc, sizeof(measc), "%.3g", s.measured_cost);
+      table.AddRow({s.order, s.method, wall_ms, pred, meas, predc, measc});
+      result.samples.push_back(std::move(s));
+    }
+  }
+  table.Print(std::cout);
+
+  // The planner's pick, from the degree sequence alone.
+  PlannerRequest req;
+  req.auto_method = true;
+  req.auto_order = true;
+  req.auto_intersect = true;
+  const PlanResult plan = ResolvePlan(model, req);
+  result.plan_order = plan.chosen.orient.Key();
+  result.plan_method = MethodName(plan.chosen.methods[0]);
+  result.plan_intersect = IntersectBackendName(plan.chosen.intersect);
+  result.plan_predicted_cost = plan.chosen.predicted_cost;
+  result.plan_measured_cost =
+      MeasuredCostOf(result.samples, result.plan_order, result.plan_method);
+
+  // Hindsight oracle over the planner's own candidate space, scored on
+  // the measured side of the table (merge currency for both, so the
+  // comparison is constant-speedup-free).
+  result.oracle_measured_cost = std::numeric_limits<double>::infinity();
+  for (const PermutationKind kind : PlannerOrderCandidates()) {
+    const OrientSpec spec{kind, 1};
+    for (const Method m : FundamentalMethods()) {
+      const double measured =
+          MeasuredCostOf(result.samples, spec.Key(), MethodName(m));
+      if (measured < result.oracle_measured_cost) {
+        result.oracle_measured_cost = measured;
+        result.oracle_order = spec.Key();
+        result.oracle_method = MethodName(m);
+      }
+    }
+  }
+  result.regret =
+      result.plan_measured_cost / result.oracle_measured_cost - 1.0;
+  std::printf(
+      "planner: %s via %s / %s (predicted %.3g) | oracle: %s via %s "
+      "(measured %.3g) | regret %.2f%%\n\n",
+      result.plan_method.c_str(), result.plan_order.c_str(),
+      result.plan_intersect.c_str(), result.plan_predicted_cost,
+      result.oracle_method.c_str(), result.oracle_order.c_str(),
+      result.oracle_measured_cost, result.regret * 100.0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = trilist_bench::ScaledN(1000000, 30000);
+  const int reps = trilist_bench::PaperScale() ? 5 : 2;
+  Rng rng(trilist_bench::Seed());
+
+  std::vector<GraphResult> results;
+  for (const double alpha : {1.3, 2.5}) {
+    const Graph graph = trilist_bench::MakeBenchGraph(
+        trilist_bench::ParetoSpec(n, alpha, TruncationKind::kRoot), &rng);
+    char name[48];
+    std::snprintf(name, sizeof(name), "pareto_alpha_%.1f", alpha);
+    results.push_back(RunShootout(name, graph, reps));
+  }
+  {
+    // Degree-correlated stand-in for a real scale-free graph.
+    auto pa = GeneratePreferentialAttachment(n, /*m=*/4, &rng);
+    if (!pa.ok()) {
+      std::fprintf(stderr, "preferential attachment failed: %s\n",
+                   pa.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(RunShootout("preferential_attachment_m4",
+                                  *std::move(pa), reps));
+  }
+
+  int failures = 0;
+  for (const GraphResult& r : results) {
+    const bool ok = r.regret <= 0.10;
+    std::printf("  [%s] %s: planner regret %.2f%% <= 10%%\n",
+                ok ? "ok" : "FAIL", r.name.c_str(), r.regret * 100.0);
+    if (!ok) ++failures;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "ordering_planner");
+  w.Field("seed", static_cast<int64_t>(trilist_bench::Seed()));
+  w.Field("paper_scale", trilist_bench::PaperScale());
+  w.Field("n", static_cast<int64_t>(n));
+  w.Field("reps", reps);
+  w.Key("graphs");
+  w.BeginArray();
+  for (const GraphResult& r : results) {
+    w.BeginObject();
+    w.Field("name", r.name);
+    w.Field("nodes", static_cast<int64_t>(r.nodes));
+    w.Field("edges", static_cast<int64_t>(r.edges));
+    w.Key("samples");
+    w.BeginArray();
+    for (const Sample& s : r.samples) {
+      w.BeginObject();
+      w.Field("order", s.order);
+      w.Field("method", s.method);
+      w.FieldDouble("wall_s", s.wall_s);
+      w.FieldDouble("predicted_ops", s.predicted_ops, 1);
+      w.FieldDouble("predicted_cost", s.predicted_cost, 1);
+      w.FieldDouble("measured_ops", s.measured_ops, 1);
+      w.FieldDouble("measured_cost", s.measured_cost, 1);
+      w.Field("triangles", static_cast<int64_t>(s.triangles));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("planner");
+    w.BeginObject();
+    w.Field("order", r.plan_order);
+    w.Field("method", r.plan_method);
+    w.Field("intersect", r.plan_intersect);
+    w.FieldDouble("predicted_cost", r.plan_predicted_cost, 1);
+    w.FieldDouble("measured_cost", r.plan_measured_cost, 1);
+    w.Field("oracle_order", r.oracle_order);
+    w.Field("oracle_method", r.oracle_method);
+    w.FieldDouble("oracle_measured_cost", r.oracle_measured_cost, 1);
+    w.FieldDouble("regret", r.regret, 4);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.FieldDouble("regret_gate", 0.10, 2);
+  w.Field("failures", failures);
+  w.EndObject();
+
+  const std::string path =
+      trilist_bench::JsonPath("BENCH_ordering_planner.json");
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::string json = std::move(w).Finish();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return failures == 0 ? 0 : 1;
+}

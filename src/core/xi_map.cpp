@@ -32,7 +32,10 @@ XiMap XiMap::FromKind(PermutationKind kind) {
     case PermutationKind::kComplementaryRoundRobin:
       return ComplementaryRoundRobin();
     case PermutationKind::kUniform: return Uniform();
-    case PermutationKind::kDegenerate: break;
+    case PermutationKind::kDegenerate:
+    case PermutationKind::kAot:
+    case PermutationKind::kSplit:
+      break;  // graph/sequence-dependent: no distribution-level xi.
   }
   TRILIST_DCHECK(false);
   return Ascending();

@@ -1,0 +1,100 @@
+#include "src/cost/cost_model.h"
+
+#include <utility>
+
+#include "src/core/out_degree_model.h"
+#include "src/order/registry.h"
+#include "src/util/cpu_features.h"
+
+namespace trilist::cost {
+
+namespace {
+
+double DerivedSimdSpeedup() {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kScalar: return 1.0;
+    case SimdLevel::kAvx2: return 4.0;
+    case SimdLevel::kAvx512: return 8.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+CostModel::CostModel(std::vector<int64_t> ascending_degrees,
+                     CostModelParams params)
+    : ascending_degrees_(std::move(ascending_degrees)), params_(params) {
+  if (params_.simd_speedup <= 0) {
+    params_.simd_speedup = DerivedSimdSpeedup();
+  }
+}
+
+double CostModel::PredictedOps(const OrientSpec& orient, Method m) const {
+  const size_t n = ascending_degrees_.size();
+  if (n == 0) return 0;
+  const OrderingProvider& provider =
+      OrderingRegistry::Instance().Of(orient.kind);
+  const uint64_t seed_key = provider.seeded() ? orient.seed : 0;
+  const auto key = std::make_tuple(static_cast<int>(orient.kind), seed_key,
+                                   static_cast<int>(m));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  const Permutation theta =
+      provider.PricingPermutation(ascending_degrees_, orient.seed);
+  const double ops =
+      SequenceConditionalCost(ascending_degrees_, theta, m) *
+      static_cast<double>(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (memo_.size() < kMaxMemo) memo_.emplace(key, ops);
+  return ops;
+}
+
+double CostModel::FamilyWeight(Method m) const {
+  switch (MethodFamily(m)) {
+    case Family::kVertexIterator: return params_.vertex_op_weight;
+    case Family::kScanningEdgeIterator: return params_.scan_op_weight;
+    case Family::kLookupEdgeIterator: return params_.lookup_op_weight;
+  }
+  return 1.0;
+}
+
+double CostModel::BackendSpeedup(IntersectBackend backend) const {
+  switch (backend) {
+    case IntersectBackend::kSimd: return params_.simd_speedup;
+    case IntersectBackend::kBitmap: return params_.bitmap_speedup;
+    case IntersectBackend::kGallop: return params_.gallop_speedup;
+    case IntersectBackend::kMerge:
+    case IntersectBackend::kAuto:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double CostModel::WeightedCost(double ops, Method m,
+                               IntersectBackend backend) const {
+  double cost = ops * FamilyWeight(m);
+  if (MethodFamily(m) == Family::kScanningEdgeIterator) {
+    cost /= BackendSpeedup(backend);
+  }
+  return cost;
+}
+
+double CostModel::PredictedCost(const OrientSpec& orient, Method m,
+                                IntersectBackend backend) const {
+  return WeightedCost(PredictedOps(orient, m), m, backend);
+}
+
+double CostModel::PredictedTotalCost(const OrientSpec& orient,
+                                     const std::vector<Method>& methods,
+                                     IntersectBackend backend) const {
+  double total = 0;
+  for (const Method m : methods) {
+    total += PredictedCost(orient, m, backend);
+  }
+  return total;
+}
+
+}  // namespace trilist::cost

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/algo/exec_policy.h"
+#include "src/order/pipeline.h"
+
+/// \file cost_model.h
+/// The Section-3 pricing layer: one CostModel per resident degree
+/// sequence, able to price any (method, ordering, backend) triple before
+/// anything runs. Hoisted out of the serve catalog so the planner
+/// (src/run/planner.h), the admission controller (trilistd) and the
+/// benches all consult the same arithmetic.
+///
+/// Two currencies:
+///   - PredictedOps: the paper metric, n * (1/n) sum_i g(d_i(theta))
+///     h(q_i(theta)) (Proposition 4) — elementary operations of the
+///     method's own kind, comparable only within a family.
+///   - PredictedCost: ops scaled by per-operation weights so families
+///     become comparable (Table 3: scanning intersection steps are ~95x
+///     cheaper than hash probes or candidate-tuple checks — the
+///     advisor's sei_speedup convention), then divided by the backend
+///     speedup for scanning edge iterators (SIMD/bitmap accelerate the
+///     intersection loop only; vertex and lookup iterators never touch
+///     it).
+
+namespace trilist::cost {
+
+/// Per-operation weights and backend speedups. The defaults encode the
+/// paper's measured Table-3 ratios; zero or negative simd_speedup means
+/// "derive from the CPU level this process actually dispatches to".
+struct CostModelParams {
+  /// Weight of one vertex-iterator candidate-tuple check, relative to one
+  /// scanning-intersection step (the advisor's sei_speedup = 95).
+  double vertex_op_weight = 95.0;
+  /// Weight of one scanning-intersection step (the numeraire).
+  double scan_op_weight = 1.0;
+  /// Weight of one hash probe (lookup edge iterators).
+  double lookup_op_weight = 95.0;
+
+  /// SEI-only backend speedups (divide the weighted SEI cost).
+  /// simd_speedup <= 0 derives from ActiveSimdLevel(): scalar 1, AVX2 4,
+  /// AVX-512 8 (lane width over the scalar two-pointer merge).
+  double simd_speedup = 0.0;
+  double bitmap_speedup = 2.0;
+  double gallop_speedup = 1.0;
+};
+
+/// \brief Prices (method, ordering, backend) triples for one degree
+/// sequence. Thread-safe; memoizes per (ordering key, method) up to a cap
+/// (the uniform seed is part of the key, so a seed-sweeping client could
+/// otherwise grow the memo without bound).
+class CostModel {
+ public:
+  /// Memoized (ordering, method) entries kept; past the cap, estimates
+  /// are recomputed instead of cached.
+  static constexpr size_t kMaxMemo = 256;
+
+  /// \param ascending_degrees the realized degree sequence sorted
+  ///        ascending (the paper's A_n vector).
+  explicit CostModel(std::vector<int64_t> ascending_degrees,
+                     CostModelParams params = {});
+
+  const std::vector<int64_t>& ascending_degrees() const {
+    return ascending_degrees_;
+  }
+  const CostModelParams& params() const { return params_; }
+
+  /// Section-3 predicted total operations (paper metric) of running `m`
+  /// under `orient`: n * SequenceConditionalCost with the ordering's
+  /// pricing permutation. Graph-dependent orderings (degen, aot) price
+  /// via their registry-documented theta_D proxy.
+  double PredictedOps(const OrientSpec& orient, Method m) const;
+
+  /// PredictedOps scaled to comparable CPU cost: weighted per family,
+  /// divided by the backend speedup when (and only when) `m` is a
+  /// scanning edge iterator.
+  double PredictedCost(const OrientSpec& orient, Method m,
+                       IntersectBackend backend) const;
+
+  /// Sum of PredictedCost over `methods` — the admission controller's
+  /// one-number estimate for a whole request.
+  double PredictedTotalCost(const OrientSpec& orient,
+                            const std::vector<Method>& methods,
+                            IntersectBackend backend) const;
+
+  /// The per-operation weight of `m`'s family (no backend division).
+  double FamilyWeight(Method m) const;
+
+  /// The effective SEI divisor of `backend` under these params (1 for
+  /// merge/gallop and for the adaptive picker, which runs scalar code).
+  double BackendSpeedup(IntersectBackend backend) const;
+
+  /// Measured-side companion: the same weighting applied to a measured
+  /// operation count, so predicted and measured costs land in the same
+  /// currency and regret is a plain ratio.
+  double WeightedCost(double ops, Method m, IntersectBackend backend) const;
+
+ private:
+  std::vector<int64_t> ascending_degrees_;
+  CostModelParams params_;
+
+  mutable std::mutex mu_;
+  /// Key: (kind, seed-if-seeded, method).
+  mutable std::map<std::tuple<int, uint64_t, int>, double> memo_;
+};
+
+}  // namespace trilist::cost

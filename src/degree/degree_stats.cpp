@@ -1,0 +1,21 @@
+#include "src/degree/degree_stats.h"
+
+#include <algorithm>
+
+namespace trilist {
+
+int64_t MaxDegree(const std::vector<int64_t>& degrees) {
+  if (degrees.empty()) return 0;
+  return *std::max_element(degrees.begin(), degrees.end());
+}
+
+std::vector<int64_t> SortedAscending(std::vector<int64_t> degrees) {
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+std::vector<int64_t> AscendingDegrees(const Graph& g) {
+  return SortedAscending(g.Degrees());
+}
+
+}  // namespace trilist

@@ -71,6 +71,8 @@ inline uint32_t PermKindToCode(PermutationKind kind) {
     case PermutationKind::kComplementaryRoundRobin: return 4;
     case PermutationKind::kUniform: return 5;
     case PermutationKind::kDegenerate: return 6;
+    case PermutationKind::kAot: return 7;
+    case PermutationKind::kSplit: return 8;
   }
   return 0;
 }
@@ -83,6 +85,8 @@ inline bool PermKindFromCode(uint32_t code, PermutationKind* out) {
     case 4: *out = PermutationKind::kComplementaryRoundRobin; return true;
     case 5: *out = PermutationKind::kUniform; return true;
     case 6: *out = PermutationKind::kDegenerate; return true;
+    case 7: *out = PermutationKind::kAot; return true;
+    case 8: *out = PermutationKind::kSplit; return true;
     default: return false;
   }
 }

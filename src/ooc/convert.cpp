@@ -22,6 +22,7 @@
 #include "src/ooc/chunk_reader.h"
 #include "src/ooc/external_sort.h"
 #include "src/order/named_orders.h"
+#include "src/order/split.h"
 #include "src/util/json_writer.h"
 #include "src/util/rng.h"
 
@@ -150,10 +151,13 @@ Status ReplayArcs(const TempStream& csr, std::span<const uint32_t> degrees,
 /// result (and thus the .tlg bytes) matches the in-memory path.
 Result<std::vector<NodeId>> LabelsForSpec(
     std::span<const uint32_t> degrees, const OrientSpec& spec) {
-  if (spec.kind == PermutationKind::kDegenerate) {
+  if (spec.kind == PermutationKind::kDegenerate ||
+      spec.kind == PermutationKind::kAot) {
     return Status::InvalidArgument(
-        "out-of-core convert cannot embed the degenerate order (it "
-        "needs the whole graph in memory for its core decomposition)");
+        std::string("out-of-core convert cannot embed the ") +
+        PermutationKindName(spec.kind) +
+        " order (it needs the whole graph in memory for its core "
+        "decomposition)");
   }
   const size_t n = degrees.size();
   std::vector<NodeId> order(n);
@@ -162,8 +166,19 @@ Result<std::vector<NodeId>> LabelsForSpec(
     if (degrees[a] != degrees[b]) return degrees[a] < degrees[b];
     return a < b;
   });
-  Rng rng(spec.seed);
-  const Permutation theta = MakePermutation(spec.kind, n, &rng);
+  const Permutation theta = [&]() -> Permutation {
+    if (spec.kind == PermutationKind::kSplit) {
+      // Positional: a pure function of the ascending degree sequence,
+      // which the sorted rank array gives us directly.
+      std::vector<int64_t> ascending(n);
+      for (size_t pos = 0; pos < n; ++pos) {
+        ascending[pos] = static_cast<int64_t>(degrees[order[pos]]);
+      }
+      return TailoredSplitPermutation(ascending);
+    }
+    Rng rng(spec.seed);
+    return MakePermutation(spec.kind, n, &rng);
+  }();
   std::vector<NodeId> labels(n);
   for (size_t pos = 0; pos < n; ++pos) {
     labels[order[pos]] = theta(static_cast<NodeId>(pos));
@@ -303,9 +318,11 @@ Result<OocReport> OocConvertFile(const std::string& input_path,
   report.mem_budget_bytes = budget;
 
   for (const OrientSpec& spec : options.orientations) {
-    if (spec.kind == PermutationKind::kDegenerate) {
+    if (spec.kind == PermutationKind::kDegenerate ||
+        spec.kind == PermutationKind::kAot) {
       return Status::InvalidArgument(
-          "out-of-core convert cannot embed the degenerate order");
+          std::string("out-of-core convert cannot embed the ") +
+          PermutationKindName(spec.kind) + " order");
     }
   }
   TRILIST_RETURN_NOT_OK(CheckTmpdirSpace(input_path, options.tmpdir,

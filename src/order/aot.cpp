@@ -1,0 +1,53 @@
+#include "src/order/aot.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/order/degenerate.h"
+#include "src/util/status.h"
+
+namespace trilist {
+
+int64_t AotAutoHubThreshold(const Graph& g) {
+  return std::max<int64_t>(2 * Degeneracy(g), 16);
+}
+
+std::vector<NodeId> AotLabels(const Graph& g, int64_t hub_threshold) {
+  const size_t n = g.num_nodes();
+  if (hub_threshold <= 0) hub_threshold = AotAutoHubThreshold(g);
+
+  // Partition: hubs get labels [0, h) by descending degree (ties by ID,
+  // matching the ascending-rank tie-break everywhere else).
+  std::vector<NodeId> hubs;
+  std::vector<bool> fringe(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    if (g.Degree(static_cast<NodeId>(v)) >= hub_threshold) {
+      hubs.push_back(static_cast<NodeId>(v));
+    } else {
+      fringe[v] = true;
+    }
+  }
+  std::sort(hubs.begin(), hubs.end(), [&](NodeId a, NodeId b) {
+    const int64_t da = g.Degree(a);
+    const int64_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<NodeId> labels(n, 0);
+  for (size_t i = 0; i < hubs.size(); ++i) {
+    labels[hubs[i]] = static_cast<NodeId>(i);
+  }
+
+  // Fringe: smallest-last elimination of the hub-free residual graph,
+  // first removed -> largest label (the DegenerateLabels convention),
+  // shifted past the hub block.
+  const std::vector<NodeId> order = SmallestLastOrder(g, &fringe, nullptr);
+  TRILIST_DCHECK(order.size() + hubs.size() == n);
+  for (size_t step = 0; step < order.size(); ++step) {
+    labels[order[step]] = static_cast<NodeId>(n - 1 - step);
+  }
+  return labels;
+}
+
+}  // namespace trilist

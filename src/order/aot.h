@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file aot.h
+/// The hybrid degeneracy + degree ordering of the AOT engine
+/// (arXiv 2006.11494): heavy-tailed graphs have a small hub core where
+/// degree order is the right global signal, and a large sparse fringe
+/// where the smallest-last (degeneracy) order bounds out-degrees better
+/// than any degree-only rule. The hybrid splits the vertex set at a
+/// degree threshold tau:
+///
+///   - hubs (degree >= tau) receive the smallest labels, in descending
+///     degree order (ties by node ID) — exactly how theta_D treats them,
+///     so every hub keeps out-degree ~0 and hub-hub arcs point into the
+///     very top of the core;
+///   - the remaining vertices receive the remaining labels by
+///     smallest-last elimination of the hub-free residual graph (first
+///     removed -> largest label, the Matula-Beck convention), so fringe
+///     out-degrees are bounded by the residual degeneracy.
+///
+/// tau = 0 picks the automatic threshold max(2 * degeneracy(G), 16),
+/// which keeps the hub set tiny on sparse graphs and grows it exactly
+/// when a dense core raises the degeneracy. The ordering is fully
+/// deterministic.
+
+namespace trilist {
+
+/// The automatic hub threshold: max(2 * degeneracy(G), 16).
+int64_t AotAutoHubThreshold(const Graph& g);
+
+/// Labels realizing the hybrid order. \param hub_threshold tau; <= 0
+/// resolves to AotAutoHubThreshold(g).
+/// \return labels[v] = new ID of node v (a bijection of [0, n)).
+std::vector<NodeId> AotLabels(const Graph& g, int64_t hub_threshold = 0);
+
+}  // namespace trilist

@@ -2,32 +2,47 @@
 
 #include <algorithm>
 
+#include "src/degree/degree_stats.h"
 #include "src/util/status.h"
 
 namespace trilist {
 
-namespace {
-
-/// Shared smallest-last elimination. Returns the removal order and, via
-/// out-param, the degeneracy.
-std::vector<NodeId> SmallestLastOrder(const Graph& g, int64_t* degeneracy) {
+std::vector<NodeId> SmallestLastOrder(const Graph& g,
+                                      const std::vector<bool>* include,
+                                      int64_t* degeneracy) {
   const size_t n = g.num_nodes();
-  std::vector<int64_t> degree = g.Degrees();
-  const int64_t max_degree = n == 0 ? 0 : *std::max_element(degree.begin(),
-                                                            degree.end());
+  TRILIST_DCHECK(include == nullptr || include->size() == n);
+  // Residual degrees within the included subgraph.
+  std::vector<int64_t> degree(n, 0);
+  size_t active = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (include != nullptr && !(*include)[v]) continue;
+    ++active;
+    if (include == nullptr) {
+      degree[v] = g.Degree(static_cast<NodeId>(v));
+    } else {
+      int64_t d = 0;
+      for (NodeId w : g.Neighbors(static_cast<NodeId>(v))) {
+        if ((*include)[w]) ++d;
+      }
+      degree[v] = d;
+    }
+  }
+  const int64_t max_degree = MaxDegree(degree);
   // Bucket queue over residual degrees.
   std::vector<std::vector<NodeId>> buckets(
       static_cast<size_t>(max_degree) + 1);
   for (size_t v = 0; v < n; ++v) {
+    if (include != nullptr && !(*include)[v]) continue;
     buckets[static_cast<size_t>(degree[v])].push_back(
         static_cast<NodeId>(v));
   }
   std::vector<bool> removed(n, false);
   std::vector<NodeId> order;
-  order.reserve(n);
+  order.reserve(active);
   int64_t degen = 0;
   size_t cursor = 0;  // lowest possibly-non-empty bucket
-  for (size_t step = 0; step < n; ++step) {
+  for (size_t step = 0; step < active; ++step) {
     // Residual degrees only drop by 1 per removal, so the true minimum is
     // never below cursor - 1; rewinding one bucket keeps the scan O(n+m).
     if (cursor > 0) --cursor;
@@ -56,6 +71,7 @@ std::vector<NodeId> SmallestLastOrder(const Graph& g, int64_t* degeneracy) {
     order.push_back(v);
     for (NodeId w : g.Neighbors(v)) {
       if (removed[w]) continue;
+      if (include != nullptr && !(*include)[w]) continue;
       --degree[w];
       buckets[static_cast<size_t>(degree[w])].push_back(w);
     }
@@ -64,10 +80,8 @@ std::vector<NodeId> SmallestLastOrder(const Graph& g, int64_t* degeneracy) {
   return order;
 }
 
-}  // namespace
-
 std::vector<NodeId> DegenerateLabels(const Graph& g) {
-  const std::vector<NodeId> order = SmallestLastOrder(g, nullptr);
+  const std::vector<NodeId> order = SmallestLastOrder(g, nullptr, nullptr);
   const size_t n = g.num_nodes();
   std::vector<NodeId> labels(n, 0);
   for (size_t step = 0; step < n; ++step) {
@@ -79,7 +93,7 @@ std::vector<NodeId> DegenerateLabels(const Graph& g) {
 
 int64_t Degeneracy(const Graph& g) {
   int64_t degen = 0;
-  SmallestLastOrder(g, &degen);
+  SmallestLastOrder(g, nullptr, &degen);
   return degen;
 }
 

@@ -14,6 +14,17 @@
 
 namespace trilist {
 
+/// Smallest-last elimination order (bucket queue, O(n + m)): vertices are
+/// repeatedly removed in order of minimum residual degree. When `include`
+/// is non-null, the peeling runs on the induced subgraph of nodes with
+/// include[v] == true (the AOT hybrid order peels the non-hub residual
+/// graph this way); excluded nodes never appear in the returned order and
+/// do not contribute residual degree. The degeneracy of the peeled
+/// subgraph is written to `*degeneracy` when non-null.
+std::vector<NodeId> SmallestLastOrder(const Graph& g,
+                                      const std::vector<bool>* include,
+                                      int64_t* degeneracy);
+
 /// Computes labels realizing the smallest-last orientation.
 ///
 /// Vertices are repeatedly removed in order of minimum *residual* degree

@@ -14,6 +14,8 @@ const char* PermutationKindName(PermutationKind kind) {
     case PermutationKind::kComplementaryRoundRobin: return "theta_CRR";
     case PermutationKind::kUniform: return "theta_U";
     case PermutationKind::kDegenerate: return "theta_degen";
+    case PermutationKind::kAot: return "aot";
+    case PermutationKind::kSplit: return "split";
   }
   return "?";
 }
@@ -32,7 +34,9 @@ Permutation MakePermutation(PermutationKind kind, size_t n, Rng* rng) {
       TRILIST_DCHECK(rng != nullptr);
       return UniformPermutation(n, rng);
     case PermutationKind::kDegenerate:
-      break;
+    case PermutationKind::kAot:
+    case PermutationKind::kSplit:
+      break;  // not constructible from n alone; see registry.h.
   }
   TRILIST_DCHECK(false);
   return Permutation(n);

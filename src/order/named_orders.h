@@ -24,14 +24,23 @@ enum class PermutationKind {
   kUniform,     ///< Uniformly random bijection ("hashed IDs").
   kDegenerate,  ///< Matula-Beck smallest-last (graph-dependent; see
                 ///< degenerate.h — cannot be built from n alone).
+  kAot,         ///< AOT hybrid degeneracy+degree order (arXiv 2006.11494):
+                ///< hubs by descending degree, the residual graph by
+                ///< smallest-last. Graph-dependent; see aot.h.
+  kSplit,       ///< Tailored split order (arXiv 2203.04774): a positional
+                ///< permutation that treats the top-s degree positions as
+                ///< theta_D and the tail as theta_A, with s minimizing the
+                ///< Section-3 cost. Needs the degree sequence; see split.h.
 };
 
 /// Short name for reports ("theta_D", "theta_RR", ...).
 const char* PermutationKindName(PermutationKind kind);
 
 /// Builds a named positional permutation of size n.
-/// \param kind which family; kDegenerate is rejected here (it depends on
-///        the realized graph, not only on n) — use DegenerateLabels().
+/// \param kind which family; kDegenerate, kAot and kSplit are rejected
+///        here (they depend on the realized graph or its degree sequence,
+///        not only on n) — go through the ordering registry
+///        (src/order/registry.h), which knows how to build every kind.
 /// \param n size.
 /// \param rng required for kUniform, ignored otherwise (may be null).
 Permutation MakePermutation(PermutationKind kind, size_t n,

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/degree/degree_stats.h"
+#include "src/order/aot.h"
 #include "src/order/degenerate.h"
+#include "src/order/split.h"
 #include "src/util/parallel_for.h"
 #include "src/util/status.h"
 
@@ -45,10 +48,17 @@ OrientedGraph Orient(const Graph& g, const Permutation& theta,
 
 OrientedGraph OrientNamed(const Graph& g, PermutationKind kind, Rng* rng,
                           int threads) {
-  if (kind == PermutationKind::kDegenerate) {
-    return OrientedGraph::FromLabels(g, DegenerateLabels(g), threads);
+  switch (kind) {
+    case PermutationKind::kDegenerate:
+      return OrientedGraph::FromLabels(g, DegenerateLabels(g), threads);
+    case PermutationKind::kAot:
+      return OrientedGraph::FromLabels(g, AotLabels(g), threads);
+    case PermutationKind::kSplit:
+      return Orient(g, TailoredSplitPermutation(AscendingDegrees(g)),
+                    threads);
+    default:
+      return Orient(g, MakePermutation(kind, g.num_nodes(), rng), threads);
   }
-  return Orient(g, MakePermutation(kind, g.num_nodes(), rng), threads);
 }
 
 OrientedGraph OrientWithSpec(const Graph& g, const OrientSpec& spec,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -36,14 +37,15 @@ std::vector<NodeId> LabelsFromPermutation(const Graph& g,
 OrientedGraph Orient(const Graph& g, const Permutation& theta,
                      int threads = 1);
 
-/// Relabels and orients under a named permutation; handles kDegenerate
-/// (which depends on graph structure) as well.
+/// Relabels and orients under a named permutation; handles the
+/// graph-dependent kinds (kDegenerate, kAot) and the degree-tailored
+/// kSplit as well, routing them through the ordering registry.
 /// \param g graph.
 /// \param kind named permutation.
 /// \param rng needed for kUniform (may be null otherwise).
 /// \param threads orientation concurrency (as in Orient). The degenerate
-///        order's smallest-last peeling is inherently sequential, so only
-///        its CSR build parallelizes.
+///        and AOT peelings are inherently sequential, so only their CSR
+///        builds parallelize.
 OrientedGraph OrientNamed(const Graph& g, PermutationKind kind,
                           Rng* rng = nullptr, int threads = 1);
 
@@ -62,6 +64,18 @@ struct OrientSpec {
   friend bool operator==(const OrientSpec& a, const OrientSpec& b) {
     return a.kind == b.kind &&
            (a.kind != PermutationKind::kUniform || a.seed == b.seed);
+  }
+
+  /// The ordering key this spec resolves to — the registry key, with the
+  /// seed appended exactly when the ordering consumes it. Two specs have
+  /// equal keys iff they compare equal, so the key is a safe string form
+  /// for caches, memo maps and reports.
+  std::string Key() const {
+    std::string key = PermutationKindName(kind);
+    if (kind == PermutationKind::kUniform) {
+      key += ":" + std::to_string(seed);
+    }
+    return key;
   }
 };
 

@@ -44,6 +44,25 @@ std::string RunReport::ToJson() const {
   w.Field("simd_level", simd_level);
   w.EndObject();
 
+  w.Key("plan");
+  w.BeginObject();
+  w.Field("planned", plan.planned);
+  w.Field("auto_method", plan.auto_method);
+  w.Field("auto_order", plan.auto_order);
+  w.Field("auto_intersect", plan.auto_intersect);
+  w.Key("methods");
+  w.BeginArray();
+  for (const std::string& m : plan.methods) w.String(m);
+  w.EndArray();
+  w.Field("order", plan.order);
+  w.Field("intersect", plan.intersect);
+  w.FieldDouble("predicted_ops", plan.predicted_ops, 1);
+  w.FieldDouble("predicted_cost", plan.predicted_cost, 1);
+  w.FieldDouble("measured_ops", plan.measured_ops, 1);
+  w.FieldDouble("measured_cost", plan.measured_cost, 1);
+  w.Field("candidates", plan.candidates);
+  w.EndObject();
+
   w.Key("io");
   w.BeginObject();
   w.Field("partitioned", partitioned);
@@ -117,6 +136,16 @@ void RunReport::PrintTable(std::ostream& out) const {
   out << ", " << threads << (threads == 1 ? " thread" : " threads");
   if (repeats > 1) out << ", best of " << repeats;
   out << "\n";
+
+  if (plan.planned) {
+    out << "plan: ";
+    for (size_t i = 0; i < plan.methods.size(); ++i) {
+      out << (i > 0 ? "+" : "") << plan.methods[i];
+    }
+    out << " on " << plan.order << " / " << plan.intersect
+        << " (predicted cost " << FormatNumber(plan.predicted_cost, 0)
+        << ", " << plan.candidates << " candidates)\n";
+  }
 
   TablePrinter stage_table({"stage", "wall", "calls"});
   for (const StageSample& s : stages.stages()) {

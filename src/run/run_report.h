@@ -32,7 +32,14 @@ namespace trilist {
 /// memory-budgeted run (RunSpec::mem_budget_bytes > 0): partition count
 /// and the src/xm IoStats bytes. All-zero with "partitioned": false on
 /// in-memory runs.
-inline constexpr int kRunReportSchemaVersion = 3;
+///
+/// v4 (additive): the "plan" object — the query planner's audit trail
+/// when any RunSpec::plan axis was free: which axes were auto, what was
+/// chosen, the Section-3 predicted ops/cost of the choice, the measured
+/// ops/cost of the actual run (same weighting, so regret is a plain
+/// ratio), and the candidate count. "planned": false with empty/zero
+/// fields on fully pinned runs.
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// \brief Result of one method's listing pass (best of RunSpec::repeats).
 struct MethodReport {
@@ -51,6 +58,27 @@ struct MethodReport {
   bool parallel = false;     ///< ran on the parallel engine.
   /// Collected triangles when RunSpec::sink == kCollect (else empty).
   std::vector<Triangle> listed;
+};
+
+/// \brief The query planner's audit trail for one run (schema v4 "plan").
+struct PlanReport {
+  bool planned = false;    ///< any axis was resolved by the planner.
+  bool auto_method = false;
+  bool auto_order = false;
+  bool auto_intersect = false;
+  /// The chosen configuration (names, for the JSON document).
+  std::vector<std::string> methods;
+  std::string order;
+  std::string intersect;
+  /// Predicted price of the chosen plan (paper-metric ops and weighted
+  /// comparable cost, summed over methods).
+  double predicted_ops = 0;
+  double predicted_cost = 0;
+  /// The same two numbers measured from the run's operation counters,
+  /// weighted identically — predicted vs measured is the model audit.
+  double measured_ops = 0;
+  double measured_cost = 0;
+  int candidates = 0;      ///< configurations the planner priced.
 };
 
 /// \brief Everything the Runner measured about one pipeline execution.
@@ -79,6 +107,9 @@ struct RunReport {
   /// TRILIST_FORCE_SCALAR / TRILIST_SIMD overrides), regardless of
   /// whether the chosen backend vectorizes.
   std::string simd_level = "scalar";
+
+  /// Planner audit trail (PlanFlags runs only; planned = false otherwise).
+  PlanReport plan;
 
   /// Per-stage wall clocks, in pipeline order: "load" or "generate",
   /// "order", "orient", plus "arcs" (directed-arc set build, vertex

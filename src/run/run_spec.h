@@ -98,12 +98,27 @@ enum class SinkKind {
   kCollect,  ///< store every triangle in the report (small graphs only).
 };
 
+/// Which RunSpec axes the cost-model planner (src/run/planner.h) is free
+/// to choose. With any flag set, the Runner inserts a "plan" stage that
+/// prices the free axes against the realized degree sequence and
+/// overrides the corresponding spec fields with the minimum-predicted-
+/// cost choice; the pinned fields are honored as-is.
+struct PlanFlags {
+  bool method = false;     ///< `--method auto`
+  bool order = false;      ///< `--order auto`
+  bool intersect = false;  ///< `--intersect auto` (planner mode)
+
+  bool Any() const { return method || order || intersect; }
+};
+
 /// \brief Full declarative description of a pipeline run.
 struct RunSpec {
   /// Input graph.
   GraphSource source;
   /// Preprocessing: the global order O and its seed (kUniform only).
   OrientSpec orient{PermutationKind::kDescending, 0};
+  /// Axes the planner resolves at run time (all pinned by default).
+  PlanFlags plan;
   /// Methods to run on the oriented graph, in order. Empty = listing is
   /// skipped (orientation-only run, e.g. preprocessing benches).
   std::vector<Method> methods{Method::kE1};

@@ -10,7 +10,9 @@
 #include "src/algo/parallel_engine.h"
 #include "src/algo/registry.h"
 #include "src/algo/simd/intersect_engine.h"
+#include "src/cost/cost_model.h"
 #include "src/degree/degree_sequence.h"
+#include "src/degree/degree_stats.h"
 #include "src/degree/graphicality.h"
 #include "src/degree/pareto.h"
 #include "src/gen/configuration_model.h"
@@ -21,8 +23,9 @@
 #include "src/graph/io.h"
 #include "src/obs/degree_profile.h"
 #include "src/obs/trace.h"
-#include "src/order/degenerate.h"
 #include "src/order/pipeline.h"
+#include "src/order/registry.h"
+#include "src/run/planner.h"
 #include "src/util/build_info.h"
 #include "src/util/cpu_features.h"
 #include "src/util/metrics.h"
@@ -173,18 +176,11 @@ OrientedGraph OrientStages(const Graph& graph, const OrientSpec& orient,
   StageClock* clock = stages != nullptr ? stages : &local;
   // Split of OrientWithSpec: theta + label map is "order", the CSR
   // build is "orient". Bit-identical to the fused call: same RNG
-  // construction, same label pipeline.
+  // construction, same label pipeline (both route through the registry).
   std::vector<NodeId> labels;
   clock->Time("order", [&] {
     TRILIST_TRACE_SPAN("order");
-    if (orient.kind == PermutationKind::kDegenerate) {
-      labels = DegenerateLabels(graph);
-    } else {
-      Rng orient_rng(orient.seed);
-      labels = LabelsFromPermutation(
-          graph,
-          MakePermutation(orient.kind, graph.num_nodes(), &orient_rng));
-    }
+    labels = OrderingLabels(graph, orient);
   });
   return clock->Time("orient", [&] {
     obs::TraceSpan span("orient");
@@ -347,11 +343,52 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
   report.num_nodes = graph.num_nodes();
   report.num_edges = graph.num_edges();
 
+  // 1b. Resolve any free plan axes against the realized degree sequence
+  // ("plan" stage): the planner overrides orient/methods/backend with
+  // the minimum-predicted-cost choice, and the model stays alive so the
+  // measured run can be priced in the same currency afterwards.
+  OrientSpec orient = spec.orient;
+  std::vector<Method> methods = spec.methods;
+  std::optional<cost::CostModel> cost_model;
+  if (spec.plan.Any()) {
+    report.stages.Time("plan", [&] {
+      TRILIST_TRACE_SPAN("plan");
+      cost_model.emplace(AscendingDegrees(graph));
+      PlannerRequest request;
+      request.auto_method = spec.plan.method;
+      request.auto_order = spec.plan.order;
+      request.auto_intersect = spec.plan.intersect;
+      request.methods = spec.methods;
+      request.orient = spec.orient;
+      request.intersect = exec.intersect;
+      const PlanResult plan = ResolvePlan(*cost_model, request);
+      orient = plan.chosen.orient;
+      methods = plan.chosen.methods;
+      exec.intersect = plan.chosen.intersect;
+      report.plan.planned = true;
+      report.plan.auto_method = spec.plan.method;
+      report.plan.auto_order = spec.plan.order;
+      report.plan.auto_intersect = spec.plan.intersect;
+      for (const Method m : methods) {
+        report.plan.methods.push_back(MethodName(m));
+      }
+      report.plan.order = orient.Key();
+      report.plan.intersect = IntersectBackendName(exec.intersect);
+      report.plan.predicted_ops = plan.chosen.predicted_ops;
+      report.plan.predicted_cost = plan.chosen.predicted_cost;
+      report.plan.candidates =
+          static_cast<int>(plan.candidates.size());
+    });
+    report.order = PermutationKindName(orient.kind);
+    report.orient_seed = orient.seed;
+    report.intersect_backend = IntersectBackendName(exec.intersect);
+  }
+
   // 2-3. Order + orient, reusing a container-cached (O, theta) when one
   // matches — in which case both stages are already paid for on disk.
   const OrientedGraph* cached =
       acquired->tlg != nullptr
-          ? acquired->tlg->FindOrientation(spec.orient)
+          ? acquired->tlg->FindOrientation(orient)
           : nullptr;
   OrientedGraph oriented;
   if (cached != nullptr) {
@@ -360,14 +397,25 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
     report.stages.Add("order", 0.0);
     report.stages.Add("orient", 0.0);
   } else {
-    oriented = OrientStages(graph, spec.orient, threads, &report.stages);
+    oriented = OrientStages(graph, orient, threads, &report.stages);
   }
 
   // 4-5. Arc-set build + listing with every requested method.
   const Status listed =
-      ListOnOriented(oriented, spec.methods, exec, repeats, spec.sink,
+      ListOnOriented(oriented, methods, exec, repeats, spec.sink,
                      &report, spec.mem_budget_bytes);
   if (!listed.ok()) return listed;
+
+  // Close the planner's audit loop: the measured operation counters,
+  // weighted exactly as the prediction was, so predicted vs measured
+  // (and regret vs an oracle) are plain ratios on the report.
+  if (report.plan.planned) {
+    for (const MethodReport& mr : report.methods) {
+      report.plan.measured_ops += mr.ops.PaperCost();
+      report.plan.measured_cost += cost_model->WeightedCost(
+          mr.ops.PaperCost(), mr.method, exec.intersect);
+    }
+  }
 
   // 6. Optional model-residual pass: re-run each method serially with the
   // per-node op hook attached and bucket measured work against the
@@ -377,14 +425,14 @@ Result<RunReport> RunPipeline(const RunSpec& spec) {
     // The profile pass owns its arc set (the listing one lives inside
     // ListOnOriented); its build time is accounted to "profile".
     const bool needs_arcs = std::any_of(
-        spec.methods.begin(), spec.methods.end(), [](Method m) {
+        methods.begin(), methods.end(), [](Method m) {
           return MethodFamily(m) == Family::kVertexIterator;
         });
     std::optional<DirectedEdgeSet> arcs;
     const DirectedEdgeSet empty_arcs{OrientedGraph()};
     report.stages.Time("profile", [&] {
       if (needs_arcs) arcs.emplace(oriented);
-      for (Method m : spec.methods) {
+      for (Method m : methods) {
         obs::TraceSpan span(MethodName(m));
         span.Arg("stage", "profile");
         obs::NodeOpsRecorder recorder(oriented.num_nodes());

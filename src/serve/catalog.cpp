@@ -4,11 +4,10 @@
 
 #include <algorithm>
 
-#include "src/core/out_degree_model.h"
+#include "src/degree/degree_stats.h"
 #include "src/graph/io.h"
 #include "src/run/runner.h"
 #include "src/util/metrics.h"
-#include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace trilist::serve {
@@ -32,42 +31,6 @@ bool FileExists(const std::string& path) {
 }
 
 }  // namespace
-
-double CatalogEntry::PredictedCost(const OrientSpec& orient,
-                                   const std::vector<Method>& methods) {
-  const size_t n = graph_.num_nodes();
-  if (n == 0) return 0;
-  std::lock_guard<std::mutex> lock(orient_mu_);
-  double total = 0;
-  for (const Method m : methods) {
-    // The degenerate order is graph-dependent with no positional model;
-    // the descending permutation is the standard conservative proxy.
-    const PermutationKind kind =
-        orient.kind == PermutationKind::kDegenerate
-            ? PermutationKind::kDescending
-            : orient.kind;
-    const uint64_t seed_key =
-        kind == PermutationKind::kUniform ? orient.seed : 0;
-    const auto key = std::make_tuple(static_cast<int>(kind), seed_key,
-                                     static_cast<int>(m));
-    const auto it = predicted_.find(key);
-    if (it != predicted_.end()) {
-      total += it->second;
-      continue;
-    }
-    Rng rng(orient.seed);
-    const Permutation theta = MakePermutation(kind, n, &rng);
-    const double per_node =
-        SequenceConditionalCost(ascending_degrees_, theta, m);
-    const double cost = per_node * static_cast<double>(n);
-    // The uniform seed is part of the key, so a seed-sweeping client
-    // could grow this memo without bound — past the cap, estimates are
-    // recomputed instead of cached.
-    if (predicted_.size() < kMaxCostMemo) predicted_.emplace(key, cost);
-    total += cost;
-  }
-  return total;
-}
 
 Status GraphCatalog::ResolvePath(const std::string& name,
                                  std::string* path) const {
@@ -107,9 +70,8 @@ Status GraphCatalog::LoadEntry(CatalogEntry* entry,
     if (!g.ok()) return g.status();
     entry->graph_ = std::move(g).ValueOrDie();
   }
-  entry->ascending_degrees_ = entry->graph_.Degrees();
-  std::sort(entry->ascending_degrees_.begin(),
-            entry->ascending_degrees_.end());
+  entry->cost_model_ =
+      std::make_unique<cost::CostModel>(AscendingDegrees(entry->graph_));
   return Status::OK();
 }
 

@@ -5,11 +5,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "src/algo/cost.h"
+#include "src/cost/cost_model.h"
 #include "src/graph/binfmt.h"
 #include "src/graph/graph.h"
 #include "src/order/pipeline.h"
@@ -27,13 +27,14 @@
 /// mmap pinned underneath it) alive until its last reference dies, so an
 /// eviction can never unmap memory an in-flight listing is reading.
 ///
-/// Each entry also memoizes the Section-3 a-priori cost estimate
-/// (1/n)·Σ g(d_i)h(q_i) per (OrientSpec, method), which is what the
-/// admission controller consults before a request is ever queued: the
-/// degree sequence is known the moment the graph is resident, so the
-/// expected CPU cost of any (order, method) pair is computable without
-/// running anything (Proposition 4 / the Berry et al. observation that
-/// degree sequences predict triangle work).
+/// Each entry carries a shared cost::CostModel over its degree sequence
+/// (src/cost/cost_model.h) — the same Section-3 pricing layer the query
+/// planner uses — which is what the admission controller consults before
+/// a request is ever queued: the degree sequence is known the moment the
+/// graph is resident, so the expected CPU cost of any (order, method)
+/// pair is computable without running anything (Proposition 4 / the
+/// Berry et al. observation that degree sequences predict triangle
+/// work).
 
 namespace trilist::serve {
 
@@ -76,10 +77,6 @@ class CatalogEntry {
   /// sweeping uniform seeds (every seed is a distinct OrientSpec) would
   /// otherwise grow resident memory without limit.
   static constexpr size_t kMaxCachedOrientations = 8;
-  /// Memoized Section-3 cost estimates per entry. Each is a few bytes,
-  /// but the key space includes the uniform seed, so it is bounded too;
-  /// past the cap estimates are computed without being cached.
-  static constexpr size_t kMaxCostMemo = 256;
 
   const std::string& name() const { return name_; }
   const Graph& graph() const { return graph_; }
@@ -87,16 +84,14 @@ class CatalogEntry {
   bool tlg_backed() const { return tlg_ != nullptr; }
   /// Degree sequence sorted ascending (the paper's A_n vector).
   const std::vector<int64_t>& ascending_degrees() const {
-    return ascending_degrees_;
+    return cost_model_->ascending_degrees();
   }
 
-  /// Section-3 predicted total CPU cost (paper-metric operations) of
-  /// running `methods` under `orient` on this graph: n times the
-  /// sequence-conditional per-node cost, summed over methods. Memoized
-  /// per (spec, method). The degenerate order has no positional model;
-  /// it is estimated with the descending permutation as a proxy.
-  double PredictedCost(const OrientSpec& orient,
-                       const std::vector<Method>& methods);
+  /// The entry's Section-3 pricing layer (built at load time; thread-safe
+  /// and internally memoized). Admission pricing and SJF scheduling both
+  /// read through here, so the daemon and the planner can never disagree
+  /// on what a request costs.
+  const cost::CostModel& cost_model() const { return *cost_model_; }
 
  private:
   friend class GraphCatalog;
@@ -105,7 +100,7 @@ class CatalogEntry {
   std::string path_;  ///< resolved source path (for error messages).
   std::shared_ptr<TlgFile> tlg_;  ///< null for text-backed entries.
   Graph graph_;
-  std::vector<int64_t> ascending_degrees_;
+  std::unique_ptr<cost::CostModel> cost_model_;
 
   /// Lazy-load latch (set by GraphCatalog under load_mu_).
   std::mutex load_mu_;
@@ -114,12 +109,10 @@ class CatalogEntry {
   double load_wall_s_ = 0;
 
   /// Orientations built at serve time (beyond any embedded in the
-  /// container), plus the memoized cost model. `built_` is kept in LRU
-  /// order (front = coldest) and capped at kMaxCachedOrientations;
-  /// `predicted_` is capped at kMaxCostMemo.
+  /// container). Kept in LRU order (front = coldest) and capped at
+  /// kMaxCachedOrientations.
   std::mutex orient_mu_;
   std::vector<std::pair<OrientSpec, OrientedGraph>> built_;
-  std::map<std::tuple<int, uint64_t, int>, double> predicted_;
 
   uint64_t last_used_tick_ = 0;  ///< guarded by the catalog mutex.
 };

@@ -29,7 +29,7 @@ Status DecodeMethod(uint8_t code, Method* out) {
 }
 
 Status DecodeOrder(uint8_t code, PermutationKind* out) {
-  if (code > static_cast<uint8_t>(PermutationKind::kDegenerate)) {
+  if (code > static_cast<uint8_t>(PermutationKind::kSplit)) {
     return Status::InvalidArgument("unknown permutation code " +
                                    std::to_string(code));
   }

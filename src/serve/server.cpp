@@ -304,11 +304,13 @@ void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   pending.entry = acquired->entry;
   pending.catalog_hit = acquired->hit;
   pending.load_wall_s = acquired->load_wall_s;
-  // Admission step 2: the Section-3 a-priori cost of this request,
-  // (1/n)·Σ g(d_i)h(q_i) scaled back to total operations — what the
-  // shortest-job-first queue orders by.
-  pending.predicted_cost =
-      pending.entry->PredictedCost(request.orient, request.methods);
+  // Admission step 2: the Section-3 a-priori cost of this request from
+  // the entry's shared pricing layer (the same model the query planner
+  // uses) — what the shortest-job-first queue orders by. Weighted at the
+  // merge backend: relative order across queued requests is what matters
+  // here, and the server does not know the backend until execution.
+  pending.predicted_cost = pending.entry->cost_model().PredictedTotalCost(
+      request.orient, request.methods, IntersectBackend::kMerge);
 
   // Admission step 3: bounded enqueue with explicit backpressure. The
   // reject reply happens after the lock drops — a slow client's socket

@@ -117,14 +117,15 @@ if(NOT run_result EQUAL 0)
 endif()
 file(WRITE "${report_file}" "${run_out}")
 
-string(FIND "${run_out}" "\"schema_version\": 3" has_schema)
+string(FIND "${run_out}" "\"schema_version\": 4" has_schema)
 string(FIND "${run_out}" "\"degree_profiles\": [" has_profiles)
 string(FIND "${run_out}" "\"total_measured_ops\"" has_measured)
 string(FIND "${run_out}" "\"build\"" has_build)
 string(FIND "${run_out}" "\"io\"" has_io)
+string(FIND "${run_out}" "\"plan\"" has_plan)
 if(has_schema EQUAL -1 OR has_profiles EQUAL -1 OR has_measured EQUAL -1
-   OR has_build EQUAL -1 OR has_io EQUAL -1)
-  message(FATAL_ERROR "run report is missing v3 sections: ${run_out}")
+   OR has_build EQUAL -1 OR has_io EQUAL -1 OR has_plan EQUAL -1)
+  message(FATAL_ERROR "run report is missing v4 sections: ${run_out}")
 endif()
 
 if(NOT EXISTS "${trace_file}")

@@ -1,0 +1,153 @@
+#include "src/cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/algo/cost.h"
+#include "src/core/out_degree_model.h"
+#include "src/order/named_orders.h"
+#include "src/order/split.h"
+#include "src/util/rng.h"
+
+namespace trilist {
+namespace {
+
+std::vector<int64_t> SkewedDegrees(size_t n) {
+  std::vector<int64_t> degrees;
+  degrees.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    degrees.push_back(1 + static_cast<int64_t>(i * i) / 64);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+TEST(CostModelTest, OpsMatchSequenceConditionalCost) {
+  const std::vector<int64_t> degrees = SkewedDegrees(128);
+  const size_t n = degrees.size();
+  const cost::CostModel model(degrees);
+  for (const Method m : FundamentalMethods()) {
+    for (const PermutationKind kind :
+         {PermutationKind::kAscending, PermutationKind::kDescending,
+          PermutationKind::kRoundRobin,
+          PermutationKind::kComplementaryRoundRobin}) {
+      Rng rng(0);
+      const Permutation theta = MakePermutation(kind, n, &rng);
+      EXPECT_DOUBLE_EQ(
+          model.PredictedOps({kind, 0}, m),
+          static_cast<double>(n) * SequenceConditionalCost(degrees, theta, m))
+          << PermutationKindName(kind) << " " << MethodName(m);
+    }
+    // The split order prices through its tailored positional permutation.
+    EXPECT_DOUBLE_EQ(model.PredictedOps({PermutationKind::kSplit, 0}, m),
+                     static_cast<double>(n) *
+                         SequenceConditionalCost(
+                             degrees, TailoredSplitPermutation(degrees), m))
+        << MethodName(m);
+  }
+}
+
+TEST(CostModelTest, GraphDependentOrdersPriceViaDescendingProxy) {
+  const cost::CostModel model(SkewedDegrees(64));
+  for (const Method m : FundamentalMethods()) {
+    const double d = model.PredictedOps({PermutationKind::kDescending, 0}, m);
+    EXPECT_DOUBLE_EQ(model.PredictedOps({PermutationKind::kDegenerate, 0}, m),
+                     d);
+    EXPECT_DOUBLE_EQ(model.PredictedOps({PermutationKind::kAot, 0}, m), d);
+  }
+}
+
+TEST(CostModelTest, UniformPricingIsSeedDeterministic) {
+  const std::vector<int64_t> degrees = SkewedDegrees(64);
+  const cost::CostModel model(degrees);
+  const OrientSpec u7{PermutationKind::kUniform, 7};
+  const double first = model.PredictedOps(u7, Method::kE1);
+  EXPECT_DOUBLE_EQ(model.PredictedOps(u7, Method::kE1), first);
+  // The seed is part of the pricing identity.
+  Rng rng(7);
+  const Permutation theta = UniformPermutation(degrees.size(), &rng);
+  EXPECT_DOUBLE_EQ(first,
+                   static_cast<double>(degrees.size()) *
+                       SequenceConditionalCost(degrees, theta, Method::kE1));
+}
+
+TEST(CostModelTest, FamilyWeightsFollowTable3) {
+  const cost::CostModel model(SkewedDegrees(32));
+  const double w = model.params().vertex_op_weight;
+  EXPECT_DOUBLE_EQ(model.FamilyWeight(Method::kT1), w);
+  EXPECT_DOUBLE_EQ(model.FamilyWeight(Method::kE1),
+                   model.params().scan_op_weight);
+  EXPECT_DOUBLE_EQ(model.FamilyWeight(Method::kL1),
+                   model.params().lookup_op_weight);
+}
+
+TEST(CostModelTest, BackendSpeedupDividesOnlyScanningIterators) {
+  cost::CostModelParams params;
+  params.simd_speedup = 4.0;  // pin so the test is host-independent
+  const cost::CostModel model(SkewedDegrees(64), params);
+  const OrientSpec spec{PermutationKind::kDescending, 0};
+
+  EXPECT_DOUBLE_EQ(model.BackendSpeedup(IntersectBackend::kMerge), 1.0);
+  EXPECT_DOUBLE_EQ(model.BackendSpeedup(IntersectBackend::kSimd), 4.0);
+  EXPECT_DOUBLE_EQ(model.BackendSpeedup(IntersectBackend::kBitmap), 2.0);
+
+  const double sei_merge =
+      model.PredictedCost(spec, Method::kE1, IntersectBackend::kMerge);
+  EXPECT_DOUBLE_EQ(
+      model.PredictedCost(spec, Method::kE1, IntersectBackend::kSimd),
+      sei_merge / 4.0);
+  EXPECT_DOUBLE_EQ(
+      model.PredictedCost(spec, Method::kE1, IntersectBackend::kBitmap),
+      sei_merge / 2.0);
+
+  // Vertex and lookup iterators never touch the intersection loop.
+  for (const Method m : {Method::kT1, Method::kL1}) {
+    EXPECT_DOUBLE_EQ(
+        model.PredictedCost(spec, m, IntersectBackend::kSimd),
+        model.PredictedCost(spec, m, IntersectBackend::kMerge))
+        << MethodName(m);
+  }
+}
+
+TEST(CostModelTest, TotalCostIsTheSumOverMethods) {
+  const cost::CostModel model(SkewedDegrees(64));
+  const OrientSpec spec{PermutationKind::kRoundRobin, 0};
+  const std::vector<Method> methods = {Method::kT1, Method::kE1, Method::kE4};
+  double sum = 0;
+  for (const Method m : methods) {
+    sum += model.PredictedCost(spec, m, IntersectBackend::kMerge);
+  }
+  EXPECT_DOUBLE_EQ(
+      model.PredictedTotalCost(spec, methods, IntersectBackend::kMerge), sum);
+}
+
+TEST(CostModelTest, WeightedCostMatchesPredictionCurrency) {
+  // A measured op count weighted through WeightedCost must land in the
+  // same currency as PredictedCost: ops * family weight / SEI speedup.
+  cost::CostModelParams params;
+  params.simd_speedup = 8.0;
+  const cost::CostModel model(SkewedDegrees(32), params);
+  EXPECT_DOUBLE_EQ(model.WeightedCost(100.0, Method::kT1,
+                                      IntersectBackend::kSimd),
+                   100.0 * params.vertex_op_weight);
+  EXPECT_DOUBLE_EQ(model.WeightedCost(100.0, Method::kE1,
+                                      IntersectBackend::kSimd),
+                   100.0 / 8.0);
+  EXPECT_DOUBLE_EQ(model.WeightedCost(100.0, Method::kL1,
+                                      IntersectBackend::kBitmap),
+                   100.0 * params.lookup_op_weight);
+}
+
+TEST(CostModelTest, DerivedSimdSpeedupIsPositive) {
+  // simd_speedup <= 0 derives from the host's dispatch level; whatever
+  // the host, the derived divisor is at least the scalar 1.
+  const cost::CostModel model(SkewedDegrees(16));
+  EXPECT_GE(model.params().simd_speedup, 1.0);
+  EXPECT_GE(model.BackendSpeedup(IntersectBackend::kSimd), 1.0);
+}
+
+}  // namespace
+}  // namespace trilist

@@ -56,6 +56,56 @@ TEST(PermutationTest, ReverseAndComplementAreInvolutions) {
   }
 }
 
+TEST(PermutationTest, EmptyPermutationIsValidEverywhere) {
+  const Permutation p(static_cast<size_t>(0));
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.IsValid());
+  EXPECT_EQ(p.Inverse().size(), 0u);
+  EXPECT_EQ(p.Reverse().size(), 0u);
+  EXPECT_EQ(p.Complement().size(), 0u);
+  Rng rng(1);
+  for (PermutationKind kind :
+       {PermutationKind::kAscending, PermutationKind::kDescending,
+        PermutationKind::kRoundRobin,
+        PermutationKind::kComplementaryRoundRobin,
+        PermutationKind::kUniform}) {
+    const Permutation named = MakePermutation(kind, 0, &rng);
+    EXPECT_EQ(named.size(), 0u) << PermutationKindName(kind);
+    EXPECT_TRUE(named.IsValid()) << PermutationKindName(kind);
+  }
+}
+
+TEST(PermutationTest, SingletonPermutationIsTheIdentity) {
+  const Permutation p(1);
+  EXPECT_EQ(p(0), 0u);
+  EXPECT_EQ(p.Inverse()(0), 0u);
+  EXPECT_EQ(p.Reverse()(0), 0u);
+  Rng rng(2);
+  for (PermutationKind kind :
+       {PermutationKind::kAscending, PermutationKind::kDescending,
+        PermutationKind::kRoundRobin,
+        PermutationKind::kComplementaryRoundRobin,
+        PermutationKind::kUniform}) {
+    const Permutation named = MakePermutation(kind, 1, &rng);
+    ASSERT_EQ(named.size(), 1u) << PermutationKindName(kind);
+    EXPECT_EQ(named(0), 0u) << PermutationKindName(kind);
+  }
+}
+
+TEST(PermutationTest, IdentityIsItsOwnInverse) {
+  const Permutation id = AscendingPermutation(17);
+  const Permutation inv = id.Inverse();
+  for (size_t i = 0; i < 17; ++i) EXPECT_EQ(inv(i), i);
+}
+
+TEST(PermutationTest, InverseOfInverseRoundTrips) {
+  Rng rng(11);
+  const Permutation p = UniformPermutation(257, &rng);
+  const Permutation back = p.Inverse().Inverse();
+  ASSERT_EQ(back.size(), p.size());
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_EQ(back(i), p(i));
+}
+
 TEST(NamedOrdersTest, AscendingDescending) {
   const Permutation asc = AscendingPermutation(6);
   const Permutation desc = DescendingPermutation(6);

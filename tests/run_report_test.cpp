@@ -32,6 +32,20 @@ RunReport MakeFixedReport() {
   r.build_git_hash = "abcdef123456";
   r.build_compiler = "TestCompiler 0.0";
   r.build_type = "TestBuild";
+
+  r.plan.planned = true;
+  r.plan.auto_method = true;
+  r.plan.auto_order = true;
+  r.plan.auto_intersect = false;
+  r.plan.methods = {"T1"};
+  r.plan.order = "theta_D";
+  r.plan.intersect = "bitmap";
+  r.plan.predicted_ops = 1024.5;      // binary fractions: exact rendering
+  r.plan.predicted_cost = 2048.25;
+  r.plan.measured_ops = 1000.0;
+  r.plan.measured_cost = 2000.5;
+  r.plan.candidates = 20;
+
   r.stages.Add("generate", 0.015625);
   r.stages.Add("order", 0.0078125);
   r.stages.Add("orient", 0.03125);

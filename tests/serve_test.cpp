@@ -784,16 +784,21 @@ TEST(CatalogTest, PredictedCostGrowsWithGraphAndMethodSet) {
   ASSERT_TRUE(large.ok());
 
   const OrientSpec spec{PermutationKind::kDescending, 1};
-  const double small_cost = small->entry->PredictedCost(spec, {Method::kE1});
-  const double large_cost = large->entry->PredictedCost(spec, {Method::kE1});
+  const auto price = [](const GraphCatalog::Acquired& a,
+                        const OrientSpec& s,
+                        const std::vector<Method>& methods) {
+    return a.entry->cost_model().PredictedTotalCost(
+        s, methods, IntersectBackend::kMerge);
+  };
+  const double small_cost = price(*small, spec, {Method::kE1});
+  const double large_cost = price(*large, spec, {Method::kE1});
   EXPECT_GT(small_cost, 0);
   EXPECT_GT(large_cost, small_cost);
 
-  const double two_methods =
-      small->entry->PredictedCost(spec, {Method::kE1, Method::kT1});
+  const double two_methods = price(*small, spec, {Method::kE1, Method::kT1});
   EXPECT_GT(two_methods, small_cost);
   // Memoized: asking again returns the identical value.
-  EXPECT_EQ(small_cost, small->entry->PredictedCost(spec, {Method::kE1}));
+  EXPECT_EQ(small_cost, price(*small, spec, {Method::kE1}));
 }
 
 // Regression: serve-time orientations are O(n + m) each and keyed by

@@ -127,6 +127,7 @@
 #include "src/ooc/convert.h"
 #include "src/ooc/paged_count.h"
 #include "src/order/pipeline.h"
+#include "src/order/registry.h"
 #include "src/run/runner.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
@@ -190,18 +191,14 @@ bool ParseMethod(const std::string& name, Method* out) {
   return false;
 }
 
+/// Ordering lookup through the registry: accepts both the CLI spelling
+/// ("D", "aot") and the registry key ("theta_D", "aot"). `trilist_cli
+/// orders` lists everything this accepts.
 bool ParseOrder(const std::string& name, PermutationKind* out) {
-  static const std::map<std::string, PermutationKind> kOrders = {
-      {"D", PermutationKind::kDescending},
-      {"A", PermutationKind::kAscending},
-      {"RR", PermutationKind::kRoundRobin},
-      {"CRR", PermutationKind::kComplementaryRoundRobin},
-      {"U", PermutationKind::kUniform},
-      {"degen", PermutationKind::kDegenerate},
-  };
-  const auto it = kOrders.find(name);
-  if (it == kOrders.end()) return false;
-  *out = it->second;
+  const OrderingProvider* provider =
+      OrderingRegistry::Instance().FindByName(name);
+  if (provider == nullptr) return false;
+  *out = provider->kind();
   return true;
 }
 
@@ -310,20 +307,32 @@ int CmdCount(const Flags& flags) {
     std::fprintf(stderr, "count: --in FILE is required\n");
     return 2;
   }
+  PlanFlags plan;
   Method method = Method::kE1;
-  if (!flags.Get("method").empty() &&
-      !ParseMethod(flags.Get("method"), &method)) {
+  if (flags.Get("method") == "auto") {
+    plan.method = true;
+  } else if (!flags.Get("method").empty() &&
+             !ParseMethod(flags.Get("method"), &method)) {
     std::fprintf(stderr, "unknown method '%s'\n",
                  flags.Get("method").c_str());
     return 2;
   }
   PermutationKind order = PermutationKind::kDescending;
-  if (!flags.Get("order").empty() &&
-      !ParseOrder(flags.Get("order"), &order)) {
+  if (flags.Get("order") == "auto") {
+    plan.order = true;
+  } else if (!flags.Get("order").empty() &&
+             !ParseOrder(flags.Get("order"), &order)) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
   const uint64_t mem_budget = ParseSizeFlag(flags, "mem-budget", 0);
+  if (plan.Any() && mem_budget > 0) {
+    std::fprintf(stderr,
+                 "count: --method/--order auto are incompatible with "
+                 "--mem-budget (the planner may pick a non-partitioned "
+                 "method)\n");
+    return 2;
+  }
   if (flags.Has("mem-budget") && mem_budget == 0) {
     std::fprintf(stderr, "count: bad --mem-budget '%s' (want e.g. 64M)\n",
                  flags.Get("mem-budget").c_str());
@@ -368,10 +377,18 @@ int CmdCount(const Flags& flags) {
   RunSpec spec;
   spec.source = GraphSource::FromFile(in);
   spec.orient = OrientSpec{order, flags.GetUint("seed", 1)};
+  spec.plan = plan;
   spec.methods = {method};
   spec.exec.threads = ParseThreadsFlag(flags);
   spec.mem_budget_bytes = static_cast<int64_t>(mem_budget);
   if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
+  // "--intersect auto" under an active planner means "let the planner
+  // price the backends"; on its own it stays the legacy ratio-adaptive
+  // kernel pick.
+  if (flags.Get("intersect") == "auto" && plan.Any()) {
+    spec.plan.intersect = true;
+    spec.exec.intersect = IntersectBackend::kMerge;
+  }
 
   auto report = RunPipeline(spec);
   if (!report.ok()) {
@@ -382,12 +399,19 @@ int CmdCount(const Flags& flags) {
   const MethodReport& mr = r.methods.front();
   const StageClock& st = r.stages;
   const double work = st.Total() - st.WallOf("load");
+  if (r.plan.planned) {
+    std::printf("planner: %s + %s / %s (predicted cost %.3g, "
+                "%d candidates)\n",
+                MethodName(mr.method), r.order.c_str(),
+                r.intersect_backend.c_str(), r.plan.predicted_cost,
+                r.plan.candidates);
+  }
   std::printf(
       "%s + %s on %s (n=%zu m=%zu, %d thread%s%s%s):\n  triangles %llu\n"
       "  paper-metric ops %lld\n  wall time %.3fs\n"
       "  stages: load %.3fs, order %.3fs, orient %.3fs, arcs %.3fs, "
       "list %.3fs\n",
-      MethodName(method), PermutationKindName(order), in.c_str(),
+      MethodName(mr.method), r.order.c_str(), in.c_str(),
       r.num_nodes, r.num_edges, r.threads, r.threads == 1 ? "" : "s",
       r.threads > 1 && !mr.parallel ? ", serial listing fallback" : "",
       r.cached_orientation ? ", cached orientation" : "",
@@ -446,17 +470,33 @@ int CmdRun(const Flags& flags) {
     spec.source = GraphSource::FromGenerator(gen);
   }
   PermutationKind order = PermutationKind::kDescending;
-  if (!flags.Get("order").empty() &&
-      !ParseOrder(flags.Get("order"), &order)) {
+  if (flags.Get("order") == "auto") {
+    spec.plan.order = true;
+  } else if (!flags.Get("order").empty() &&
+             !ParseOrder(flags.Get("order"), &order)) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
   spec.seed = flags.GetUint("seed", 1);
   spec.orient = OrientSpec{order, spec.seed};
   spec.methods.clear();
-  if (!ParseMethodList(flags.Get("methods", "E1"), &spec.methods)) return 2;
+  // --methods (or the singular --method) accepts "auto": the planner
+  // races the fundamental representatives and runs the cheapest.
+  std::string methods_flag = flags.Get("methods");
+  if (methods_flag.empty()) methods_flag = flags.Get("method");
+  if (methods_flag == "auto") {
+    spec.plan.method = true;
+    spec.methods = {Method::kE1};  // placeholder; the planner overrides
+  } else if (!ParseMethodList(methods_flag.empty() ? "E1" : methods_flag,
+                              &spec.methods)) {
+    return 2;
+  }
   spec.exec.threads = ParseThreadsFlag(flags);
   if (!ParseIntersectFlag(flags, &spec.exec)) return 2;
+  if (flags.Get("intersect") == "auto" && spec.plan.Any()) {
+    spec.plan.intersect = true;
+    spec.exec.intersect = IntersectBackend::kMerge;
+  }
   spec.repeats = static_cast<int>(flags.GetUint("repeats", 1));
   spec.degree_profile = flags.Has("degree-profile");
   spec.mem_budget_bytes =
@@ -464,6 +504,13 @@ int CmdRun(const Flags& flags) {
   if (flags.Has("mem-budget") && spec.mem_budget_bytes == 0) {
     std::fprintf(stderr, "run: bad --mem-budget '%s' (want e.g. 64M)\n",
                  flags.Get("mem-budget").c_str());
+    return 2;
+  }
+  if (spec.plan.Any() && spec.mem_budget_bytes > 0) {
+    std::fprintf(stderr,
+                 "run: --methods/--order auto are incompatible with "
+                 "--mem-budget (the planner may pick a non-partitioned "
+                 "method)\n");
     return 2;
   }
 
@@ -722,9 +769,11 @@ int CmdModel(const Flags& flags) {
     std::fprintf(stderr, "unknown order '%s'\n", flags.Get("order").c_str());
     return 2;
   }
-  if (order == PermutationKind::kDegenerate) {
-    std::fprintf(stderr,
-                 "the degenerate order has no distribution-level model\n");
+  if (order == PermutationKind::kDegenerate ||
+      order == PermutationKind::kAot ||
+      order == PermutationKind::kSplit) {
+    std::fprintf(stderr, "the %s order has no distribution-level model\n",
+                 PermutationKindName(order));
     return 2;
   }
   const DiscretePareto base = DiscretePareto::PaperParameterization(alpha);
@@ -742,6 +791,24 @@ int CmdModel(const Flags& flags) {
     std::printf("asymptotic limit: infinite (finite iff alpha > %.4f)\n",
                 FinitenessThresholdAlpha(method, xi));
   }
+  return 0;
+}
+
+int CmdOrders() {
+  std::printf("%-6s %-11s %-6s %s\n", "cli", "key", "flags", "description");
+  for (const OrderingProvider* p : OrderingRegistry::Instance().all()) {
+    std::string caps;
+    if (p->positional()) caps += 'P';
+    if (p->graph_dependent()) caps += 'G';
+    if (p->seeded()) caps += 'S';
+    std::printf("%-6s %-11s %-6s %s\n", p->cli_name(), p->key(),
+                caps.c_str(), p->description());
+  }
+  std::printf(
+      "\nflags: P = positional (priced exactly from the degree sequence),\n"
+      "       G = graph-dependent (needs adjacency; priced via a proxy),\n"
+      "       S = consumes --seed\n"
+      "Every --order flag accepts the cli spelling or the key.\n");
   return 0;
 }
 
@@ -958,10 +1025,12 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: trilist_cli "
-      "<generate|count|run|model|advise|convert|info|serve|query|version> "
-      "[--flag value]...\n"
+      "<generate|count|run|model|orders|advise|convert|info|serve|query|"
+      "version> [--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
-      "  count    --in F [--method T1..L6] [--order D|A|RR|CRR|U|degen]\n"
+      "  count    --in F [--method T1..L6|auto] [--order O|auto]\n"
+      "           (orders: D|A|RR|CRR|U|degen|aot|split; see `orders`;\n"
+      "            auto = pick the min-predicted-cost plan, Section 3)\n"
       "           [--threads N]   (N > 1: parallel engine; 0 = hardware)\n"
       "           [--intersect merge|gallop|auto|simd|bitmap]\n"
       "           [--mem-budget SIZE]   (e.g. 64M; E1/E2 run partitioned\n"
@@ -969,9 +1038,11 @@ int Usage() {
       "           (--in accepts text edge lists or .tlg containers)\n"
       "  run      [--in F | --n N --alpha A [--trunc root|linear]\n"
       "           [--gen residual|config|gnp]]\n"
-      "           [--methods M1,M2,...|all|fundamental] [--order O]\n"
+      "           [--methods M1,M2,...|all|fundamental|auto] [--order O|auto]\n"
       "           [--seed S] [--threads N] [--repeats R]\n"
       "           [--intersect merge|gallop|auto|simd|bitmap]\n"
+      "           (with --methods/--order auto, --intersect auto joins the\n"
+      "            planner; the report's \"plan\" object audits the choice)\n"
       "           [--bitmap-min-degree D]   (0 = auto max(64, n/64))\n"
       "           [--report table|json] [--trace F.json] [--metrics F.prom]\n"
       "           [--degree-profile] [--mem-budget SIZE]\n"
@@ -980,6 +1051,7 @@ int Usage() {
       "            --degree-profile: per-log2-degree-bucket measured ops\n"
       "            vs the model's g(d)h(q) with relative residuals)\n"
       "  model    --alpha A [--n N] [--trunc ...] [--method M] [--order O]\n"
+      "  orders   (list registered orderings: keys, flags, descriptions)\n"
       "  advise   --alpha A [--speedup X]\n"
       "  convert  --in F --out F [--orders D,RR,...] [--seed S]\n"
       "           [--threads N]   (--out *.tlg = binary, else text)\n"
@@ -1013,6 +1085,7 @@ int main(int argc, char** argv) {
   if (cmd == "count") return CmdCount(flags);
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "model") return CmdModel(flags);
+  if (cmd == "orders") return CmdOrders();
   if (cmd == "advise") return CmdAdvise(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "info") return CmdInfo(flags);

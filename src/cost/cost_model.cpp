@@ -1,5 +1,6 @@
 #include "src/cost/cost_model.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/out_degree_model.h"
@@ -95,6 +96,12 @@ double CostModel::PredictedTotalCost(const OrientSpec& orient,
     total += PredictedCost(orient, m, backend);
   }
   return total;
+}
+
+double PredictedMutationOps(int64_t degree_u, int64_t degree_v) {
+  const int64_t du = std::max<int64_t>(0, degree_u);
+  const int64_t dv = std::max<int64_t>(0, degree_v);
+  return static_cast<double>(du + dv);
 }
 
 }  // namespace trilist::cost

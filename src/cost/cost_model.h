@@ -110,4 +110,13 @@ class CostModel {
   mutable std::map<std::tuple<int, uint64_t, int>, double> memo_;
 };
 
+/// Section-3 price of maintaining the triangle count across one edge
+/// mutation (u, v): the incremental path intersects the two merged
+/// adjacency rows once, so the Σ g(d) h(q) sum over touched nodes
+/// reduces to g(d_u) + g(d_v) with g the identity and h ≡ 1 — the merge
+/// kernel's worst-case scan bound. Measured comparisons (see
+/// dyn::ApplyResult) land in the same currency, so predicted-vs-measured
+/// mutation cost is a plain ratio exactly like the listing paths.
+double PredictedMutationOps(int64_t degree_u, int64_t degree_v);
+
 }  // namespace trilist::cost

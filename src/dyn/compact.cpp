@@ -1,0 +1,97 @@
+#include "src/dyn/compact.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/graph/binfmt_layout.h"
+#include "src/graph/binfmt_stream.h"
+#include "src/graph/oriented_graph.h"
+#include "src/obs/trace.h"
+
+namespace trilist::dyn {
+
+using tlg::kSecCsrNeighbors;
+using tlg::kSecCsrOffsets;
+using tlg::kSecDegrees;
+using tlg::kSecOrientation;
+using tlg::OrientHeader;
+using tlg::PermKindToCode;
+
+Status CompactToTlg(const Graph& g, const std::string& path,
+                    const CompactOptions& options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotImplemented(".tlg writing requires a little-endian "
+                                  "host");
+  }
+  obs::TraceSpan span("compact_to_tlg");
+  const uint64_t n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+  span.Arg("n", static_cast<int64_t>(n));
+  span.Arg("m", static_cast<int64_t>(m));
+  // Canonical empty graph: offsets = {0}, exactly as WriteTlgFile.
+  static constexpr size_t kZeroOffset = 0;
+  const std::span<const size_t> offsets =
+      g.RawOffsets().empty() ? std::span<const size_t>(&kZeroOffset, 1)
+                             : g.RawOffsets();
+
+  // Orientations are rebuilt from scratch on the compacted CSR — the
+  // same deterministic OrientWithSpec path the converter uses, so the
+  // embedded sections match a fresh convert byte for byte.
+  std::vector<OrientedGraph> oriented;
+  oriented.reserve(options.orientations.size());
+  for (const OrientSpec& spec : options.orientations) {
+    oriented.push_back(OrientWithSpec(g, spec, options.threads));
+  }
+  std::vector<int64_t> degrees;
+  if (options.write_degrees) degrees = g.Degrees();
+
+  // The section plan mirrors WriteTlgFile's directory order exactly.
+  std::vector<TlgStreamSectionPlan> plan;
+  plan.push_back({kSecCsrOffsets, 0, (n + 1) * sizeof(uint64_t)});
+  plan.push_back({kSecCsrNeighbors, 0, 2 * m * sizeof(NodeId)});
+  if (options.write_degrees) {
+    plan.push_back({kSecDegrees, 0, n * sizeof(int64_t)});
+  }
+  for (size_t i = 0; i < oriented.size(); ++i) {
+    const uint64_t arcs = oriented[i].num_arcs();
+    const uint64_t len = sizeof(OrientHeader) +
+                         2 * (n + 1) * sizeof(uint64_t) +
+                         2 * arcs * sizeof(NodeId) + n * sizeof(NodeId);
+    plan.push_back({kSecOrientation, static_cast<uint32_t>(i), len});
+  }
+
+  Result<TlgStreamWriter> writer =
+      TlgStreamWriter::Create(path, n, m, std::move(plan));
+  if (!writer.ok()) return writer.status();
+  TlgStreamWriter& w = writer.ValueOrDie();
+  TRILIST_RETURN_NOT_OK(
+      w.Append(offsets.data(), offsets.size_bytes()));
+  TRILIST_RETURN_NOT_OK(w.Append(g.RawNeighbors().data(),
+                                       g.RawNeighbors().size_bytes()));
+  if (options.write_degrees) {
+    TRILIST_RETURN_NOT_OK(
+        w.Append(degrees.data(), degrees.size() * sizeof(int64_t)));
+  }
+  for (size_t i = 0; i < oriented.size(); ++i) {
+    const OrientSpec& spec = options.orientations[i];
+    const OrientedGraph& og = oriented[i];
+    const OrientHeader header{
+        PermKindToCode(spec.kind), 0,
+        spec.kind == PermutationKind::kUniform ? spec.seed : 0,
+        og.num_arcs()};
+    TRILIST_RETURN_NOT_OK(w.Append(&header, sizeof(header)));
+    TRILIST_RETURN_NOT_OK(w.Append(og.RawOutOffsets().data(),
+                                         og.RawOutOffsets().size_bytes()));
+    TRILIST_RETURN_NOT_OK(w.Append(og.RawInOffsets().data(),
+                                         og.RawInOffsets().size_bytes()));
+    TRILIST_RETURN_NOT_OK(w.Append(
+        og.RawOutNeighbors().data(), og.RawOutNeighbors().size_bytes()));
+    TRILIST_RETURN_NOT_OK(w.Append(
+        og.RawInNeighbors().data(), og.RawInNeighbors().size_bytes()));
+    TRILIST_RETURN_NOT_OK(w.Append(og.original_of().data(),
+                                         og.original_of().size_bytes()));
+  }
+  return w.Finish();
+}
+
+}  // namespace trilist::dyn

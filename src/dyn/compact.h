@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/order/pipeline.h"
+#include "src/util/status.h"
+
+/// \file compact.h
+/// Serializes a compacted dynamic graph to a fresh `.tlg` container via
+/// the streaming writer (src/graph/binfmt_stream.h), replicating the
+/// in-memory writer's section plan exactly — the output is byte-identical
+/// to WriteTlgFile on the same graph and options, which is what lets the
+/// replay verifier prove a mutation stream's compaction equals a
+/// from-scratch convert of the final edge list, bit for bit.
+
+namespace trilist::dyn {
+
+/// Options mirroring TlgWriteOptions (kept separate so the dyn layer
+/// does not pull the whole loader into its interface).
+struct CompactOptions {
+  /// Orientations to rebuild and embed, keyed by OrientSpec.
+  std::vector<OrientSpec> orientations;
+  /// Concurrency of the orientation builds (result identical for any).
+  int threads = 1;
+  /// Embed the degree-sequence section (on by default, as in convert).
+  bool write_degrees = true;
+};
+
+/// Streams `g` (a materialized DynGraph, or any Graph) to `path` as a
+/// `.tlg` container. Deterministic; bit-identical to
+/// WriteTlgFile(g, path, ...) with the same sections.
+Status CompactToTlg(const Graph& g, const std::string& path,
+                    const CompactOptions& options = {});
+
+}  // namespace trilist::dyn

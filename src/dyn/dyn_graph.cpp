@@ -1,0 +1,197 @@
+#include "src/dyn/dyn_graph.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/algo/intersect.h"
+#include "src/cost/cost_model.h"
+#include "src/obs/trace.h"
+
+namespace trilist::dyn {
+
+namespace {
+
+/// Splits a sorted row into the three apex ranges of the identity-order
+/// decomposition: below lo, strictly between lo and hi, above hi. The
+/// endpoints themselves are skipped — a common neighbor of (u, v) is
+/// never u or v.
+std::array<std::span<const NodeId>, 3> SplitRow(std::span<const NodeId> row,
+                                                NodeId lo, NodeId hi) {
+  const NodeId* begin = row.data();
+  const NodeId* end = begin + row.size();
+  const NodeId* at_lo = std::lower_bound(begin, end, lo);
+  const NodeId* mid = at_lo;
+  while (mid < end && *mid == lo) ++mid;
+  const NodeId* at_hi = std::lower_bound(mid, end, hi);
+  const NodeId* high = at_hi;
+  while (high < end && *high == hi) ++high;
+  return {std::span<const NodeId>(begin, at_lo),
+          std::span<const NodeId>(mid, at_hi),
+          std::span<const NodeId>(high, end)};
+}
+
+}  // namespace
+
+DynGraph DynGraph::FromBase(Graph base) {
+  const uint64_t triangles = CountTriangles(base);
+  return FromBaseWithCount(std::move(base), triangles);
+}
+
+DynGraph DynGraph::FromBaseWithCount(Graph base, uint64_t triangles) {
+  DynGraph g;
+  g.num_nodes_ = base.num_nodes();
+  g.num_edges_ = base.num_edges();
+  g.base_ = std::move(base);
+  g.triangles_ = triangles;
+  return g;
+}
+
+std::span<const NodeId> DynGraph::BaseRow(NodeId v) const {
+  if (v >= base_.num_nodes()) return {};
+  return base_.Neighbors(v);
+}
+
+int64_t DynGraph::Degree(NodeId v) const {
+  if (v >= num_nodes_) return 0;
+  const int64_t base_degree =
+      v < base_.num_nodes() ? base_.Degree(v) : 0;
+  return base_degree + overlay_.DegreeDelta(v);
+}
+
+bool DynGraph::HasEdge(NodeId u, NodeId v) const {
+  if (overlay_.HasInserted(u, v)) return true;
+  if (overlay_.HasDeleted(u, v)) return false;
+  const std::span<const NodeId> row = BaseRow(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::span<const NodeId> DynGraph::Neighbors(
+    NodeId v, std::vector<NodeId>* scratch) const {
+  return overlay_.MergedRow(BaseRow(v), v, scratch);
+}
+
+uint64_t DynGraph::CommonNeighbors(NodeId u, NodeId v, int64_t* comparisons,
+                                   std::vector<NodeId>* scratch_u,
+                                   std::vector<NodeId>* scratch_v) const {
+  const std::span<const NodeId> row_u = Neighbors(u, scratch_u);
+  const std::span<const NodeId> row_v = Neighbors(v, scratch_v);
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  const auto parts_u = SplitRow(row_u, lo, hi);
+  const auto parts_v = SplitRow(row_v, lo, hi);
+  uint64_t common = 0;
+  const auto count = [&common](NodeId) { ++common; };
+  // Apex below both endpoints (N+ ∩ N+ under the identity order), the
+  // out/in wedge between them, and apex above both (N- ∩ N-).
+  for (size_t part = 0; part < 3; ++part) {
+    *comparisons += IntersectAutoT(parts_u[part], parts_v[part], count);
+  }
+  return common;
+}
+
+Result<ApplyResult> DynGraph::Apply(std::span<const EdgeMutation> batch) {
+  obs::TraceSpan span("dyn_apply");
+  span.Arg("batch", static_cast<int64_t>(batch.size()));
+  for (const EdgeMutation& m : batch) {
+    if (m.u == m.v) {
+      return Status::InvalidArgument("self-loop mutation on node " +
+                                     std::to_string(m.u));
+    }
+  }
+  ApplyResult result;
+  std::vector<NodeId> scratch_u, scratch_v;
+  for (const EdgeMutation& m : batch) {
+    ++seq_;
+    if (HasEdge(m.u, m.v) == m.insert) {
+      ++result.noops;
+      continue;
+    }
+    result.predicted_ops +=
+        cost::PredictedMutationOps(Degree(m.u), Degree(m.v));
+    const uint64_t common =
+        CommonNeighbors(m.u, m.v, &result.comparisons, &scratch_u,
+                        &scratch_v);
+    if (m.insert) {
+      num_nodes_ = std::max<size_t>(
+          num_nodes_, static_cast<size_t>(std::max(m.u, m.v)) + 1);
+      overlay_.AddArc(m.u, m.v);
+      overlay_.AddArc(m.v, m.u);
+      triangles_ += common;
+      ++num_edges_;
+      ++result.applied_inserts;
+    } else {
+      overlay_.RemoveArc(m.u, m.v);
+      overlay_.RemoveArc(m.v, m.u);
+      triangles_ -= common;
+      --num_edges_;
+      ++result.applied_deletes;
+    }
+  }
+  ++stats_.batches;
+  stats_.inserts_applied += result.applied_inserts;
+  stats_.deletes_applied += result.applied_deletes;
+  stats_.noops += result.noops;
+  stats_.comparisons += result.comparisons;
+  stats_.predicted_ops += result.predicted_ops;
+  span.Arg("applied", static_cast<int64_t>(result.applied_inserts +
+                                           result.applied_deletes));
+  span.Arg("comparisons", result.comparisons);
+  return result;
+}
+
+Graph DynGraph::MaterializeGraph() const {
+  std::vector<size_t> offsets(num_nodes_ + 1, 0);
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(2 * static_cast<size_t>(num_edges_));
+  std::vector<NodeId> scratch;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const std::span<const NodeId> row = Neighbors(v, &scratch);
+    neighbors.insert(neighbors.end(), row.begin(), row.end());
+    offsets[v + 1] = neighbors.size();
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+bool DynGraph::ShouldCompact(double fraction, size_t min_arcs) const {
+  const size_t arcs = overlay_.delta_arcs();
+  if (arcs < std::max<size_t>(1, min_arcs)) return false;
+  const double base_arcs =
+      static_cast<double>(2 * base_.num_edges());
+  return static_cast<double>(arcs) >= fraction * std::max(1.0, base_arcs);
+}
+
+void DynGraph::Compact() {
+  obs::TraceSpan span("dyn_compact");
+  span.Arg("overlay_arcs", static_cast<int64_t>(overlay_.delta_arcs()));
+  base_ = MaterializeGraph();
+  overlay_.Clear();
+  ++stats_.compactions;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  uint64_t total = 0;
+  const auto count = [&total](NodeId) { ++total; };
+  const size_t n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const std::span<const NodeId> row_u = g.Neighbors(u);
+    // v ranges over neighbors above u; the apex w above v completes each
+    // ordered triple u < v < w exactly once.
+    const NodeId* above_u =
+        std::upper_bound(row_u.data(), row_u.data() + row_u.size(), u);
+    for (const NodeId* pv = above_u; pv < row_u.data() + row_u.size();
+         ++pv) {
+      const NodeId v = *pv;
+      const std::span<const NodeId> row_v = g.Neighbors(v);
+      const NodeId* wu = std::upper_bound(
+          row_u.data(), row_u.data() + row_u.size(), v);
+      const NodeId* wv = std::upper_bound(
+          row_v.data(), row_v.data() + row_v.size(), v);
+      IntersectAutoT(
+          std::span<const NodeId>(wu, row_u.data() + row_u.size()),
+          std::span<const NodeId>(wv, row_v.data() + row_v.size()), count);
+    }
+  }
+  return total;
+}
+
+}  // namespace trilist::dyn

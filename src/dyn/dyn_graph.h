@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/dyn/mutation_log.h"
+#include "src/dyn/overlay.h"
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+/// \file dyn_graph.h
+/// Mutable graph view with exact incremental triangle maintenance — the
+/// dynamic counterpart of the immutable pipeline, built from the same
+/// primitives the paper costs: every mutation's work is a handful of
+/// sorted-row intersections (src/algo/intersect.h), priced per touched
+/// node as g(d) h(q) with g the identity (the merge kernel's scan bound,
+/// see cost::PredictedMutationOps).
+///
+/// ## Structure
+/// An immutable CSR base (shared, possibly a `.tlg` mmap view) plus a
+/// DeltaOverlay of per-node sorted insert/tombstone arrays. Neighbor
+/// rows merge lazily: untouched nodes read the base span zero-copy.
+///
+/// ## Incremental count invariant
+/// `triangles()` equals the triangle count of the merged graph after
+/// every Apply. Each applied edge (u, v) changes the count by exactly
+/// |N(u) ∩ N(v)| evaluated on the pre-mutation merged rows ((u, v)
+/// itself is never a common neighbor, so insert-before or delete-after
+/// evaluation is equivalent). The intersection runs as the oriented
+/// three-way decomposition under the identity order: apex below both
+/// endpoints (N+(u) ∩ N+(v)), apex between them (the out/in wedge), apex
+/// above both (N-(u) ∩ N-(v)) — three subspan intersections on the
+/// already sorted merged rows.
+///
+/// ## Single writer, snapshot readers
+/// Apply/Compact mutate in place and are not thread-safe; concurrent
+/// readers take an immutable Graph via MaterializeGraph() (the serving
+/// catalog publishes one per batch as a copy-on-write epoch).
+
+namespace trilist::dyn {
+
+/// Cumulative counters over the life of one DynGraph.
+struct DynStats {
+  uint64_t inserts_applied = 0;
+  uint64_t deletes_applied = 0;
+  uint64_t noops = 0;        ///< re-inserts of present / deletes of absent
+  uint64_t batches = 0;
+  uint64_t compactions = 0;
+  int64_t comparisons = 0;   ///< measured intersection comparisons
+  double predicted_ops = 0;  ///< Σ g(d) h(q) over touched endpoints
+};
+
+/// Per-batch outcome of DynGraph::Apply.
+struct ApplyResult {
+  uint64_t applied_inserts = 0;
+  uint64_t applied_deletes = 0;
+  uint64_t noops = 0;
+  int64_t comparisons = 0;   ///< intersection comparisons this batch
+  double predicted_ops = 0;  ///< Σ g(d) h(q) priced for this batch
+};
+
+/// \brief CSR base + delta overlay with an exact running triangle count.
+class DynGraph {
+ public:
+  DynGraph() = default;
+
+  /// Wraps `base` and counts its triangles from scratch — the one full
+  /// pass the incremental invariant is anchored to (the serving catalog
+  /// defers this to the first mutation, so read-only graphs never pay it).
+  static DynGraph FromBase(Graph base);
+
+  /// Wraps `base` with a caller-known triangle count (verifier chains and
+  /// tests that already counted).
+  static DynGraph FromBaseWithCount(Graph base, uint64_t triangles);
+
+  /// Nodes, including any appended by inserts beyond the base ID range.
+  size_t num_nodes() const { return num_nodes_; }
+  /// Current undirected edge count.
+  uint64_t num_edges() const { return num_edges_; }
+  /// The exact triangle count of the current merged graph.
+  uint64_t triangles() const { return triangles_; }
+  /// Mutations applied (insert + delete + noop) since construction.
+  uint64_t seq() const { return seq_; }
+  /// Overlay size: inserted arcs + tombstones across all nodes.
+  size_t overlay_arcs() const { return overlay_.delta_arcs(); }
+  /// The immutable base (the last compaction point).
+  const Graph& base() const { return base_; }
+  const DeltaOverlay& overlay() const { return overlay_; }
+  const DynStats& stats() const { return stats_; }
+
+  /// Current degree of v (0 beyond the node range).
+  int64_t Degree(NodeId v) const;
+  /// Membership on the merged view: two binary searches, no row merge.
+  bool HasEdge(NodeId u, NodeId v) const;
+  /// The merged sorted row of v; `*scratch` backs it when v has deltas.
+  std::span<const NodeId> Neighbors(NodeId v,
+                                    std::vector<NodeId>* scratch) const;
+
+  /// Applies one batch in order, maintaining the exact triangle count.
+  /// Self-loops fail the whole batch with InvalidArgument (nothing
+  /// applied from it); re-inserting a present edge or deleting an absent
+  /// one counts as a noop. Inserting beyond the base ID range grows the
+  /// node set.
+  Result<ApplyResult> Apply(std::span<const EdgeMutation> batch);
+
+  /// The merged graph as an immutable CSR (O(n + m)).
+  Graph MaterializeGraph() const;
+
+  /// True when the overlay reached `min_arcs` and `fraction` of the base
+  /// arc count — the serving catalog's compaction trigger.
+  bool ShouldCompact(double fraction, size_t min_arcs) const;
+
+  /// Rebases onto MaterializeGraph() and clears the overlay. Counts and
+  /// seq are unchanged: compaction reorganizes storage, not the graph.
+  void Compact();
+
+ private:
+  /// |N(u) ∩ N(v)| on the current merged rows via the oriented three-way
+  /// decomposition; adds kernel comparisons to *comparisons.
+  uint64_t CommonNeighbors(NodeId u, NodeId v, int64_t* comparisons,
+                           std::vector<NodeId>* scratch_u,
+                           std::vector<NodeId>* scratch_v) const;
+  /// Base row of v, empty beyond the base node range.
+  std::span<const NodeId> BaseRow(NodeId v) const;
+
+  Graph base_;
+  DeltaOverlay overlay_;
+  size_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t triangles_ = 0;
+  uint64_t seq_ = 0;
+  DynStats stats_;
+};
+
+/// From-scratch triangle count of an immutable graph, via the same
+/// identity-order subspan intersections the incremental path uses — the
+/// recount baseline of the replay verifier and `bench_dynamic_mix`.
+uint64_t CountTriangles(const Graph& g);
+
+}  // namespace trilist::dyn

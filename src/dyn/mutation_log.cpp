@@ -1,0 +1,83 @@
+#include "src/dyn/mutation_log.h"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace trilist::dyn {
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("mutation log line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+/// Parses one decimal node ID; rejects anything a NodeId cannot hold.
+bool ParseNode(const std::string& token, NodeId* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<EdgeMutation>> ReadMutationLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open mutation log: " + path);
+  }
+  std::vector<EdgeMutation> log;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '#') continue;  // blank or comment
+    if (op != "+" && op != "-") {
+      return LineError(line_no, "unknown op '" + op + "' (want + or -)");
+    }
+    std::string u_token, v_token;
+    if (!(fields >> u_token >> v_token)) {
+      return LineError(line_no, "want '<op> <u> <v>'");
+    }
+    EdgeMutation m;
+    m.insert = op == "+";
+    if (!ParseNode(u_token, &m.u) || !ParseNode(v_token, &m.v)) {
+      return LineError(line_no, "bad endpoint in '" + line + "'");
+    }
+    if (m.u == m.v) {
+      return LineError(line_no, "self-loop on node " + u_token);
+    }
+    std::string trailing;
+    if (fields >> trailing && trailing[0] != '#') {
+      return LineError(line_no, "trailing field '" + trailing + "'");
+    }
+    log.push_back(m);
+  }
+  return log;
+}
+
+Status WriteMutationLog(std::span<const EdgeMutation> log,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  for (const EdgeMutation& m : log) {
+    out << (m.insert ? '+' : '-') << ' ' << m.u << ' ' << m.v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace trilist::dyn

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+/// \file mutation_log.h
+/// The dynamic-graph mutation record and its recorded-log text format.
+///
+/// A mutation is one undirected edge insert or delete. Logs are plain
+/// text, one mutation per line, replayable by `trilist_cli mutate` and
+/// the replay verifier (src/dyn/replay.h):
+///
+///   # comment lines and blank lines are skipped
+///   + u v     insert undirected edge (u, v)
+///   - u v     delete undirected edge (u, v)
+///
+/// Endpoint order within a line is irrelevant (edges are undirected);
+/// self-loops are rejected at parse time, matching Graph::FromEdges.
+/// Re-inserting a present edge or deleting an absent one is legal in a
+/// log and applies as a no-op — recorded streams from real systems
+/// routinely carry both.
+
+namespace trilist::dyn {
+
+/// One edge insert or delete.
+struct EdgeMutation {
+  NodeId u = 0;
+  NodeId v = 0;
+  bool insert = true;
+
+  friend bool operator==(const EdgeMutation&, const EdgeMutation&) = default;
+};
+
+/// Parses a mutation log file. Malformed lines (missing fields, non-digit
+/// endpoints, self-loops, unknown op characters) fail with
+/// InvalidArgument naming the line number.
+Result<std::vector<EdgeMutation>> ReadMutationLog(const std::string& path);
+
+/// Writes `log` in the text format above (deterministic output).
+Status WriteMutationLog(std::span<const EdgeMutation> log,
+                        const std::string& path);
+
+}  // namespace trilist::dyn

@@ -1,0 +1,104 @@
+#include "src/dyn/overlay.h"
+
+#include <algorithm>
+
+namespace trilist::dyn {
+
+namespace {
+
+bool SortedContains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void SortedInsert(std::vector<NodeId>* v, NodeId x) {
+  v->insert(std::lower_bound(v->begin(), v->end(), x), x);
+}
+
+/// Removes x when present; returns whether it was.
+bool SortedErase(std::vector<NodeId>* v, NodeId x) {
+  const auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+void DeltaOverlay::AddArc(NodeId u, NodeId v) {
+  NodeDelta& d = deltas_[u];
+  if (SortedErase(&d.deleted, v)) {
+    // Re-inserting a tombstoned base arc: the base row already carries it.
+    --delta_arcs_;
+    if (d.inserted.empty() && d.deleted.empty()) deltas_.erase(u);
+    return;
+  }
+  SortedInsert(&d.inserted, v);
+  ++delta_arcs_;
+}
+
+void DeltaOverlay::RemoveArc(NodeId u, NodeId v) {
+  NodeDelta& d = deltas_[u];
+  if (SortedErase(&d.inserted, v)) {
+    --delta_arcs_;
+    if (d.inserted.empty() && d.deleted.empty()) deltas_.erase(u);
+    return;
+  }
+  SortedInsert(&d.deleted, v);
+  ++delta_arcs_;
+}
+
+bool DeltaOverlay::HasInserted(NodeId u, NodeId v) const {
+  const NodeDelta* d = Find(u);
+  return d != nullptr && SortedContains(d->inserted, v);
+}
+
+bool DeltaOverlay::HasDeleted(NodeId u, NodeId v) const {
+  const NodeDelta* d = Find(u);
+  return d != nullptr && SortedContains(d->deleted, v);
+}
+
+const DeltaOverlay::NodeDelta* DeltaOverlay::Find(NodeId u) const {
+  const auto it = deltas_.find(u);
+  return it == deltas_.end() ? nullptr : &it->second;
+}
+
+int64_t DeltaOverlay::DegreeDelta(NodeId u) const {
+  const NodeDelta* d = Find(u);
+  if (d == nullptr) return 0;
+  return static_cast<int64_t>(d->inserted.size()) -
+         static_cast<int64_t>(d->deleted.size());
+}
+
+void DeltaOverlay::Clear() {
+  deltas_.clear();
+  delta_arcs_ = 0;
+}
+
+std::span<const NodeId> DeltaOverlay::MergedRow(
+    std::span<const NodeId> base_row, NodeId u,
+    std::vector<NodeId>* scratch) const {
+  const NodeDelta* d = Find(u);
+  if (d == nullptr) return base_row;  // untouched node: zero-copy
+  scratch->clear();
+  scratch->reserve(base_row.size() + d->inserted.size());
+  size_t bi = 0, ii = 0, di = 0;
+  const std::vector<NodeId>& ins = d->inserted;
+  const std::vector<NodeId>& del = d->deleted;
+  while (bi < base_row.size()) {
+    const NodeId b = base_row[bi];
+    // Inserted arcs are disjoint from the base row, so a strict < merge
+    // interleaves them without a duplicate check.
+    while (ii < ins.size() && ins[ii] < b) scratch->push_back(ins[ii++]);
+    if (di < del.size() && del[di] == b) {
+      ++di;  // tombstoned base arc
+      ++bi;
+      continue;
+    }
+    scratch->push_back(b);
+    ++bi;
+  }
+  while (ii < ins.size()) scratch->push_back(ins[ii++]);
+  return *scratch;
+}
+
+}  // namespace trilist::dyn

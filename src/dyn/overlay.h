@@ -1,0 +1,81 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+/// \file overlay.h
+/// Mutable adjacency overlay for dynamic graphs: per-node sorted delta
+/// arrays layered over an immutable CSR base (src/graph/graph.h).
+///
+/// Each touched node carries two sorted vectors: `inserted` (arcs present
+/// beyond the base) and `deleted` (tombstones over arcs the base has).
+/// Untouched nodes carry nothing, so the merged row of a node with no
+/// deltas is the base span itself, zero-copy — the common case under
+/// sparse churn, and what keeps query-side neighbor iteration as cheap as
+/// the static path.
+///
+/// Invariants (maintained by DynGraph, assumed here):
+///   - inserted(u) is disjoint from the base row of u,
+///   - deleted(u) is a subset of the base row of u,
+///   - the overlay is symmetric: v in inserted(u) iff u in inserted(v),
+///     and likewise for tombstones (edges are undirected).
+///
+/// Merged rows stay sorted ascending, so every existing intersection
+/// backend (src/algo/intersect.h) runs on them unchanged.
+
+namespace trilist::dyn {
+
+/// \brief Per-node sorted insert/tombstone deltas over a CSR base.
+class DeltaOverlay {
+ public:
+  /// Deltas of one touched node, both sorted ascending.
+  struct NodeDelta {
+    std::vector<NodeId> inserted;
+    std::vector<NodeId> deleted;  ///< tombstoned base arcs
+  };
+
+  /// Records arc u -> v as present beyond the base state: clears a
+  /// tombstone when one exists (the arc is a base arc deleted earlier),
+  /// otherwise adds v to inserted(u). The caller must have established
+  /// that the arc is currently absent.
+  void AddArc(NodeId u, NodeId v);
+
+  /// Records arc u -> v as absent: removes it from inserted(u) when it
+  /// lives there, otherwise tombstones the base arc. The caller must have
+  /// established that the arc is currently present.
+  void RemoveArc(NodeId u, NodeId v);
+
+  /// True when v is in inserted(u) / deleted(u).
+  bool HasInserted(NodeId u, NodeId v) const;
+  bool HasDeleted(NodeId u, NodeId v) const;
+
+  /// The node's deltas, or nullptr when the node is untouched (rows are
+  /// pruned as soon as both vectors empty, so nullptr == base row valid).
+  const NodeDelta* Find(NodeId u) const;
+
+  /// Net degree change of node u (inserted minus tombstoned arcs).
+  int64_t DegreeDelta(NodeId u) const;
+
+  /// Total delta entries (inserted + tombstones) across all nodes — the
+  /// compaction trigger's size measure and the /metrics overlay gauge.
+  size_t delta_arcs() const { return delta_arcs_; }
+  bool empty() const { return delta_arcs_ == 0; }
+  /// Drops every delta (after a compaction rebased the graph).
+  void Clear();
+
+  /// The merged row of u: `base_row` with tombstones removed and inserts
+  /// merged in, sorted ascending. Returns `base_row` itself (zero-copy)
+  /// when u has no deltas; otherwise fills and returns `*scratch`.
+  std::span<const NodeId> MergedRow(std::span<const NodeId> base_row,
+                                    NodeId u,
+                                    std::vector<NodeId>* scratch) const;
+
+ private:
+  std::unordered_map<NodeId, NodeDelta> deltas_;
+  size_t delta_arcs_ = 0;
+};
+
+}  // namespace trilist::dyn

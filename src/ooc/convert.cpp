@@ -21,6 +21,7 @@
 #include "src/graph/edge_text.h"
 #include "src/ooc/chunk_reader.h"
 #include "src/ooc/external_sort.h"
+#include "src/ooc/temp_file.h"
 #include "src/order/named_orders.h"
 #include "src/order/split.h"
 #include "src/util/json_writer.h"
@@ -47,13 +48,9 @@ class TempStream {
   }
 
   Status Create(const std::string& tmpdir) {
-    std::string tmpl = tmpdir + "/trilist-csr-XXXXXX";
-    fd_ = ::mkstemp(tmpl.data());
-    if (fd_ < 0) {
-      return Status::InvalidArgument("cannot create temp file in " +
-                                     tmpdir + ": " + std::strerror(errno));
-    }
-    ::unlink(tmpl.c_str());
+    Result<int> fd = MakeUnlinkedTempFile(tmpdir, "trilist-csr");
+    if (!fd.ok()) return fd.status();
+    fd_ = *fd;
     return Status::OK();
   }
 

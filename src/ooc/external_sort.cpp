@@ -10,6 +10,8 @@
 #include <queue>
 #include <utility>
 
+#include "src/ooc/temp_file.h"
+
 namespace trilist::ooc {
 
 namespace {
@@ -128,16 +130,11 @@ Status ExternalU64Sorter::AddBatch(std::span<const uint64_t> records) {
 Status ExternalU64Sorter::SpillRun() {
   if (buffer_.empty()) return Status::OK();
   if (spill_fd_ < 0) {
-    // One unlinked temp file holds every run back to back; the kernel
-    // reclaims the space when the fd closes, so no crash leaves debris.
-    std::string tmpl = tmpdir_ + "/trilist-spill-XXXXXX";
-    spill_fd_ = ::mkstemp(tmpl.data());
-    if (spill_fd_ < 0) {
-      return Status::InvalidArgument("cannot create spill file in " +
-                                     tmpdir_ + ": " +
-                                     std::strerror(errno));
-    }
-    ::unlink(tmpl.c_str());
+    // One unlinked temp file holds every run back to back (see
+    // temp_file.h for the no-debris rationale).
+    Result<int> fd = MakeUnlinkedTempFile(tmpdir_, "trilist-spill");
+    if (!fd.ok()) return fd.status();
+    spill_fd_ = *fd;
   }
   std::sort(buffer_.begin(), buffer_.end());
   buffer_.erase(std::unique(buffer_.begin(), buffer_.end()),

@@ -1,0 +1,23 @@
+#include "src/ooc/temp_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace trilist::ooc {
+
+Result<int> MakeUnlinkedTempFile(const std::string& tmpdir,
+                                 const std::string& prefix) {
+  std::string tmpl = tmpdir + "/" + prefix + "-XXXXXX";
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create temp file in " + tmpdir +
+                                   ": " + std::strerror(errno));
+  }
+  ::unlink(tmpl.c_str());
+  return fd;
+}
+
+}  // namespace trilist::ooc

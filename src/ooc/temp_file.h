@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "src/util/status.h"
+
+/// \file temp_file.h
+/// The one way the out-of-core layer makes scratch files: mkstemp in the
+/// caller's tmpdir, immediately unlinked, so the kernel reclaims the
+/// space when the fd closes and no crash leaves debris on disk. Shared
+/// by the external sorter's spill file and the converter's CSR staging
+/// stream (and anything else that needs anonymous spill space).
+
+namespace trilist::ooc {
+
+/// Creates "<tmpdir>/<prefix>-XXXXXX" via mkstemp and unlinks it before
+/// returning, yielding an anonymous file descriptor the caller owns (and
+/// must close). InvalidArgument with strerror detail when the directory
+/// is missing or unwritable.
+Result<int> MakeUnlinkedTempFile(const std::string& tmpdir,
+                                 const std::string& prefix);
+
+}  // namespace trilist::ooc

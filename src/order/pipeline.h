@@ -73,7 +73,8 @@ struct OrientSpec {
   std::string Key() const {
     std::string key = PermutationKindName(kind);
     if (kind == PermutationKind::kUniform) {
-      key += ":" + std::to_string(seed);
+      key += ':';
+      key += std::to_string(seed);
     }
     return key;
   }

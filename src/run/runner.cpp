@@ -313,6 +313,19 @@ Status ListOnOriented(const OrientedGraph& oriented,
   return Status::OK();
 }
 
+Result<uint64_t> CountTrianglesWithMethod(const Graph& g, Method m,
+                                          const OrientSpec& spec,
+                                          int threads) {
+  const int resolved = ResolveThreads(threads);
+  const OrientedGraph oriented = OrientStages(g, spec, resolved, nullptr);
+  ExecPolicy exec;
+  exec.threads = resolved;
+  RunReport report;
+  TRILIST_RETURN_NOT_OK(
+      ListOnOriented(oriented, {m}, exec, 1, SinkKind::kCount, &report));
+  return report.methods.front().triangles;
+}
+
 Result<RunReport> RunPipeline(const RunSpec& spec) {
   RunReport report;
   CpuGauge gauge;

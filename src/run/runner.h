@@ -83,6 +83,14 @@ Status ListOnOriented(const OrientedGraph& oriented,
                       const ExecPolicy& exec, int repeats, SinkKind sink,
                       RunReport* report, int64_t mem_budget_bytes = 0);
 
+/// Orients `g` under `spec` and counts its triangles with method `m` —
+/// the one-call from-scratch baseline shared by the dynamic-graph replay
+/// verifier (src/dyn/replay.h) and `bench_dynamic_mix`, so "recount the
+/// final graph" runs the exact listing path queries run.
+Result<uint64_t> CountTrianglesWithMethod(const Graph& g, Method m,
+                                          const OrientSpec& spec,
+                                          int threads);
+
 /// Executes `spec` end to end and reports where the time went. Expected
 /// failures (unreadable file, generation stuck, corrupt container) come
 /// back as a Status error.

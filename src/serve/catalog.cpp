@@ -6,6 +6,7 @@
 
 #include "src/degree/degree_stats.h"
 #include "src/graph/io.h"
+#include "src/obs/trace.h"
 #include "src/run/runner.h"
 #include "src/util/metrics.h"
 #include "src/util/timer.h"
@@ -72,6 +73,14 @@ Status GraphCatalog::LoadEntry(CatalogEntry* entry,
   }
   entry->cost_model_ =
       std::make_unique<cost::CostModel>(AscendingDegrees(entry->graph_));
+  // Publish the as-loaded state as epoch 0 (the Graph copy is a cheap
+  // span view sharing the entry's backing storage).
+  auto view = std::make_shared<EpochView>();
+  view->graph = entry->graph_;
+  {
+    std::lock_guard<std::mutex> lock(entry->view_mu_);
+    entry->view_ = std::move(view);
+  }
   return Status::OK();
 }
 
@@ -157,10 +166,13 @@ Result<GraphCatalog::Acquired> GraphCatalog::Acquire(
 }
 
 GraphCatalog::Oriented GraphCatalog::Orient(
-    const std::shared_ptr<CatalogEntry>& entry, const OrientSpec& spec,
+    const std::shared_ptr<CatalogEntry>& entry,
+    const std::shared_ptr<const EpochView>& view, const OrientSpec& spec,
     int threads) {
   Oriented out;
-  if (entry->tlg_ != nullptr) {
+  // Embedded container orientations describe the as-loaded CSR, so they
+  // are only valid for epoch-0 views.
+  if (entry->tlg_ != nullptr && view->epoch == 0) {
     const OrientedGraph* embedded = entry->tlg_->FindOrientation(spec);
     if (embedded != nullptr) {
       out.oriented = *embedded;  // span-backed copy, pins the mapping
@@ -173,6 +185,12 @@ GraphCatalog::Oriented GraphCatalog::Orient(
   {
     std::lock_guard<std::mutex> lock(entry->orient_mu_);
     auto& built = entry->built_;
+    // A mutation moved the epoch since these were built: every cached
+    // orientation describes a stale graph. Drop the lot.
+    if (entry->built_epoch_ != view->epoch) {
+      built.clear();
+      entry->built_epoch_ = view->epoch;
+    }
     for (auto it = built.begin(); it != built.end(); ++it) {
       if (it->first == spec) {
         out.oriented = it->second;
@@ -185,7 +203,7 @@ GraphCatalog::Oriented GraphCatalog::Orient(
       }
     }
     StageClock clock;
-    out.oriented = OrientStages(entry->graph_, spec, threads, &clock);
+    out.oriented = OrientStages(view->graph, spec, threads, &clock);
     out.order_wall_s = clock.WallOf("order");
     out.orient_wall_s = clock.WallOf("orient");
     // Each cached orientation is O(n + m); evict the coldest beyond the
@@ -198,6 +216,91 @@ GraphCatalog::Oriented GraphCatalog::Orient(
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.orientations_built;
   return out;
+}
+
+GraphCatalog::Oriented GraphCatalog::Orient(
+    const std::shared_ptr<CatalogEntry>& entry, const OrientSpec& spec,
+    int threads) {
+  return Orient(entry, entry->View(), spec, threads);
+}
+
+Result<GraphCatalog::MutationOutcome> GraphCatalog::Mutate(
+    const std::shared_ptr<CatalogEntry>& entry,
+    std::span<const dyn::EdgeMutation> ops) {
+  obs::TraceSpan span("mutate");
+  span.Arg("batch", static_cast<int64_t>(ops.size()));
+  MutationOutcome out;
+  {
+    // One writer per entry. Readers never take dyn_mu_: they hold a
+    // published view and are oblivious to the mutation in progress.
+    std::lock_guard<std::mutex> lock(entry->dyn_mu_);
+    if (entry->dyn_ == nullptr) {
+      // First mutation ever: pay the one full from-scratch count here.
+      entry->dyn_ = std::make_unique<dyn::DynGraph>(
+          dyn::DynGraph::FromBase(entry->graph_));
+    }
+    Result<dyn::ApplyResult> applied = entry->dyn_->Apply(ops);
+    if (!applied.ok()) return applied.status();
+    const double fraction =
+        std::max(0.0, options_.compact_overlay_fraction);
+    if (fraction > 0 &&
+        entry->dyn_->ShouldCompact(fraction, options_.compact_min_arcs)) {
+      entry->dyn_->Compact();
+      out.compacted = true;
+    }
+    out.applied_inserts = applied->applied_inserts;
+    out.applied_deletes = applied->applied_deletes;
+    out.noops = applied->noops;
+    out.predicted_ops = applied->predicted_ops;
+    out.comparisons = applied->comparisons;
+    out.seq = entry->dyn_->seq();
+    out.triangles = entry->dyn_->triangles();
+    out.num_nodes = entry->dyn_->num_nodes();
+    out.num_edges = entry->dyn_->num_edges();
+    out.overlay_arcs = entry->dyn_->overlay_arcs();
+
+    // Copy-on-write epoch swap: materialize the post-batch graph into a
+    // fresh immutable view and publish it. In-flight queries keep their
+    // old view alive through its shared_ptr.
+    auto view = std::make_shared<EpochView>();
+    view->graph = entry->dyn_->MaterializeGraph();
+    view->seq = out.seq;
+    view->triangles = out.triangles;
+    view->triangles_known = true;
+    view->overlay_arcs = out.overlay_arcs;
+    {
+      std::lock_guard<std::mutex> view_lock(entry->view_mu_);
+      view->epoch = entry->view_->epoch + 1;
+      out.epoch = view->epoch;
+      entry->view_ = std::move(view);
+    }
+  }
+  span.Arg("epoch", static_cast<int64_t>(out.epoch));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.mutation_batches;
+  stats_.mutations_applied += out.applied_inserts + out.applied_deletes;
+  stats_.mutation_noops += out.noops;
+  if (out.compacted) ++stats_.compactions;
+  return out;
+}
+
+std::vector<GraphCatalog::DynRow> GraphCatalog::DynRows() const {
+  std::vector<DynRow> rows;
+  std::lock_guard<std::mutex> lock(mu_);
+  rows.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    const std::shared_ptr<const EpochView> view = entry->View();
+    if (view == nullptr) continue;  // still loading
+    DynRow row;
+    row.name = name;
+    row.epoch = view->epoch;
+    row.seq = view->seq;
+    row.overlay_arcs = view->overlay_arcs;
+    row.triangles = view->triangles;
+    row.triangles_known = view->triangles_known;
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 CatalogStats GraphCatalog::StatsSnapshot() const {

@@ -4,12 +4,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/algo/cost.h"
 #include "src/cost/cost_model.h"
+#include "src/dyn/dyn_graph.h"
 #include "src/graph/binfmt.h"
 #include "src/graph/graph.h"
 #include "src/order/pipeline.h"
@@ -54,6 +56,12 @@ struct CatalogOptions {
   /// checksummed up front. Serving a catalog much larger than RAM trades
   /// the one-time CRC sweep for lazy residency.
   bool paged = false;
+  /// Mutation compaction trigger: fold the delta overlay back into the
+  /// base CSR once it holds at least `compact_overlay_fraction` of the
+  /// base arc count and at least `compact_min_arcs` arcs (the floor keeps
+  /// tiny graphs from compacting on every batch).
+  double compact_overlay_fraction = 0.25;
+  size_t compact_min_arcs = 4096;
 };
 
 /// Monotone counters + gauges of catalog behavior, for /metrics.
@@ -65,6 +73,26 @@ struct CatalogStats {
   uint64_t orientation_hits = 0;    ///< (O, theta) served from cache.
   uint64_t orientations_built = 0;  ///< (O, theta) built on demand.
   size_t resident = 0;          ///< entries currently in the registry.
+  uint64_t mutation_batches = 0;    ///< Mutate calls applied.
+  uint64_t mutations_applied = 0;   ///< non-noop inserts + deletes.
+  uint64_t mutation_noops = 0;      ///< redundant inserts / deletes.
+  uint64_t compactions = 0;         ///< overlay folds into the base CSR.
+};
+
+/// \brief One immutable published state of a (possibly mutated) graph.
+/// Queries capture the current view at admission and run against it to
+/// completion, so a mutation landing mid-query can never change what
+/// that query reads — the epoch swap is copy-on-write, and the
+/// shared_ptr keeps superseded views alive until their last reader
+/// finishes. Epoch 0 is the as-loaded graph; every mutation batch
+/// publishes epoch + 1.
+struct EpochView {
+  Graph graph;             ///< span-backed; pins its backing storage.
+  uint64_t epoch = 0;      ///< number of mutation batches published.
+  uint64_t seq = 0;        ///< total mutations ever applied.
+  uint64_t triangles = 0;  ///< exact count (valid iff triangles_known).
+  bool triangles_known = false;  ///< false until the first mutation.
+  uint64_t overlay_arcs = 0;     ///< delta arcs outside the base CSR.
 };
 
 /// \brief One resident graph: the Graph view, its container (when
@@ -90,8 +118,19 @@ class CatalogEntry {
   /// The entry's Section-3 pricing layer (built at load time; thread-safe
   /// and internally memoized). Admission pricing and SJF scheduling both
   /// read through here, so the daemon and the planner can never disagree
-  /// on what a request costs.
+  /// on what a request costs. Deliberately NOT refreshed by mutations:
+  /// admission readers price concurrently with the mutator, and the
+  /// as-loaded degree sequence is an adequate estimate until the graph
+  /// is reloaded (documented drift, not a race).
   const cost::CostModel& cost_model() const { return *cost_model_; }
+
+  /// The current published view. Capture once per request and use it for
+  /// everything — graph, epoch, reported sizes — so one request never
+  /// straddles an epoch swap.
+  std::shared_ptr<const EpochView> View() const {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    return view_;
+  }
 
  private:
   friend class GraphCatalog;
@@ -99,8 +138,18 @@ class CatalogEntry {
   std::string name_;
   std::string path_;  ///< resolved source path (for error messages).
   std::shared_ptr<TlgFile> tlg_;  ///< null for text-backed entries.
-  Graph graph_;
+  Graph graph_;  ///< the as-loaded (epoch 0) graph; never mutated.
   std::unique_ptr<cost::CostModel> cost_model_;
+
+  /// Published-view pointer (copy-on-write epoch swap).
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const EpochView> view_;
+
+  /// Mutation state: one writer at a time per entry. Lazily constructed
+  /// on the first Mutate — the initial from-scratch triangle count is
+  /// paid once, there.
+  std::mutex dyn_mu_;
+  std::unique_ptr<dyn::DynGraph> dyn_;
 
   /// Lazy-load latch (set by GraphCatalog under load_mu_).
   std::mutex load_mu_;
@@ -110,9 +159,12 @@ class CatalogEntry {
 
   /// Orientations built at serve time (beyond any embedded in the
   /// container). Kept in LRU order (front = coldest) and capped at
-  /// kMaxCachedOrientations.
+  /// kMaxCachedOrientations. Valid only for `built_epoch_`; a mutation
+  /// publishing a new epoch invalidates the lot (cleared lazily on the
+  /// next Orient).
   std::mutex orient_mu_;
   std::vector<std::pair<OrientSpec, OrientedGraph>> built_;
+  uint64_t built_epoch_ = 0;  ///< guarded by orient_mu_.
 
   uint64_t last_used_tick_ = 0;  ///< guarded by the catalog mutex.
 };
@@ -146,14 +198,59 @@ class GraphCatalog {
     double orient_wall_s = 0;
   };
 
-  /// Returns the entry's orientation under `spec`, building and caching
-  /// it on first use (stats-counted). `threads` is the build concurrency;
-  /// the result is identical for any value.
+  /// Returns `view`'s orientation under `spec`, building and caching it
+  /// on first use (stats-counted). Embedded `.tlg` orientations are
+  /// reusable only at epoch 0 (they describe the as-loaded CSR); a view
+  /// from a newer epoch builds from its own graph, and the build cache
+  /// is invalidated whenever the epoch moves. `threads` is the build
+  /// concurrency; the result is identical for any value.
+  Oriented Orient(const std::shared_ptr<CatalogEntry>& entry,
+                  const std::shared_ptr<const EpochView>& view,
+                  const OrientSpec& spec, int threads);
+
+  /// Convenience overload against the entry's current view.
   Oriented Orient(const std::shared_ptr<CatalogEntry>& entry,
                   const OrientSpec& spec, int threads);
 
+  /// Result of one mutation batch (the MutateReply's source of truth).
+  struct MutationOutcome {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    uint64_t applied_inserts = 0;
+    uint64_t applied_deletes = 0;
+    uint64_t noops = 0;
+    uint64_t triangles = 0;
+    uint64_t num_nodes = 0;
+    uint64_t num_edges = 0;
+    uint64_t overlay_arcs = 0;
+    bool compacted = false;
+    double predicted_ops = 0;
+    int64_t comparisons = 0;
+  };
+
+  /// Applies `ops` to the entry as one atomic batch: the incremental
+  /// maintenance runs under the entry's writer lock, a fresh immutable
+  /// EpochView is published at the end, and in-flight queries holding
+  /// the previous view are untouched. Triggers a compaction when the
+  /// overlay crosses the configured threshold. InvalidArgument (bad
+  /// mutation) leaves the graph exactly as it was.
+  Result<MutationOutcome> Mutate(const std::shared_ptr<CatalogEntry>& entry,
+                                 std::span<const dyn::EdgeMutation> ops);
+
   /// Point-in-time stats snapshot.
   CatalogStats StatsSnapshot() const;
+
+  /// Per-graph dynamic state of every resident entry, for /metrics
+  /// gauges (epoch, seq, overlay size, maintained count).
+  struct DynRow {
+    std::string name;
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    uint64_t overlay_arcs = 0;
+    uint64_t triangles = 0;
+    bool triangles_known = false;
+  };
+  std::vector<DynRow> DynRows() const;
 
  private:
   Status ResolvePath(const std::string& name, std::string* path) const;

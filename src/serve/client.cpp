@@ -75,6 +75,17 @@ Result<QueryResponse> ServeClient::Query(const QueryRequest& request) {
   return response;
 }
 
+Result<MutateReply> ServeClient::Mutate(const MutateRequest& request) {
+  std::string body;
+  Status st =
+      RoundTrip(EncodeMutateRequest(request), MsgType::kMutateOk, &body);
+  if (!st.ok()) return st;
+  MutateReply reply;
+  st = DecodeMutateReply(body, &reply);
+  if (!st.ok()) return st;
+  return reply;
+}
+
 Result<std::string> ServeClient::Stats() {
   std::string body;
   Status st = RoundTrip(EncodeEmpty(MsgType::kStats), MsgType::kStatsOk, &body);

@@ -35,6 +35,10 @@ class ServeClient {
   /// (backpressure handling in the load generator).
   Result<QueryResponse> Query(const QueryRequest& request);
 
+  /// Applies one batched edge insert/delete request. Same error
+  /// conventions as Query.
+  Result<MutateReply> Mutate(const MutateRequest& request);
+
   /// Fetches the server's Prometheus stats text.
   Result<std::string> Stats();
 

@@ -111,6 +111,37 @@ std::string EncodeStatsReply(const StatsReply& stats) {
   return std::move(w).Take();
 }
 
+std::string EncodeMutateRequest(const MutateRequest& request) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kMutate);
+  w.Str(request.graph);
+  w.U32(static_cast<uint32_t>(request.ops.size()));
+  for (const dyn::EdgeMutation& m : request.ops) {
+    w.U8(m.insert ? 1 : 0);
+    w.U32(m.u);
+    w.U32(m.v);
+  }
+  return std::move(w).Take();
+}
+
+std::string EncodeMutateReply(const MutateReply& reply) {
+  WireWriter w;
+  AppendHeader(&w, MsgType::kMutateOk);
+  w.U64(reply.epoch);
+  w.U64(reply.seq);
+  w.U64(reply.applied_inserts);
+  w.U64(reply.applied_deletes);
+  w.U64(reply.noops);
+  w.U64(reply.triangles);
+  w.U64(reply.num_nodes);
+  w.U64(reply.num_edges);
+  w.U64(reply.overlay_arcs);
+  w.U8(reply.compacted);
+  w.F64(reply.predicted_ops);
+  w.F64(reply.wall_s);
+  return std::move(w).Take();
+}
+
 Status DecodeHeader(const std::string& payload, MsgType* type,
                     std::string* body) {
   WireReader r(payload);
@@ -131,7 +162,7 @@ Status DecodeHeader(const std::string& payload, MsgType* type,
         std::to_string(kProtocolVersion));
   }
   if (raw_type < static_cast<uint16_t>(MsgType::kQuery) ||
-      raw_type > static_cast<uint16_t>(MsgType::kPong)) {
+      raw_type > static_cast<uint16_t>(MsgType::kMutateOk)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(raw_type));
   }
@@ -244,6 +275,68 @@ Status DecodeError(const std::string& body, ErrorReply* error) {
 Status DecodeStatsReply(const std::string& body, StatsReply* stats) {
   WireReader r(body);
   const Status st = r.Str(&stats->prometheus_text);
+  if (!st.ok()) return st;
+  return r.ExpectEnd();
+}
+
+Status DecodeMutateRequest(const std::string& body,
+                           MutateRequest* request) {
+  WireReader r(body);
+  Status st = r.Str(&request->graph);
+  if (!st.ok()) return st;
+  if (request->graph.empty()) {
+    return Status::InvalidArgument("empty graph name");
+  }
+  uint32_t count = 0;
+  st = r.U32(&count);
+  if (!st.ok()) return st;
+  if (count == 0 || count > kMaxMutationsPerFrame) {
+    return Status::InvalidArgument(
+        "mutation count " + std::to_string(count) + " out of range [1, " +
+        std::to_string(kMaxMutationsPerFrame) + "]");
+  }
+  // 9 wire bytes per op: reject a forged count before reserving anything
+  // proportional to it.
+  if (static_cast<uint64_t>(count) * 9 > r.Remaining()) {
+    return Status::InvalidArgument("mutation count exceeds frame body");
+  }
+  request->ops.clear();
+  request->ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t op = 0;
+    dyn::EdgeMutation m;
+    st = r.U8(&op);
+    if (st.ok()) st = r.U32(&m.u);
+    if (st.ok()) st = r.U32(&m.v);
+    if (!st.ok()) return st;
+    if (op > 1) {
+      return Status::InvalidArgument("unknown mutation op " +
+                                     std::to_string(op));
+    }
+    if (m.u == m.v) {
+      return Status::InvalidArgument("self-loop mutation on node " +
+                                     std::to_string(m.u));
+    }
+    m.insert = op != 0;
+    request->ops.push_back(m);
+  }
+  return r.ExpectEnd();
+}
+
+Status DecodeMutateReply(const std::string& body, MutateReply* reply) {
+  WireReader r(body);
+  Status st = r.U64(&reply->epoch);
+  if (st.ok()) st = r.U64(&reply->seq);
+  if (st.ok()) st = r.U64(&reply->applied_inserts);
+  if (st.ok()) st = r.U64(&reply->applied_deletes);
+  if (st.ok()) st = r.U64(&reply->noops);
+  if (st.ok()) st = r.U64(&reply->triangles);
+  if (st.ok()) st = r.U64(&reply->num_nodes);
+  if (st.ok()) st = r.U64(&reply->num_edges);
+  if (st.ok()) st = r.U64(&reply->overlay_arcs);
+  if (st.ok()) st = r.U8(&reply->compacted);
+  if (st.ok()) st = r.F64(&reply->predicted_ops);
+  if (st.ok()) st = r.F64(&reply->wall_s);
   if (!st.ok()) return st;
   return r.ExpectEnd();
 }

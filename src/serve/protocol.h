@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/algo/cost.h"
+#include "src/dyn/mutation_log.h"
 #include "src/order/pipeline.h"
 #include "src/util/status.h"
 
@@ -40,8 +41,9 @@ inline constexpr uint16_t kProtocolVersion = 1;
 /// Payload cap: a forged length header may not force a large allocation.
 inline constexpr uint32_t kMaxFramePayload = 64u * 1024 * 1024;
 
-/// Message types. Requests are odd-ball grouped: kQuery/kStats/kPing come
-/// from clients; kQueryOk/kStatsOk/kPong/kError come from the server.
+/// Message types. Requests are odd-ball grouped: kQuery/kStats/kPing/
+/// kMutate come from clients; kQueryOk/kStatsOk/kPong/kMutateOk/kError
+/// come from the server.
 enum class MsgType : uint16_t {
   kQuery = 1,
   kQueryOk = 2,
@@ -50,6 +52,8 @@ enum class MsgType : uint16_t {
   kStatsOk = 5,
   kPing = 6,
   kPong = 7,
+  kMutate = 8,
+  kMutateOk = 9,
 };
 
 /// Error classes a server can reply with (ErrorReply::code).
@@ -104,6 +108,37 @@ struct QueryResponse {
   std::string report_json;  ///< full RunReport JSON document.
 };
 
+/// Mutation-count cap per kMutate frame: 9 bytes per op on the wire, so
+/// the cap keeps a full batch well under kMaxFramePayload while still
+/// amortizing the per-frame round trip over a million edges.
+inline constexpr uint32_t kMaxMutationsPerFrame = 1u << 20;
+
+/// \brief One batched edge insert/delete request against a cataloged
+/// graph. The batch is applied atomically with respect to queries: every
+/// query sees either the epoch before the whole batch or the epoch after
+/// it, never a prefix.
+struct MutateRequest {
+  std::string graph;  ///< catalog name (resolved by the server).
+  std::vector<dyn::EdgeMutation> ops;
+};
+
+/// \brief Successful mutation result: the new epoch's identity plus the
+/// exact maintained triangle count after the batch.
+struct MutateReply {
+  uint64_t epoch = 0;      ///< published-view counter after this batch.
+  uint64_t seq = 0;        ///< total mutations ever applied to the graph.
+  uint64_t applied_inserts = 0;
+  uint64_t applied_deletes = 0;
+  uint64_t noops = 0;      ///< already-present inserts / absent deletes.
+  uint64_t triangles = 0;  ///< exact running count after the batch.
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t overlay_arcs = 0;  ///< delta arcs still outside the base CSR.
+  uint8_t compacted = 0;      ///< this batch tripped a compaction.
+  double predicted_ops = 0;   ///< Section-3 price of the batch.
+  double wall_s = 0;          ///< server-side apply wall time.
+};
+
 /// \brief Error response body.
 struct ErrorReply {
   ErrorCode code = ErrorCode::kInternal;
@@ -124,6 +159,8 @@ std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodeQueryResponse(const QueryResponse& response);
 std::string EncodeError(const ErrorReply& error);
 std::string EncodeStatsReply(const StatsReply& stats);
+std::string EncodeMutateRequest(const MutateRequest& request);
+std::string EncodeMutateReply(const MutateReply& reply);
 
 /// Parses a payload's frame header, verifying magic and version, and
 /// leaves `*body` holding the body bytes that follow the header.
@@ -135,6 +172,8 @@ Status DecodeQueryRequest(const std::string& body, QueryRequest* request);
 Status DecodeQueryResponse(const std::string& body, QueryResponse* response);
 Status DecodeError(const std::string& body, ErrorReply* error);
 Status DecodeStatsReply(const std::string& body, StatsReply* stats);
+Status DecodeMutateRequest(const std::string& body, MutateRequest* request);
+Status DecodeMutateReply(const std::string& body, MutateReply* reply);
 
 /// Writes one frame (u32 length + payload) to `fd`.
 Status SendFrame(int fd, const std::string& payload);

@@ -52,6 +52,9 @@ TriangleServer::TriangleServer(const ServerOptions& options)
   catalog_options.root = options.graph_root;
   catalog_options.named = options.named_graphs;
   catalog_options.paged = options.paged_catalog;
+  catalog_options.compact_overlay_fraction =
+      options.compact_overlay_fraction;
+  catalog_options.compact_min_arcs = options.compact_min_arcs;
   catalog_ = std::make_unique<GraphCatalog>(std::move(catalog_options));
   resolved_workers_ = ResolveThreads(options.workers);
   max_query_threads_ = ResolveThreads(options.max_query_threads);
@@ -229,6 +232,9 @@ void TriangleServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       case MsgType::kQuery:
         HandleQuery(conn, body);
         break;
+      case MsgType::kMutate:
+        HandleMutate(conn, body);
+        break;
       default:
         ReplyError(conn, ErrorCode::kBadRequest,
                    "unexpected message type from a client");
@@ -302,6 +308,10 @@ void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   pending.conn = conn;
   pending.request = request;
   pending.entry = acquired->entry;
+  // Capture the current epoch on the reader thread: this query runs
+  // against exactly this graph no matter what mutations land while it
+  // waits in the queue.
+  pending.view = pending.entry->View();
   pending.catalog_hit = acquired->hit;
   pending.load_wall_s = acquired->load_wall_s;
   // Admission step 2: the Section-3 a-priori cost of this request from
@@ -311,10 +321,52 @@ void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   // here, and the server does not know the backend until execution.
   pending.predicted_cost = pending.entry->cost_model().PredictedTotalCost(
       request.orient, request.methods, IntersectBackend::kMerge);
+  Admit(std::move(pending));
+}
 
+void TriangleServer::HandleMutate(const std::shared_ptr<Connection>& conn,
+                                  const std::string& body) {
+  MutateRequest request;
+  const Status st = DecodeMutateRequest(body, &request);
+  if (!st.ok()) {
+    ReplyError(conn, ErrorCode::kBadRequest, st.message());
+    return;
+  }
+  ErrorCode code;
+  Result<GraphCatalog::Acquired> acquired =
+      catalog_->Acquire(request.graph, &code);
+  if (!acquired.ok()) {
+    ReplyError(conn, code, acquired.status().message());
+    return;
+  }
+  Pending pending;
+  pending.conn = conn;
+  pending.is_mutation = true;
+  pending.entry = acquired->entry;
+  pending.catalog_hit = acquired->hit;
+  pending.load_wall_s = acquired->load_wall_s;
+  // Price the batch for the SJF queue: Σ g(d_u) + g(d_v) over the
+  // current view's degrees (the merge-scan bound of each incremental
+  // intersection). Out-of-range endpoints contribute 0 — a node the
+  // graph has never seen has degree 0.
+  const std::shared_ptr<const EpochView> view = pending.entry->View();
+  const size_t n = view->graph.num_nodes();
+  double ops = 0;
+  for (const dyn::EdgeMutation& m : request.ops) {
+    const int64_t du = m.u < n ? view->graph.Degree(m.u) : 0;
+    const int64_t dv = m.v < n ? view->graph.Degree(m.v) : 0;
+    ops += cost::PredictedMutationOps(du, dv);
+  }
+  pending.predicted_cost = ops;
+  pending.mutate_request = std::move(request);
+  Admit(std::move(pending));
+}
+
+void TriangleServer::Admit(Pending pending) {
   // Admission step 3: bounded enqueue with explicit backpressure. The
   // reject reply happens after the lock drops — a slow client's socket
   // must never stall the queue.
+  const std::shared_ptr<Connection> conn = pending.conn;
   bool rejected = false;
   ErrorCode reject_code = ErrorCode::kInternal;
   std::string reject_message;
@@ -335,7 +387,11 @@ void TriangleServer::HandleQuery(const std::shared_ptr<Connection>& conn,
     } else {
       pending.seq = next_seq_++;
       pending.admitted.Start();
-      ++stats_.requests_total;
+      if (pending.is_mutation) {
+        ++stats_.mutations_total;
+      } else {
+        ++stats_.requests_total;
+      }
       // Pin the fd open for the worker that will send this response;
       // the reader increments (it is the only thread that can), the
       // replying worker decrements.
@@ -380,7 +436,11 @@ void TriangleServer::WorkerLoop() {
       pending.queue_wait_s = pending.admitted.ElapsedSeconds();
     }
     const std::shared_ptr<Connection> conn = pending.conn;
-    Execute(std::move(pending));
+    if (pending.is_mutation) {
+      ExecuteMutation(std::move(pending));
+    } else {
+      Execute(std::move(pending));
+    }
     conn->in_flight.fetch_sub(1);
     MaybeCloseConnection(conn);
     {
@@ -414,14 +474,15 @@ void TriangleServer::Execute(Pending pending) {
   report.build_git_hash = build.git_hash;
   report.build_compiler = build.compiler;
   report.build_type = build.build_type;
-  report.num_nodes = pending.entry->graph().num_nodes();
-  report.num_edges = pending.entry->graph().num_edges();
+  report.num_nodes = pending.view->graph.num_nodes();
+  report.num_edges = pending.view->graph.num_edges();
 
   // Stage walls carry the catalog's amortization story: a warm graph
   // reports load = 0, a reused (O, theta) reports order = orient = 0.
   report.stages.Add("load", pending.load_wall_s);
   const GraphCatalog::Oriented oriented =
-      catalog_->Orient(pending.entry, request.orient, threads);
+      catalog_->Orient(pending.entry, pending.view, request.orient,
+                       threads);
   report.cached_orientation = oriented.cached;
   report.stages.Add("order", oriented.order_wall_s);
   report.stages.Add("orient", oriented.orient_wall_s);
@@ -450,6 +511,44 @@ void TriangleServer::Execute(Pending pending) {
     }
   }
   Reply(pending.conn, EncodeQueryResponse(response));
+}
+
+void TriangleServer::ExecuteMutation(Pending pending) {
+  if (options_.debug_exec_delay_s > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.debug_exec_delay_s));
+  }
+  Timer apply_timer;
+  Result<GraphCatalog::MutationOutcome> outcome =
+      catalog_->Mutate(pending.entry, pending.mutate_request.ops);
+  if (!outcome.ok()) {
+    const ErrorCode code =
+        outcome.status().code() == StatusCode::kInvalidArgument
+            ? ErrorCode::kBadRequest
+            : ErrorCode::kInternal;
+    ReplyError(pending.conn, code, outcome.status().message());
+    return;
+  }
+  MutateReply reply;
+  reply.epoch = outcome->epoch;
+  reply.seq = outcome->seq;
+  reply.applied_inserts = outcome->applied_inserts;
+  reply.applied_deletes = outcome->applied_deletes;
+  reply.noops = outcome->noops;
+  reply.triangles = outcome->triangles;
+  reply.num_nodes = outcome->num_nodes;
+  reply.num_edges = outcome->num_edges;
+  reply.overlay_arcs = outcome->overlay_arcs;
+  reply.compacted = outcome->compacted ? 1 : 0;
+  reply.predicted_ops = outcome->predicted_ops;
+  reply.wall_s = apply_timer.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.mutate_ok;
+    mutation_latency_.Observe(pending.admitted.ElapsedSeconds());
+    queue_wait_.Observe(pending.queue_wait_s);
+  }
+  Reply(pending.conn, EncodeMutateReply(reply));
 }
 
 QueryResponse TriangleServer::BuildResponse(const Pending& pending,
@@ -598,6 +697,54 @@ std::string TriangleServer::StatsPrometheus() const {
   w.Sample("trilist_serve_orientations_built_total",
            static_cast<double>(stats.catalog.orientations_built));
 
+  w.Counter("trilist_serve_mutations_total",
+            "Mutation batches admitted to the queue");
+  w.Sample("trilist_serve_mutations_total",
+           static_cast<double>(stats.mutations_total));
+  w.Counter("trilist_serve_mutate_ok_total",
+            "Successful mutation replies");
+  w.Sample("trilist_serve_mutate_ok_total",
+           static_cast<double>(stats.mutate_ok));
+  w.Counter("trilist_serve_mutations_applied_total",
+            "Non-noop edge inserts and deletes applied");
+  w.Sample("trilist_serve_mutations_applied_total",
+           static_cast<double>(stats.catalog.mutations_applied));
+  w.Counter("trilist_serve_mutation_noops_total",
+            "Redundant inserts / deletes skipped");
+  w.Sample("trilist_serve_mutation_noops_total",
+           static_cast<double>(stats.catalog.mutation_noops));
+  w.Counter("trilist_serve_compactions_total",
+            "Overlay compactions into the base CSR");
+  w.Sample("trilist_serve_compactions_total",
+           static_cast<double>(stats.catalog.compactions));
+
+  // Per-graph dynamic state: epoch/seq/overlay gauges let an operator
+  // watch churn and compaction pressure per resident graph.
+  const std::vector<GraphCatalog::DynRow> rows = catalog_->DynRows();
+  w.Gauge("trilist_serve_graph_epoch", "Published epoch per graph");
+  for (const auto& row : rows) {
+    w.Sample("trilist_serve_graph_epoch", {{"graph", row.name}},
+             static_cast<double>(row.epoch));
+  }
+  w.Gauge("trilist_serve_graph_seq", "Total mutations applied per graph");
+  for (const auto& row : rows) {
+    w.Sample("trilist_serve_graph_seq", {{"graph", row.name}},
+             static_cast<double>(row.seq));
+  }
+  w.Gauge("trilist_serve_graph_overlay_arcs",
+          "Delta arcs outside the base CSR per graph");
+  for (const auto& row : rows) {
+    w.Sample("trilist_serve_graph_overlay_arcs", {{"graph", row.name}},
+             static_cast<double>(row.overlay_arcs));
+  }
+  w.Gauge("trilist_serve_graph_triangles",
+          "Maintained exact triangle count per mutated graph");
+  for (const auto& row : rows) {
+    if (!row.triangles_known) continue;
+    w.Sample("trilist_serve_graph_triangles", {{"graph", row.name}},
+             static_cast<double>(row.triangles));
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   w.Histogram("trilist_serve_request_latency_seconds",
               "Admission-to-response latency");
@@ -606,6 +753,10 @@ std::string TriangleServer::StatsPrometheus() const {
   w.Histogram("trilist_serve_queue_wait_seconds",
               "Time spent queued before a worker");
   ExportHistogram(&w, "trilist_serve_queue_wait_seconds", {}, queue_wait_);
+  w.Histogram("trilist_serve_mutation_latency_seconds",
+              "Admission-to-reply latency of mutation batches");
+  ExportHistogram(&w, "trilist_serve_mutation_latency_seconds", {},
+                  mutation_latency_);
   w.Histogram("trilist_serve_method_wall_seconds",
               "Best listing wall per served method");
   for (const auto& [method, histogram] : method_wall_) {

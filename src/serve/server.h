@@ -91,6 +91,9 @@ struct ServerOptions {
   std::map<std::string, std::string> named_graphs;
   /// Open `.tlg` graphs demand-paged (CatalogOptions::paged).
   bool paged_catalog = false;
+  /// Mutation compaction trigger (CatalogOptions equivalents).
+  double compact_overlay_fraction = 0.25;
+  size_t compact_min_arcs = 4096;
 
   /// Test-only: every worker sleeps this long before executing a
   /// request, making queue states reproducible in the backpressure and
@@ -106,6 +109,8 @@ struct ServerStats {
   uint64_t rejected_overload = 0;
   uint64_t rejected_draining = 0;
   uint64_t errors = 0;           ///< non-backpressure error replies.
+  uint64_t mutations_total = 0;  ///< mutate frames admitted to the queue.
+  uint64_t mutate_ok = 0;        ///< successful mutation replies.
   size_t queue_depth = 0;
   size_t in_flight = 0;          ///< requests currently executing.
   size_t open_connections = 0;   ///< connections not yet reclaimed.
@@ -167,11 +172,18 @@ class TriangleServer {
     std::atomic<bool> reader_done{false};
   };
 
-  /// One admitted query waiting for (or holding) a worker.
+  /// One admitted request (query or mutation) waiting for (or holding)
+  /// a worker.
   struct Pending {
     std::shared_ptr<Connection> conn;
     QueryRequest request;
     std::shared_ptr<CatalogEntry> entry;
+    /// The epoch captured at admission: the query runs against exactly
+    /// this graph even if mutations land while it waits or executes.
+    /// Null for mutations (the writer works on live state, not a view).
+    std::shared_ptr<const EpochView> view;
+    bool is_mutation = false;
+    MutateRequest mutate_request;  ///< valid iff is_mutation.
     bool catalog_hit = false;
     double load_wall_s = 0;
     double predicted_cost = 0;
@@ -187,7 +199,13 @@ class TriangleServer {
   void WorkerLoop();
   void HandleQuery(const std::shared_ptr<Connection>& conn,
                    const std::string& body);
+  void HandleMutate(const std::shared_ptr<Connection>& conn,
+                    const std::string& body);
+  /// Admission steps 1-3 shared by queries and mutations: acquire is
+  /// done by the caller; this prices, bounds and enqueues.
+  void Admit(Pending pending);
   void Execute(Pending pending);
+  void ExecuteMutation(Pending pending);
   QueryResponse BuildResponse(const Pending& pending,
                               const RunReport& report) const;
   void Reply(const std::shared_ptr<Connection>& conn,
@@ -222,6 +240,7 @@ class TriangleServer {
   ServerStats stats_;
   LatencyHistogram request_latency_;
   LatencyHistogram queue_wait_;
+  LatencyHistogram mutation_latency_;  ///< admission-to-reply, mutations.
   std::map<Method, LatencyHistogram> method_wall_;
 
   std::thread accept_thread_;

@@ -94,11 +94,25 @@
 ///       triangle counts, stage walls and catalog provenance (warm hit
 ///       vs cold load), or --stats for the server's Prometheus text.
 ///
+///   trilist_cli mutate ...
+///       Dynamic graphs (src/dyn/): remotely, ship batched edge
+///       inserts/deletes to a running daemon (--connect/--unix --graph,
+///       with --add/--del/--ops-file) — each batch publishes a new
+///       epoch whose exact triangle count is maintained incrementally;
+///       locally, replay a recorded mutation log over --in and, with
+///       --verify, prove the incremental count against a from-scratch
+///       recount and byte-compare a compaction against a fresh convert.
+///       `info` describes an on-disk container, which is always a
+///       static snapshot: mutations live in the serving layer until a
+///       compaction writes the next container.
+///
 /// `count` accepts either format transparently: `.tlg` inputs are
 /// detected by magic, mmap-loaded zero-copy, and reuse a cached
 /// orientation when one matches the requested --order/--seed.
 
+#include <algorithm>
 #include <csignal>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -122,6 +136,8 @@
 #include "src/graph/binfmt.h"
 #include "src/graph/ingest.h"
 #include "src/graph/io.h"
+#include "src/dyn/mutation_log.h"
+#include "src/dyn/replay.h"
 #include "src/obs/prom.h"
 #include "src/obs/trace.h"
 #include "src/ooc/convert.h"
@@ -1010,6 +1026,193 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+/// Parses "u:v[,u:v...]" into mutations with the given direction.
+bool ParseEdgePairs(const std::string& text, bool insert,
+                    std::vector<dyn::EdgeMutation>* ops) {
+  if (text.empty()) return true;
+  std::istringstream stream(text);
+  std::string pair;
+  while (std::getline(stream, pair, ',')) {
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= pair.size()) {
+      std::fprintf(stderr, "mutate: bad edge '%s' (want u:v)\n",
+                   pair.c_str());
+      return false;
+    }
+    dyn::EdgeMutation m;
+    m.u = static_cast<NodeId>(
+        std::strtoul(pair.c_str(), nullptr, 10));
+    m.v = static_cast<NodeId>(
+        std::strtoul(pair.c_str() + colon + 1, nullptr, 10));
+    m.insert = insert;
+    if (m.u == m.v) {
+      std::fprintf(stderr, "mutate: self-loop '%s' rejected\n",
+                   pair.c_str());
+      return false;
+    }
+    ops->push_back(m);
+  }
+  return true;
+}
+
+/// Remote mode: ship the batch to a running trilistd and report the new
+/// epoch's state.
+int CmdMutateRemote(const Flags& flags,
+                    std::vector<dyn::EdgeMutation> ops) {
+  auto connected = ConnectFromFlags(flags);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return connected.status().code() == StatusCode::kInvalidArgument ? 2
+                                                                     : 1;
+  }
+  serve::ServeClient client = std::move(connected).ValueOrDie();
+  serve::MutateRequest request;
+  request.graph = flags.Get("graph");
+  if (request.graph.empty()) {
+    std::fprintf(stderr, "mutate: --graph NAME is required\n");
+    return 2;
+  }
+  const size_t batch =
+      static_cast<size_t>(flags.GetUint("batch", 4096));
+  for (size_t pos = 0; pos < ops.size();) {
+    const size_t len = std::min(batch, ops.size() - pos);
+    request.ops.assign(ops.begin() + static_cast<ptrdiff_t>(pos),
+                       ops.begin() + static_cast<ptrdiff_t>(pos + len));
+    pos += len;
+    auto reply = client.Mutate(request);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "mutate failed: %s\n",
+                   reply.status().message().c_str());
+      if (client.last_failure_was_reply() &&
+          (client.last_error().code == serve::ErrorCode::kOverloaded ||
+           client.last_error().code == serve::ErrorCode::kDraining)) {
+        return 3;
+      }
+      return 1;
+    }
+    std::printf(
+        "%s: epoch %llu seq %llu  +%llu -%llu (%llu noop)  "
+        "triangles %llu  n=%llu m=%llu overlay=%llu%s  %.3fs\n",
+        request.graph.c_str(),
+        static_cast<unsigned long long>(reply->epoch),
+        static_cast<unsigned long long>(reply->seq),
+        static_cast<unsigned long long>(reply->applied_inserts),
+        static_cast<unsigned long long>(reply->applied_deletes),
+        static_cast<unsigned long long>(reply->noops),
+        static_cast<unsigned long long>(reply->triangles),
+        static_cast<unsigned long long>(reply->num_nodes),
+        static_cast<unsigned long long>(reply->num_edges),
+        static_cast<unsigned long long>(reply->overlay_arcs),
+        reply->compacted ? " (compacted)" : "", reply->wall_s);
+  }
+  return 0;
+}
+
+/// Local mode: replay a mutation log over a graph through the
+/// incremental maintenance path and (with --verify) prove the result
+/// against a from-scratch recount + byte-identical compaction.
+int CmdMutateLocal(const Flags& flags,
+                   std::vector<dyn::EdgeMutation> ops) {
+  const std::string in = flags.Get("in");
+  Result<Graph> base = LooksLikeTlgFile(in)
+                           ? [&]() -> Result<Graph> {
+                               auto t = TlgFile::Open(in);
+                               if (!t.ok()) return t.status();
+                               // Owning rebuild: the mmap dies with `t`.
+                               return Graph::FromEdges(
+                                   t->graph().num_nodes(),
+                                   t->graph().EdgeList());
+                             }()
+                           : ReadEdgeListFile(in);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+
+  dyn::ReplayOptions options;
+  options.batch_size = static_cast<size_t>(flags.GetUint("batch", 256));
+  options.threads = static_cast<int>(flags.GetUint("threads", 1));
+  options.recount_orient = OrientSpec{PermutationKind::kDescending, 0};
+  options.verify_tlg = flags.Has("verify");
+  const std::string out = flags.Get("out");
+  if (options.verify_tlg) {
+    const std::string stem =
+        "/tmp/trilist-mutate-" + std::to_string(::getpid());
+    options.compact_path = out.empty() ? stem + "-compact.tlg" : out;
+    options.fresh_path = stem + "-fresh.tlg";
+    options.orientations = {options.recount_orient};
+  }
+
+  auto report = dyn::ReplayVerify(*base, ops, options);
+  const bool keep_out = !out.empty();
+  if (options.verify_tlg) {
+    ::unlink(options.fresh_path.c_str());
+    if (!keep_out) ::unlink(options.compact_path.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "replayed %llu mutations (%llu applied, %llu noop) in %llu "
+      "batches, %llu compactions\n",
+      static_cast<unsigned long long>(report->mutations),
+      static_cast<unsigned long long>(report->applied),
+      static_cast<unsigned long long>(report->noops),
+      static_cast<unsigned long long>(report->batches),
+      static_cast<unsigned long long>(report->compactions));
+  std::printf(
+      "final graph: n=%llu m=%llu, incremental triangles %llu "
+      "(apply %.3fs, %lld comparisons, predicted %.0f ops)\n",
+      static_cast<unsigned long long>(report->final_nodes),
+      static_cast<unsigned long long>(report->final_edges),
+      static_cast<unsigned long long>(report->incremental_triangles),
+      report->apply_wall_s, static_cast<long long>(report->comparisons),
+      report->predicted_ops);
+  std::printf("recount: T1 %llu, T2 %llu (%.3fs) -> %s\n",
+              static_cast<unsigned long long>(report->recount_t1),
+              static_cast<unsigned long long>(report->recount_t2),
+              report->recount_wall_s,
+              report->counts_match ? "match" : "MISMATCH");
+  if (report->tlg_checked) {
+    std::printf("compaction vs fresh convert: %s\n",
+                report->tlg_bitmatch ? "bit-identical" : "DIVERGED");
+  }
+  if (!dyn::ReplayPassed(*report)) return 1;
+  return 0;
+}
+
+int CmdMutate(const Flags& flags) {
+  std::vector<dyn::EdgeMutation> ops;
+  const std::string ops_file = flags.Get("ops-file", flags.Get("log"));
+  if (!ops_file.empty()) {
+    auto log = dyn::ReadMutationLog(ops_file);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    ops = std::move(log).ValueOrDie();
+  }
+  if (!ParseEdgePairs(flags.Get("add"), true, &ops)) return 2;
+  if (!ParseEdgePairs(flags.Get("del"), false, &ops)) return 2;
+  if (ops.empty()) {
+    std::fprintf(stderr,
+                 "mutate: no mutations (use --add, --del or --ops-file)\n");
+    return 2;
+  }
+  if (flags.Has("connect") || flags.Has("unix")) {
+    return CmdMutateRemote(flags, std::move(ops));
+  }
+  if (flags.Get("in").empty()) {
+    std::fprintf(stderr,
+                 "mutate: --in GRAPH (local) or --connect/--unix "
+                 "(remote) is required\n");
+    return 2;
+  }
+  return CmdMutateLocal(flags, std::move(ops));
+}
+
 int CmdVersion() {
   const BuildInfo& info = GetBuildInfo();
   std::printf("%s\n", BuildInfoSummary());
@@ -1026,7 +1229,7 @@ int Usage() {
       stderr,
       "usage: trilist_cli "
       "<generate|count|run|model|orders|advise|convert|info|serve|query|"
-      "version> [--flag value]...\n"
+      "mutate|version> [--flag value]...\n"
       "  generate --n N --alpha A [--trunc root|linear] [--seed S] --out F\n"
       "  count    --in F [--method T1..L6|auto] [--order O|auto]\n"
       "           (orders: D|A|RR|CRR|U|degen|aot|split; see `orders`;\n"
@@ -1060,7 +1263,8 @@ int Usage() {
       "           (--mem-budget: out-of-core text -> .tlg conversion;\n"
       "            external edge sort spills to --tmpdir, peak memory\n"
       "            stays under the budget for any graph size)\n"
-      "  info     --in F.tlg\n"
+      "  info     --in F.tlg   (describes the on-disk snapshot; a served\n"
+      "           graph's live epoch/overlay state is in `query --stats`)\n"
       "  serve    [--tcp PORT] [--host H] [--unix PATH] [--graphs DIR]\n"
       "           [--graph name=path[,...]] [--workers N] [--queue N]\n"
       "           [--catalog N] [--sjf] [--max-threads N] [--send-timeout SEC]\n"
@@ -1071,6 +1275,16 @@ int Usage() {
       "  query    (--connect HOST:PORT | --unix PATH) --graph NAME\n"
       "           [--methods ...] [--order O] [--seed S] [--threads N]\n"
       "           [--repeats R] [--report] [--stats]\n"
+      "  mutate   (--connect HOST:PORT | --unix PATH) --graph NAME\n"
+      "           [--add u:v[,u:v...]] [--del u:v[,...]] [--ops-file F]\n"
+      "           [--batch N]   (remote: batched edge inserts/deletes;\n"
+      "            each batch publishes a new epoch, count stays exact)\n"
+      "       or  --in GRAPH --log F [--verify] [--out F.tlg]\n"
+      "           [--batch N] [--threads N]\n"
+      "           (local: replay a mutation log incrementally; --verify\n"
+      "            recounts from scratch with T1+T2 and byte-compares a\n"
+      "            compaction against a fresh convert — exit 1 on any\n"
+      "            divergence)\n"
       "  version  (build provenance: version, git hash, compiler, flags)\n");
   return 2;
 }
@@ -1091,6 +1305,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "mutate") return CmdMutate(flags);
   if (cmd == "version" || cmd == "--version") return CmdVersion();
   return Usage();
 }
